@@ -1,0 +1,149 @@
+// Microbenchmarks (google-benchmark): host-side hot-path latency of every allocator's
+// malloc/free pair. Supports the paper's "negligible overhead" claim for STAlloc (§9.3): the
+// static allocator serves pre-planned addresses with an O(1) lookup and no device API calls,
+// while the baselines search block pools or touch VMM state.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/allocators/caching_allocator.h"
+#include "src/allocators/expandable_segments.h"
+#include "src/allocators/gmlake.h"
+#include "src/allocators/native_allocator.h"
+#include "src/common/units.h"
+#include "src/core/planner.h"
+#include "src/core/profiler.h"
+#include "src/core/stalloc_allocator.h"
+#include "src/driver/replay.h"
+#include "src/trainsim/model_config.h"
+#include "src/trainsim/workload.h"
+
+namespace stalloc {
+namespace {
+
+constexpr uint64_t kCapacity = 64 * GiB;
+
+// Alternating-lifetime malloc/free storm (the caching-allocator stress pattern).
+template <typename AllocT>
+void StormBody(benchmark::State& state, AllocT& alloc) {
+  std::vector<uint64_t> live;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    const uint64_t size = (i % 7 + 1) * 512 * KiB;
+    auto addr = alloc.Malloc(size);
+    if (addr.has_value()) {
+      live.push_back(*addr);
+    }
+    if (live.size() > 64) {
+      alloc.Free(live[i % live.size()]);
+      live[i % live.size()] = live.back();
+      live.pop_back();
+    }
+    ++i;
+  }
+  for (auto a : live) {
+    alloc.Free(a);
+  }
+}
+
+void BM_CachingAllocator(benchmark::State& state) {
+  SimDevice dev(kCapacity);
+  CachingAllocator alloc(&dev);
+  StormBody(state, alloc);
+}
+BENCHMARK(BM_CachingAllocator);
+
+void BM_ExpandableSegments(benchmark::State& state) {
+  SimDevice dev(kCapacity);
+  ExpandableSegmentsAllocator alloc(&dev);
+  StormBody(state, alloc);
+}
+BENCHMARK(BM_ExpandableSegments);
+
+void BM_GMLake(benchmark::State& state) {
+  SimDevice dev(kCapacity);
+  GMLakeAllocator alloc(&dev);
+  StormBody(state, alloc);
+}
+BENCHMARK(BM_GMLake);
+
+void BM_Native(benchmark::State& state) {
+  SimDevice dev(kCapacity);
+  NativeAllocator alloc(&dev);
+  StormBody(state, alloc);
+}
+BENCHMARK(BM_Native);
+
+// STAlloc hot path: replay a planned iteration; each benchmark iteration is one malloc+free of
+// a planned request served from the static pool.
+void BM_STAllocStaticPath(benchmark::State& state) {
+  TrainConfig config;
+  config.parallel.pp = 2;
+  config.num_microbatches = 4;
+  config.micro_batch_size = 4;
+  WorkloadBuilder wb(Gpt2_345M(), config);
+  ProfileResult profile = ProfileWorkload(wb, kCapacity, 1);
+  SynthesisResult synthesis = SynthesizePlan(profile.trace);
+  SimDevice dev(kCapacity);
+  STAllocAllocator alloc(&dev, synthesis.plan, synthesis.dyn_space);
+  if (!alloc.Init()) {
+    state.SkipWithError("pool init failed");
+    return;
+  }
+  // Serve the first planned decision over and over (alloc, free, reset).
+  const uint64_t size = synthesis.plan.decisions.front().event.size;
+  for (auto _ : state) {
+    auto addr = alloc.Malloc(size);
+    benchmark::DoNotOptimize(addr);
+    if (addr.has_value()) {
+      alloc.Free(*addr);
+    }
+    alloc.EndIteration();
+  }
+}
+BENCHMARK(BM_STAllocStaticPath);
+
+// Full-iteration replay cost per allocator (amortized ns per request).
+void BM_IterationReplay(benchmark::State& state) {
+  TrainConfig config;
+  config.parallel.pp = 2;
+  config.num_microbatches = 4;
+  config.micro_batch_size = 4;
+  WorkloadBuilder wb(Gpt2_345M(), config);
+  const Trace trace = wb.Build(2);
+
+  ProfileResult profile = ProfileWorkload(wb, kCapacity, 1);
+  SynthesisResult synthesis = SynthesizePlan(profile.trace);
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    SimDevice dev(kCapacity);
+    std::unique_ptr<Allocator> alloc;
+    switch (state.range(0)) {
+      case 0:
+        alloc = std::make_unique<CachingAllocator>(&dev);
+        break;
+      case 1:
+        alloc = std::make_unique<ExpandableSegmentsAllocator>(&dev);
+        break;
+      case 2: {
+        auto st = std::make_unique<STAllocAllocator>(&dev, synthesis.plan, synthesis.dyn_space);
+        st->Init();
+        alloc = std::move(st);
+        break;
+      }
+    }
+    state.ResumeTiming();
+    ReplayResult r = ReplayTrace(trace, alloc.get());
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(trace.size() * 2));
+}
+BENCHMARK(BM_IterationReplay)->Arg(0)->Arg(1)->Arg(2)
+    ->ArgName("alloc(0=caching,1=es,2=stalloc)");
+
+}  // namespace
+}  // namespace stalloc
+
+BENCHMARK_MAIN();

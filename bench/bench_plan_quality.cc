@@ -1,0 +1,67 @@
+// Planner quality study (supports §5/§7's "near-optimal in acceptable time" claim).
+//
+// For each workload: pool size and synthesis time of (a) the grouped planner alone, (b) the
+// greedy first-fit refinement, (c) the full synthesizer, and (d) offline compaction applied on
+// top — a slow solver-style baseline in the spirit of Telamalloc/MiniMalloc — all against the
+// theoretical lower bound (peak live bytes). The shape to verify: the fast synthesizer lands
+// within a few percent of both the lower bound and the compacted plan, at a fraction of the
+// cost.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/stopwatch.h"
+#include "src/core/compaction.h"
+#include "src/core/planner.h"
+#include "src/core/profiler.h"
+
+int main() {
+  using namespace stalloc;
+
+  struct Case {
+    const char* name;
+    const char* model;
+    const char* tag;
+    int rank;
+  };
+  const Case cases[] = {
+      {"GPT-2 R (first stage)", "gpt2", "R", 0},
+      {"GPT-2 VR (last stage)", "gpt2", "VR", 1},
+      {"Llama2-7B N (last stage)", "llama2-7b", "N", 1},
+      {"Qwen1.5-MoE R (first stage)", "qwen1.5-moe", "R", 0},
+  };
+
+  std::printf("Planner quality vs offline compaction baseline\n\n");
+  TextTable table({"workload", "lower bound", "grouped", "synthesizer", "compacted",
+                   "Tplan (ms)", "Tcompact (ms)"});
+  for (const auto& c : cases) {
+    TrainConfig config;
+    config.parallel = {2, 2, 2, 1, 1};
+    config.num_microbatches = 8;
+    config.micro_batch_size = ModelByName(c.model).moe.enabled() ? 4 : 8;
+    config.rank = c.rank;
+    config = ApplyConfigTag(config, c.tag);
+    config.opt.zero = ZeroStage::kStage1;
+    WorkloadBuilder wb(ModelByName(c.model), config);
+    Trace trace = wb.Build(1);
+
+    PlanSynthesizerConfig grouped_only;
+    grouped_only.enable_greedy_refinement = false;
+    SynthesisResult grouped = SynthesizePlan(trace, grouped_only);
+    SynthesisResult full = SynthesizePlan(trace);
+    Stopwatch timer;
+    CompactionResult compacted = CompactPlan(full.plan);
+
+    auto pct = [&](uint64_t pool) {
+      return StrFormat("%s (%.1f%%)", FormatBytes(pool).c_str(),
+                       100.0 * static_cast<double>(full.plan.lower_bound) /
+                           static_cast<double>(pool));
+    };
+    table.AddRow({c.name, FormatBytes(full.plan.lower_bound), pct(grouped.plan.pool_size),
+                  pct(full.plan.pool_size), pct(compacted.plan.pool_size),
+                  StrFormat("%.1f", full.stats.synthesis_ms),
+                  StrFormat("%.1f", compacted.wall_ms)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Table 2 reproduction: profiling and plan-synthesis cost versus request count. Six traces:
+// GPT-2 / Llama2-7B / Qwen1.5-MoE, each without (-N) and with (-R) recomputation.
+//
+// Shapes to reproduce: recomputation increases the request count; synthesis stays in the
+// seconds-to-minutes range at trace scale; the MoE -N configuration synthesizes slower than -R
+// relative to its size (more HomoLayer groups to interrogate, §9.3). Absolute times differ from
+// the paper (different host and trace sizes); report both wall time and request counts.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/planner.h"
+#include "src/core/profiler.h"
+
+int main() {
+  using namespace stalloc;
+
+  struct Case {
+    const char* name;
+    ModelConfig model;
+    ParallelConfig parallel;
+    uint64_t mb;
+    bool recompute;
+  };
+  const Case cases[] = {
+      {"GPT-2-N", Gpt2_345M(), {1, 2, 4, 1, 1}, 16, false},
+      {"GPT-2-R", Gpt2_345M(), {1, 2, 4, 1, 1}, 16, true},
+      {"Llama2-7B-N", Llama2_7B(), {2, 2, 2, 1, 1}, 4, false},
+      {"Llama2-7B-R", Llama2_7B(), {2, 2, 2, 1, 1}, 4, true},
+      {"Qwen1.5-MoE-N", Qwen15_MoE_A27B(), {1, 2, 4, 4, 1}, 8, false},
+      {"Qwen1.5-MoE-R", Qwen15_MoE_A27B(), {1, 2, 4, 4, 1}, 8, true},
+  };
+
+  std::printf("Table 2 — profile and plan-synthesis time vs request count\n\n");
+  TextTable table({"config", "Num", "Tprofile (ms)", "Tplan (ms)", "HomoLayer groups",
+                   "plan efficiency"});
+  for (const auto& c : cases) {
+    TrainConfig config;
+    config.parallel = c.parallel;
+    config.num_microbatches = 8;
+    config.micro_batch_size = c.mb;
+    config.opt.zero = ZeroStage::kStage1;
+    if (c.recompute) {
+      config.opt.recompute = RecomputeMode::kFull;
+    }
+    WorkloadBuilder wb(c.model, config);
+    ProfileResult profile = ProfileWorkload(wb, 512ull * GiB, 1);
+    SynthesisResult synthesis = SynthesizePlan(profile.trace);
+    table.AddRow({c.name,
+                  StrFormat("%llu", static_cast<unsigned long long>(profile.trace.size())),
+                  StrFormat("%.1f", profile.wall_ms),
+                  StrFormat("%.1f", synthesis.stats.synthesis_ms),
+                  StrFormat("%llu",
+                            static_cast<unsigned long long>(synthesis.stats.num_homolayer_groups)),
+                  StrFormat("%.1f%%", synthesis.stats.PlanEfficiency() * 100.0)});
+  }
+  table.Print();
+
+  // Complexity validation (§7): synthesis time across doubling trace sizes should scale close
+  // to O(N log N). Vary the microbatch count of one workload.
+  std::printf("\nSynthesis-time scaling (Qwen1.5-MoE-R, growing microbatch count):\n\n");
+  TextTable scaling({"microbatches", "Num", "Tplan (ms)", "ms per 1k requests"});
+  for (int m : {2, 4, 8, 16, 32}) {
+    TrainConfig config;
+    config.parallel = {1, 2, 4, 4, 1};
+    config.num_microbatches = m;
+    config.micro_batch_size = 8;
+    config.opt.recompute = RecomputeMode::kFull;
+    config.opt.zero = ZeroStage::kStage1;
+    WorkloadBuilder wb(Qwen15_MoE_A27B(), config);
+    Trace trace = wb.Build(1);
+    SynthesisResult synthesis = SynthesizePlan(trace);
+    scaling.AddRow({StrFormat("%d", m),
+                    StrFormat("%llu", static_cast<unsigned long long>(trace.size())),
+                    StrFormat("%.1f", synthesis.stats.synthesis_ms),
+                    StrFormat("%.2f", synthesis.stats.synthesis_ms /
+                                          (static_cast<double>(trace.size()) / 1000.0))});
+  }
+  scaling.Print();
+  std::printf("\nNear-constant ms-per-1k-requests confirms the O(N log N) synthesis bound (§7).\n");
+  return 0;
+}

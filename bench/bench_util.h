@@ -1,0 +1,102 @@
+// Shared helpers for the evaluation-reproduction benches (one binary per paper table/figure).
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/table.h"
+#include "src/common/units.h"
+#include "src/driver/experiment.h"
+#include "src/trainsim/model_config.h"
+#include "src/trainsim/workload.h"
+
+namespace stalloc {
+
+// GPU memory capacities of the paper's testbeds (§9.1).
+inline constexpr uint64_t kA800Capacity = 80ull * GiB;
+inline constexpr uint64_t kH200Capacity = 141ull * GiB;
+inline constexpr uint64_t kMI210Capacity = 64ull * GiB;
+
+// The pipeline ranks whose memory behaviour bounds the job: the first stage carries the deepest
+// 1F1B in-flight activation stack, the last stage carries the vocabulary-sized logits tensors.
+inline std::vector<int> BoundaryRanks(const ParallelConfig& parallel) {
+  if (parallel.pp <= 1) {
+    return {0};
+  }
+  return {0, parallel.pp - 1};
+}
+
+// Runs (model, config) under `kind` on every boundary rank and returns the worst outcome:
+// training OOMs if any rank OOMs, and the per-job memory efficiency is set by the worst GPU.
+inline ExperimentResult RunWorstRank(const ModelConfig& model, TrainConfig config,
+                                     AllocatorKind kind, const ExperimentOptions& opt) {
+  ExperimentResult worst;
+  bool first = true;
+  for (int rank : BoundaryRanks(config.parallel)) {
+    config.rank = rank;
+    WorkloadBuilder wb(model, config);
+    ExperimentResult r = RunExperiment(wb, kind, opt);
+    const bool r_failed = r.oom || r.infeasible;
+    const bool w_failed = worst.oom || worst.infeasible;
+    if (first || (r_failed && !w_failed) ||
+        (r_failed == w_failed && r.memory_efficiency < worst.memory_efficiency)) {
+      worst = r;
+    }
+    first = false;
+  }
+  return worst;
+}
+
+// Largest power-of-two microbatch size (up to `max_mb`) for which one iteration completes under
+// `probe` on every boundary rank of a device of `capacity` — the paper's "maximum feasible size
+// that will not cause OOM" selection (§9.2). Returns 0 when even mb=1 does not fit. With
+// `linear` the search steps by 1 instead of doubling, landing right at the feasibility edge
+// (used by the OOM-sensitive experiments).
+inline uint64_t MaxFeasibleMicrobatch(const ModelConfig& model, TrainConfig config,
+                                      AllocatorKind probe, uint64_t capacity,
+                                      uint64_t max_mb = 128, bool linear = false) {
+  uint64_t best = 0;
+  for (uint64_t mb = 1; mb <= max_mb; mb = linear ? mb + 1 : mb * 2) {
+    config.micro_batch_size = mb;
+    ExperimentOptions opt;
+    opt.capacity_bytes = capacity;
+    ExperimentResult r = RunWorstRank(model, config, probe, opt);
+    if (r.oom || r.infeasible) {
+      break;
+    }
+    best = mb;
+  }
+  return best;
+}
+
+// Formats an efficiency cell: "97.3" or "OOM" / "infeasible".
+inline std::string EffCell(const ExperimentResult& r) {
+  if (r.infeasible) {
+    return "inf.";
+  }
+  if (r.oom) {
+    return "OOM";
+  }
+  return StrFormat("%.1f", r.memory_efficiency * 100.0);
+}
+
+inline std::string ReservedCell(const ExperimentResult& r) {
+  if (r.oom || r.infeasible) {
+    return "-";
+  }
+  return FormatBytes(r.reserved_peak);
+}
+
+// The allocator line-up of Fig. 8 (our caching allocator stands in for both Torch 2.0 and 2.3;
+// the paper's two versions differ only marginally on these workloads).
+inline std::vector<AllocatorKind> PaperAllocators() {
+  return {AllocatorKind::kCaching, AllocatorKind::kGMLake, AllocatorKind::kExpandable,
+          AllocatorKind::kSTAlloc};
+}
+
+}  // namespace stalloc
+
+#endif  // BENCH_BENCH_UTIL_H_

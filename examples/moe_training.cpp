@@ -1,0 +1,78 @@
+// MoE training walkthrough: the scenario that motivates STAlloc's hybrid offline/online design
+// (§5.2, §6.2). Profiles one iteration of Qwen1.5-MoE-A2.7B, synthesizes the plan, then replays
+// several *different* iterations — expert token routing reshuffles every time — and reports how
+// the Dynamic Allocator served the changing request sizes from the static pool's idle space.
+//
+//   $ ./moe_training [iterations]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/table.h"
+#include "src/common/units.h"
+#include "src/core/planner.h"
+#include "src/core/profiler.h"
+#include "src/core/stalloc_allocator.h"
+#include "src/driver/replay.h"
+#include "src/trainsim/model_config.h"
+#include "src/trainsim/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace stalloc;
+
+  const int iterations = argc > 1 ? std::atoi(argv[1]) : 5;
+  constexpr uint64_t kCapacity = 80ull * GiB;
+
+  TrainConfig config;
+  config.parallel = {/*tp=*/1, /*pp=*/2, /*dp=*/4, /*ep=*/4, /*vpp_chunks=*/1};
+  config.num_microbatches = 8;
+  config.micro_batch_size = 4;
+  config.opt.recompute = RecomputeMode::kFull;
+  config.opt.zero = ZeroStage::kStage1;
+  WorkloadBuilder workload(Qwen15_MoE_A27B(), config);
+
+  std::printf("Profiling one iteration of %s ...\n", Qwen15_MoE_A27B().name.c_str());
+  ProfileResult profile = ProfileWorkload(workload, kCapacity, /*iteration_seed=*/1);
+  if (!profile.feasible) {
+    std::printf("configuration does not fit on the device; reduce the microbatch size\n");
+    return 1;
+  }
+  SynthesisResult synthesis = SynthesizePlan(profile.trace);
+  std::printf("%s\n", synthesis.stats.ToString().c_str());
+  std::printf("Dynamic Reusable Space: %zu HomoLayer groups\n\n",
+              synthesis.dyn_space.group_count());
+
+  SimDevice device(kCapacity);
+  STAllocAllocator alloc(&device, synthesis.plan, synthesis.dyn_space);
+  if (!alloc.Init()) {
+    std::printf("static pool reservation failed\n");
+    return 1;
+  }
+
+  TextTable table({"iteration", "efficiency", "reserved", "dyn reuse hits", "dyn fallbacks",
+                   "static mismatches"});
+  for (int iter = 0; iter < iterations; ++iter) {
+    // Each iteration routes tokens differently: dynamic request sizes change, static ones don't.
+    const Trace run = workload.Build(/*iteration_seed=*/100 + static_cast<uint64_t>(iter));
+    const STAllocBreakdown before = alloc.breakdown();
+    ReplayResult replay = ReplayTrace(run, &alloc);
+    const STAllocBreakdown& after = alloc.breakdown();
+    if (replay.oom) {
+      std::printf("iteration %d hit OOM\n", iter);
+      return 1;
+    }
+    table.AddRow({StrFormat("%d", iter), StrFormat("%.1f%%", replay.memory_efficiency * 100.0),
+                  FormatBytes(replay.reserved_peak),
+                  StrFormat("%llu", static_cast<unsigned long long>(after.dynamic_reuse_hits -
+                                                                    before.dynamic_reuse_hits)),
+                  StrFormat("%llu", static_cast<unsigned long long>(after.dynamic_fallbacks -
+                                                                    before.dynamic_fallbacks)),
+                  StrFormat("%llu", static_cast<unsigned long long>(after.static_mismatches -
+                                                                    before.static_mismatches))});
+  }
+  table.Print();
+  std::printf("\nEvery iteration's dynamic sizes differ from the profiled ones, yet most expert\n"
+              "tensors land inside the static pool's idle windows (Eq. 7) instead of the\n"
+              "caching fallback — that is the Dynamic Allocator at work.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Plan inspector: exports a profiled trace to CSV (the Plan Synthesizer is a standalone offline
+// tool in the paper's deployment, §8), re-imports it, synthesizes the plan, and renders an ASCII
+// space-time map of the static pool so the spatio-temporal packing is visible.
+//
+//   $ ./plan_inspector [model] [config-tag] [trace.csv]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/table.h"
+#include "src/common/units.h"
+#include "src/core/planner.h"
+#include "src/trace/timeline.h"
+#include "src/trace/trace_io.h"
+#include "src/trace/trace_stats.h"
+#include "src/trainsim/model_config.h"
+#include "src/trainsim/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace stalloc;
+
+  const std::string model_name = argc > 1 ? argv[1] : "gpt2";
+  const std::string tag = argc > 2 ? argv[2] : "R";
+  const std::string csv_path = argc > 3 ? argv[3] : "/tmp/stalloc_trace.csv";
+
+  TrainConfig base;
+  base.parallel.pp = 2;
+  base.num_microbatches = 4;
+  base.micro_batch_size = 8;
+  TrainConfig config = ApplyConfigTag(base, tag);
+  WorkloadBuilder workload(ModelByName(model_name), config);
+
+  // Profile -> export CSV (offline handoff) -> import -> synthesize.
+  Trace trace = workload.Build(1);
+  if (!WriteTraceCsvFile(trace, csv_path)) {
+    std::printf("cannot write %s\n", csv_path.c_str());
+    return 1;
+  }
+  std::printf("trace written to %s (%zu events)\n", csv_path.c_str(), trace.size());
+  Trace imported = ReadTraceCsvFile(csv_path);
+
+  TraceStats stats = ComputeStats(imported);
+  std::printf("\n%s\n", stats.ToString().c_str());
+
+  SynthesisResult synthesis = SynthesizePlan(imported);
+  std::printf("%s\n", synthesis.stats.ToString().c_str());
+
+  std::printf("Static pool space-time map (%s over %llu ticks):\n\n",
+              FormatBytes(synthesis.plan.pool_size).c_str(),
+              static_cast<unsigned long long>(imported.end_time()));
+  std::vector<TimelineBox> boxes;
+  for (const auto& d : synthesis.plan.decisions) {
+    boxes.push_back({d.addr, d.padded_size, d.event.ts, d.event.te, d.event.dyn});
+  }
+  std::printf("%s", RenderAsciiTimeline(boxes, synthesis.plan.pool_size,
+                                        imported.end_time()).c_str());
+  const std::string svg_path = csv_path + ".svg";
+  if (WriteSvgTimelineFile(boxes, synthesis.plan.pool_size, imported.end_time(), svg_path)) {
+    std::printf("\nSVG rendering written to %s\n", svg_path.c_str());
+  }
+  return 0;
+}

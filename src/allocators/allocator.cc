@@ -1,0 +1,66 @@
+#include "src/allocators/allocator.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace stalloc {
+
+std::optional<uint64_t> AllocatorBase::Malloc(uint64_t size, const RequestContext& ctx) {
+  ++stats_.num_mallocs;
+  if (size == 0) {
+    ++stats_.num_oom;
+    return std::nullopt;
+  }
+  auto addr = DoMalloc(size, ctx);
+  if (!addr.has_value()) {
+    ++stats_.num_oom;
+    NotePressure();
+    return std::nullopt;
+  }
+  // Memory-stomping detector: the returned block may not overlap any live block.
+  auto next = live_.lower_bound(*addr);
+  if (next != live_.end()) {
+    STALLOC_CHECK(*addr + size <= next->first,
+                  << name() << ": block [" << *addr << ", " << *addr + size
+                  << ") stomps on live block at " << next->first);
+  }
+  if (next != live_.begin()) {
+    auto prev = std::prev(next);
+    STALLOC_CHECK(prev->first + prev->second <= *addr,
+                  << name() << ": block at " << *addr << " stomped by live block [" << prev->first
+                  << ", " << prev->first + prev->second << ")");
+  }
+  live_.emplace(*addr, size);
+  stats_.allocated_current += size;
+  stats_.allocated_peak = std::max(stats_.allocated_peak, stats_.allocated_current);
+  stats_.live_blocks = live_.size();
+  NotePressure();
+  return addr;
+}
+
+bool AllocatorBase::Free(uint64_t addr) {
+  auto it = live_.find(addr);
+  if (it == live_.end()) {
+    return false;
+  }
+  ++stats_.num_frees;
+  const uint64_t size = it->second;
+  live_.erase(it);
+  stats_.allocated_current -= size;
+  stats_.live_blocks = live_.size();
+  DoFree(addr, size);
+  NotePressure();
+  return true;
+}
+
+uint64_t AllocatorBase::LiveSize(uint64_t addr) const {
+  auto it = live_.find(addr);
+  return it == live_.end() ? 0 : it->second;
+}
+
+void AllocatorBase::NotePressure() {
+  stats_.reserved_peak = std::max(stats_.reserved_peak, ReservedBytes());
+}
+
+}  // namespace stalloc

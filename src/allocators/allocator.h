@@ -1,0 +1,108 @@
+// Allocator: the common interface of every GPU memory allocator in this repository — the PyTorch
+// caching allocator, PyTorch expandable_segments, GMLake, the native (profiling) allocator and
+// STAlloc itself. Mirrors the PyTorch PluggableAllocator surface (§8): malloc and free calls,
+// routed through the framework, with request context describing the issuing module.
+//
+// AllocatorBase adds uniform accounting (allocated/reserved current & peak → memory efficiency
+// E = Ma/Mr of §2.2) and a memory-stomping detector: no two live blocks may overlap. A stomping
+// bug in any allocator aborts immediately rather than corrupting the "training".
+
+#ifndef SRC_ALLOCATORS_ALLOCATOR_H_
+#define SRC_ALLOCATORS_ALLOCATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/trace/event.h"
+
+namespace stalloc {
+
+// Context forwarded with each request, as captured by framework hooks (§8: module tracking via
+// PyTorch hook APIs). Baseline allocators ignore it; STAlloc's Request Matcher routes on it.
+struct RequestContext {
+  bool dyn = false;                 // issued by a dynamic (MoE expert) layer
+  PhaseId phase = kInvalidPhase;    // current computation phase
+  LayerId layer = kInvalidLayer;    // current model layer (module)
+  StreamId stream = kComputeStream; // issuing CUDA stream
+};
+
+struct AllocatorStats {
+  uint64_t allocated_current = 0;  // live requested bytes
+  uint64_t allocated_peak = 0;     // max allocated (Ma)
+  uint64_t reserved_peak = 0;      // max reserved  (Mr)
+  uint64_t num_mallocs = 0;
+  uint64_t num_frees = 0;
+  uint64_t num_oom = 0;            // failed mallocs
+  uint64_t live_blocks = 0;
+
+  // E = Ma / Mr (§2.2, Eq. 1). 1.0 when nothing was reserved.
+  double MemoryEfficiency() const {
+    return reserved_peak == 0 ? 1.0
+                              : static_cast<double>(allocated_peak) /
+                                    static_cast<double>(reserved_peak);
+  }
+  // Fragmentation ratio = 1 - E (§9.1).
+  double FragmentationRatio() const { return 1.0 - MemoryEfficiency(); }
+  // Fragmentation bytes = Mr - Ma.
+  uint64_t FragmentationBytes() const {
+    return reserved_peak > allocated_peak ? reserved_peak - allocated_peak : 0;
+  }
+};
+
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  // Allocates `size` bytes; returns the device address or nullopt on OOM.
+  virtual std::optional<uint64_t> Malloc(uint64_t size, const RequestContext& ctx) = 0;
+  std::optional<uint64_t> Malloc(uint64_t size) { return Malloc(size, RequestContext{}); }
+
+  // Frees a previously returned address. Returns false if the address is unknown.
+  virtual bool Free(uint64_t addr) = 0;
+
+  // Human-readable allocator name ("torch-caching", "stalloc", ...).
+  virtual std::string_view name() const = 0;
+
+  // Bytes of device memory currently reserved by this allocator.
+  virtual uint64_t ReservedBytes() const = 0;
+
+  // Releases cached, unused device memory back to the device (torch.cuda.empty_cache analogue).
+  virtual void EmptyCache() {}
+
+  // Called by the driver at iteration boundaries; allocators may trim caches.
+  virtual void EndIteration() {}
+
+  virtual const AllocatorStats& stats() const = 0;
+};
+
+// Base class with shared accounting + stomping detection. Concrete allocators implement DoMalloc
+// and DoFree; size bookkeeping and peak tracking happen here.
+class AllocatorBase : public Allocator {
+ public:
+  using Allocator::Malloc;  // keep the single-argument convenience overload visible
+  std::optional<uint64_t> Malloc(uint64_t size, const RequestContext& ctx) final;
+  bool Free(uint64_t addr) final;
+  const AllocatorStats& stats() const final { return stats_; }
+
+  // Live requested size for a given address (0 if unknown). For tests.
+  uint64_t LiveSize(uint64_t addr) const;
+
+ protected:
+  virtual std::optional<uint64_t> DoMalloc(uint64_t size, const RequestContext& ctx) = 0;
+  virtual void DoFree(uint64_t addr, uint64_t size) = 0;
+
+  // Refreshes the reserved-bytes peak; call after any operation that changes reservations.
+  void NotePressure();
+
+ private:
+  AllocatorStats stats_;
+  // addr -> requested size of live blocks, used for accounting and overlap detection.
+  std::map<uint64_t, uint64_t> live_;
+};
+
+}  // namespace stalloc
+
+#endif  // SRC_ALLOCATORS_ALLOCATOR_H_

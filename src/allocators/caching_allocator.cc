@@ -1,0 +1,193 @@
+#include "src/allocators/caching_allocator.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace stalloc {
+
+CachingAllocator::CachingAllocator(SimDevice* device, CachingAllocatorConfig config)
+    : device_(device), config_(config) {
+  STALLOC_CHECK(IsPowerOfTwo(config_.min_block_size));
+}
+
+CachingAllocator::~CachingAllocator() {
+  // Return every segment to the device so a shared SimDevice's accounting stays clean.
+  for (auto& seg : segments_) {
+    if (!seg.released) {
+      device_->DevFree(seg.base);
+    }
+  }
+}
+
+uint64_t CachingAllocator::RoundSize(uint64_t size) const {
+  if (size < config_.min_block_size) {
+    return config_.min_block_size;
+  }
+  return AlignUp(size, config_.min_block_size);
+}
+
+uint64_t CachingAllocator::SegmentSizeFor(uint64_t rounded) const {
+  if (IsSmall(rounded)) {
+    return config_.small_buffer;
+  }
+  if (rounded < config_.min_large_alloc) {
+    return config_.large_buffer;
+  }
+  return AlignUp(rounded, config_.round_large);
+}
+
+std::optional<uint64_t> CachingAllocator::AllocFromCache(uint64_t rounded, bool small,
+                                                         StreamId stream) {
+  auto& free_list = FreeListFor(small, stream);
+  auto it = free_list.lower_bound(FreeKey{rounded, 0});
+  if (it == free_list.end()) {
+    return std::nullopt;
+  }
+  const uint64_t addr = it->second;
+  free_list.erase(it);
+  auto bit = blocks_.find(addr);
+  STALLOC_CHECK(bit != blocks_.end() && bit->second.free);
+  bit->second.free = false;
+  segments_[bit->second.segment].free_bytes -= bit->second.size;
+  SplitBlock(bit, rounded);
+  return addr;
+}
+
+void CachingAllocator::SplitBlock(std::map<uint64_t, Block>::iterator it, uint64_t want) {
+  Block& block = it->second;
+  STALLOC_CHECK_GE(block.size, want);
+  const uint64_t remainder = block.size - want;
+  const Segment& seg = segments_[block.segment];
+  const bool small = seg.small;
+  // PyTorch should_split: small pool splits any >= kMinBlockSize remainder, large pool only
+  // splits when the remainder exceeds kSmallSize (1 MiB) to limit large-pool fragmentation.
+  const bool split = small ? remainder >= config_.min_block_size : remainder > config_.small_size;
+  if (!split) {
+    return;
+  }
+  block.size = want;
+  Block rest;
+  rest.addr = block.addr + want;
+  rest.size = remainder;
+  rest.free = true;
+  rest.segment = block.segment;
+  blocks_.emplace(rest.addr, rest);
+  segments_[rest.segment].free_bytes += remainder;
+  FreeListFor(small, seg.stream).insert(FreeKey{remainder, rest.addr});
+}
+
+std::optional<uint64_t> CachingAllocator::AllocFromNewSegment(uint64_t rounded, bool small,
+                                                              StreamId stream) {
+  const uint64_t seg_size = SegmentSizeFor(rounded);
+  auto base = device_->DevMalloc(seg_size);
+  if (!base.has_value()) {
+    // Device OOM: release cached fully-free segments, then retry once (PyTorch behaviour).
+    if (ReleaseCachedSegments() == 0) {
+      return std::nullopt;
+    }
+    base = device_->DevMalloc(seg_size);
+    if (!base.has_value()) {
+      return std::nullopt;
+    }
+  }
+  Segment seg;
+  seg.base = *base;
+  seg.size = seg_size;
+  seg.small = small;
+  seg.stream = stream;
+  segments_.push_back(seg);
+  reserved_ += seg_size;
+  const uint32_t seg_id = static_cast<uint32_t>(segments_.size() - 1);
+
+  Block block;
+  block.addr = *base;
+  block.size = seg_size;
+  block.free = false;
+  block.segment = seg_id;
+  auto [bit, inserted] = blocks_.emplace(block.addr, block);
+  STALLOC_CHECK(inserted);
+  SplitBlock(bit, rounded);
+  return *base;
+}
+
+std::optional<uint64_t> CachingAllocator::DoMalloc(uint64_t size, const RequestContext& ctx) {
+  const uint64_t rounded = RoundSize(size);
+  const bool small = IsSmall(rounded);
+  if (auto addr = AllocFromCache(rounded, small, ctx.stream); addr.has_value()) {
+    return addr;
+  }
+  return AllocFromNewSegment(rounded, small, ctx.stream);
+}
+
+void CachingAllocator::DoFree(uint64_t addr, uint64_t size) {
+  (void)size;
+  auto it = blocks_.find(addr);
+  STALLOC_CHECK(it != blocks_.end() && !it->second.free,
+                << "caching allocator: free of unknown block " << addr);
+  it->second.free = true;
+  segments_[it->second.segment].free_bytes += it->second.size;
+  Coalesce(it);
+}
+
+void CachingAllocator::Coalesce(std::map<uint64_t, Block>::iterator it) {
+  const uint32_t seg_id = it->second.segment;
+  const bool small = segments_[seg_id].small;
+  auto& free_list = FreeListFor(small, segments_[seg_id].stream);
+
+  // Merge with the next block if contiguous, same segment and free.
+  auto next = std::next(it);
+  if (next != blocks_.end() && next->second.free && next->second.segment == seg_id &&
+      it->second.addr + it->second.size == next->second.addr) {
+    free_list.erase(FreeKey{next->second.size, next->second.addr});
+    it->second.size += next->second.size;
+    blocks_.erase(next);
+  }
+  // Merge with the previous block.
+  if (it != blocks_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.free && prev->second.segment == seg_id &&
+        prev->second.addr + prev->second.size == it->second.addr) {
+      free_list.erase(FreeKey{prev->second.size, prev->second.addr});
+      prev->second.size += it->second.size;
+      blocks_.erase(it);
+      it = prev;
+    }
+  }
+  free_list.insert(FreeKey{it->second.size, it->second.addr});
+}
+
+uint64_t CachingAllocator::ReleaseCachedSegments() {
+  uint64_t released = 0;
+  for (uint32_t seg_id = 0; seg_id < segments_.size(); ++seg_id) {
+    Segment& seg = segments_[seg_id];
+    if (seg.released || seg.free_bytes != seg.size) {
+      continue;
+    }
+    // The segment is one fully-free block (coalescing guarantees it); drop it.
+    auto it = blocks_.find(seg.base);
+    STALLOC_CHECK(it != blocks_.end() && it->second.free && it->second.size == seg.size);
+    FreeListFor(seg.small, seg.stream).erase(FreeKey{it->second.size, it->second.addr});
+    blocks_.erase(it);
+    device_->DevFree(seg.base);
+    seg.released = true;
+    seg.free_bytes = 0;
+    reserved_ -= seg.size;
+    released += seg.size;
+  }
+  return released;
+}
+
+void CachingAllocator::EmptyCache() { ReleaseCachedSegments(); }
+
+uint64_t CachingAllocator::cached_free_bytes() const {
+  uint64_t total = 0;
+  for (const auto& seg : segments_) {
+    if (!seg.released) {
+      total += seg.free_bytes;
+    }
+  }
+  return total;
+}
+
+}  // namespace stalloc

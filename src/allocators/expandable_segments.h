@@ -1,0 +1,99 @@
+// ExpandableSegmentsAllocator: reimplementation of PyTorch's `expandable_segments:True` mode
+// (the "PyTorch ES" baseline, available since PyTorch 2.1).
+//
+// Instead of many fixed cudaMalloc segments, large-pool memory lives in expandable segments —
+// one per CUDA stream, as in PyTorch: a big virtual-address reservation into which physical
+// memory is mapped at 2 MiB granularity as the high-water mark grows. Because all large blocks
+// of a stream share one contiguous virtual range, freed holes can be reused by requests of any
+// size — that is the defragmentation benefit. The costs are (1) VMM API traffic: growing maps
+// granule handles, trimming unmaps them, each call carrying a synchronization penalty (the
+// paper's ES throughput regression under recompute churn, §9.2/§9.3), and (2) per-stream
+// isolation: a stream's mapped memory is not reusable by other streams.
+//
+// Small requests (<= 1 MiB) use an embedded classic caching small pool, as in PyTorch.
+
+#ifndef SRC_ALLOCATORS_EXPANDABLE_SEGMENTS_H_
+#define SRC_ALLOCATORS_EXPANDABLE_SEGMENTS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/allocators/caching_allocator.h"
+#include "src/gpu/sim_device.h"
+
+namespace stalloc {
+
+struct ExpandableSegmentsConfig {
+  uint64_t small_size = 1 * MiB;  // boundary below which the classic small pool serves
+  // When the free tail of a segment exceeds this, trailing granules are unmapped. PyTorch is
+  // lazy: it unmaps only under memory pressure or on empty_cache — hence the "never" default.
+  // Pressure-driven trimming still happens regardless (Grow retries after trimming all
+  // streams), which is where the paper's ES map/unmap churn comes from on near-full devices.
+  uint64_t trim_threshold = ~uint64_t{0};
+  // Size of each stream's virtual reservation. 0 = device capacity (rounded to granularity).
+  uint64_t va_size = 0;
+};
+
+class ExpandableSegmentsAllocator final : public AllocatorBase {
+ public:
+  ExpandableSegmentsAllocator(SimDevice* device,
+                              ExpandableSegmentsConfig config = ExpandableSegmentsConfig{});
+  ~ExpandableSegmentsAllocator() override;
+
+  std::string_view name() const override { return "torch-expandable"; }
+  uint64_t ReservedBytes() const override;
+  void EmptyCache() override;
+
+  // Introspection for tests: mapped bytes across all stream segments.
+  uint64_t mapped_bytes() const;
+  size_t num_stream_segments() const { return streams_.size(); }
+
+ protected:
+  std::optional<uint64_t> DoMalloc(uint64_t size, const RequestContext& ctx) override;
+  void DoFree(uint64_t addr, uint64_t size) override;
+
+ private:
+  struct Block {
+    uint64_t off = 0;   // offset within the stream's expandable segment
+    uint64_t size = 0;
+    bool free = true;
+  };
+  using FreeKey = std::pair<uint64_t, uint64_t>;  // (size, off)
+
+  // Per-stream expandable segment state.
+  struct StreamSegment {
+    VaPtr va = 0;
+    uint64_t va_size = 0;
+    uint64_t mapped_end = 0;  // granularity-aligned mapped frontier
+    std::map<uint64_t, MemHandle> granule_handles;  // offset -> handle (one per granule)
+    std::map<uint64_t, Block> blocks;               // keyed by offset
+    std::set<FreeKey> free_list;
+  };
+
+  bool IsSmall(uint64_t size) const {
+    return AlignUp(std::max(size, uint64_t{512}), 512) <= config_.small_size;
+  }
+  StreamSegment& SegmentFor(StreamId stream);
+  std::optional<uint64_t> LargeMalloc(StreamSegment& seg, uint64_t rounded);
+  void LargeFree(StreamSegment& seg, uint64_t off);
+  // Grows the mapped frontier by `bytes` (granularity-rounded). Returns false on device OOM.
+  bool Grow(StreamSegment& seg, uint64_t bytes);
+  // Unmaps fully-free granules at the mapped frontier down to the start of the tail free block.
+  void TrimTail(StreamSegment& seg);
+  void Coalesce(StreamSegment& seg, std::map<uint64_t, Block>::iterator it);
+  void ReleaseSegment(StreamSegment& seg);
+
+  SimDevice* device_;
+  ExpandableSegmentsConfig config_;
+  std::unique_ptr<CachingAllocator> small_pool_;
+  std::map<StreamId, StreamSegment> streams_;
+  // addr -> owning stream for large blocks (frees carry no stream).
+  std::map<uint64_t, StreamId> block_stream_;
+};
+
+}  // namespace stalloc
+
+#endif  // SRC_ALLOCATORS_EXPANDABLE_SEGMENTS_H_

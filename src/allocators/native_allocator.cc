@@ -1,0 +1,21 @@
+#include "src/allocators/native_allocator.h"
+
+#include "src/common/units.h"
+
+namespace stalloc {
+
+std::optional<uint64_t> NativeAllocator::DoMalloc(uint64_t size, const RequestContext& ctx) {
+  (void)ctx;
+  auto addr = device_->DevMalloc(size);
+  if (addr.has_value()) {
+    reserved_ += AlignUp(size, SimDevice::kMallocAlign);
+  }
+  return addr;
+}
+
+void NativeAllocator::DoFree(uint64_t addr, uint64_t size) {
+  device_->DevFree(addr);
+  reserved_ -= AlignUp(size, SimDevice::kMallocAlign);
+}
+
+}  // namespace stalloc

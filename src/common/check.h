@@ -1,0 +1,68 @@
+// Lightweight assertion macros used across the STAlloc codebase.
+//
+// STALLOC_CHECK is always on (release included): allocator correctness bugs (memory stomping,
+// plan violations) must never be silently ignored. STALLOC_DCHECK compiles out in NDEBUG builds
+// and is used on hot paths.
+
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace stalloc {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr,
+                                     const std::string& msg) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s %s\n", file, line, expr, msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+namespace check_internal {
+
+// Builds the optional streamed message lazily; only evaluated on failure.
+class MessageBuilder {
+ public:
+  template <typename T>
+  MessageBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace check_internal
+
+}  // namespace stalloc
+
+#define STALLOC_CHECK(cond, ...)                                                            \
+  do {                                                                                      \
+    if (!(cond)) {                                                                          \
+      ::stalloc::check_internal::MessageBuilder stalloc_mb;                                 \
+      static_cast<void>(stalloc_mb __VA_ARGS__);                                            \
+      ::stalloc::CheckFailed(__FILE__, __LINE__, #cond, stalloc_mb.str());                  \
+    }                                                                                       \
+  } while (0)
+
+#define STALLOC_CHECK_EQ(a, b, ...) STALLOC_CHECK((a) == (b), __VA_ARGS__)
+#define STALLOC_CHECK_NE(a, b, ...) STALLOC_CHECK((a) != (b), __VA_ARGS__)
+#define STALLOC_CHECK_LE(a, b, ...) STALLOC_CHECK((a) <= (b), __VA_ARGS__)
+#define STALLOC_CHECK_LT(a, b, ...) STALLOC_CHECK((a) < (b), __VA_ARGS__)
+#define STALLOC_CHECK_GE(a, b, ...) STALLOC_CHECK((a) >= (b), __VA_ARGS__)
+#define STALLOC_CHECK_GT(a, b, ...) STALLOC_CHECK((a) > (b), __VA_ARGS__)
+
+#ifdef NDEBUG
+#define STALLOC_DCHECK(cond, ...) \
+  do {                            \
+  } while (0)
+#else
+#define STALLOC_DCHECK(cond, ...) STALLOC_CHECK(cond, __VA_ARGS__)
+#endif
+
+#endif  // SRC_COMMON_CHECK_H_

@@ -1,0 +1,29 @@
+// Wall-clock stopwatch used for Table 2 (profiling / plan-synthesis time) measurements.
+
+#ifndef SRC_COMMON_STOPWATCH_H_
+#define SRC_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace stalloc {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace stalloc
+
+#endif  // SRC_COMMON_STOPWATCH_H_

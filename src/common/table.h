@@ -1,0 +1,76 @@
+// Minimal fixed-width table printer for benchmark / example output.
+//
+// Benchmarks reproduce the paper's tables and figure series as text tables; this helper keeps
+// their formatting consistent.
+
+#ifndef SRC_COMMON_TABLE_H_
+#define SRC_COMMON_TABLE_H_
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace stalloc {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  // Renders the table with columns padded to the widest cell.
+  std::string ToString() const {
+    std::vector<size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+      for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    };
+    widen(header_);
+    for (const auto& r : rows_) {
+      widen(r);
+    }
+    std::string out;
+    auto emit = [&](const std::vector<std::string>& row) {
+      for (size_t i = 0; i < widths.size(); ++i) {
+        const std::string& cell = i < row.size() ? row[i] : std::string();
+        out += cell;
+        out.append(widths[i] - cell.size() + 2, ' ');
+      }
+      out += '\n';
+    };
+    emit(header_);
+    std::string rule;
+    for (size_t i = 0; i < widths.size(); ++i) {
+      rule.append(widths[i], '-');
+      rule.append(2, ' ');
+    }
+    out += rule + '\n';
+    for (const auto& r : rows_) {
+      emit(r);
+    }
+    return out;
+  }
+
+  void Print() const { std::fputs(ToString().c_str(), stdout); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// printf-style std::string formatter.
+inline std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  char buf[512];
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return std::string(buf);
+}
+
+}  // namespace stalloc
+
+#endif  // SRC_COMMON_TABLE_H_

@@ -1,0 +1,45 @@
+// Byte-size literals and alignment helpers.
+
+#ifndef SRC_COMMON_UNITS_H_
+#define SRC_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "src/common/check.h"
+
+namespace stalloc {
+
+constexpr uint64_t KiB = 1024ull;
+constexpr uint64_t MiB = 1024ull * KiB;
+constexpr uint64_t GiB = 1024ull * MiB;
+
+// Rounds `v` up to the nearest multiple of `align`. `align` must be a power of two.
+constexpr uint64_t AlignUp(uint64_t v, uint64_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+// Rounds `v` down to the nearest multiple of `align`. `align` must be a power of two.
+constexpr uint64_t AlignDown(uint64_t v, uint64_t align) { return v & ~(align - 1); }
+
+constexpr bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+// Formats a byte count as a human-readable string ("12.3 GiB").
+inline std::string FormatBytes(uint64_t bytes) {
+  char buf[64];
+  if (bytes >= GiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", static_cast<double>(bytes) / GiB);
+  } else if (bytes >= MiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB", static_cast<double>(bytes) / MiB);
+  } else if (bytes >= KiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f KiB", static_cast<double>(bytes) / KiB);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(bytes));
+  }
+  return std::string(buf);
+}
+
+}  // namespace stalloc
+
+#endif  // SRC_COMMON_UNITS_H_

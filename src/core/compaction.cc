@@ -1,0 +1,118 @@
+#include "src/core/compaction.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/stopwatch.h"
+
+namespace stalloc {
+
+namespace {
+
+// Time-conflict adjacency: for each decision, the indices of decisions overlapping its lifespan.
+// Built with a sweep over alloc/free points: O(N log N + sum of overlap degrees).
+std::vector<std::vector<uint32_t>> BuildConflicts(const std::vector<PlanDecision>& decisions) {
+  struct Point {
+    LogicalTime time;
+    bool is_alloc;
+    uint32_t idx;
+  };
+  std::vector<Point> points;
+  points.reserve(decisions.size() * 2);
+  for (uint32_t i = 0; i < decisions.size(); ++i) {
+    points.push_back({decisions[i].event.ts, true, i});
+    points.push_back({decisions[i].event.te, false, i});
+  }
+  std::sort(points.begin(), points.end(), [](const Point& a, const Point& b) {
+    if (a.time != b.time) {
+      return a.time < b.time;
+    }
+    return a.is_alloc < b.is_alloc;
+  });
+  std::vector<std::vector<uint32_t>> conflicts(decisions.size());
+  std::vector<uint32_t> active;
+  for (const auto& p : points) {
+    if (p.is_alloc) {
+      for (uint32_t other : active) {
+        conflicts[p.idx].push_back(other);
+        conflicts[other].push_back(p.idx);
+      }
+      active.push_back(p.idx);
+    } else {
+      active.erase(std::find(active.begin(), active.end(), p.idx));
+    }
+  }
+  return conflicts;
+}
+
+// Lowest offset where decision `idx` fits against its (already-placed) conflicts.
+uint64_t LowestOffset(const std::vector<PlanDecision>& decisions,
+                      const std::vector<uint32_t>& conflicts, uint32_t idx) {
+  std::vector<std::pair<uint64_t, uint64_t>> blocked;
+  blocked.reserve(conflicts.size());
+  for (uint32_t other : conflicts) {
+    blocked.emplace_back(decisions[other].addr, decisions[other].end_addr());
+  }
+  std::sort(blocked.begin(), blocked.end());
+  uint64_t cursor = 0;
+  const uint64_t size = decisions[idx].padded_size;
+  for (const auto& [lo, hi] : blocked) {
+    if (hi <= cursor) {
+      continue;
+    }
+    if (lo >= cursor + size) {
+      break;
+    }
+    cursor = hi;
+  }
+  return cursor;
+}
+
+}  // namespace
+
+CompactionResult CompactPlan(const StaticPlan& plan, int max_rounds) {
+  Stopwatch timer;
+  CompactionResult result;
+  result.plan = plan;
+  result.initial_pool = plan.pool_size;
+  auto& decisions = result.plan.decisions;
+  if (decisions.empty()) {
+    return result;
+  }
+
+  const auto conflicts = BuildConflicts(decisions);
+
+  std::vector<uint32_t> order(decisions.size());
+  for (uint32_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  bool improved = true;
+  while (improved && result.rounds < max_rounds) {
+    improved = false;
+    ++result.rounds;
+    // Highest blocks first: lowering the tallest stack is what shrinks the pool.
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      return decisions[a].end_addr() > decisions[b].end_addr();
+    });
+    for (uint32_t idx : order) {
+      const uint64_t best = LowestOffset(decisions, conflicts[idx], idx);
+      if (best < decisions[idx].addr) {
+        decisions[idx].addr = best;
+        ++result.moves;
+        improved = true;
+      }
+    }
+  }
+
+  uint64_t pool = 0;
+  for (const auto& d : decisions) {
+    pool = std::max(pool, d.end_addr());
+  }
+  result.plan.pool_size = pool;
+  result.plan.Validate();
+  result.wall_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace stalloc

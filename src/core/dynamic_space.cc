@@ -1,0 +1,69 @@
+#include "src/core/dynamic_space.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace stalloc {
+
+uint64_t DynamicReusableSpace::TotalReusableBytes() const {
+  uint64_t total = 0;
+  for (const auto& [key, set] : regions) {
+    total += set.TotalLength();
+  }
+  return total;
+}
+
+DynamicReusableSpace LocateDynamicSpace(const Trace& trace, const StaticPlan& plan) {
+  DynamicReusableSpace space;
+
+  // Collect the HomoLayer groups and the matcher table.
+  std::vector<const MemoryEvent*> dynamic_events;
+  for (const auto& e : trace.events()) {
+    if (e.dyn) {
+      dynamic_events.push_back(&e);
+    }
+  }
+  std::sort(dynamic_events.begin(), dynamic_events.end(),
+            [](const MemoryEvent* a, const MemoryEvent* b) { return a->ts < b->ts; });
+  for (const auto* e : dynamic_events) {
+    STALLOC_CHECK(e->ls != kInvalidLayer && e->le != kInvalidLayer);
+    space.regions.emplace(std::make_pair(e->ls, e->le), IntervalSet{});
+    space.expected_le[e->ls].push_back(e->le);
+  }
+  if (space.regions.empty()) {
+    return space;
+  }
+
+  // Decisions sorted by allocation time; binary search bounds the scan per query window.
+  std::vector<const PlanDecision*> decisions;
+  decisions.reserve(plan.decisions.size());
+  for (const auto& d : plan.decisions) {
+    decisions.push_back(&d);
+  }
+  std::sort(decisions.begin(), decisions.end(),
+            [](const PlanDecision* a, const PlanDecision* b) { return a->event.ts < b->event.ts; });
+
+  for (auto& [key, region] : space.regions) {
+    const LayerInfo& a = trace.layer(key.first);
+    const LayerInfo& b = trace.layer(key.second);
+    const LogicalTime win_start = a.start;
+    const LogicalTime win_end = std::max(b.end, a.start + 1);
+
+    // Occupied address ranges: decisions whose lifespan intersects [win_start, win_end).
+    IntervalSet occupied;
+    // Find the first decision with ts >= win_end: everything after cannot overlap.
+    auto upper = std::upper_bound(
+        decisions.begin(), decisions.end(), win_end,
+        [](LogicalTime t, const PlanDecision* d) { return t <= d->event.ts; });
+    for (auto it = decisions.begin(); it != upper; ++it) {
+      if ((*it)->event.te > win_start) {
+        occupied.Insert((*it)->addr, (*it)->end_addr());
+      }
+    }
+    region = occupied.ComplementWithin(0, plan.pool_size);
+  }
+  return space;
+}
+
+}  // namespace stalloc

@@ -1,0 +1,131 @@
+#include "src/core/plan_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace stalloc {
+
+namespace {
+
+std::vector<std::string> Split(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  for (char c : line) {
+    if (c == ',') {
+      fields.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(cur);
+  return fields;
+}
+
+}  // namespace
+
+void WritePlanCsv(const StaticPlan& plan, const DynamicReusableSpace& space, std::ostream& os) {
+  os << "# stalloc-plan v1\n";
+  os << "# pool," << plan.pool_size << "," << plan.lower_bound << "\n";
+  for (const auto& [key, region] : space.regions) {
+    os << "# region," << key.first << "," << key.second;
+    for (const auto& iv : region.ToVector()) {
+      os << "," << iv.lo << "," << iv.hi;
+    }
+    os << "\n";
+  }
+  for (const auto& [ls, les] : space.expected_le) {
+    os << "# expected_le," << ls;
+    for (LayerId le : les) {
+      os << "," << le;
+    }
+    os << "\n";
+  }
+  os << "event_id,addr,padded_size,size,ts,te,ps,pe,dyn,ls,le,stream\n";
+  for (const auto& d : plan.decisions) {
+    const MemoryEvent& e = d.event;
+    os << e.id << "," << d.addr << "," << d.padded_size << "," << e.size << "," << e.ts << ","
+       << e.te << "," << e.ps << "," << e.pe << "," << (e.dyn ? 1 : 0) << "," << e.ls << ","
+       << e.le << "," << static_cast<int>(e.stream) << "\n";
+  }
+}
+
+bool WritePlanCsvFile(const StaticPlan& plan, const DynamicReusableSpace& space,
+                      const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    return false;
+  }
+  WritePlanCsv(plan, space, os);
+  return static_cast<bool>(os);
+}
+
+LoadedPlan ReadPlanCsv(std::istream& is) {
+  LoadedPlan out;
+  std::string line;
+  bool header_seen = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    if (line[0] == '#') {
+      auto fields = Split(line.substr(2));
+      if (fields.empty()) {
+        continue;
+      }
+      if (fields[0] == "pool" && fields.size() >= 3) {
+        out.plan.pool_size = std::stoull(fields[1]);
+        out.plan.lower_bound = std::stoull(fields[2]);
+      } else if (fields[0] == "region" && fields.size() >= 3) {
+        const LayerId ls = std::stoi(fields[1]);
+        const LayerId le = std::stoi(fields[2]);
+        IntervalSet set;
+        for (size_t i = 3; i + 1 < fields.size(); i += 2) {
+          set.Insert(std::stoull(fields[i]), std::stoull(fields[i + 1]));
+        }
+        out.space.regions.emplace(std::make_pair(ls, le), std::move(set));
+      } else if (fields[0] == "expected_le" && fields.size() >= 2) {
+        const LayerId ls = std::stoi(fields[1]);
+        auto& les = out.space.expected_le[ls];
+        for (size_t i = 2; i < fields.size(); ++i) {
+          les.push_back(std::stoi(fields[i]));
+        }
+      }
+      continue;
+    }
+    if (!header_seen) {
+      header_seen = true;
+      STALLOC_CHECK(line.rfind("event_id,", 0) == 0, << "unexpected plan CSV header: " << line);
+      continue;
+    }
+    auto fields = Split(line);
+    STALLOC_CHECK_GE(fields.size(), 12u, << "short plan CSV row: " << line);
+    PlanDecision d;
+    d.event.id = std::stoull(fields[0]);
+    d.addr = std::stoull(fields[1]);
+    d.padded_size = std::stoull(fields[2]);
+    d.event.size = std::stoull(fields[3]);
+    d.event.ts = std::stoull(fields[4]);
+    d.event.te = std::stoull(fields[5]);
+    d.event.ps = std::stoi(fields[6]);
+    d.event.pe = std::stoi(fields[7]);
+    d.event.dyn = std::stoi(fields[8]) != 0;
+    d.event.ls = std::stoi(fields[9]);
+    d.event.le = std::stoi(fields[10]);
+    d.event.stream = static_cast<StreamId>(std::stoi(fields[11]));
+    out.plan.decisions.push_back(d);
+  }
+  out.plan.Validate();
+  return out;
+}
+
+LoadedPlan ReadPlanCsvFile(const std::string& path) {
+  std::ifstream is(path);
+  STALLOC_CHECK(static_cast<bool>(is), << "cannot open plan file " << path);
+  return ReadPlanCsv(is);
+}
+
+}  // namespace stalloc

@@ -1,0 +1,31 @@
+// Plan serialization: the Plan Synthesizer runs as a standalone offline tool in the paper's
+// deployment (§8); plans travel from the planning host to the training job as files.
+
+#ifndef SRC_CORE_PLAN_IO_H_
+#define SRC_CORE_PLAN_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/core/dynamic_space.h"
+#include "src/core/plan.h"
+
+namespace stalloc {
+
+// Writes plan + dynamic reusable space as CSV with a header comment block.
+void WritePlanCsv(const StaticPlan& plan, const DynamicReusableSpace& space, std::ostream& os);
+bool WritePlanCsvFile(const StaticPlan& plan, const DynamicReusableSpace& space,
+                      const std::string& path);
+
+struct LoadedPlan {
+  StaticPlan plan;
+  DynamicReusableSpace space;
+};
+
+// Parses a plan produced by WritePlanCsv. Aborts on malformed input.
+LoadedPlan ReadPlanCsv(std::istream& is);
+LoadedPlan ReadPlanCsvFile(const std::string& path);
+
+}  // namespace stalloc
+
+#endif  // SRC_CORE_PLAN_IO_H_

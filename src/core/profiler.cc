@@ -1,0 +1,50 @@
+#include "src/core/profiler.h"
+
+#include <unordered_map>
+
+#include "src/allocators/native_allocator.h"
+#include "src/common/stopwatch.h"
+#include "src/trace/trace_stats.h"
+
+namespace stalloc {
+
+ProfileResult ProfileWorkload(const WorkloadBuilder& workload, uint64_t capacity_bytes,
+                              uint64_t iteration_seed) {
+  Stopwatch timer;
+  ProfileResult result;
+  result.trace = workload.Build(iteration_seed);
+
+  SimDevice device(capacity_bytes);
+  NativeAllocator native(&device);
+  std::unordered_map<uint64_t, uint64_t> addr_of;  // event id -> address
+  result.feasible = true;
+  for (const auto& op : result.trace.Ops()) {
+    const MemoryEvent& e = result.trace.event(op.event_id);
+    if (op.kind == TraceOp::Kind::kMalloc) {
+      RequestContext ctx;
+      ctx.dyn = e.dyn;
+      ctx.layer = e.ls;
+      ctx.phase = e.ps;
+      ctx.stream = e.stream;
+      auto addr = native.Malloc(e.size, ctx);
+      if (!addr.has_value()) {
+        result.feasible = false;
+        break;
+      }
+      addr_of.emplace(e.id, *addr);
+    } else {
+      auto it = addr_of.find(e.id);
+      if (it != addr_of.end()) {
+        native.Free(it->second);
+        addr_of.erase(it);
+      }
+    }
+  }
+  result.peak_allocated = PeakAllocated(result.trace);
+  result.native_api_calls = device.counters().cuda_malloc + device.counters().cuda_free;
+  result.native_api_cost_us = device.counters().total_cost_us;
+  result.wall_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace stalloc

@@ -1,0 +1,63 @@
+// HomoSize Groups and memory-layers (§5.1, Algorithm 1).
+//
+// After phase grouping/fusion, each local plan is treated as a single unified request m_g. Many
+// such requests share the same size (microbatches behave identically), differing only in
+// lifespan. All same-size requests with pairwise disjoint lifespans can share one address slot —
+// a *memory-layer*. Algorithm 1 greedily appends each request (in allocation order) to the layer
+// whose last occupant frees latest-but-before the request starts, minimizing idle gaps and the
+// layer count.
+//
+// Global planning processes HomoSize groups in descending size order; before building new layers
+// for size S, each request is first placed into the free spatio-temporal intervals of
+// already-built larger layers (Fig. 6 right). Layers track 2-D (time x height) occupancy, so a
+// tall layer can host several concurrent smaller requests at different height offsets.
+
+#ifndef SRC_CORE_SIZE_GROUP_H_
+#define SRC_CORE_SIZE_GROUP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/phase_group.h"
+
+namespace stalloc {
+
+// A unified request entering spatial planning: one packed phase group.
+struct GroupRequest {
+  size_t plan_index = 0;  // index into the phase-plan vector
+  uint64_t size = 0;      // m_g.s  = plan footprint (kPlanAlign-padded)
+  LogicalTime ts = 0;     // m_g.ts
+  LogicalTime te = 0;     // m_g.te
+};
+
+// One address slot in the global plan.
+struct MemoryLayer {
+  uint64_t size = 0;  // slot height
+  uint64_t base = 0;  // assigned base address in the pool
+  struct Occupant {
+    size_t request = 0;   // GroupRequest index
+    LogicalTime ts = 0;
+    LogicalTime te = 0;
+    uint64_t off = 0;     // height offset within the layer
+    uint64_t height = 0;  // request size
+  };
+  std::vector<Occupant> occupants;
+  LogicalTime last_end = 0;  // free time of the latest same-size member (Algorithm 1 key)
+};
+
+struct GlobalLayout {
+  std::vector<MemoryLayer> layers;
+  uint64_t pool_size = 0;  // sum of layer heights
+  // Final absolute base address per group request, indexed like the input requests.
+  std::vector<uint64_t> request_addr;
+};
+
+// Runs the descending-size global planning over the group requests. When
+// `enable_gap_insertion` is false every size builds fresh layers (ablation of the design choice
+// in DESIGN.md).
+GlobalLayout PlanGlobally(const std::vector<GroupRequest>& requests,
+                          bool enable_gap_insertion = true);
+
+}  // namespace stalloc
+
+#endif  // SRC_CORE_SIZE_GROUP_H_

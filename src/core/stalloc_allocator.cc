@@ -1,0 +1,159 @@
+#include "src/core/stalloc_allocator.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/units.h"
+
+namespace stalloc {
+
+STAllocAllocator::STAllocAllocator(SimDevice* device, StaticPlan plan,
+                                   DynamicReusableSpace dyn_space, STAllocConfig config)
+    : device_(device),
+      plan_(std::move(plan)),
+      dyn_space_(std::move(dyn_space)),
+      config_(config) {
+  fallback_ = std::make_unique<CachingAllocator>(device);
+  used_.assign(plan_.decisions.size(), false);
+}
+
+STAllocAllocator::~STAllocAllocator() {
+  if (pool_base_ != 0) {
+    device_->DevFree(pool_base_);
+  }
+}
+
+bool STAllocAllocator::Init() {
+  if (plan_.pool_size == 0) {
+    pool_base_ = 0;
+    available_.Clear();
+    return true;
+  }
+  auto base = device_->DevMalloc(plan_.pool_size);
+  if (!base.has_value()) {
+    return false;
+  }
+  pool_base_ = *base;
+  available_.Clear();
+  available_.Insert(0, plan_.pool_size);
+  NotePressure();
+  return true;
+}
+
+uint64_t STAllocAllocator::ReservedBytes() const {
+  const uint64_t pool = pool_base_ != 0 ? plan_.pool_size : 0;
+  return pool + fallback_->ReservedBytes();
+}
+
+void STAllocAllocator::EndIteration() {
+  cursor_ = 0;
+  std::fill(used_.begin(), used_.end(), false);
+  layer_counters_.clear();
+}
+
+std::optional<uint64_t> STAllocAllocator::DoMalloc(uint64_t size, const RequestContext& ctx) {
+  if (pool_base_ != 0) {
+    if (!ctx.dyn) {
+      if (auto addr = StaticMalloc(size); addr.has_value()) {
+        return addr;
+      }
+      ++breakdown_.static_mismatches;
+    } else {
+      if (config_.enable_dynamic_reuse) {
+        if (auto addr = DynamicMalloc(size, ctx); addr.has_value()) {
+          return addr;
+        }
+      }
+      ++breakdown_.dynamic_fallbacks;
+    }
+  }
+  // Plan mismatch / lack of space / uninitialized pool: the caching fallback keeps training
+  // alive (§6, robustness path).
+  auto addr = fallback_->Malloc(size, ctx);
+  if (addr.has_value()) {
+    breakdown_.fallback_bytes += size;
+  }
+  return addr;
+}
+
+std::optional<uint64_t> STAllocAllocator::StaticMalloc(uint64_t size) {
+  // Skip already-consumed decisions.
+  while (cursor_ < used_.size() && used_[cursor_]) {
+    ++cursor_;
+  }
+  // Scan a bounded window of pending decisions for an exact size match. Requests normally arrive
+  // in plan order, so the first probe hits; the window tolerates benign reordering.
+  size_t scanned = 0;
+  for (size_t i = cursor_; i < plan_.decisions.size() && scanned < config_.matcher_window; ++i) {
+    if (used_[i]) {
+      continue;
+    }
+    ++scanned;
+    if (plan_.decisions[i].event.size != size) {
+      continue;
+    }
+    const PlanDecision& d = plan_.decisions[i];
+    // The plan guarantees no conflict with other *planned* requests, but an earlier mismatch may
+    // have left the range occupied (its twin went to the fallback). Guard anyway.
+    if (!available_.Covers(d.addr, d.addr + d.padded_size)) {
+      continue;
+    }
+    used_[i] = true;
+    available_.Erase(d.addr, d.addr + d.padded_size);
+    pool_live_.emplace(d.addr, d.padded_size);
+    ++breakdown_.static_hits;
+    breakdown_.static_bytes += size;
+    return pool_base_ + d.addr;
+  }
+  return std::nullopt;
+}
+
+std::optional<uint64_t> STAllocAllocator::DynamicMalloc(uint64_t size, const RequestContext& ctx) {
+  if (ctx.layer == kInvalidLayer) {
+    return std::nullopt;
+  }
+  // Identify the HomoLayer group (ls, le): ls is the current layer; le comes from the profile's
+  // arrival-order table for that layer.
+  auto table_it = dyn_space_.expected_le.find(ctx.layer);
+  if (table_it == dyn_space_.expected_le.end()) {
+    return std::nullopt;
+  }
+  const size_t k = layer_counters_[ctx.layer]++;
+  if (k >= table_it->second.size()) {
+    return std::nullopt;  // more dynamic requests than profiled for this layer
+  }
+  const LayerId le = table_it->second[k];
+  auto region_it = dyn_space_.regions.find({ctx.layer, le});
+  if (region_it == dyn_space_.regions.end()) {
+    return std::nullopt;
+  }
+
+  // A_c = A_a intersect A_i (Eq. 7), then best fit.
+  const uint64_t padded = AlignUp(std::max<uint64_t>(size, 1), kPlanAlign);
+  const IntervalSet candidates = available_.Intersect(region_it->second);
+  auto fit = candidates.BestFit(padded);
+  if (!fit.has_value()) {
+    return std::nullopt;
+  }
+  const uint64_t addr = fit->lo;
+  available_.Erase(addr, addr + padded);
+  pool_live_.emplace(addr, padded);
+  ++breakdown_.dynamic_reuse_hits;
+  breakdown_.dynamic_reuse_bytes += size;
+  return pool_base_ + addr;
+}
+
+void STAllocAllocator::DoFree(uint64_t addr, uint64_t size) {
+  (void)size;
+  if (InPool(addr)) {
+    const uint64_t rel = addr - pool_base_;
+    auto it = pool_live_.find(rel);
+    STALLOC_CHECK(it != pool_live_.end(), << "stalloc: free of unknown pool offset " << rel);
+    available_.Insert(rel, rel + it->second);
+    pool_live_.erase(it);
+    return;
+  }
+  STALLOC_CHECK(fallback_->Free(addr), << "stalloc: free of unknown address " << addr);
+}
+
+}  // namespace stalloc

@@ -1,0 +1,104 @@
+// STAllocAllocator: the Runtime Allocator (§6) — the composition the paper ships as a PyTorch
+// PluggableAllocator.
+//
+// At initialization it reserves one contiguous static memory pool of exactly the planned size
+// (one native allocation; no further device API calls on the hot path, §8). At runtime the
+// Request Matcher routes each request:
+//   * static requests -> the Static Allocator (§6.1): pre-planned addresses served in plan
+//     order with O(1) lookup; a size mismatch against the plan falls through to the caching
+//     allocator ("plan mismatch" path in Fig. 5);
+//   * dynamic requests -> the Dynamic Allocator (§6.2): intersects the group's pre-vetted
+//     Dynamic Reusable Space A_i with the pool's currently free intervals A_a (Eq. 7) and picks
+//     best-fit; on lack of space it falls back ("lack of space" path);
+//   * anything unexpected -> the embedded caching allocator, guaranteeing robustness.
+
+#ifndef SRC_CORE_STALLOC_ALLOCATOR_H_
+#define SRC_CORE_STALLOC_ALLOCATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/allocators/caching_allocator.h"
+#include "src/core/dynamic_space.h"
+#include "src/core/plan.h"
+#include "src/gpu/sim_device.h"
+#include "src/interval/interval_set.h"
+
+namespace stalloc {
+
+struct STAllocConfig {
+  // Fig. 13 ablation: disable reuse of static-pool idle space by dynamic requests ("STAlloc w/o
+  // reuse"); dynamic requests then always use the caching fallback.
+  bool enable_dynamic_reuse = true;
+  // Static matcher lookahead: how many pending plan decisions to scan for a size match before
+  // declaring a plan mismatch.
+  size_t matcher_window = 64;
+};
+
+// Per-path counters for the performance breakdown (§9.4, Table 3).
+struct STAllocBreakdown {
+  uint64_t static_hits = 0;        // served at a planned address
+  uint64_t static_mismatches = 0;  // static request that missed the plan -> fallback
+  uint64_t dynamic_reuse_hits = 0; // dynamic request served inside the static pool
+  uint64_t dynamic_fallbacks = 0;  // dynamic request served by the caching fallback
+  uint64_t static_bytes = 0;       // bytes served from the plan
+  uint64_t dynamic_reuse_bytes = 0;
+  uint64_t fallback_bytes = 0;     // bytes served by the caching fallback (both causes)
+};
+
+class STAllocAllocator final : public AllocatorBase {
+ public:
+  STAllocAllocator(SimDevice* device, StaticPlan plan, DynamicReusableSpace dyn_space,
+                   STAllocConfig config = STAllocConfig{});
+  ~STAllocAllocator() override;
+
+  // Reserves the static pool. Returns false when the device cannot provide it (theoretical OOM).
+  bool Init();
+  bool initialized() const { return pool_base_ != 0; }
+
+  std::string_view name() const override { return "stalloc"; }
+  uint64_t ReservedBytes() const override;
+  void EmptyCache() override { fallback_->EmptyCache(); }
+  // Resets the matcher and the per-layer dynamic counters for the next iteration.
+  void EndIteration() override;
+
+  const STAllocBreakdown& breakdown() const { return breakdown_; }
+  uint64_t pool_size() const { return plan_.pool_size; }
+  const CachingAllocator& fallback() const { return *fallback_; }
+
+ protected:
+  std::optional<uint64_t> DoMalloc(uint64_t size, const RequestContext& ctx) override;
+  void DoFree(uint64_t addr, uint64_t size) override;
+
+ private:
+  bool InPool(uint64_t addr) const {
+    return pool_base_ != 0 && addr >= pool_base_ && addr < pool_base_ + plan_.pool_size;
+  }
+  std::optional<uint64_t> StaticMalloc(uint64_t size);
+  std::optional<uint64_t> DynamicMalloc(uint64_t size, const RequestContext& ctx);
+
+  SimDevice* device_;
+  StaticPlan plan_;
+  DynamicReusableSpace dyn_space_;
+  STAllocConfig config_;
+  std::unique_ptr<CachingAllocator> fallback_;
+
+  uint64_t pool_base_ = 0;
+  // Matcher state: plan decisions are consumed roughly in order; used_ marks out-of-order hits.
+  size_t cursor_ = 0;
+  std::vector<bool> used_;
+  // Currently free intervals of the static pool (A_a of §6.2), pool-relative.
+  IntervalSet available_;
+  // Live blocks inside the pool: pool-relative addr -> padded size.
+  std::map<uint64_t, uint64_t> pool_live_;
+  // Dynamic matcher: arrival counter per alloc-layer (resets each iteration).
+  std::map<LayerId, size_t> layer_counters_;
+
+  STAllocBreakdown breakdown_;
+};
+
+}  // namespace stalloc
+
+#endif  // SRC_CORE_STALLOC_ALLOCATOR_H_

@@ -1,0 +1,122 @@
+#include "src/driver/experiment.h"
+
+#include <memory>
+
+#include "src/allocators/caching_allocator.h"
+#include "src/allocators/expandable_segments.h"
+#include "src/allocators/gmlake.h"
+#include "src/allocators/native_allocator.h"
+#include "src/common/table.h"
+#include "src/common/units.h"
+#include "src/core/profiler.h"
+
+namespace stalloc {
+
+const char* AllocatorKindName(AllocatorKind kind) {
+  switch (kind) {
+    case AllocatorKind::kNative:
+      return "native";
+    case AllocatorKind::kCaching:
+      return "torch-caching";
+    case AllocatorKind::kExpandable:
+      return "torch-expandable";
+    case AllocatorKind::kGMLake:
+      return "gmlake";
+    case AllocatorKind::kSTAlloc:
+      return "stalloc";
+    case AllocatorKind::kSTAllocNoReuse:
+      return "stalloc-noreuse";
+  }
+  return "?";
+}
+
+std::string ExperimentResult::Summary() const {
+  if (infeasible) {
+    return "infeasible (exceeds device capacity)";
+  }
+  if (oom) {
+    return "OOM";
+  }
+  return StrFormat("E=%5.1f%%  Ma=%s  Mr=%s  frag=%s", memory_efficiency * 100.0,
+                   FormatBytes(allocated_peak).c_str(), FormatBytes(reserved_peak).c_str(),
+                   FormatBytes(fragmentation_bytes).c_str());
+}
+
+ExperimentResult RunExperiment(const WorkloadBuilder& workload, AllocatorKind kind,
+                               const ExperimentOptions& options) {
+  ExperimentResult result;
+  result.kind = kind;
+
+  const Trace run_trace = workload.Build(options.run_seed);
+  SimDevice device(options.capacity_bytes);
+
+  std::unique_ptr<Allocator> alloc;
+  std::unique_ptr<STAllocAllocator> stalloc_alloc;
+
+  if (kind == AllocatorKind::kSTAlloc || kind == AllocatorKind::kSTAllocNoReuse) {
+    // Offline stage: profile (different seed) + plan synthesis.
+    ProfileResult profile =
+        ProfileWorkload(workload, options.capacity_bytes, options.profile_seed);
+    result.profile_wall_ms = profile.wall_ms;
+    if (!profile.feasible) {
+      result.infeasible = true;
+      return result;
+    }
+    SynthesisResult synthesis = SynthesizePlan(profile.trace);
+    result.plan_stats = synthesis.stats;
+
+    STAllocConfig config;
+    config.enable_dynamic_reuse = kind == AllocatorKind::kSTAlloc;
+    stalloc_alloc = std::make_unique<STAllocAllocator>(
+        &device, std::move(synthesis.plan), std::move(synthesis.dyn_space), config);
+    if (!stalloc_alloc->Init()) {
+      result.oom = true;
+      return result;
+    }
+  } else {
+    switch (kind) {
+      case AllocatorKind::kNative:
+        alloc = std::make_unique<NativeAllocator>(&device);
+        break;
+      case AllocatorKind::kCaching:
+        alloc = std::make_unique<CachingAllocator>(&device);
+        break;
+      case AllocatorKind::kExpandable:
+        alloc = std::make_unique<ExpandableSegmentsAllocator>(&device);
+        break;
+      case AllocatorKind::kGMLake: {
+        GMLakeConfig config;
+        if (options.gmlake_frag_limit != 0) {
+          config.frag_limit = options.gmlake_frag_limit;
+        }
+        alloc = std::make_unique<GMLakeAllocator>(&device, config);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  Allocator* active = stalloc_alloc ? stalloc_alloc.get() : alloc.get();
+  ReplayResult replay = ReplayTrace(run_trace, active);
+
+  result.oom = replay.oom;
+  result.allocated_peak = replay.allocated_peak;
+  result.reserved_peak = replay.reserved_peak;
+  result.memory_efficiency = replay.memory_efficiency;
+  result.fragmentation_ratio = 1.0 - replay.memory_efficiency;
+  result.fragmentation_bytes = active->stats().FragmentationBytes();
+  result.device_api_cost_us = device.counters().total_cost_us;
+  result.device_api_calls = device.counters().TotalCalls();
+  result.device_release_calls = device.counters().cuda_free + device.counters().mem_unmap +
+                                device.counters().mem_release;
+  if (stalloc_alloc) {
+    result.breakdown = stalloc_alloc->breakdown();
+  }
+  if (result.oom && kind == AllocatorKind::kNative) {
+    result.infeasible = true;
+  }
+  return result;
+}
+
+}  // namespace stalloc

@@ -1,0 +1,70 @@
+// Experiment harness: the end-to-end pipelines behind every evaluation figure/table.
+//
+// For baselines: build the iteration trace (run seed) and replay it through the allocator.
+// For STAlloc: profile with the *profile* seed, synthesize the plan offline, then replay the
+// *run* seed through the runtime allocator — dynamic (MoE) sizes differ between the two seeds,
+// exercising the dynamic allocator exactly as iteration-to-iteration variation does in training.
+
+#ifndef SRC_DRIVER_EXPERIMENT_H_
+#define SRC_DRIVER_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/planner.h"
+#include "src/core/stalloc_allocator.h"
+#include "src/driver/replay.h"
+#include "src/gpu/sim_device.h"
+#include "src/trainsim/workload.h"
+
+namespace stalloc {
+
+enum class AllocatorKind : uint8_t {
+  kNative,        // direct cudaMalloc/cudaFree (profiling mode)
+  kCaching,       // PyTorch caching allocator
+  kExpandable,    // PyTorch expandable_segments
+  kGMLake,        // GMLake virtual-memory stitching
+  kSTAlloc,       // full STAlloc
+  kSTAllocNoReuse,  // STAlloc without dynamic reuse (Fig. 13 ablation)
+};
+
+const char* AllocatorKindName(AllocatorKind kind);
+
+struct ExperimentOptions {
+  uint64_t capacity_bytes = 80ull * 1024 * 1024 * 1024;  // A800-80G default
+  uint64_t profile_seed = 1001;
+  uint64_t run_seed = 2002;
+  // GMLake stitching threshold override (0 = default 512 MiB).
+  uint64_t gmlake_frag_limit = 0;
+};
+
+struct ExperimentResult {
+  AllocatorKind kind = AllocatorKind::kCaching;
+  bool oom = false;                // replay hit an unrecoverable allocation failure
+  bool infeasible = false;         // theoretical demand exceeds capacity (native OOM)
+  uint64_t allocated_peak = 0;     // Ma
+  uint64_t reserved_peak = 0;      // Mr
+  double memory_efficiency = 1.0;  // E = Ma / Mr
+  double fragmentation_ratio = 0;  // 1 - E
+  uint64_t fragmentation_bytes = 0;
+  double device_api_cost_us = 0;   // modelled allocator overhead for the iteration
+  uint64_t device_api_calls = 0;
+  // Release-side calls (cudaFree / unmap / handle release) during the replay. Caching-style
+  // allocators only release mid-run under memory pressure, so a non-trivial count means the
+  // run survived by thrashing.
+  uint64_t device_release_calls = 0;
+  // STAlloc-only extras.
+  STAllocBreakdown breakdown;
+  PlanStats plan_stats;
+  double profile_wall_ms = 0;
+
+  std::string Summary() const;
+};
+
+// Runs one (workload, allocator) experiment.
+ExperimentResult RunExperiment(const WorkloadBuilder& workload, AllocatorKind kind,
+                               const ExperimentOptions& options = ExperimentOptions{});
+
+}  // namespace stalloc
+
+#endif  // SRC_DRIVER_EXPERIMENT_H_

@@ -1,0 +1,63 @@
+#include "src/driver/replay.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/table.h"
+#include "src/common/units.h"
+
+namespace stalloc {
+
+std::string ReplayResult::ToString() const {
+  if (oom) {
+    return StrFormat("OOM at event %llu after %llu mallocs",
+                     static_cast<unsigned long long>(failed_event),
+                     static_cast<unsigned long long>(num_mallocs));
+  }
+  return StrFormat("Ma=%s Mr=%s E=%.1f%%", FormatBytes(allocated_peak).c_str(),
+                   FormatBytes(reserved_peak).c_str(), memory_efficiency * 100.0);
+}
+
+ReplayResult ReplayTrace(const Trace& trace, Allocator* alloc) {
+  ReplayResult result;
+  std::unordered_map<uint64_t, uint64_t> addr_of;
+  addr_of.reserve(trace.size());
+
+  for (const auto& op : trace.Ops()) {
+    const MemoryEvent& e = trace.event(op.event_id);
+    if (op.kind == TraceOp::Kind::kMalloc) {
+      RequestContext ctx;
+      ctx.dyn = e.dyn;
+      ctx.layer = e.ls;
+      ctx.phase = e.ps;
+      ctx.stream = e.stream;
+      auto addr = alloc->Malloc(e.size, ctx);
+      ++result.num_mallocs;
+      if (!addr.has_value()) {
+        result.oom = true;
+        result.failed_event = e.id;
+        break;
+      }
+      addr_of.emplace(e.id, *addr);
+    } else {
+      auto it = addr_of.find(e.id);
+      if (it != addr_of.end()) {
+        alloc->Free(it->second);
+        addr_of.erase(it);
+        ++result.num_frees;
+      }
+    }
+  }
+  // Release anything still live (OOM path) so a shared device stays balanced.
+  for (const auto& [id, addr] : addr_of) {
+    alloc->Free(addr);
+  }
+  alloc->EndIteration();
+
+  result.allocated_peak = alloc->stats().allocated_peak;
+  result.reserved_peak = alloc->stats().reserved_peak;
+  result.memory_efficiency = alloc->stats().MemoryEfficiency();
+  return result;
+}
+
+}  // namespace stalloc

@@ -1,0 +1,33 @@
+// Trace replay: feeds a workload's malloc/free stream into an allocator, exactly as the training
+// framework would through the PluggableAllocator interface, and reports the outcome.
+
+#ifndef SRC_DRIVER_REPLAY_H_
+#define SRC_DRIVER_REPLAY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/allocators/allocator.h"
+#include "src/trace/trace.h"
+
+namespace stalloc {
+
+struct ReplayResult {
+  bool oom = false;
+  uint64_t failed_event = 0;   // event id of the first failed malloc (when oom)
+  uint64_t num_mallocs = 0;
+  uint64_t num_frees = 0;
+  uint64_t allocated_peak = 0;  // Ma observed by the allocator
+  uint64_t reserved_peak = 0;   // Mr
+  double memory_efficiency = 1.0;
+
+  std::string ToString() const;
+};
+
+// Replays every op of `trace` into `alloc`. Stops at the first allocation failure (training
+// would crash with CUDA OOM). Live blocks are freed at the end so the allocator can be reused.
+ReplayResult ReplayTrace(const Trace& trace, Allocator* alloc);
+
+}  // namespace stalloc
+
+#endif  // SRC_DRIVER_REPLAY_H_

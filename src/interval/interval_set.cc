@@ -1,0 +1,207 @@
+#include "src/interval/interval_set.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace stalloc {
+
+IntervalSet::IntervalSet(std::vector<Interval> intervals) {
+  for (const auto& iv : intervals) {
+    Insert(iv);
+  }
+}
+
+void IntervalSet::Insert(uint64_t lo, uint64_t hi) {
+  if (lo >= hi) {
+    return;
+  }
+  // Find the first interval whose end is >= lo; everything before cannot touch [lo, hi).
+  auto it = spans_.lower_bound(lo);
+  if (it != spans_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= lo) {
+      it = prev;
+    }
+  }
+  // Absorb all intervals touching [lo, hi).
+  while (it != spans_.end() && it->first <= hi) {
+    lo = std::min(lo, it->first);
+    hi = std::max(hi, it->second);
+    it = spans_.erase(it);
+  }
+  spans_.emplace(lo, hi);
+}
+
+void IntervalSet::Erase(uint64_t lo, uint64_t hi) {
+  if (lo >= hi) {
+    return;
+  }
+  auto it = spans_.lower_bound(lo);
+  if (it != spans_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > lo) {
+      it = prev;
+    }
+  }
+  while (it != spans_.end() && it->first < hi) {
+    const uint64_t s = it->first;
+    const uint64_t e = it->second;
+    it = spans_.erase(it);
+    if (s < lo) {
+      spans_.emplace(s, lo);
+    }
+    if (e > hi) {
+      spans_.emplace(hi, e);
+      break;
+    }
+  }
+}
+
+bool IntervalSet::Contains(uint64_t point) const {
+  auto it = spans_.upper_bound(point);
+  if (it == spans_.begin()) {
+    return false;
+  }
+  --it;
+  return point < it->second;
+}
+
+bool IntervalSet::Covers(uint64_t lo, uint64_t hi) const {
+  if (lo >= hi) {
+    return true;
+  }
+  auto it = spans_.upper_bound(lo);
+  if (it == spans_.begin()) {
+    return false;
+  }
+  --it;
+  return it->first <= lo && it->second >= hi;
+}
+
+bool IntervalSet::Intersects(uint64_t lo, uint64_t hi) const {
+  if (lo >= hi) {
+    return false;
+  }
+  auto it = spans_.lower_bound(lo);
+  if (it != spans_.end() && it->first < hi) {
+    return true;
+  }
+  if (it != spans_.begin()) {
+    --it;
+    return it->second > lo;
+  }
+  return false;
+}
+
+IntervalSet IntervalSet::Union(const IntervalSet& other) const {
+  IntervalSet out = *this;
+  for (const auto& [lo, hi] : other.spans_) {
+    out.Insert(lo, hi);
+  }
+  return out;
+}
+
+IntervalSet IntervalSet::Intersect(const IntervalSet& other) const {
+  IntervalSet out;
+  auto a = spans_.begin();
+  auto b = other.spans_.begin();
+  while (a != spans_.end() && b != other.spans_.end()) {
+    const uint64_t lo = std::max(a->first, b->first);
+    const uint64_t hi = std::min(a->second, b->second);
+    if (lo < hi) {
+      out.spans_.emplace(lo, hi);
+    }
+    // Advance whichever ends first.
+    if (a->second < b->second) {
+      ++a;
+    } else {
+      ++b;
+    }
+  }
+  return out;
+}
+
+IntervalSet IntervalSet::Difference(const IntervalSet& other) const {
+  IntervalSet out = *this;
+  for (const auto& [lo, hi] : other.spans_) {
+    out.Erase(lo, hi);
+  }
+  return out;
+}
+
+IntervalSet IntervalSet::ComplementWithin(uint64_t lo, uint64_t hi) const {
+  IntervalSet out;
+  out.Insert(lo, hi);
+  for (const auto& [s, e] : spans_) {
+    out.Erase(s, e);
+  }
+  return out;
+}
+
+std::optional<Interval> IntervalSet::BestFit(uint64_t size) const {
+  std::optional<Interval> best;
+  uint64_t best_len = std::numeric_limits<uint64_t>::max();
+  for (const auto& [lo, hi] : spans_) {
+    const uint64_t len = hi - lo;
+    if (len >= size && len < best_len) {
+      best_len = len;
+      best = Interval{lo, hi};
+      if (len == size) {
+        break;  // exact fit cannot be beaten
+      }
+    }
+  }
+  return best;
+}
+
+std::optional<Interval> IntervalSet::FirstFit(uint64_t size) const {
+  for (const auto& [lo, hi] : spans_) {
+    if (hi - lo >= size) {
+      return Interval{lo, hi};
+    }
+  }
+  return std::nullopt;
+}
+
+uint64_t IntervalSet::TotalLength() const {
+  uint64_t total = 0;
+  for (const auto& [lo, hi] : spans_) {
+    total += hi - lo;
+  }
+  return total;
+}
+
+uint64_t IntervalSet::MaxIntervalLength() const {
+  uint64_t best = 0;
+  for (const auto& [lo, hi] : spans_) {
+    best = std::max(best, hi - lo);
+  }
+  return best;
+}
+
+std::vector<Interval> IntervalSet::ToVector() const {
+  std::vector<Interval> out;
+  out.reserve(spans_.size());
+  for (const auto& [lo, hi] : spans_) {
+    out.push_back(Interval{lo, hi});
+  }
+  return out;
+}
+
+std::string IntervalSet::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [lo, hi] : spans_) {
+    if (!first) {
+      out += ", ";
+    }
+    first = false;
+    out += "[" + std::to_string(lo) + ", " + std::to_string(hi) + ")";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace stalloc

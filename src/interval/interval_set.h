@@ -1,0 +1,87 @@
+// IntervalSet: an ordered set of disjoint half-open address intervals [lo, hi).
+//
+// Used by the Plan Synthesizer to compute Dynamic Reusable Space (union of occupied ranges,
+// complement against the pool span — Eq. 4-6 in the paper) and by the Dynamic Allocator to track
+// the currently free intervals of the static memory pool and intersect them with the pre-vetted
+// reusable regions (Eq. 7).
+
+#ifndef SRC_INTERVAL_INTERVAL_SET_H_
+#define SRC_INTERVAL_INTERVAL_SET_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace stalloc {
+
+struct Interval {
+  uint64_t lo = 0;
+  uint64_t hi = 0;  // exclusive
+
+  uint64_t length() const { return hi - lo; }
+  bool empty() const { return hi <= lo; }
+  bool Contains(uint64_t point) const { return point >= lo && point < hi; }
+  bool Contains(const Interval& other) const { return other.lo >= lo && other.hi <= hi; }
+  bool Overlaps(const Interval& other) const { return lo < other.hi && other.lo < hi; }
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+  explicit IntervalSet(std::vector<Interval> intervals);
+
+  // Adds [lo, hi) to the set, merging with adjacent/overlapping intervals.
+  void Insert(uint64_t lo, uint64_t hi);
+  void Insert(const Interval& iv) { Insert(iv.lo, iv.hi); }
+
+  // Removes [lo, hi) from the set, splitting intervals when necessary.
+  void Erase(uint64_t lo, uint64_t hi);
+  void Erase(const Interval& iv) { Erase(iv.lo, iv.hi); }
+
+  void Clear() { spans_.clear(); }
+
+  bool Contains(uint64_t point) const;
+  // True iff the whole of [lo, hi) is covered by this set.
+  bool Covers(uint64_t lo, uint64_t hi) const;
+  // True iff any part of [lo, hi) is in this set.
+  bool Intersects(uint64_t lo, uint64_t hi) const;
+
+  // Set algebra. All return new sets.
+  IntervalSet Union(const IntervalSet& other) const;
+  IntervalSet Intersect(const IntervalSet& other) const;
+  // this \ other.
+  IntervalSet Difference(const IntervalSet& other) const;
+  // Complement within the universe [lo, hi).
+  IntervalSet ComplementWithin(uint64_t lo, uint64_t hi) const;
+
+  // Smallest interval in the set with length >= size (best-fit), if any.
+  std::optional<Interval> BestFit(uint64_t size) const;
+  // Lowest-address interval with length >= size (first-fit), if any.
+  std::optional<Interval> FirstFit(uint64_t size) const;
+
+  size_t interval_count() const { return spans_.size(); }
+  bool empty() const { return spans_.empty(); }
+  // Total covered length.
+  uint64_t TotalLength() const;
+  // Length of the largest single interval (0 when empty).
+  uint64_t MaxIntervalLength() const;
+
+  std::vector<Interval> ToVector() const;
+  std::string ToString() const;
+
+  friend bool operator==(const IntervalSet& a, const IntervalSet& b) {
+    return a.spans_ == b.spans_;
+  }
+
+ private:
+  // Key: interval start; value: interval end. Invariant: disjoint, non-adjacent, non-empty.
+  std::map<uint64_t, uint64_t> spans_;
+};
+
+}  // namespace stalloc
+
+#endif  // SRC_INTERVAL_INTERVAL_SET_H_

@@ -1,0 +1,73 @@
+#include "src/metrics/throughput_model.h"
+
+#include <cmath>
+
+namespace stalloc {
+
+double ModelFlopsPerGpu(const ModelConfig& model, const TrainConfig& config) {
+  // Standard 6*P*T approximation (fwd 2PT + bwd 4PT) plus the attention term, for the layers on
+  // one GPU.
+  const double tokens = static_cast<double>(model.seq_len) *
+                        static_cast<double>(config.micro_batch_size) *
+                        static_cast<double>(config.num_microbatches);
+  const double params_per_gpu =
+      static_cast<double>(model.TotalParams()) /
+      static_cast<double>(config.parallel.tp * config.parallel.pp);
+  const double matmul = 6.0 * params_per_gpu * tokens;
+  // Attention scores/context: 12 * s^2 * h * b per layer (fwd+bwd), sharded over tp*pp.
+  const double layers_per_gpu = static_cast<double>(model.num_layers) /
+                                static_cast<double>(config.parallel.tp * config.parallel.pp);
+  const double attn = 12.0 * static_cast<double>(model.seq_len) *
+                      static_cast<double>(model.seq_len) * static_cast<double>(model.hidden) *
+                      static_cast<double>(config.micro_batch_size) *
+                      static_cast<double>(config.num_microbatches) * layers_per_gpu /
+                      static_cast<double>(model.num_layers);
+  return matmul + attn;
+}
+
+ThroughputEstimate EstimateThroughput(const ModelConfig& model, const TrainConfig& config,
+                                      const GpuSpec& gpu, double allocator_api_cost_us) {
+  ThroughputEstimate est;
+  const double model_flops = ModelFlopsPerGpu(model, config);
+
+  // Executed FLOPs: full recomputation re-runs the forward pass (+1/3 of the 6PT budget).
+  double executed = model_flops;
+  if (config.opt.recompute == RecomputeMode::kFull) {
+    executed *= 4.0 / 3.0;
+  }
+  // ZeRO-3 re-gathers weights per layer: modelled as a small compute/comm tax.
+  if (config.opt.zero == ZeroStage::kStage3) {
+    executed *= 1.08;
+  }
+  if (config.opt.offload) {
+    executed *= 1.05;  // transfer stalls not fully hidden
+  }
+
+  // Tensor-parallel collectives shave efficiency; ~4% per doubling beyond tp=1.
+  double mfu = gpu.mfu;
+  if (config.parallel.tp > 1) {
+    mfu *= 1.0 - 0.04 * std::log2(static_cast<double>(config.parallel.tp));
+  }
+
+  const double compute_s = executed / (gpu.peak_bf16_tflops * 1e12 * mfu);
+
+  // Pipeline bubble: 1F1B bubble = (pp-1)/(m + pp - 1); interleaving over c chunks divides the
+  // bubble contribution by c (Megatron interleaved schedule).
+  const double pp = static_cast<double>(config.parallel.pp);
+  const double m = static_cast<double>(config.num_microbatches);
+  const double c = static_cast<double>(config.parallel.vpp_chunks);
+  double bubble = 0;
+  if (config.parallel.pp > 1) {
+    bubble = (pp - 1.0) / (m * c + pp - 1.0);
+  }
+  est.bubble_fraction = bubble;
+
+  est.allocator_overhead_seconds = allocator_api_cost_us * 1e-6;
+  est.iteration_seconds = compute_s / (1.0 - bubble) + est.allocator_overhead_seconds;
+  est.allocator_overhead_fraction =
+      est.iteration_seconds > 0 ? est.allocator_overhead_seconds / est.iteration_seconds : 0;
+  est.model_tflops = model_flops / est.iteration_seconds / 1e12;
+  return est;
+}
+
+}  // namespace stalloc

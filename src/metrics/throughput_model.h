@@ -1,0 +1,49 @@
+// Analytic training-throughput model used to reproduce the *shape* of the paper's throughput
+// results (Fig. 12, Table 1) without real GPUs.
+//
+// Iteration time = compute time / (1 - pipeline bubble) * TP-communication factor
+//                  + allocator overhead (modelled device-API time from the replay).
+// Compute time covers forward + backward matmul FLOPs (recomputation re-runs the forward). The
+// FLOPS metric reported by training frameworks counts *model* FLOPs (excluding recompute), so
+// recompute configurations show lower reported TFLOPS — matching Table 1.
+
+#ifndef SRC_METRICS_THROUGHPUT_MODEL_H_
+#define SRC_METRICS_THROUGHPUT_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/trainsim/model_config.h"
+#include "src/trainsim/train_config.h"
+
+namespace stalloc {
+
+struct GpuSpec {
+  std::string name;
+  double peak_bf16_tflops = 312.0;  // A800
+  double mfu = 0.45;                // achievable model-FLOPs utilization at tp=1
+
+  static GpuSpec A800() { return {"A800", 312.0, 0.45}; }
+  static GpuSpec H200() { return {"H200", 989.0, 0.40}; }
+  static GpuSpec MI210() { return {"MI210", 181.0, 0.42}; }
+};
+
+struct ThroughputEstimate {
+  double iteration_seconds = 0;   // end-to-end, including allocator overhead
+  double model_tflops = 0;        // framework-reported TFLOPS per GPU
+  double bubble_fraction = 0;
+  double allocator_overhead_seconds = 0;
+  double allocator_overhead_fraction = 0;  // share of iteration time
+};
+
+// `allocator_api_cost_us` is the modelled device-API time the allocator consumed during one
+// replayed iteration (SimDevice cost ledger).
+ThroughputEstimate EstimateThroughput(const ModelConfig& model, const TrainConfig& config,
+                                      const GpuSpec& gpu, double allocator_api_cost_us = 0);
+
+// Model FLOPs of one iteration for one GPU (the numerator of reported TFLOPS).
+double ModelFlopsPerGpu(const ModelConfig& model, const TrainConfig& config);
+
+}  // namespace stalloc
+
+#endif  // SRC_METRICS_THROUGHPUT_MODEL_H_

@@ -1,0 +1,98 @@
+#include "src/trace/timeline.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "src/common/table.h"
+#include "src/common/units.h"
+
+namespace stalloc {
+
+std::string RenderAsciiTimeline(const std::vector<TimelineBox>& boxes, uint64_t pool_size,
+                                LogicalTime end_time, const TimelineOptions& options) {
+  const int rows = std::max(1, options.rows);
+  const int cols = std::max(1, options.cols);
+  if (pool_size == 0 || end_time == 0) {
+    return "(empty timeline)\n";
+  }
+  std::vector<std::vector<uint64_t>> fill(static_cast<size_t>(rows),
+                                          std::vector<uint64_t>(static_cast<size_t>(cols), 0));
+  const double row_bytes = static_cast<double>(pool_size) / rows;
+  const double col_ticks = static_cast<double>(end_time) / cols;
+  for (const auto& b : boxes) {
+    if (b.size == 0 || b.te <= b.ts) {
+      continue;
+    }
+    const int c0 = std::min(cols - 1, static_cast<int>(static_cast<double>(b.ts) / col_ticks));
+    const int c1 = std::min(cols - 1, static_cast<int>(static_cast<double>(b.te - 1) / col_ticks));
+    const int r0 = std::min(rows - 1, static_cast<int>(static_cast<double>(b.addr) / row_bytes));
+    const int r1 = std::min(
+        rows - 1, static_cast<int>(static_cast<double>(b.addr + b.size - 1) / row_bytes));
+    for (int r = r0; r <= r1; ++r) {
+      const uint64_t band_lo = static_cast<uint64_t>(r * row_bytes);
+      const uint64_t band_hi = static_cast<uint64_t>((r + 1) * row_bytes);
+      const uint64_t covered = std::min<uint64_t>(b.addr + b.size, band_hi) -
+                               std::max<uint64_t>(b.addr, band_lo);
+      for (int c = c0; c <= c1; ++c) {
+        fill[static_cast<size_t>(r)][static_cast<size_t>(c)] += covered;
+      }
+    }
+  }
+  std::string out = "address\n";
+  for (int r = rows - 1; r >= 0; --r) {
+    out += StrFormat("%10s |", FormatBytes(static_cast<uint64_t>(r * row_bytes)).c_str());
+    for (int c = 0; c < cols; ++c) {
+      const double ratio =
+          static_cast<double>(fill[static_cast<size_t>(r)][static_cast<size_t>(c)]) / row_bytes;
+      out += ratio <= 0.01 ? ' ' : (ratio < 0.5 ? '.' : (ratio < 0.9 ? 'o' : '#'));
+    }
+    out += "|\n";
+  }
+  out += "            time ->\n";
+  return out;
+}
+
+std::string RenderSvgTimeline(const std::vector<TimelineBox>& boxes, uint64_t pool_size,
+                              LogicalTime end_time, const TimelineOptions& options) {
+  const int width = std::max(64, options.svg_width);
+  const int height = std::max(64, options.svg_height);
+  std::string out;
+  out += StrFormat(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" "
+      "viewBox=\"0 0 %d %d\">\n",
+      width, height, width, height);
+  out += StrFormat("<rect width=\"%d\" height=\"%d\" fill=\"#fafafa\"/>\n", width, height);
+  if (pool_size > 0 && end_time > 0) {
+    const double x_scale = static_cast<double>(width) / static_cast<double>(end_time);
+    const double y_scale = static_cast<double>(height) / static_cast<double>(pool_size);
+    for (const auto& b : boxes) {
+      if (b.size == 0 || b.te <= b.ts) {
+        continue;
+      }
+      const double x = static_cast<double>(b.ts) * x_scale;
+      const double w = std::max(0.5, static_cast<double>(b.te - b.ts) * x_scale);
+      // SVG y grows downward; draw address 0 at the bottom.
+      const double h = std::max(0.5, static_cast<double>(b.size) * y_scale);
+      const double y = height - (static_cast<double>(b.addr) * y_scale + h);
+      out += StrFormat(
+          "<rect x=\"%.2f\" y=\"%.2f\" width=\"%.2f\" height=\"%.2f\" fill=\"%s\" "
+          "fill-opacity=\"0.7\" stroke=\"#333\" stroke-width=\"0.2\"/>\n",
+          x, y, w, h, b.dyn ? "#e8803a" : "#3a6fe8");
+    }
+  }
+  out += "</svg>\n";
+  return out;
+}
+
+bool WriteSvgTimelineFile(const std::vector<TimelineBox>& boxes, uint64_t pool_size,
+                          LogicalTime end_time, const std::string& path,
+                          const TimelineOptions& options) {
+  std::ofstream os(path);
+  if (!os) {
+    return false;
+  }
+  os << RenderSvgTimeline(boxes, pool_size, end_time, options);
+  return static_cast<bool>(os);
+}
+
+}  // namespace stalloc

@@ -1,0 +1,46 @@
+// Space-time visualizations of allocation plans and traces: an ASCII occupancy map for terminal
+// output (the plan_inspector example) and an SVG exporter for reports. Both render address bands
+// (vertical) against time slices (horizontal).
+
+#ifndef SRC_TRACE_TIMELINE_H_
+#define SRC_TRACE_TIMELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/trace/event.h"
+
+namespace stalloc {
+
+// One placed rectangle in the space-time plane.
+struct TimelineBox {
+  uint64_t addr = 0;
+  uint64_t size = 0;
+  LogicalTime ts = 0;
+  LogicalTime te = 0;
+  bool dyn = false;
+};
+
+struct TimelineOptions {
+  int rows = 16;        // address bands (ASCII)
+  int cols = 72;        // time slices (ASCII)
+  int svg_width = 960;  // pixels
+  int svg_height = 480;
+};
+
+// Renders the occupancy map as text: ' ' empty, '.' <50% band fill, 'o' <90%, '#' >=90%.
+std::string RenderAsciiTimeline(const std::vector<TimelineBox>& boxes, uint64_t pool_size,
+                                LogicalTime end_time, const TimelineOptions& options = {});
+
+// Renders the boxes as an SVG document; static boxes in blue, dynamic in orange.
+std::string RenderSvgTimeline(const std::vector<TimelineBox>& boxes, uint64_t pool_size,
+                              LogicalTime end_time, const TimelineOptions& options = {});
+
+bool WriteSvgTimelineFile(const std::vector<TimelineBox>& boxes, uint64_t pool_size,
+                          LogicalTime end_time, const std::string& path,
+                          const TimelineOptions& options = {});
+
+}  // namespace stalloc
+
+#endif  // SRC_TRACE_TIMELINE_H_

@@ -1,0 +1,146 @@
+#include "src/trace/trace.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace stalloc {
+
+const char* PhaseKindName(PhaseKind kind) {
+  switch (kind) {
+    case PhaseKind::kIterInit:
+      return "init";
+    case PhaseKind::kForward:
+      return "fwd";
+    case PhaseKind::kBackward:
+      return "bwd";
+    case PhaseKind::kOptimizer:
+      return "opt";
+  }
+  return "?";
+}
+
+const char* LifespanClassName(LifespanClass c) {
+  switch (c) {
+    case LifespanClass::kPersistent:
+      return "persistent";
+    case LifespanClass::kScoped:
+      return "scoped";
+    case LifespanClass::kTransient:
+      return "transient";
+  }
+  return "?";
+}
+
+std::string PhaseInfo::ToString() const {
+  std::string out = PhaseKindName(kind);
+  if (microbatch >= 0) {
+    out += "/mb" + std::to_string(microbatch);
+  }
+  if (chunk >= 0) {
+    out += "/c" + std::to_string(chunk);
+  }
+  return out;
+}
+
+PhaseId Trace::AddPhase(PhaseInfo info) {
+  phases_.push_back(std::move(info));
+  return static_cast<PhaseId>(phases_.size() - 1);
+}
+
+LayerId Trace::AddLayer(LayerInfo info) {
+  layers_.push_back(std::move(info));
+  return static_cast<LayerId>(layers_.size() - 1);
+}
+
+uint64_t Trace::AddEvent(MemoryEvent event) {
+  STALLOC_CHECK(event.ts < event.te, << "event must have positive lifespan: ts=" << event.ts
+                                     << " te=" << event.te);
+  event.id = events_.size();
+  end_time_ = std::max(end_time_, event.te);
+  events_.push_back(event);
+  return event.id;
+}
+
+PhaseInfo& Trace::MutablePhase(PhaseId id) {
+  STALLOC_CHECK(id >= 0 && static_cast<size_t>(id) < phases_.size());
+  return phases_[static_cast<size_t>(id)];
+}
+
+LayerInfo& Trace::MutableLayer(LayerId id) {
+  STALLOC_CHECK(id >= 0 && static_cast<size_t>(id) < layers_.size());
+  return layers_[static_cast<size_t>(id)];
+}
+
+const MemoryEvent& Trace::event(uint64_t id) const {
+  STALLOC_CHECK_LT(id, events_.size());
+  return events_[id];
+}
+
+const PhaseInfo& Trace::phase(PhaseId id) const {
+  STALLOC_CHECK(id >= 0 && static_cast<size_t>(id) < phases_.size());
+  return phases_[static_cast<size_t>(id)];
+}
+
+const LayerInfo& Trace::layer(LayerId id) const {
+  STALLOC_CHECK(id >= 0 && static_cast<size_t>(id) < layers_.size());
+  return layers_[static_cast<size_t>(id)];
+}
+
+LifespanClass Trace::Classify(const MemoryEvent& event) const {
+  if (event.ps == event.pe) {
+    // Same-phase alloc+free. Init-to-init with full lifespan is persistent bookkeeping, but the
+    // init phase only hosts persistent tensors in practice; treat init==init as persistent.
+    if (event.ps >= 0 && phases_[static_cast<size_t>(event.ps)].kind == PhaseKind::kIterInit) {
+      return LifespanClass::kPersistent;
+    }
+    return LifespanClass::kTransient;
+  }
+  if (event.ps >= 0 && phases_[static_cast<size_t>(event.ps)].kind == PhaseKind::kIterInit) {
+    return LifespanClass::kPersistent;
+  }
+  return LifespanClass::kScoped;
+}
+
+std::vector<TraceOp> Trace::Ops() const {
+  std::vector<TraceOp> ops;
+  ops.reserve(events_.size() * 2);
+  for (const auto& e : events_) {
+    ops.push_back(TraceOp{TraceOp::Kind::kMalloc, e.ts, e.id});
+    ops.push_back(TraceOp{TraceOp::Kind::kFree, e.te, e.id});
+  }
+  std::sort(ops.begin(), ops.end(), [](const TraceOp& a, const TraceOp& b) {
+    if (a.time != b.time) {
+      return a.time < b.time;
+    }
+    // Frees first at equal time: lifespans are half-open so [x, t) and [t, y) do not conflict.
+    if (a.kind != b.kind) {
+      return a.kind == TraceOp::Kind::kFree;
+    }
+    return a.event_id < b.event_id;
+  });
+  return ops;
+}
+
+void Trace::Validate() const {
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const auto& e = events_[i];
+    STALLOC_CHECK_EQ(e.id, i, << "event ids must be dense");
+    STALLOC_CHECK(e.ts < e.te);
+    STALLOC_CHECK(e.size > 0, << "zero-size event " << i);
+    if (e.ps != kInvalidPhase) {
+      STALLOC_CHECK_LT(static_cast<size_t>(e.ps), phases_.size());
+    }
+    if (e.pe != kInvalidPhase) {
+      STALLOC_CHECK_LT(static_cast<size_t>(e.pe), phases_.size());
+    }
+    if (e.dyn) {
+      STALLOC_CHECK(e.ls != kInvalidLayer && e.le != kInvalidLayer,
+                    << "dynamic event " << i << " missing layer ids");
+      STALLOC_CHECK_LT(static_cast<size_t>(e.ls), layers_.size());
+      STALLOC_CHECK_LT(static_cast<size_t>(e.le), layers_.size());
+    }
+  }
+}
+
+}  // namespace stalloc

@@ -1,0 +1,71 @@
+// Trace: the complete record of one profiled training iteration — the output of the Allocation
+// Profiler (§4) and the input of the Plan Synthesizer (§5).
+
+#ifndef SRC_TRACE_TRACE_H_
+#define SRC_TRACE_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/trace/event.h"
+
+namespace stalloc {
+
+// An individual malloc or free operation, in timeline order. Replay drivers iterate ops; the
+// planner works on events.
+struct TraceOp {
+  enum class Kind : uint8_t { kMalloc, kFree };
+  Kind kind = Kind::kMalloc;
+  LogicalTime time = 0;
+  uint64_t event_id = 0;  // index into Trace::events()
+};
+
+class Trace {
+ public:
+  Trace() = default;
+
+  // --- construction (used by the profiler / workload simulator) ---
+  PhaseId AddPhase(PhaseInfo info);
+  LayerId AddLayer(LayerInfo info);
+  // Appends an event; assigns and returns its id. Events must satisfy ts < te.
+  uint64_t AddEvent(MemoryEvent event);
+  void set_name(std::string name) { name_ = std::move(name); }
+  // Builders patch phase/layer windows as emission proceeds.
+  PhaseInfo& MutablePhase(PhaseId id);
+  LayerInfo& MutableLayer(LayerId id);
+
+  // --- accessors ---
+  const std::string& name() const { return name_; }
+  const std::vector<MemoryEvent>& events() const { return events_; }
+  const std::vector<PhaseInfo>& phases() const { return phases_; }
+  const std::vector<LayerInfo>& layers() const { return layers_; }
+  const MemoryEvent& event(uint64_t id) const;
+  const PhaseInfo& phase(PhaseId id) const;
+  const LayerInfo& layer(LayerId id) const;
+  size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  // One past the largest timestamp in the trace.
+  LogicalTime end_time() const { return end_time_; }
+
+  // Lifespan classification of one event per §2.3.
+  LifespanClass Classify(const MemoryEvent& event) const;
+
+  // The interleaved malloc/free operation stream, ordered by time. Frees at time t sort before
+  // mallocs at time t so replay never double-counts memory that is handed over at a boundary.
+  std::vector<TraceOp> Ops() const;
+
+  // Checks internal consistency (ts < te, phases valid, ids dense); aborts on violation.
+  void Validate() const;
+
+ private:
+  std::string name_;
+  std::vector<MemoryEvent> events_;
+  std::vector<PhaseInfo> phases_;
+  std::vector<LayerInfo> layers_;
+  LogicalTime end_time_ = 0;
+};
+
+}  // namespace stalloc
+
+#endif  // SRC_TRACE_TRACE_H_

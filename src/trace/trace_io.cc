@@ -1,0 +1,252 @@
+#include "src/trace/trace_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace stalloc {
+
+namespace {
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  for (char c : line) {
+    if (c == ',') {
+      fields.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(cur);
+  return fields;
+}
+
+}  // namespace
+
+void WriteTraceCsv(const Trace& trace, std::ostream& os) {
+  os << "# stalloc-trace v1\n";
+  os << "# name," << trace.name() << "\n";
+  for (size_t i = 0; i < trace.phases().size(); ++i) {
+    const auto& p = trace.phases()[i];
+    os << "# phase," << i << "," << static_cast<int>(p.kind) << "," << p.microbatch << ","
+       << p.chunk << "," << p.start << "," << p.end << "\n";
+  }
+  for (size_t i = 0; i < trace.layers().size(); ++i) {
+    const auto& l = trace.layers()[i];
+    os << "# layer," << i << "," << l.name << "," << l.start << "," << l.end << "\n";
+  }
+  os << "id,size,ts,te,ps,pe,dyn,ls,le,stream\n";
+  for (const auto& e : trace.events()) {
+    os << e.id << "," << e.size << "," << e.ts << "," << e.te << "," << e.ps << "," << e.pe << ","
+       << (e.dyn ? 1 : 0) << "," << e.ls << "," << e.le << ","
+       << static_cast<int>(e.stream) << "\n";
+  }
+}
+
+bool WriteTraceCsvFile(const Trace& trace, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    return false;
+  }
+  WriteTraceCsv(trace, os);
+  return static_cast<bool>(os);
+}
+
+Trace ReadTraceCsv(std::istream& is) {
+  Trace trace;
+  std::string line;
+  bool header_seen = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    if (line[0] == '#') {
+      auto fields = SplitCsvLine(line.substr(2));
+      if (fields.empty()) {
+        continue;
+      }
+      if (fields[0] == "name" && fields.size() >= 2) {
+        trace.set_name(fields[1]);
+      } else if (fields[0] == "phase" && fields.size() >= 7) {
+        PhaseInfo p;
+        p.kind = static_cast<PhaseKind>(std::stoi(fields[2]));
+        p.microbatch = std::stoi(fields[3]);
+        p.chunk = std::stoi(fields[4]);
+        p.start = std::stoull(fields[5]);
+        p.end = std::stoull(fields[6]);
+        trace.AddPhase(p);
+      } else if (fields[0] == "layer" && fields.size() >= 5) {
+        LayerInfo l;
+        l.name = fields[2];
+        l.start = std::stoull(fields[3]);
+        l.end = std::stoull(fields[4]);
+        trace.AddLayer(l);
+      }
+      continue;
+    }
+    if (!header_seen) {
+      // Column header row.
+      header_seen = true;
+      STALLOC_CHECK(line.rfind("id,", 0) == 0, << "unexpected trace CSV header: " << line);
+      continue;
+    }
+    auto fields = SplitCsvLine(line);
+    STALLOC_CHECK_GE(fields.size(), 9u, << "short trace CSV row: " << line);
+    MemoryEvent e;
+    e.size = std::stoull(fields[1]);
+    e.ts = std::stoull(fields[2]);
+    e.te = std::stoull(fields[3]);
+    e.ps = std::stoi(fields[4]);
+    e.pe = std::stoi(fields[5]);
+    e.dyn = std::stoi(fields[6]) != 0;
+    e.ls = std::stoi(fields[7]);
+    e.le = std::stoi(fields[8]);
+    if (fields.size() >= 10) {
+      e.stream = static_cast<StreamId>(std::stoi(fields[9]));
+    }
+    trace.AddEvent(e);
+  }
+  trace.Validate();
+  return trace;
+}
+
+Trace ReadTraceCsvFile(const std::string& path) {
+  std::ifstream is(path);
+  STALLOC_CHECK(static_cast<bool>(is), << "cannot open trace file " << path);
+  return ReadTraceCsv(is);
+}
+
+namespace {
+
+constexpr char kBinaryMagic[4] = {'S', 'T', 'L', 'B'};
+constexpr uint32_t kBinaryVersion = 1;
+
+template <typename T>
+void Put(std::ostream& os, T value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+T Get(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(value));
+  STALLOC_CHECK(static_cast<bool>(is), << "truncated binary trace");
+  return value;
+}
+
+void PutString(std::ostream& os, const std::string& s) {
+  Put<uint32_t>(os, static_cast<uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string GetString(std::istream& is) {
+  const uint32_t n = Get<uint32_t>(is);
+  STALLOC_CHECK_LE(n, 1u << 20, << "implausible string length in binary trace");
+  std::string s(n, '\0');
+  is.read(s.data(), n);
+  STALLOC_CHECK(static_cast<bool>(is), << "truncated binary trace");
+  return s;
+}
+
+}  // namespace
+
+void WriteTraceBinary(const Trace& trace, std::ostream& os) {
+  os.write(kBinaryMagic, sizeof(kBinaryMagic));
+  Put<uint32_t>(os, kBinaryVersion);
+  PutString(os, trace.name());
+
+  Put<uint32_t>(os, static_cast<uint32_t>(trace.phases().size()));
+  for (const auto& p : trace.phases()) {
+    Put<uint8_t>(os, static_cast<uint8_t>(p.kind));
+    Put<int32_t>(os, p.microbatch);
+    Put<int32_t>(os, p.chunk);
+    Put<uint64_t>(os, p.start);
+    Put<uint64_t>(os, p.end);
+  }
+  Put<uint32_t>(os, static_cast<uint32_t>(trace.layers().size()));
+  for (const auto& l : trace.layers()) {
+    PutString(os, l.name);
+    Put<uint64_t>(os, l.start);
+    Put<uint64_t>(os, l.end);
+  }
+  Put<uint64_t>(os, trace.size());
+  for (const auto& e : trace.events()) {
+    Put<uint64_t>(os, e.size);
+    Put<uint64_t>(os, e.ts);
+    Put<uint64_t>(os, e.te);
+    Put<int32_t>(os, e.ps);
+    Put<int32_t>(os, e.pe);
+    Put<uint8_t>(os, e.dyn ? 1 : 0);
+    Put<int32_t>(os, e.ls);
+    Put<int32_t>(os, e.le);
+    Put<uint8_t>(os, e.stream);
+  }
+}
+
+bool WriteTraceBinaryFile(const Trace& trace, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    return false;
+  }
+  WriteTraceBinary(trace, os);
+  return static_cast<bool>(os);
+}
+
+Trace ReadTraceBinary(std::istream& is) {
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  STALLOC_CHECK(static_cast<bool>(is) && std::memcmp(magic, kBinaryMagic, 4) == 0,
+                << "not a binary stalloc trace");
+  const uint32_t version = Get<uint32_t>(is);
+  STALLOC_CHECK_EQ(version, kBinaryVersion, << "unsupported binary trace version");
+  Trace trace;
+  trace.set_name(GetString(is));
+
+  const uint32_t num_phases = Get<uint32_t>(is);
+  for (uint32_t i = 0; i < num_phases; ++i) {
+    PhaseInfo p;
+    p.kind = static_cast<PhaseKind>(Get<uint8_t>(is));
+    p.microbatch = Get<int32_t>(is);
+    p.chunk = Get<int32_t>(is);
+    p.start = Get<uint64_t>(is);
+    p.end = Get<uint64_t>(is);
+    trace.AddPhase(p);
+  }
+  const uint32_t num_layers = Get<uint32_t>(is);
+  for (uint32_t i = 0; i < num_layers; ++i) {
+    LayerInfo l;
+    l.name = GetString(is);
+    l.start = Get<uint64_t>(is);
+    l.end = Get<uint64_t>(is);
+    trace.AddLayer(std::move(l));
+  }
+  const uint64_t num_events = Get<uint64_t>(is);
+  for (uint64_t i = 0; i < num_events; ++i) {
+    MemoryEvent e;
+    e.size = Get<uint64_t>(is);
+    e.ts = Get<uint64_t>(is);
+    e.te = Get<uint64_t>(is);
+    e.ps = Get<int32_t>(is);
+    e.pe = Get<int32_t>(is);
+    e.dyn = Get<uint8_t>(is) != 0;
+    e.ls = Get<int32_t>(is);
+    e.le = Get<int32_t>(is);
+    e.stream = Get<uint8_t>(is);
+    trace.AddEvent(e);
+  }
+  trace.Validate();
+  return trace;
+}
+
+Trace ReadTraceBinaryFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  STALLOC_CHECK(static_cast<bool>(is), << "cannot open trace file " << path);
+  return ReadTraceBinary(is);
+}
+
+}  // namespace stalloc

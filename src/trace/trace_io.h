@@ -1,0 +1,33 @@
+// Trace serialization: CSV export/import so profiled traces can be inspected with external tools
+// and plans can be synthesized out-of-process (the paper ships the Plan Synthesizer as a
+// standalone tool, §8).
+
+#ifndef SRC_TRACE_TRACE_IO_H_
+#define SRC_TRACE_TRACE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/trace/trace.h"
+
+namespace stalloc {
+
+// Writes the trace as CSV with a header comment block carrying phase/layer tables.
+void WriteTraceCsv(const Trace& trace, std::ostream& os);
+bool WriteTraceCsvFile(const Trace& trace, const std::string& path);
+
+// Parses a trace produced by WriteTraceCsv. Aborts on malformed input.
+Trace ReadTraceCsv(std::istream& is);
+Trace ReadTraceCsvFile(const std::string& path);
+
+// Binary format: a fixed-width little-endian encoding for large production traces — parsed in
+// one pass without text conversion. Layout: magic "STLB", version u32, then length-prefixed
+// sections for phases, layers and events.
+void WriteTraceBinary(const Trace& trace, std::ostream& os);
+bool WriteTraceBinaryFile(const Trace& trace, const std::string& path);
+Trace ReadTraceBinary(std::istream& is);
+Trace ReadTraceBinaryFile(const std::string& path);
+
+}  // namespace stalloc
+
+#endif  // SRC_TRACE_TRACE_IO_H_

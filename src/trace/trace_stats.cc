@@ -1,0 +1,156 @@
+#include "src/trace/trace_stats.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/table.h"
+#include "src/common/units.h"
+
+namespace stalloc {
+
+namespace {
+
+// Smallest power of two >= v (v > 0).
+uint64_t Pow2Bucket(uint64_t v) {
+  uint64_t b = 1;
+  while (b < v) {
+    b <<= 1;
+  }
+  return b;
+}
+
+}  // namespace
+
+uint64_t PeakAllocated(const std::vector<MemoryEvent>& events) {
+  // Sweep over (time, delta) points; frees apply before mallocs at the same tick, matching the
+  // half-open [ts, te) lifespan convention.
+  std::vector<std::pair<LogicalTime, int64_t>> points;
+  points.reserve(events.size() * 2);
+  for (const auto& e : events) {
+    points.emplace_back(e.ts, static_cast<int64_t>(e.size));
+    points.emplace_back(e.te, -static_cast<int64_t>(e.size));
+  }
+  std::sort(points.begin(), points.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) {
+      return a.first < b.first;
+    }
+    return a.second < b.second;  // negative deltas (frees) first
+  });
+  int64_t live = 0;
+  int64_t peak = 0;
+  for (const auto& [t, d] : points) {
+    live += d;
+    peak = std::max(peak, live);
+  }
+  return static_cast<uint64_t>(peak);
+}
+
+uint64_t PeakAllocated(const Trace& trace) { return PeakAllocated(trace.events()); }
+
+std::vector<std::pair<LogicalTime, uint64_t>> LiveBytesCurve(
+    const std::vector<MemoryEvent>& events) {
+  std::vector<std::pair<LogicalTime, int64_t>> points;
+  points.reserve(events.size() * 2);
+  for (const auto& e : events) {
+    points.emplace_back(e.ts, static_cast<int64_t>(e.size));
+    points.emplace_back(e.te, -static_cast<int64_t>(e.size));
+  }
+  std::sort(points.begin(), points.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) {
+      return a.first < b.first;
+    }
+    return a.second < b.second;
+  });
+  std::vector<std::pair<LogicalTime, uint64_t>> curve;
+  int64_t live = 0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    live += points[i].second;
+    // Emit one sample per distinct time: after the last delta at this tick.
+    if (i + 1 == points.size() || points[i + 1].first != points[i].first) {
+      curve.emplace_back(points[i].first, static_cast<uint64_t>(live));
+    }
+  }
+  return curve;
+}
+
+TraceStats ComputeStats(const Trace& trace, uint64_t min_size_filter) {
+  TraceStats stats;
+  stats.min_size_filter = min_size_filter;
+  stats.num_events = trace.size();
+
+  std::set<uint64_t> sizes;
+  std::map<uint64_t, uint64_t> histogram;
+  for (const auto& e : trace.events()) {
+    stats.total_bytes += e.size;
+    if (e.dyn) {
+      ++stats.num_dynamic;
+    } else {
+      ++stats.num_static;
+    }
+    if (e.size > min_size_filter) {
+      sizes.insert(e.size);
+      ++histogram[Pow2Bucket(e.size)];
+    }
+    switch (trace.Classify(e)) {
+      case LifespanClass::kPersistent:
+        ++stats.persistent_count;
+        stats.persistent_bytes += e.size;
+        break;
+      case LifespanClass::kScoped:
+        ++stats.scoped_count;
+        stats.scoped_bytes += e.size;
+        break;
+      case LifespanClass::kTransient:
+        ++stats.transient_count;
+        stats.transient_bytes += e.size;
+        break;
+    }
+  }
+  stats.distinct_sizes = sizes.size();
+
+  uint64_t filtered_total = 0;
+  for (const auto& [bucket, count] : histogram) {
+    filtered_total += count;
+  }
+  for (const auto& [bucket, count] : histogram) {
+    SizeBucket b;
+    b.bucket_lo = bucket;
+    b.count = count;
+    b.frequency = filtered_total > 0 ? static_cast<double>(count) / filtered_total : 0;
+    stats.size_histogram.push_back(b);
+  }
+
+  // Peak with exact sweep.
+  stats.peak_allocated = PeakAllocated(trace.events());
+  auto curve = LiveBytesCurve(trace.events());
+  for (const auto& [t, live] : curve) {
+    if (live == stats.peak_allocated) {
+      stats.peak_time = t;
+      break;
+    }
+  }
+  return stats;
+}
+
+std::string TraceStats::ToString() const {
+  std::string out;
+  out += StrFormat("events=%llu (static=%llu dynamic=%llu)\n",
+                   static_cast<unsigned long long>(num_events),
+                   static_cast<unsigned long long>(num_static),
+                   static_cast<unsigned long long>(num_dynamic));
+  out += StrFormat("peak allocated (Ma) = %s at t=%llu\n", FormatBytes(peak_allocated).c_str(),
+                   static_cast<unsigned long long>(peak_time));
+  out += StrFormat("distinct sizes (> %llu B) = %llu\n",
+                   static_cast<unsigned long long>(min_size_filter),
+                   static_cast<unsigned long long>(distinct_sizes));
+  out += StrFormat("lifespans: persistent=%llu (%s) scoped=%llu (%s) transient=%llu (%s)\n",
+                   static_cast<unsigned long long>(persistent_count),
+                   FormatBytes(persistent_bytes).c_str(),
+                   static_cast<unsigned long long>(scoped_count),
+                   FormatBytes(scoped_bytes).c_str(),
+                   static_cast<unsigned long long>(transient_count),
+                   FormatBytes(transient_bytes).c_str());
+  return out;
+}
+
+}  // namespace stalloc

@@ -1,0 +1,61 @@
+// Trace statistics: the analyses behind the paper's motivation figures.
+//
+// * Fig. 3 — allocation-size distribution (spatial regularity: ~32 distinct sizes).
+// * Fig. 4 — lifespan classes (temporal regularity: persistent / scoped / transient).
+// * Theoretical peak allocated bytes Ma — the numerator of memory efficiency E = Ma / Mr (§2.2).
+
+#ifndef SRC_TRACE_TRACE_STATS_H_
+#define SRC_TRACE_TRACE_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace stalloc {
+
+struct SizeBucket {
+  uint64_t bucket_lo = 0;  // inclusive lower bound of the power-of-two bucket
+  uint64_t count = 0;
+  double frequency = 0;  // count / total
+};
+
+struct TraceStats {
+  uint64_t num_events = 0;
+  uint64_t num_static = 0;
+  uint64_t num_dynamic = 0;
+  uint64_t total_bytes = 0;          // sum of event sizes
+  uint64_t peak_allocated = 0;       // max over time of live bytes (theoretical Ma)
+  LogicalTime peak_time = 0;         // first tick at which the peak is reached
+  uint64_t distinct_sizes = 0;       // distinct sizes among events > min_size_filter
+  uint64_t min_size_filter = 512;    // paper counts sizes of >512-byte requests
+  uint64_t persistent_count = 0;
+  uint64_t scoped_count = 0;
+  uint64_t transient_count = 0;
+  uint64_t persistent_bytes = 0;
+  uint64_t scoped_bytes = 0;
+  uint64_t transient_bytes = 0;
+  std::vector<SizeBucket> size_histogram;  // power-of-two buckets, Fig. 3 style
+
+  std::string ToString() const;
+};
+
+// Computes statistics for a trace. `min_size_filter` controls which requests count toward the
+// distinct-size figure (paper: >512 bytes).
+TraceStats ComputeStats(const Trace& trace, uint64_t min_size_filter = 512);
+
+// Peak live bytes of an arbitrary event subset (sweep over malloc/free points).
+uint64_t PeakAllocated(const std::vector<MemoryEvent>& events);
+
+// Peak live bytes of the whole trace.
+uint64_t PeakAllocated(const Trace& trace);
+
+// The live-bytes curve sampled at every change point: pairs of (time, live bytes after ops at
+// that time). Useful for plotting and for locating static/dynamic peak separation (§5.2).
+std::vector<std::pair<LogicalTime, uint64_t>> LiveBytesCurve(const std::vector<MemoryEvent>& events);
+
+}  // namespace stalloc
+
+#endif  // SRC_TRACE_TRACE_STATS_H_

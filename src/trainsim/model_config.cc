@@ -1,0 +1,169 @@
+#include "src/trainsim/model_config.h"
+
+#include "src/common/check.h"
+
+namespace stalloc {
+
+uint64_t ModelConfig::ParamsPerLayer() const {
+  const uint64_t h = hidden;
+  const uint64_t kv = static_cast<uint64_t>(num_kv_heads) * head_dim();
+  // Attention: Q (h*h), K/V (h*kv each), output (h*h).
+  uint64_t attn = h * h + 2 * h * kv + h * h;
+  // MLP: gated = gate+up+down, plain = up+down.
+  uint64_t mlp = gated_mlp ? 3 * h * ffn_hidden : 2 * h * ffn_hidden;
+  // Two layer norms.
+  uint64_t norms = 2 * h;
+  return attn + mlp + norms;
+}
+
+uint64_t ModelConfig::ParamsPerMoeLayer() const {
+  if (!moe.enabled()) {
+    return 0;
+  }
+  const uint64_t h = hidden;
+  const uint64_t kv = static_cast<uint64_t>(num_kv_heads) * head_dim();
+  uint64_t attn = h * h + 2 * h * kv + h * h;
+  uint64_t router = h * static_cast<uint64_t>(moe.num_experts);
+  uint64_t experts = static_cast<uint64_t>(moe.num_experts) *
+                     (gated_mlp ? 3 * h * moe.expert_ffn : 2 * h * moe.expert_ffn);
+  return attn + router + experts + 2 * h;
+}
+
+uint64_t ModelConfig::EmbeddingParams() const { return 2 * vocab * hidden; }
+
+uint64_t ModelConfig::TotalParams() const {
+  uint64_t total = EmbeddingParams();
+  for (int l = 0; l < num_layers; ++l) {
+    total += IsMoeLayer(l) ? ParamsPerMoeLayer() : ParamsPerLayer();
+  }
+  return total;
+}
+
+ModelConfig Gpt2_345M() {
+  ModelConfig m;
+  m.name = "gpt2-345m";
+  m.num_layers = 24;
+  m.hidden = 1024;
+  m.ffn_hidden = 4096;
+  m.num_heads = 16;
+  m.num_kv_heads = 16;
+  m.vocab = 50257;
+  m.seq_len = 1024;
+  m.gated_mlp = false;
+  return m;
+}
+
+ModelConfig Llama2_7B() {
+  ModelConfig m;
+  m.name = "llama2-7b";
+  m.num_layers = 32;
+  m.hidden = 4096;
+  m.ffn_hidden = 11008;
+  m.num_heads = 32;
+  m.num_kv_heads = 32;
+  m.vocab = 32000;
+  m.seq_len = 4096;
+  m.gated_mlp = true;
+  return m;
+}
+
+ModelConfig Qwen25_7B() {
+  ModelConfig m;
+  m.name = "qwen2.5-7b";
+  m.num_layers = 28;
+  m.hidden = 3584;
+  m.ffn_hidden = 18944;
+  m.num_heads = 28;
+  m.num_kv_heads = 4;
+  m.vocab = 152064;
+  m.seq_len = 4096;
+  m.gated_mlp = true;
+  return m;
+}
+
+ModelConfig Qwen25_14B() {
+  ModelConfig m;
+  m.name = "qwen2.5-14b";
+  m.num_layers = 48;
+  m.hidden = 5120;
+  m.ffn_hidden = 13824;
+  m.num_heads = 40;
+  m.num_kv_heads = 8;
+  m.vocab = 152064;
+  m.seq_len = 4096;
+  m.gated_mlp = true;
+  return m;
+}
+
+ModelConfig Qwen25_32B() {
+  ModelConfig m;
+  m.name = "qwen2.5-32b";
+  m.num_layers = 64;
+  m.hidden = 5120;
+  m.ffn_hidden = 27648;
+  m.num_heads = 40;
+  m.num_kv_heads = 8;
+  m.vocab = 152064;
+  m.seq_len = 4096;
+  m.gated_mlp = true;
+  return m;
+}
+
+ModelConfig Qwen25_72B() {
+  ModelConfig m;
+  m.name = "qwen2.5-72b";
+  m.num_layers = 80;
+  m.hidden = 8192;
+  m.ffn_hidden = 29568;
+  m.num_heads = 64;
+  m.num_kv_heads = 8;
+  m.vocab = 152064;
+  m.seq_len = 4096;
+  m.gated_mlp = true;
+  return m;
+}
+
+ModelConfig Qwen15_MoE_A27B() {
+  ModelConfig m;
+  m.name = "qwen1.5-moe-a2.7b";
+  m.num_layers = 24;
+  m.hidden = 2048;
+  m.ffn_hidden = 5632;
+  m.num_heads = 16;
+  m.num_kv_heads = 16;
+  m.vocab = 151936;
+  m.seq_len = 2048;
+  m.gated_mlp = true;
+  m.moe.num_experts = 60;
+  m.moe.top_k = 4;
+  m.moe.expert_ffn = 1408;
+  m.moe.moe_every = 1;
+  return m;
+}
+
+ModelConfig ModelByName(const std::string& name) {
+  if (name == "gpt2" || name == "gpt2-345m") {
+    return Gpt2_345M();
+  }
+  if (name == "llama2-7b" || name == "llama2") {
+    return Llama2_7B();
+  }
+  if (name == "qwen2.5-7b") {
+    return Qwen25_7B();
+  }
+  if (name == "qwen2.5-14b") {
+    return Qwen25_14B();
+  }
+  if (name == "qwen2.5-32b") {
+    return Qwen25_32B();
+  }
+  if (name == "qwen2.5-72b") {
+    return Qwen25_72B();
+  }
+  if (name == "qwen1.5-moe" || name == "qwen1.5-moe-a2.7b") {
+    return Qwen15_MoE_A27B();
+  }
+  STALLOC_CHECK(false, << "unknown model: " << name);
+}
+
+}  // namespace stalloc

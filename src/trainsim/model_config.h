@@ -1,0 +1,64 @@
+// Model architecture descriptions for the evaluated models (§9.1) and helpers to compute
+// parameter counts / tensor sizes. Sizes follow standard transformer shapes; MoE models carry an
+// expert sub-config (Qwen1.5-MoE-A2.7B style).
+
+#ifndef SRC_TRAINSIM_MODEL_CONFIG_H_
+#define SRC_TRAINSIM_MODEL_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace stalloc {
+
+struct MoeConfig {
+  int num_experts = 0;   // total routed experts (0 = dense model)
+  int top_k = 0;         // experts activated per token
+  uint64_t expert_ffn = 0;  // per-expert FFN hidden size
+  int moe_every = 1;     // every n-th layer is an MoE layer (1 = all layers)
+
+  bool enabled() const { return num_experts > 0; }
+};
+
+struct ModelConfig {
+  std::string name;
+  int num_layers = 0;
+  uint64_t hidden = 0;
+  uint64_t ffn_hidden = 0;   // dense FFN hidden (gated: two up-projections + one down)
+  int num_heads = 0;
+  int num_kv_heads = 0;      // GQA; == num_heads for MHA
+  uint64_t vocab = 0;
+  uint64_t seq_len = 0;      // training sequence length
+  bool gated_mlp = false;    // LLaMA-style SwiGLU (3 matrices) vs GPT-2 GELU (2 matrices)
+  MoeConfig moe;
+
+  uint64_t head_dim() const { return hidden / static_cast<uint64_t>(num_heads); }
+
+  // Parameters of one dense transformer layer.
+  uint64_t ParamsPerLayer() const;
+  // Parameters of one MoE layer (router + all experts); 0 for dense models.
+  uint64_t ParamsPerMoeLayer() const;
+  // Embedding (+ untied LM head) parameters.
+  uint64_t EmbeddingParams() const;
+  // Total model parameters.
+  uint64_t TotalParams() const;
+
+  bool IsMoeLayer(int layer_index) const {
+    return moe.enabled() && (layer_index % moe.moe_every) == 0;
+  }
+};
+
+// Presets matching the paper's evaluation (§9.1).
+ModelConfig Gpt2_345M();
+ModelConfig Llama2_7B();
+ModelConfig Qwen25_7B();
+ModelConfig Qwen25_14B();
+ModelConfig Qwen25_32B();
+ModelConfig Qwen25_72B();
+ModelConfig Qwen15_MoE_A27B();
+
+// Lookup by name ("gpt2", "llama2-7b", "qwen2.5-14b", "qwen1.5-moe", ...). Aborts on unknown.
+ModelConfig ModelByName(const std::string& name);
+
+}  // namespace stalloc
+
+#endif  // SRC_TRAINSIM_MODEL_CONFIG_H_

@@ -1,0 +1,141 @@
+#include "src/trainsim/schedule.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/common/check.h"
+
+namespace stalloc {
+
+std::string ScheduleStep::ToString() const {
+  std::string out = kind == Kind::kForward ? "F" : "B";
+  out += std::to_string(microbatch);
+  if (chunk > 0) {
+    out += "c" + std::to_string(chunk);
+  }
+  return out;
+}
+
+std::vector<ScheduleStep> Build1F1BSchedule(int pp, int rank, int num_microbatches) {
+  STALLOC_CHECK(pp >= 1 && rank >= 0 && rank < pp && num_microbatches >= 1);
+  std::vector<ScheduleStep> steps;
+  const int m = num_microbatches;
+  const int warmup = std::min(pp - 1 - rank, m);
+  for (int i = 0; i < warmup; ++i) {
+    steps.push_back({ScheduleStep::Kind::kForward, i, 0});
+  }
+  // Steady 1F1B phase.
+  for (int i = 0; i < m - warmup; ++i) {
+    steps.push_back({ScheduleStep::Kind::kForward, warmup + i, 0});
+    steps.push_back({ScheduleStep::Kind::kBackward, i, 0});
+  }
+  // Cooldown: drain the remaining backwards.
+  for (int i = m - warmup; i < m; ++i) {
+    steps.push_back({ScheduleStep::Kind::kBackward, i, 0});
+  }
+  return steps;
+}
+
+namespace {
+
+// Megatron-LM interleaved schedule helpers: virtual microbatch k maps to a (microbatch, chunk).
+int InterleavedChunk(int k, int pp, int chunks, bool forward) {
+  const int in_group = k % (pp * chunks);
+  int chunk = in_group / pp;
+  if (!forward) {
+    chunk = chunks - 1 - chunk;
+  }
+  return chunk;
+}
+
+int InterleavedMicrobatch(int k, int pp, int chunks) {
+  return (k / (pp * chunks)) * pp + k % pp;
+}
+
+}  // namespace
+
+std::vector<ScheduleStep> BuildInterleavedSchedule(int pp, int rank, int num_microbatches,
+                                                   int chunks) {
+  STALLOC_CHECK(chunks >= 1);
+  if (chunks == 1) {
+    return Build1F1BSchedule(pp, rank, num_microbatches);
+  }
+  STALLOC_CHECK(num_microbatches % pp == 0,
+                << "interleaved schedule requires num_microbatches (" << num_microbatches
+                << ") divisible by pp (" << pp << ")");
+  const int total = num_microbatches * chunks;
+  int warmup = (pp - rank - 1) * 2 + (chunks - 1) * pp;
+  warmup = std::min(warmup, total);
+
+  std::vector<ScheduleStep> steps;
+  int fwd = 0;
+  int bwd = 0;
+  for (; fwd < warmup; ++fwd) {
+    steps.push_back({ScheduleStep::Kind::kForward, InterleavedMicrobatch(fwd, pp, chunks),
+                     InterleavedChunk(fwd, pp, chunks, /*forward=*/true)});
+  }
+  // Steady 1F1B over virtual microbatches.
+  while (fwd < total) {
+    steps.push_back({ScheduleStep::Kind::kForward, InterleavedMicrobatch(fwd, pp, chunks),
+                     InterleavedChunk(fwd, pp, chunks, /*forward=*/true)});
+    ++fwd;
+    steps.push_back({ScheduleStep::Kind::kBackward, InterleavedMicrobatch(bwd, pp, chunks),
+                     InterleavedChunk(bwd, pp, chunks, /*forward=*/false)});
+    ++bwd;
+  }
+  // Cooldown.
+  while (bwd < total) {
+    steps.push_back({ScheduleStep::Kind::kBackward, InterleavedMicrobatch(bwd, pp, chunks),
+                     InterleavedChunk(bwd, pp, chunks, /*forward=*/false)});
+    ++bwd;
+  }
+  return steps;
+}
+
+std::vector<ScheduleStep> BuildGPipeSchedule(int num_microbatches) {
+  STALLOC_CHECK(num_microbatches >= 1);
+  std::vector<ScheduleStep> steps;
+  for (int i = 0; i < num_microbatches; ++i) {
+    steps.push_back({ScheduleStep::Kind::kForward, i, 0});
+  }
+  for (int i = num_microbatches - 1; i >= 0; --i) {
+    steps.push_back({ScheduleStep::Kind::kBackward, i, 0});
+  }
+  return steps;
+}
+
+void ValidateSchedule(const std::vector<ScheduleStep>& steps, int num_microbatches, int chunks) {
+  std::set<std::pair<int, int>> fwd_seen;
+  std::set<std::pair<int, int>> bwd_seen;
+  for (const auto& s : steps) {
+    const std::pair<int, int> key{s.microbatch, s.chunk};
+    STALLOC_CHECK(s.microbatch >= 0 && s.microbatch < num_microbatches);
+    STALLOC_CHECK(s.chunk >= 0 && s.chunk < chunks);
+    if (s.kind == ScheduleStep::Kind::kForward) {
+      STALLOC_CHECK(fwd_seen.insert(key).second, << "duplicate forward " << s.ToString());
+    } else {
+      STALLOC_CHECK(fwd_seen.count(key) == 1,
+                    << "backward before forward: " << s.ToString());
+      STALLOC_CHECK(bwd_seen.insert(key).second, << "duplicate backward " << s.ToString());
+    }
+  }
+  STALLOC_CHECK_EQ(fwd_seen.size(), static_cast<size_t>(num_microbatches) * chunks);
+  STALLOC_CHECK_EQ(bwd_seen.size(), static_cast<size_t>(num_microbatches) * chunks);
+}
+
+int PeakInFlight(const std::vector<ScheduleStep>& steps) {
+  int in_flight = 0;
+  int peak = 0;
+  for (const auto& s : steps) {
+    if (s.kind == ScheduleStep::Kind::kForward) {
+      ++in_flight;
+      peak = std::max(peak, in_flight);
+    } else {
+      --in_flight;
+    }
+  }
+  return peak;
+}
+
+}  // namespace stalloc

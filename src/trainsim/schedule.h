@@ -1,0 +1,52 @@
+// Pipeline-parallel execution schedules, reproduced from Megatron-LM:
+//   * PipeDream-1F1B (Narayanan et al., SOSP '19) — the paper's baseline schedule;
+//   * interleaved 1F1B, a.k.a. Virtual Pipeline Parallelism (Narayanan et al., SC '21) — the "V"
+//     configurations. VPP shrinks pipeline bubbles but interleaves forward/backward phases of
+//     different model chunks, which is precisely the allocation-pattern complexity that drives
+//     the paper's fragmentation analysis (§1, §2.2).
+//
+// A schedule is the sequence of computation phases one pipeline rank executes in one iteration.
+
+#ifndef SRC_TRAINSIM_SCHEDULE_H_
+#define SRC_TRAINSIM_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stalloc {
+
+struct ScheduleStep {
+  enum class Kind : uint8_t { kForward, kBackward };
+  Kind kind = Kind::kForward;
+  int microbatch = 0;
+  int chunk = 0;  // virtual-pipeline model chunk executed in this step (0 when VPP is off)
+
+  friend bool operator==(const ScheduleStep&, const ScheduleStep&) = default;
+  std::string ToString() const;
+};
+
+// PipeDream-1F1B schedule for `rank` of `pp` stages over `num_microbatches` microbatches.
+// Degenerates to strict F,B alternation when pp == 1.
+std::vector<ScheduleStep> Build1F1BSchedule(int pp, int rank, int num_microbatches);
+
+// Megatron interleaved schedule for `chunks` model chunks per rank. Requires
+// num_microbatches % pp == 0 (Megatron's constraint). chunks == 1 falls back to 1F1B.
+std::vector<ScheduleStep> BuildInterleavedSchedule(int pp, int rank, int num_microbatches,
+                                                   int chunks);
+
+// GPipe schedule: every microbatch's forward, then every backward (reverse order). All
+// activations are resident simultaneously — the worst-case memory baseline that motivated 1F1B.
+std::vector<ScheduleStep> BuildGPipeSchedule(int num_microbatches);
+
+// Validates schedule invariants: every (mb, chunk) appears exactly once per direction and each
+// backward follows its forward. Aborts on violation (used by tests and the workload builder).
+void ValidateSchedule(const std::vector<ScheduleStep>& steps, int num_microbatches, int chunks);
+
+// Peak number of in-flight (forward-done, backward-pending) microbatch-chunks — the activation
+// pressure this schedule exerts on the rank.
+int PeakInFlight(const std::vector<ScheduleStep>& steps);
+
+}  // namespace stalloc
+
+#endif  // SRC_TRAINSIM_SCHEDULE_H_

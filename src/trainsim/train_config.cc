@@ -1,0 +1,51 @@
+#include "src/trainsim/train_config.h"
+
+namespace stalloc {
+
+std::string OptimizationConfig::Tag() const {
+  std::string tag;
+  if (zero != ZeroStage::kNone) {
+    tag += "Z";
+  }
+  if (offload) {
+    tag += "O";
+  }
+  if (recompute == RecomputeMode::kFull) {
+    tag += "R";
+  }
+  return tag.empty() ? "N" : tag;
+}
+
+TrainConfig ApplyConfigTag(TrainConfig base, const std::string& tag) {
+  base.opt = OptimizationConfig{};
+  if (tag == "N") {
+    base.parallel.vpp_chunks = 1;
+    return base;
+  }
+  for (char c : tag) {
+    switch (c) {
+      case 'R':
+        base.opt.recompute = RecomputeMode::kFull;
+        break;
+      case 'V':
+        base.parallel.vpp_chunks = base.parallel.vpp_chunks > 1 ? base.parallel.vpp_chunks : 2;
+        break;
+      case 'Z':
+        base.opt.zero = ZeroStage::kStage1;
+        break;
+      case 'O':
+        base.opt.offload = true;
+        break;
+      case 'N':
+        break;
+      default:
+        STALLOC_CHECK(false, << "unknown config tag char '" << c << "' in " << tag);
+    }
+  }
+  if (tag.find('V') == std::string::npos) {
+    base.parallel.vpp_chunks = 1;
+  }
+  return base;
+}
+
+}  // namespace stalloc

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/common/table.h"
+#include "src/common/units.h"
+
+namespace stalloc {
+namespace {
+
+TEST(Units, AlignUp) {
+  EXPECT_EQ(AlignUp(0, 512), 0u);
+  EXPECT_EQ(AlignUp(1, 512), 512u);
+  EXPECT_EQ(AlignUp(512, 512), 512u);
+  EXPECT_EQ(AlignUp(513, 512), 1024u);
+  EXPECT_EQ(AlignUp(3 * MiB - 1, 2 * MiB), 4 * MiB);
+}
+
+TEST(Units, AlignDown) {
+  EXPECT_EQ(AlignDown(0, 512), 0u);
+  EXPECT_EQ(AlignDown(511, 512), 0u);
+  EXPECT_EQ(AlignDown(512, 512), 512u);
+  EXPECT_EQ(AlignDown(1023, 512), 512u);
+}
+
+TEST(Units, IsPowerOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_TRUE(IsPowerOfTwo(1ull << 40));
+  EXPECT_FALSE(IsPowerOfTwo((1ull << 40) + 1));
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(FormatBytes(100), "100 B");
+  EXPECT_EQ(FormatBytes(2048), "2.00 KiB");
+  EXPECT_EQ(FormatBytes(3 * MiB), "3.00 MiB");
+  EXPECT_EQ(FormatBytes(5 * GiB + 512 * MiB), "5.50 GiB");
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.Next() == b.Next() ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.NextBelow(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values hit
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng rng(9);
+  bool lo_hit = false;
+  bool hi_hit = false;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t v = rng.NextInRange(3, 7);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 7u);
+    lo_hit |= v == 3;
+    hi_hit |= v == 7;
+  }
+  EXPECT_TRUE(lo_hit);
+  EXPECT_TRUE(hi_hit);
+}
+
+TEST(Rng, NextDoubleUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, SampleIndexFollowsWeights) {
+  Rng rng(21);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 4000; ++i) {
+    ++counts[rng.SampleIndex(weights)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_GT(counts[2], counts[0]);  // 3x the weight
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.6);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"a", "bbbb"});
+  t.AddRow({"xxxxx", "y"});
+  const std::string s = t.ToString();
+  // Header, rule, one row.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 3);
+  EXPECT_NE(s.find("xxxxx"), std::string::npos);
+}
+
+TEST(StrFormat, Formats) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f%%", 99.555), "99.56%");
+}
+
+}  // namespace
+}  // namespace stalloc

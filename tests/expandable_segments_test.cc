@@ -1,0 +1,175 @@
+#include "src/allocators/expandable_segments.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+
+namespace stalloc {
+namespace {
+
+TEST(ExpandableSegments, GrowsByGranules) {
+  SimDevice dev(8 * GiB);
+  ExpandableSegmentsAllocator alloc(&dev);
+  auto a = alloc.Malloc(3 * MiB);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(alloc.mapped_bytes(), 4 * MiB);  // 2 granules
+  EXPECT_EQ(dev.counters().mem_create, 2u);
+  EXPECT_EQ(dev.counters().mem_map, 2u);
+  alloc.Free(*a);
+}
+
+TEST(ExpandableSegments, HolesAreReusedAcrossSizes) {
+  SimDevice dev(8 * GiB);
+  ExpandableSegmentsAllocator alloc(&dev);
+  // Allocate A, B; free A; a smaller request must reuse A's hole without growing the mapping.
+  auto a = alloc.Malloc(64 * MiB);
+  auto b = alloc.Malloc(64 * MiB);
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  const uint64_t mapped = alloc.mapped_bytes();
+  alloc.Free(*a);
+  auto c = alloc.Malloc(32 * MiB);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(alloc.mapped_bytes(), mapped) << "hole reuse must not grow the mapping";
+  EXPECT_EQ(*c, *a);
+  alloc.Free(*b);
+  alloc.Free(*c);
+}
+
+TEST(ExpandableSegments, TrimUnmapsTail) {
+  SimDevice dev(8 * GiB);
+  ExpandableSegmentsConfig config;
+  config.trim_threshold = 16 * MiB;
+  ExpandableSegmentsAllocator alloc(&dev, config);
+  auto a = alloc.Malloc(128 * MiB);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(alloc.mapped_bytes(), 128 * MiB);
+  alloc.Free(*a);  // tail free block 128 MiB > threshold: unmapped
+  EXPECT_EQ(alloc.mapped_bytes(), 0u);
+  EXPECT_GT(dev.counters().mem_unmap, 0u);
+  EXPECT_EQ(dev.physical_used(), 0u);
+}
+
+TEST(ExpandableSegments, SmallTailIsRetained) {
+  SimDevice dev(8 * GiB);
+  ExpandableSegmentsConfig config;
+  config.trim_threshold = 64 * MiB;
+  ExpandableSegmentsAllocator alloc(&dev, config);
+  auto a = alloc.Malloc(8 * MiB);
+  alloc.Free(*a);
+  EXPECT_EQ(alloc.mapped_bytes(), 8 * MiB) << "below-threshold tail should stay mapped";
+  alloc.EmptyCache();
+  EXPECT_EQ(alloc.mapped_bytes(), 0u);
+}
+
+TEST(ExpandableSegments, SmallRequestsUseClassicPool) {
+  SimDevice dev(8 * GiB);
+  ExpandableSegmentsAllocator alloc(&dev);
+  auto a = alloc.Malloc(64 * KiB);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(alloc.mapped_bytes(), 0u);
+  EXPECT_EQ(alloc.ReservedBytes(), 2 * MiB);  // small-pool segment
+  EXPECT_TRUE(alloc.Free(*a));
+}
+
+TEST(ExpandableSegments, OscillatingFootprintCausesVmmChurn) {
+  // The recompute-style pattern under an explicit (pressure-style) trim threshold: the
+  // footprint repeatedly swells and shrinks past it, so the allocator keeps unmapping and
+  // re-mapping granules. This churn is the throughput overhead the paper measures for
+  // PyTorch ES on near-full devices (§9.2/§9.3).
+  SimDevice dev(8 * GiB);
+  ExpandableSegmentsConfig config;
+  config.trim_threshold = 32 * MiB;
+  ExpandableSegmentsAllocator alloc(&dev, config);
+  for (int i = 0; i < 10; ++i) {
+    auto a = alloc.Malloc(256 * MiB);
+    ASSERT_TRUE(a.has_value());
+    alloc.Free(*a);
+  }
+  EXPECT_GE(dev.counters().mem_map, 10u * 128u);
+  EXPECT_GE(dev.counters().mem_unmap, 10u * 128u);
+}
+
+TEST(ExpandableSegments, LazyByDefaultNoChurnWithoutPressure) {
+  // Default PyTorch behaviour: freed granules stay mapped; no unmap traffic in steady state.
+  SimDevice dev(8 * GiB);
+  ExpandableSegmentsAllocator alloc(&dev);
+  for (int i = 0; i < 10; ++i) {
+    auto a = alloc.Malloc(256 * MiB);
+    ASSERT_TRUE(a.has_value());
+    alloc.Free(*a);
+  }
+  EXPECT_EQ(dev.counters().mem_unmap, 0u);
+  EXPECT_EQ(dev.counters().mem_create, 128u);  // mapped once, reused thereafter
+  EXPECT_EQ(alloc.mapped_bytes(), 256 * MiB);
+}
+
+TEST(ExpandableSegments, PressureTrimsOtherStreamsAndRetries) {
+  // Device nearly full; a second stream's growth forces pressure trimming of stream 0's cache.
+  SimDevice dev(256 * MiB);
+  ExpandableSegmentsAllocator alloc(&dev);
+  RequestContext s0;
+  auto a = alloc.Malloc(200 * MiB, s0);
+  ASSERT_TRUE(a.has_value());
+  alloc.Free(*a);  // stays mapped on stream 0
+  RequestContext s1;
+  s1.stream = kDpCommStream;
+  auto b = alloc.Malloc(200 * MiB, s1);  // needs stream 0's granules back
+  ASSERT_TRUE(b.has_value());
+  EXPECT_GT(dev.counters().mem_unmap, 0u);
+  alloc.Free(*b);
+}
+
+TEST(ExpandableSegments, ReservedTracksMappedNotVirtual) {
+  SimDevice dev(8 * GiB);
+  ExpandableSegmentsAllocator alloc(&dev);
+  EXPECT_EQ(alloc.ReservedBytes(), 0u);  // VA reservation itself costs nothing
+  auto a = alloc.Malloc(10 * MiB);
+  EXPECT_EQ(alloc.ReservedBytes(), 10 * MiB);
+  alloc.Free(*a);
+}
+
+TEST(ExpandableSegments, OomWhenPhysicalExhausted) {
+  SimDevice dev(32 * MiB);
+  ExpandableSegmentsAllocator alloc(&dev);
+  auto a = alloc.Malloc(24 * MiB);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_FALSE(alloc.Malloc(24 * MiB).has_value());
+  alloc.Free(*a);
+  EXPECT_TRUE(alloc.Malloc(24 * MiB).has_value());
+}
+
+class ExpandableSegmentsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExpandableSegmentsPropertyTest, RandomStorm) {
+  SimDevice dev(4 * GiB);
+  ExpandableSegmentsAllocator alloc(&dev);
+  Rng rng(GetParam());
+  std::vector<uint64_t> live;
+  for (int step = 0; step < 1500; ++step) {
+    if (live.empty() || rng.NextBelow(100) < 55) {
+      const uint64_t size = rng.NextBelow(100) < 40 ? 512 * (1 + rng.NextBelow(1024))
+                                                    : MiB * (1 + rng.NextBelow(48));
+      auto a = alloc.Malloc(size);
+      if (a.has_value()) {
+        live.push_back(*a);
+      }
+    } else {
+      const size_t i = rng.NextBelow(live.size());
+      ASSERT_TRUE(alloc.Free(live[i]));
+      live[i] = live.back();
+      live.pop_back();
+    }
+    // Mapped frontier is always granularity-aligned.
+    ASSERT_EQ(alloc.mapped_bytes() % SimDevice::kGranularity, 0u);
+  }
+  for (auto a : live) {
+    ASSERT_TRUE(alloc.Free(a));
+  }
+  EXPECT_EQ(alloc.stats().allocated_current, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExpandableSegmentsPropertyTest, ::testing::Values(3, 17, 71));
+
+}  // namespace
+}  // namespace stalloc

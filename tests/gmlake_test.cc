@@ -1,0 +1,164 @@
+#include "src/allocators/gmlake.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+
+namespace stalloc {
+namespace {
+
+TEST(GMLake, LargeBlocksAreVmmBacked) {
+  SimDevice dev(8 * GiB);
+  GMLakeAllocator alloc(&dev);
+  auto a = alloc.Malloc(64 * MiB);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_GT(dev.counters().mem_create, 0u);
+  EXPECT_GT(dev.counters().va_reserve, 0u);
+  EXPECT_EQ(dev.counters().cuda_malloc, 0u);  // no classic API for large blocks
+  alloc.Free(*a);
+}
+
+TEST(GMLake, ReusesCachedBlocks) {
+  SimDevice dev(8 * GiB);
+  GMLakeAllocator alloc(&dev);
+  auto a = alloc.Malloc(64 * MiB);
+  alloc.Free(*a);
+  auto b = alloc.Malloc(64 * MiB);
+  EXPECT_EQ(*a, *b);
+  alloc.Free(*b);
+}
+
+TEST(GMLake, StitchesFreeBlocksForHugeRequest) {
+  // Device with room for ~1 GiB. Create four 256 MiB blocks, free them, then ask for 900 MiB:
+  // no single free block fits and physical memory is exhausted, so GMLake must stitch the free
+  // blocks' physical handles into one contiguous virtual range.
+  SimDevice dev(1088 * MiB);
+  GMLakeConfig config;
+  config.frag_limit = 256 * MiB;
+  GMLakeAllocator alloc(&dev, config);
+  std::vector<uint64_t> blocks;
+  for (int i = 0; i < 4; ++i) {
+    auto a = alloc.Malloc(256 * MiB);
+    ASSERT_TRUE(a.has_value());
+    blocks.push_back(*a);
+  }
+  for (auto a : blocks) {
+    alloc.Free(a);
+  }
+  auto big = alloc.Malloc(900 * MiB);
+  ASSERT_TRUE(big.has_value());
+  EXPECT_GE(alloc.num_stitches(), 1u);
+  // Physical memory was not re-created: reserved stays ~1 GiB.
+  EXPECT_LE(alloc.ReservedBytes(), 1088 * MiB);
+  alloc.Free(*big);
+}
+
+TEST(GMLake, NoStitchBelowFragLimit) {
+  SimDevice dev(1088 * MiB);
+  GMLakeConfig config;
+  config.frag_limit = 512 * MiB;  // paper default
+  GMLakeAllocator alloc(&dev, config);
+  std::vector<uint64_t> blocks;
+  for (int i = 0; i < 4; ++i) {
+    auto a = alloc.Malloc(256 * MiB);
+    ASSERT_TRUE(a.has_value());
+    blocks.push_back(*a);
+  }
+  for (auto a : blocks) {
+    alloc.Free(a);
+  }
+  // 300 MiB < fragLimit: stitching not allowed, but releasing cached segments lets a fresh
+  // physical allocation succeed.
+  auto mid = alloc.Malloc(300 * MiB);
+  ASSERT_TRUE(mid.has_value());
+  EXPECT_EQ(alloc.num_stitches(), 0u);
+  alloc.Free(*mid);
+}
+
+TEST(GMLake, LowFragLimitCausesVmmChurn) {
+  // §9.2: tuning fragLimit down to 64 MiB raises memory efficiency but triggers frequent
+  // virtual-memory operations under dynamic (MoE-style) allocation churn.
+  SimDevice dev(512 * MiB);
+  GMLakeConfig low;
+  low.frag_limit = 64 * MiB;
+  GMLakeAllocator alloc(&dev, low);
+  Rng rng(5);
+  std::vector<uint64_t> live;
+  for (int step = 0; step < 300; ++step) {
+    if (live.size() < 3 || rng.NextBelow(2) == 0) {
+      const uint64_t size = (64 + rng.NextBelow(64)) * MiB;
+      auto a = alloc.Malloc(size);
+      if (a.has_value()) {
+        live.push_back(*a);
+      }
+    } else {
+      const size_t i = rng.NextBelow(live.size());
+      alloc.Free(live[i]);
+      live[i] = live.back();
+      live.pop_back();
+    }
+  }
+  for (auto a : live) {
+    alloc.Free(a);
+  }
+  EXPECT_GT(alloc.num_stitches(), 0u);
+  EXPECT_GT(dev.counters().mem_unmap, 0u);
+}
+
+TEST(GMLake, SmallPoolDelegation) {
+  SimDevice dev(8 * GiB);
+  GMLakeAllocator alloc(&dev);
+  auto a = alloc.Malloc(16 * KiB);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(dev.counters().cuda_malloc, 1u);  // classic small segment
+  EXPECT_TRUE(alloc.Free(*a));
+}
+
+TEST(GMLake, EmptyCacheReleasesEverything) {
+  SimDevice dev(8 * GiB);
+  GMLakeAllocator alloc(&dev);
+  auto a = alloc.Malloc(64 * MiB);
+  auto b = alloc.Malloc(16 * KiB);
+  alloc.Free(*a);
+  alloc.Free(*b);
+  alloc.EmptyCache();
+  EXPECT_EQ(alloc.ReservedBytes(), 0u);
+  EXPECT_EQ(dev.physical_used(), 0u);
+}
+
+class GMLakePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GMLakePropertyTest, RandomStormUnderPressure) {
+  SimDevice dev(768 * MiB);
+  GMLakeConfig config;
+  config.frag_limit = 128 * MiB;
+  GMLakeAllocator alloc(&dev, config);
+  Rng rng(GetParam());
+  std::vector<uint64_t> live;
+  for (int step = 0; step < 800; ++step) {
+    if (live.empty() || rng.NextBelow(100) < 50) {
+      const uint64_t size = MiB * (1 + rng.NextBelow(200));
+      auto a = alloc.Malloc(size);
+      if (a.has_value()) {
+        live.push_back(*a);
+      }
+    } else {
+      const size_t i = rng.NextBelow(live.size());
+      ASSERT_TRUE(alloc.Free(live[i]));
+      live[i] = live.back();
+      live.pop_back();
+    }
+  }
+  for (auto a : live) {
+    ASSERT_TRUE(alloc.Free(a));
+  }
+  EXPECT_EQ(alloc.stats().allocated_current, 0u);
+  alloc.EmptyCache();
+  EXPECT_EQ(dev.physical_used(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GMLakePropertyTest, ::testing::Values(2, 29, 404));
+
+}  // namespace
+}  // namespace stalloc

@@ -1,0 +1,292 @@
+#include "src/interval/interval_set.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace stalloc {
+namespace {
+
+TEST(IntervalSet, EmptyByDefault) {
+  IntervalSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.TotalLength(), 0u);
+  EXPECT_EQ(set.interval_count(), 0u);
+  EXPECT_FALSE(set.Contains(0));
+  EXPECT_FALSE(set.BestFit(1).has_value());
+}
+
+TEST(IntervalSet, InsertBasic) {
+  IntervalSet set;
+  set.Insert(10, 20);
+  EXPECT_TRUE(set.Contains(10));
+  EXPECT_TRUE(set.Contains(19));
+  EXPECT_FALSE(set.Contains(20));
+  EXPECT_FALSE(set.Contains(9));
+  EXPECT_EQ(set.TotalLength(), 10u);
+}
+
+TEST(IntervalSet, InsertEmptyRangeIsNoop) {
+  IntervalSet set;
+  set.Insert(10, 10);
+  set.Insert(20, 10);
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(IntervalSet, InsertMergesOverlapping) {
+  IntervalSet set;
+  set.Insert(10, 20);
+  set.Insert(15, 30);
+  EXPECT_EQ(set.interval_count(), 1u);
+  EXPECT_EQ(set.TotalLength(), 20u);
+  EXPECT_TRUE(set.Covers(10, 30));
+}
+
+TEST(IntervalSet, InsertMergesAdjacent) {
+  IntervalSet set;
+  set.Insert(10, 20);
+  set.Insert(20, 30);
+  EXPECT_EQ(set.interval_count(), 1u);
+  EXPECT_TRUE(set.Covers(10, 30));
+}
+
+TEST(IntervalSet, InsertBridgesMultiple) {
+  IntervalSet set;
+  set.Insert(0, 10);
+  set.Insert(20, 30);
+  set.Insert(40, 50);
+  set.Insert(5, 45);
+  EXPECT_EQ(set.interval_count(), 1u);
+  EXPECT_TRUE(set.Covers(0, 50));
+}
+
+TEST(IntervalSet, EraseSplitsInterval) {
+  IntervalSet set;
+  set.Insert(0, 100);
+  set.Erase(40, 60);
+  EXPECT_EQ(set.interval_count(), 2u);
+  EXPECT_TRUE(set.Covers(0, 40));
+  EXPECT_TRUE(set.Covers(60, 100));
+  EXPECT_FALSE(set.Intersects(40, 60));
+}
+
+TEST(IntervalSet, EraseHead) {
+  IntervalSet set;
+  set.Insert(10, 20);
+  set.Erase(0, 15);
+  EXPECT_TRUE(set.Covers(15, 20));
+  EXPECT_FALSE(set.Intersects(10, 15));
+}
+
+TEST(IntervalSet, EraseTail) {
+  IntervalSet set;
+  set.Insert(10, 20);
+  set.Erase(15, 25);
+  EXPECT_TRUE(set.Covers(10, 15));
+  EXPECT_FALSE(set.Intersects(15, 20));
+}
+
+TEST(IntervalSet, EraseAcrossIntervals) {
+  IntervalSet set;
+  set.Insert(0, 10);
+  set.Insert(20, 30);
+  set.Insert(40, 50);
+  set.Erase(5, 45);
+  EXPECT_EQ(set.interval_count(), 2u);
+  EXPECT_TRUE(set.Covers(0, 5));
+  EXPECT_TRUE(set.Covers(45, 50));
+}
+
+TEST(IntervalSet, EraseExact) {
+  IntervalSet set;
+  set.Insert(10, 20);
+  set.Erase(10, 20);
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(IntervalSet, IntersectsEdges) {
+  IntervalSet set;
+  set.Insert(10, 20);
+  EXPECT_FALSE(set.Intersects(0, 10));   // touching below
+  EXPECT_FALSE(set.Intersects(20, 30));  // touching above
+  EXPECT_TRUE(set.Intersects(19, 25));
+  EXPECT_TRUE(set.Intersects(5, 11));
+  EXPECT_TRUE(set.Intersects(12, 15));
+}
+
+TEST(IntervalSet, CoversRequiresSingleSpan) {
+  IntervalSet set;
+  set.Insert(0, 10);
+  set.Insert(10, 20);  // merged
+  EXPECT_TRUE(set.Covers(0, 20));
+  set.Erase(5, 6);
+  EXPECT_FALSE(set.Covers(0, 20));
+  EXPECT_TRUE(set.Covers(6, 20));
+}
+
+TEST(IntervalSet, UnionDisjoint) {
+  IntervalSet a;
+  a.Insert(0, 10);
+  IntervalSet b;
+  b.Insert(20, 30);
+  IntervalSet u = a.Union(b);
+  EXPECT_EQ(u.interval_count(), 2u);
+  EXPECT_EQ(u.TotalLength(), 20u);
+}
+
+TEST(IntervalSet, IntersectBasic) {
+  IntervalSet a;
+  a.Insert(0, 100);
+  IntervalSet b;
+  b.Insert(50, 150);
+  IntervalSet i = a.Intersect(b);
+  EXPECT_EQ(i.interval_count(), 1u);
+  EXPECT_TRUE(i.Covers(50, 100));
+  EXPECT_EQ(i.TotalLength(), 50u);
+}
+
+TEST(IntervalSet, IntersectMultipleFragments) {
+  IntervalSet a;
+  a.Insert(0, 10);
+  a.Insert(20, 30);
+  a.Insert(40, 50);
+  IntervalSet b;
+  b.Insert(5, 45);
+  IntervalSet i = a.Intersect(b);
+  EXPECT_EQ(i.interval_count(), 3u);
+  EXPECT_EQ(i.TotalLength(), 5u + 10u + 5u);
+}
+
+TEST(IntervalSet, DifferenceBasic) {
+  IntervalSet a;
+  a.Insert(0, 100);
+  IntervalSet b;
+  b.Insert(20, 40);
+  b.Insert(60, 80);
+  IntervalSet d = a.Difference(b);
+  EXPECT_EQ(d.interval_count(), 3u);
+  EXPECT_EQ(d.TotalLength(), 20u + 20u + 20u);
+}
+
+TEST(IntervalSet, ComplementWithin) {
+  IntervalSet set;
+  set.Insert(10, 20);
+  set.Insert(30, 40);
+  IntervalSet c = set.ComplementWithin(0, 50);
+  EXPECT_EQ(c.interval_count(), 3u);
+  EXPECT_TRUE(c.Covers(0, 10));
+  EXPECT_TRUE(c.Covers(20, 30));
+  EXPECT_TRUE(c.Covers(40, 50));
+}
+
+TEST(IntervalSet, BestFitPicksSmallestSufficient) {
+  IntervalSet set;
+  set.Insert(0, 100);    // len 100
+  set.Insert(200, 230);  // len 30
+  set.Insert(300, 340);  // len 40
+  auto fit = set.BestFit(35);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_EQ(fit->lo, 300u);
+  fit = set.BestFit(10);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_EQ(fit->lo, 200u);  // 30 is the tightest
+  EXPECT_FALSE(set.BestFit(1000).has_value());
+}
+
+TEST(IntervalSet, FirstFitPicksLowestAddress) {
+  IntervalSet set;
+  set.Insert(100, 130);
+  set.Insert(0, 10);
+  auto fit = set.FirstFit(5);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_EQ(fit->lo, 0u);
+  fit = set.FirstFit(20);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_EQ(fit->lo, 100u);
+}
+
+TEST(IntervalSet, MaxIntervalLength) {
+  IntervalSet set;
+  EXPECT_EQ(set.MaxIntervalLength(), 0u);
+  set.Insert(0, 10);
+  set.Insert(20, 50);
+  EXPECT_EQ(set.MaxIntervalLength(), 30u);
+}
+
+// ----- property tests: IntervalSet vs a dense boolean reference model -----
+
+class IntervalSetPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntervalSetPropertyTest, MatchesReferenceModel) {
+  constexpr uint64_t kUniverse = 256;
+  Rng rng(GetParam());
+  IntervalSet set;
+  std::vector<bool> model(kUniverse, false);
+
+  for (int step = 0; step < 500; ++step) {
+    const uint64_t lo = rng.NextBelow(kUniverse);
+    const uint64_t hi = lo + rng.NextBelow(kUniverse - lo + 1);
+    if (rng.NextBelow(2) == 0) {
+      set.Insert(lo, hi);
+      for (uint64_t i = lo; i < hi; ++i) {
+        model[i] = true;
+      }
+    } else {
+      set.Erase(lo, hi);
+      for (uint64_t i = lo; i < hi; ++i) {
+        model[i] = false;
+      }
+    }
+    // Compare total length and membership at probe points.
+    uint64_t expected_total = 0;
+    for (bool b : model) {
+      expected_total += b ? 1 : 0;
+    }
+    ASSERT_EQ(set.TotalLength(), expected_total) << "step " << step;
+    for (int probe = 0; probe < 16; ++probe) {
+      const uint64_t p = rng.NextBelow(kUniverse);
+      ASSERT_EQ(set.Contains(p), model[p]) << "step " << step << " point " << p;
+    }
+    // Invariant: intervals disjoint, sorted, non-adjacent.
+    auto intervals = set.ToVector();
+    for (size_t i = 1; i < intervals.size(); ++i) {
+      ASSERT_GT(intervals[i].lo, intervals[i - 1].hi);
+    }
+  }
+}
+
+TEST_P(IntervalSetPropertyTest, SetAlgebraConsistency) {
+  constexpr uint64_t kUniverse = 128;
+  Rng rng(GetParam() * 7919 + 13);
+  auto random_set = [&]() {
+    IntervalSet s;
+    for (int i = 0; i < 8; ++i) {
+      const uint64_t lo = rng.NextBelow(kUniverse);
+      const uint64_t hi = lo + rng.NextBelow(kUniverse - lo + 1);
+      s.Insert(lo, hi);
+    }
+    return s;
+  };
+  for (int round = 0; round < 50; ++round) {
+    IntervalSet a = random_set();
+    IntervalSet b = random_set();
+    IntervalSet i = a.Intersect(b);
+    IntervalSet u = a.Union(b);
+    IntervalSet d = a.Difference(b);
+    // |A| + |B| = |A∪B| + |A∩B|.
+    ASSERT_EQ(a.TotalLength() + b.TotalLength(), u.TotalLength() + i.TotalLength());
+    // |A\B| = |A| - |A∩B|.
+    ASSERT_EQ(d.TotalLength(), a.TotalLength() - i.TotalLength());
+    // (A\B) ∩ B = ∅.
+    ASSERT_EQ(d.Intersect(b).TotalLength(), 0u);
+    // Complement: |A| + |¬A| = universe.
+    IntervalSet c = a.ComplementWithin(0, kUniverse);
+    ASSERT_EQ(a.TotalLength() + c.TotalLength(), kUniverse);
+    ASSERT_EQ(a.Intersect(c).TotalLength(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetPropertyTest, ::testing::Values(1, 2, 3, 42, 1234));
+
+}  // namespace
+}  // namespace stalloc

@@ -1,0 +1,49 @@
+#include "src/allocators/native_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+
+namespace stalloc {
+namespace {
+
+TEST(NativeAllocator, PassesThroughToDevice) {
+  SimDevice dev(1 * GiB);
+  NativeAllocator alloc(&dev);
+  auto a = alloc.Malloc(10 * MiB);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(dev.counters().cuda_malloc, 1u);
+  EXPECT_EQ(alloc.ReservedBytes(), AlignUp(10 * MiB, SimDevice::kMallocAlign));
+  EXPECT_TRUE(alloc.Free(*a));
+  EXPECT_EQ(dev.counters().cuda_free, 1u);
+  EXPECT_EQ(alloc.ReservedBytes(), 0u);
+}
+
+TEST(NativeAllocator, NoCachingBetweenRequests) {
+  SimDevice dev(1 * GiB);
+  NativeAllocator alloc(&dev);
+  auto a = alloc.Malloc(1 * MiB);
+  alloc.Free(*a);
+  auto b = alloc.Malloc(1 * MiB);
+  alloc.Free(*b);
+  // Every request hits the device: no cached reuse, hence zero fragmentation by construction.
+  EXPECT_EQ(dev.counters().cuda_malloc, 2u);
+  EXPECT_EQ(dev.counters().cuda_free, 2u);
+  EXPECT_GE(alloc.stats().MemoryEfficiency(), 0.99);
+}
+
+TEST(NativeAllocator, OomSurfacesDirectly) {
+  SimDevice dev(16 * MiB);
+  NativeAllocator alloc(&dev);
+  EXPECT_FALSE(alloc.Malloc(32 * MiB).has_value());
+  EXPECT_EQ(alloc.stats().num_oom, 1u);
+}
+
+TEST(NativeAllocator, ZeroSizeRejected) {
+  SimDevice dev(16 * MiB);
+  NativeAllocator alloc(&dev);
+  EXPECT_FALSE(alloc.Malloc(0).has_value());
+}
+
+}  // namespace
+}  // namespace stalloc

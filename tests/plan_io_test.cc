@@ -1,0 +1,77 @@
+#include "src/core/plan_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/core/planner.h"
+#include "src/trainsim/model_config.h"
+#include "src/trainsim/workload.h"
+
+namespace stalloc {
+namespace {
+
+SynthesisResult SampleSynthesis() {
+  TrainConfig c;
+  c.parallel.pp = 2;
+  c.parallel.ep = 4;
+  c.parallel.dp = 4;
+  c.num_microbatches = 4;
+  c.micro_batch_size = 2;
+  c.opt.recompute = RecomputeMode::kFull;
+  WorkloadBuilder wb(Qwen15_MoE_A27B(), c);
+  return SynthesizePlan(wb.Build(3));
+}
+
+TEST(PlanIo, RoundtripPreservesDecisions) {
+  SynthesisResult s = SampleSynthesis();
+  std::stringstream ss;
+  WritePlanCsv(s.plan, s.dyn_space, ss);
+  LoadedPlan back = ReadPlanCsv(ss);
+
+  ASSERT_EQ(back.plan.decisions.size(), s.plan.decisions.size());
+  EXPECT_EQ(back.plan.pool_size, s.plan.pool_size);
+  EXPECT_EQ(back.plan.lower_bound, s.plan.lower_bound);
+  for (size_t i = 0; i < s.plan.decisions.size(); ++i) {
+    const auto& a = s.plan.decisions[i];
+    const auto& b = back.plan.decisions[i];
+    EXPECT_EQ(a.addr, b.addr);
+    EXPECT_EQ(a.padded_size, b.padded_size);
+    EXPECT_EQ(a.event.id, b.event.id);
+    EXPECT_EQ(a.event.size, b.event.size);
+    EXPECT_EQ(a.event.ts, b.event.ts);
+    EXPECT_EQ(a.event.te, b.event.te);
+    EXPECT_EQ(a.event.stream, b.event.stream);
+  }
+}
+
+TEST(PlanIo, RoundtripPreservesDynamicSpace) {
+  SynthesisResult s = SampleSynthesis();
+  ASSERT_GT(s.dyn_space.group_count(), 0u);
+  std::stringstream ss;
+  WritePlanCsv(s.plan, s.dyn_space, ss);
+  LoadedPlan back = ReadPlanCsv(ss);
+
+  ASSERT_EQ(back.space.regions.size(), s.dyn_space.regions.size());
+  for (const auto& [key, region] : s.dyn_space.regions) {
+    auto it = back.space.regions.find(key);
+    ASSERT_NE(it, back.space.regions.end());
+    EXPECT_EQ(it->second, region);
+  }
+  ASSERT_EQ(back.space.expected_le.size(), s.dyn_space.expected_le.size());
+  for (const auto& [ls, les] : s.dyn_space.expected_le) {
+    ASSERT_EQ(back.space.expected_le.at(ls), les);
+  }
+}
+
+TEST(PlanIo, LoadedPlanStillValid) {
+  SynthesisResult s = SampleSynthesis();
+  std::stringstream ss;
+  WritePlanCsv(s.plan, s.dyn_space, ss);
+  LoadedPlan back = ReadPlanCsv(ss);  // ReadPlanCsv validates (aborts on stomping)
+  std::string error;
+  EXPECT_TRUE(back.plan.Check(&error)) << error;
+}
+
+}  // namespace
+}  // namespace stalloc

@@ -1,0 +1,88 @@
+#include "src/trainsim/schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace stalloc {
+namespace {
+
+TEST(Schedule1F1B, SingleStageAlternatesStrictly) {
+  auto steps = Build1F1BSchedule(/*pp=*/1, /*rank=*/0, /*m=*/4);
+  ASSERT_EQ(steps.size(), 8u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(steps[2 * i].kind, ScheduleStep::Kind::kForward);
+    EXPECT_EQ(steps[2 * i].microbatch, i);
+    EXPECT_EQ(steps[2 * i + 1].kind, ScheduleStep::Kind::kBackward);
+    EXPECT_EQ(steps[2 * i + 1].microbatch, i);
+  }
+  EXPECT_EQ(PeakInFlight(steps), 1);
+}
+
+TEST(Schedule1F1B, FirstStageWarmupEqualsPipelineDepth) {
+  // Rank 0 of pp=4: warmup = 3 forwards before the first backward.
+  auto steps = Build1F1BSchedule(4, 0, 8);
+  EXPECT_EQ(steps[0].kind, ScheduleStep::Kind::kForward);
+  EXPECT_EQ(steps[1].kind, ScheduleStep::Kind::kForward);
+  EXPECT_EQ(steps[2].kind, ScheduleStep::Kind::kForward);
+  EXPECT_EQ(steps[3].kind, ScheduleStep::Kind::kForward);  // steady-state F before first B
+  EXPECT_EQ(steps[4].kind, ScheduleStep::Kind::kBackward);
+  EXPECT_EQ(PeakInFlight(steps), 4);  // pp - rank in-flight microbatches
+}
+
+TEST(Schedule1F1B, LastStageHasNoWarmup) {
+  auto steps = Build1F1BSchedule(4, 3, 8);
+  EXPECT_EQ(steps[0].kind, ScheduleStep::Kind::kForward);
+  EXPECT_EQ(steps[1].kind, ScheduleStep::Kind::kBackward);
+  EXPECT_EQ(PeakInFlight(steps), 1);
+}
+
+TEST(ScheduleInterleaved, FallsBackTo1F1BWithOneChunk) {
+  auto a = BuildInterleavedSchedule(2, 0, 8, 1);
+  auto b = Build1F1BSchedule(2, 0, 8);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ScheduleInterleaved, HigherInFlightThan1F1B) {
+  // VPP raises peak activation pressure on early ranks — the memory cost of the technique.
+  auto plain = Build1F1BSchedule(2, 0, 8);
+  auto vpp = BuildInterleavedSchedule(2, 0, 8, 2);
+  EXPECT_GT(PeakInFlight(vpp), PeakInFlight(plain));
+}
+
+TEST(ScheduleInterleavedDeathTest, RequiresDivisibleMicrobatches) {
+  EXPECT_DEATH(BuildInterleavedSchedule(4, 0, 6, 2), "divisible");
+}
+
+struct ScheduleCase {
+  int pp;
+  int rank;
+  int m;
+  int chunks;
+};
+
+class ScheduleValidityTest : public ::testing::TestWithParam<ScheduleCase> {};
+
+TEST_P(ScheduleValidityTest, SatisfiesInvariants) {
+  const auto& p = GetParam();
+  auto steps = BuildInterleavedSchedule(p.pp, p.rank, p.m, p.chunks);
+  ValidateSchedule(steps, p.m, p.chunks);  // aborts on violation
+  EXPECT_EQ(steps.size(), static_cast<size_t>(p.m) * p.chunks * 2);
+  EXPECT_GE(PeakInFlight(steps), 1);
+  EXPECT_LE(PeakInFlight(steps), p.m * p.chunks);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ScheduleValidityTest,
+    ::testing::Values(ScheduleCase{1, 0, 1, 1}, ScheduleCase{1, 0, 8, 1}, ScheduleCase{2, 0, 8, 1},
+                      ScheduleCase{2, 1, 8, 1}, ScheduleCase{4, 0, 8, 1}, ScheduleCase{4, 2, 8, 1},
+                      ScheduleCase{4, 3, 16, 1}, ScheduleCase{2, 0, 8, 2}, ScheduleCase{2, 1, 8, 2},
+                      ScheduleCase{2, 0, 8, 4}, ScheduleCase{4, 0, 8, 2}, ScheduleCase{4, 3, 8, 2},
+                      ScheduleCase{4, 1, 16, 4}, ScheduleCase{8, 0, 16, 2},
+                      ScheduleCase{8, 7, 16, 2}),
+    [](const ::testing::TestParamInfo<ScheduleCase>& info) {
+      const auto& p = info.param;
+      return "pp" + std::to_string(p.pp) + "r" + std::to_string(p.rank) + "m" +
+             std::to_string(p.m) + "c" + std::to_string(p.chunks);
+    });
+
+}  // namespace
+}  // namespace stalloc

@@ -1,0 +1,160 @@
+#include "src/gpu/sim_device.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+
+namespace stalloc {
+namespace {
+
+TEST(SimDevice, MallocFreeRoundtrip) {
+  SimDevice dev(1 * GiB);
+  auto a = dev.DevMalloc(100 * MiB);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(dev.physical_used(), AlignUp(100 * MiB, SimDevice::kMallocAlign));
+  EXPECT_EQ(dev.DevFree(*a), DeviceStatus::kOk);
+  EXPECT_EQ(dev.physical_used(), 0u);
+  EXPECT_EQ(dev.live_classic_allocs(), 0u);
+}
+
+TEST(SimDevice, MallocAlignsTo512) {
+  SimDevice dev(1 * GiB);
+  auto a = dev.DevMalloc(1);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a % SimDevice::kMallocAlign, 0u);
+  EXPECT_EQ(dev.physical_used(), 512u);
+  dev.DevFree(*a);
+}
+
+TEST(SimDevice, MallocZeroFails) {
+  SimDevice dev(1 * GiB);
+  EXPECT_FALSE(dev.DevMalloc(0).has_value());
+}
+
+TEST(SimDevice, OomWhenCapacityExceeded) {
+  SimDevice dev(100 * MiB);
+  auto a = dev.DevMalloc(60 * MiB);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_FALSE(dev.DevMalloc(60 * MiB).has_value());
+  dev.DevFree(*a);
+  EXPECT_TRUE(dev.DevMalloc(60 * MiB).has_value());
+}
+
+TEST(SimDevice, DistinctAllocationsDoNotOverlap) {
+  SimDevice dev(1 * GiB);
+  auto a = dev.DevMalloc(10 * MiB);
+  auto b = dev.DevMalloc(10 * MiB);
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  EXPECT_NE(*a, *b);
+  const uint64_t alo = *a;
+  const uint64_t ahi = alo + 10 * MiB;
+  const uint64_t blo = *b;
+  EXPECT_TRUE(blo >= ahi || blo + 10 * MiB <= alo);
+}
+
+TEST(SimDevice, FreeUnknownPointerFails) {
+  SimDevice dev(1 * GiB);
+  EXPECT_EQ(dev.DevFree(0xdead), DeviceStatus::kInvalidArgument);
+}
+
+TEST(SimDevice, PeakTracksHighWaterMark) {
+  SimDevice dev(1 * GiB);
+  auto a = dev.DevMalloc(100 * MiB);
+  auto b = dev.DevMalloc(200 * MiB);
+  dev.DevFree(*a);
+  dev.DevFree(*b);
+  EXPECT_EQ(dev.physical_peak(), 300 * MiB);
+  EXPECT_EQ(dev.physical_used(), 0u);
+}
+
+TEST(SimDevice, ReserveVaRequiresGranularity) {
+  SimDevice dev(1 * GiB);
+  EXPECT_FALSE(dev.ReserveVa(SimDevice::kGranularity + 1).has_value());
+  EXPECT_TRUE(dev.ReserveVa(SimDevice::kGranularity).has_value());
+}
+
+TEST(SimDevice, VaReservationConsumesNoPhysical) {
+  SimDevice dev(64 * MiB);
+  // Reserve far more virtual space than physical capacity: must succeed.
+  auto va = dev.ReserveVa(16 * GiB);
+  ASSERT_TRUE(va.has_value());
+  EXPECT_EQ(dev.physical_used(), 0u);
+  EXPECT_EQ(dev.FreeVa(*va), DeviceStatus::kOk);
+}
+
+TEST(SimDevice, MemCreateCountsAgainstCapacity) {
+  SimDevice dev(10 * MiB);
+  auto h = dev.MemCreate(8 * MiB);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(dev.physical_used(), 8 * MiB);
+  EXPECT_FALSE(dev.MemCreate(4 * MiB).has_value());  // over capacity
+  EXPECT_EQ(dev.MemRelease(*h), DeviceStatus::kOk);
+  EXPECT_EQ(dev.physical_used(), 0u);
+}
+
+TEST(SimDevice, MapUnmapLifecycle) {
+  SimDevice dev(1 * GiB);
+  auto va = dev.ReserveVa(8 * MiB);
+  auto h = dev.MemCreate(2 * MiB);
+  ASSERT_TRUE(va.has_value() && h.has_value());
+  EXPECT_EQ(dev.MemMap(*va, 0, *h), DeviceStatus::kOk);
+  // Cannot map the same handle twice.
+  EXPECT_EQ(dev.MemMap(*va, 4 * MiB, *h), DeviceStatus::kInvalidArgument);
+  // Cannot release while mapped.
+  EXPECT_EQ(dev.MemRelease(*h), DeviceStatus::kInvalidArgument);
+  // Cannot free the reservation while mapped.
+  EXPECT_EQ(dev.FreeVa(*va), DeviceStatus::kInvalidArgument);
+  EXPECT_EQ(dev.MemUnmap(*va, 0, 2 * MiB), DeviceStatus::kOk);
+  EXPECT_EQ(dev.MemRelease(*h), DeviceStatus::kOk);
+  EXPECT_EQ(dev.FreeVa(*va), DeviceStatus::kOk);
+}
+
+TEST(SimDevice, MapRejectsOverlap) {
+  SimDevice dev(1 * GiB);
+  auto va = dev.ReserveVa(8 * MiB);
+  auto h1 = dev.MemCreate(4 * MiB);
+  auto h2 = dev.MemCreate(4 * MiB);
+  EXPECT_EQ(dev.MemMap(*va, 0, *h1), DeviceStatus::kOk);
+  EXPECT_EQ(dev.MemMap(*va, 2 * MiB, *h2), DeviceStatus::kInvalidArgument);  // overlaps h1
+  EXPECT_EQ(dev.MemMap(*va, 4 * MiB, *h2), DeviceStatus::kOk);
+}
+
+TEST(SimDevice, MapRejectsOutOfReservation) {
+  SimDevice dev(1 * GiB);
+  auto va = dev.ReserveVa(4 * MiB);
+  auto h = dev.MemCreate(4 * MiB);
+  EXPECT_EQ(dev.MemMap(*va, 2 * MiB, *h), DeviceStatus::kInvalidArgument);
+}
+
+TEST(SimDevice, UnmapMustCoverWholeMappings) {
+  SimDevice dev(1 * GiB);
+  auto va = dev.ReserveVa(8 * MiB);
+  auto h = dev.MemCreate(4 * MiB);
+  EXPECT_EQ(dev.MemMap(*va, 0, *h), DeviceStatus::kOk);
+  EXPECT_EQ(dev.MemUnmap(*va, 0, 2 * MiB), DeviceStatus::kInvalidArgument);  // partial
+  EXPECT_EQ(dev.MemUnmap(*va, 0, 4 * MiB), DeviceStatus::kOk);
+}
+
+TEST(SimDevice, CostLedgerAccumulates) {
+  DeviceCostModel cost;
+  cost.cuda_malloc_us = 100;
+  cost.cuda_free_us = 50;
+  SimDevice dev(1 * GiB, cost);
+  auto a = dev.DevMalloc(1 * MiB);
+  dev.DevFree(*a);
+  EXPECT_EQ(dev.counters().cuda_malloc, 1u);
+  EXPECT_EQ(dev.counters().cuda_free, 1u);
+  EXPECT_DOUBLE_EQ(dev.counters().total_cost_us, 150.0);
+}
+
+TEST(SimDevice, ClassicAndVmmShareCapacity) {
+  SimDevice dev(10 * MiB);
+  auto a = dev.DevMalloc(6 * MiB);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_FALSE(dev.MemCreate(6 * MiB).has_value());
+  dev.DevFree(*a);
+  EXPECT_TRUE(dev.MemCreate(6 * MiB).has_value());
+}
+
+}  // namespace
+}  // namespace stalloc

@@ -1,0 +1,96 @@
+#include "src/metrics/throughput_model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/trainsim/model_config.h"
+
+namespace stalloc {
+namespace {
+
+TrainConfig BaseConfig() {
+  TrainConfig c;
+  c.parallel.tp = 2;
+  c.parallel.pp = 2;
+  c.parallel.dp = 4;
+  c.num_microbatches = 8;
+  c.micro_batch_size = 1;
+  return c;
+}
+
+TEST(ThroughputModel, RecomputeLowersReportedTflops) {
+  ModelConfig model = Qwen25_14B();
+  TrainConfig plain = BaseConfig();
+  TrainConfig rc = plain;
+  rc.opt.recompute = RecomputeMode::kFull;
+  auto t_plain = EstimateThroughput(model, plain, GpuSpec::H200());
+  auto t_rc = EstimateThroughput(model, rc, GpuSpec::H200());
+  EXPECT_LT(t_rc.model_tflops, t_plain.model_tflops);
+  // Full recompute costs ~25% of reported throughput (Table 1: 464 -> 350 TFLOPS).
+  EXPECT_NEAR(t_rc.model_tflops / t_plain.model_tflops, 0.75, 0.03);
+}
+
+TEST(ThroughputModel, VirtualPipelineReducesBubble) {
+  ModelConfig model = Qwen25_14B();
+  TrainConfig plain = BaseConfig();
+  TrainConfig vpp = plain;
+  vpp.parallel.vpp_chunks = 2;
+  auto t_plain = EstimateThroughput(model, plain, GpuSpec::H200());
+  auto t_vpp = EstimateThroughput(model, vpp, GpuSpec::H200());
+  EXPECT_LT(t_vpp.bubble_fraction, t_plain.bubble_fraction);
+  EXPECT_GT(t_vpp.model_tflops, t_plain.model_tflops);
+}
+
+TEST(ThroughputModel, HigherTpLosesEfficiency) {
+  ModelConfig model = Qwen25_14B();
+  TrainConfig tp2 = BaseConfig();
+  TrainConfig tp4 = tp2;
+  tp4.parallel.tp = 4;
+  tp4.parallel.dp = 2;
+  auto t2 = EstimateThroughput(model, tp2, GpuSpec::H200());
+  auto t4 = EstimateThroughput(model, tp4, GpuSpec::H200());
+  EXPECT_LT(t4.model_tflops, t2.model_tflops);
+}
+
+TEST(ThroughputModel, Table1Ordering) {
+  // Table 1: Original(VPP) > DisableVPP > TP=4 > Recomputation.
+  ModelConfig model = Qwen25_14B();
+  TrainConfig original = BaseConfig();
+  original.parallel.vpp_chunks = 2;
+  TrainConfig no_vpp = BaseConfig();
+  TrainConfig recompute = BaseConfig();
+  recompute.opt.recompute = RecomputeMode::kFull;
+  TrainConfig tp4 = BaseConfig();
+  tp4.parallel.tp = 4;
+  tp4.parallel.dp = 2;
+
+  const auto gpu = GpuSpec::H200();
+  const double t_orig = EstimateThroughput(model, original, gpu).model_tflops;
+  const double t_novpp = EstimateThroughput(model, no_vpp, gpu).model_tflops;
+  const double t_rc = EstimateThroughput(model, recompute, gpu).model_tflops;
+  const double t_tp4 = EstimateThroughput(model, tp4, gpu).model_tflops;
+  EXPECT_GT(t_orig, t_novpp);
+  EXPECT_GT(t_novpp, t_tp4);
+  EXPECT_GT(t_tp4, t_rc);
+}
+
+TEST(ThroughputModel, AllocatorOverheadExtendsIteration) {
+  ModelConfig model = Qwen25_14B();
+  TrainConfig c = BaseConfig();
+  auto clean = EstimateThroughput(model, c, GpuSpec::H200(), 0);
+  auto loaded = EstimateThroughput(model, c, GpuSpec::H200(), /*api_cost_us=*/5e5);
+  EXPECT_GT(loaded.iteration_seconds, clean.iteration_seconds);
+  EXPECT_LT(loaded.model_tflops, clean.model_tflops);
+  EXPECT_GT(loaded.allocator_overhead_fraction, 0.0);
+}
+
+TEST(ThroughputModel, FlopsScaleWithTokens) {
+  ModelConfig model = Llama2_7B();
+  TrainConfig c = BaseConfig();
+  const double f1 = ModelFlopsPerGpu(model, c);
+  c.micro_batch_size = 2;
+  const double f2 = ModelFlopsPerGpu(model, c);
+  EXPECT_NEAR(f2 / f1, 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace stalloc

@@ -1,0 +1,61 @@
+#include "src/trace/timeline.h"
+
+#include <gtest/gtest.h>
+
+namespace stalloc {
+namespace {
+
+TEST(Timeline, EmptyInputsRenderPlaceholder) {
+  EXPECT_EQ(RenderAsciiTimeline({}, 0, 0), "(empty timeline)\n");
+  EXPECT_EQ(RenderAsciiTimeline({}, 0, 100), "(empty timeline)\n");
+}
+
+TEST(Timeline, FullyOccupiedRendersHashes) {
+  std::vector<TimelineBox> boxes = {{0, 1024, 0, 100, false}};
+  TimelineOptions opt;
+  opt.rows = 2;
+  opt.cols = 8;
+  const std::string s = RenderAsciiTimeline(boxes, 1024, 100, opt);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '#'), 16);  // 2 rows x 8 cols all full
+  EXPECT_EQ(std::count(s.begin(), s.end(), ' ') > 0, true);
+}
+
+TEST(Timeline, EmptyBandsStayBlank) {
+  // Box occupies only the lower half of the pool.
+  std::vector<TimelineBox> boxes = {{0, 512, 0, 100, false}};
+  TimelineOptions opt;
+  opt.rows = 2;
+  opt.cols = 4;
+  const std::string s = RenderAsciiTimeline(boxes, 1024, 100, opt);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '#'), 4);  // only the bottom band
+}
+
+TEST(Timeline, PartialFillUsesDots) {
+  // 25% of a band over the full time range.
+  std::vector<TimelineBox> boxes = {{0, 256, 0, 100, false}};
+  TimelineOptions opt;
+  opt.rows = 1;
+  opt.cols = 4;
+  const std::string s = RenderAsciiTimeline(boxes, 1024, 100, opt);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '.'), 4);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '#'), 0);
+}
+
+TEST(Timeline, SvgContainsBoxes) {
+  std::vector<TimelineBox> boxes = {{0, 512, 0, 50, false}, {512, 512, 25, 75, true}};
+  const std::string svg = RenderSvgTimeline(boxes, 1024, 100);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // Two boxes + the background rect.
+  EXPECT_EQ(static_cast<int>(std::string::npos != svg.find("#3a6fe8")), 1);  // static colour
+  EXPECT_NE(svg.find("#e8803a"), std::string::npos);                         // dynamic colour
+}
+
+TEST(Timeline, SvgDegenerateBoxesSkipped) {
+  std::vector<TimelineBox> boxes = {{0, 0, 0, 50, false}, {0, 512, 50, 50, false}};
+  const std::string svg = RenderSvgTimeline(boxes, 1024, 100);
+  EXPECT_EQ(svg.find("#3a6fe8"), std::string::npos);  // nothing drawable
+}
+
+}  // namespace
+}  // namespace stalloc

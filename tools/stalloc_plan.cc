@@ -1,0 +1,75 @@
+// stalloc_plan: the standalone Plan Synthesizer (§8). Reads a profiled trace CSV, synthesizes
+// the Static Allocation Plan and the Dynamic Reusable Space, reports statistics, and optionally
+// writes the plan to a CSV consumable by the runtime allocator.
+//
+//   stalloc_plan trace.csv [--out plan.csv] [--no-fusion] [--no-gap-insertion] [--no-greedy]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/core/plan_io.h"
+#include "src/trace/timeline.h"
+#include "src/core/planner.h"
+#include "src/trace/trace_io.h"
+
+int main(int argc, char** argv) {
+  using namespace stalloc;
+
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: stalloc_plan trace.csv [--out plan.csv] [--svg plan.svg]\n"
+                 "                    [--no-fusion] [--no-gap-insertion] [--no-greedy]\n");
+    return 2;
+  }
+  const std::string trace_path = argv[1];
+  std::string out;
+  std::string svg;
+  PlanSynthesizerConfig config;
+  for (int i = 2; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+      out = argv[++i];
+    } else if (!std::strcmp(argv[i], "--svg") && i + 1 < argc) {
+      svg = argv[++i];
+    } else if (!std::strcmp(argv[i], "--no-fusion")) {
+      config.enable_fusion = false;
+    } else if (!std::strcmp(argv[i], "--no-gap-insertion")) {
+      config.enable_gap_insertion = false;
+    } else if (!std::strcmp(argv[i], "--no-greedy")) {
+      config.enable_greedy_refinement = false;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  const bool binary =
+      trace_path.size() > 4 && trace_path.substr(trace_path.size() - 4) == ".bin";
+  Trace trace = binary ? ReadTraceBinaryFile(trace_path) : ReadTraceCsvFile(trace_path);
+  std::printf("loaded %s: %zu events\n", trace_path.c_str(), trace.size());
+  SynthesisResult result = SynthesizePlan(trace, config);
+  std::printf("%s", result.stats.ToString().c_str());
+  if (result.stats.used_greedy_refinement) {
+    std::printf("(greedy first-fit refinement selected over the grouped plan)\n");
+  }
+  if (!out.empty()) {
+    if (!WritePlanCsvFile(result.plan, result.dyn_space, out)) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 1;
+    }
+    std::printf("plan written to %s (%zu decisions)\n", out.c_str(),
+                result.plan.decisions.size());
+  }
+  if (!svg.empty()) {
+    std::vector<TimelineBox> boxes;
+    for (const auto& d : result.plan.decisions) {
+      boxes.push_back({d.addr, d.padded_size, d.event.ts, d.event.te, d.event.dyn});
+    }
+    if (!WriteSvgTimelineFile(boxes, result.plan.pool_size, trace.end_time(), svg)) {
+      std::fprintf(stderr, "cannot write %s\n", svg.c_str());
+      return 1;
+    }
+    std::printf("SVG rendering written to %s\n", svg.c_str());
+  }
+  return 0;
+}

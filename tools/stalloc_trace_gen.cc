@@ -1,0 +1,96 @@
+// stalloc_trace_gen: generates the allocation trace of one training iteration to CSV — the
+// offline profiling stage of the paper's deployment (§8), runnable standalone.
+//
+//   stalloc_trace_gen --model gpt2 --config VR --pp 2 --tp 1 --dp 4 --mb 8 --out trace.csv
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/trace/trace_io.h"
+#include "src/trace/trace_stats.h"
+#include "src/trainsim/model_config.h"
+#include "src/trainsim/workload.h"
+
+namespace {
+
+const char* kUsage =
+    "usage: stalloc_trace_gen [--model NAME] [--config TAG] [--pp N] [--tp N] [--dp N]\n"
+    "                         [--ep N] [--vpp N] [--mb N] [--microbatches N] [--rank N]\n"
+    "                         [--seed N] [--out FILE]\n"
+    "  model: gpt2 | llama2-7b | qwen2.5-{7b,14b,32b,72b} | qwen1.5-moe\n"
+    "  config tag: N | R | V | VR | ZR | ZOR\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace stalloc;
+
+  std::string model_name = "gpt2";
+  std::string tag = "N";
+  std::string out = "trace.csv";
+  TrainConfig config;
+  config.parallel.pp = 2;
+  config.parallel.dp = 4;
+  config.num_microbatches = 8;
+  config.micro_batch_size = 8;
+  uint64_t seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n%s", flag, kUsage);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--model")) {
+      model_name = next("--model");
+    } else if (!std::strcmp(argv[i], "--config")) {
+      tag = next("--config");
+    } else if (!std::strcmp(argv[i], "--pp")) {
+      config.parallel.pp = std::atoi(next("--pp"));
+    } else if (!std::strcmp(argv[i], "--tp")) {
+      config.parallel.tp = std::atoi(next("--tp"));
+    } else if (!std::strcmp(argv[i], "--dp")) {
+      config.parallel.dp = std::atoi(next("--dp"));
+    } else if (!std::strcmp(argv[i], "--ep")) {
+      config.parallel.ep = std::atoi(next("--ep"));
+    } else if (!std::strcmp(argv[i], "--vpp")) {
+      config.parallel.vpp_chunks = std::atoi(next("--vpp"));
+    } else if (!std::strcmp(argv[i], "--mb")) {
+      config.micro_batch_size = std::strtoull(next("--mb"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--microbatches")) {
+      config.num_microbatches = std::atoi(next("--microbatches"));
+    } else if (!std::strcmp(argv[i], "--rank")) {
+      config.rank = std::atoi(next("--rank"));
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--out")) {
+      out = next("--out");
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n%s", argv[i], kUsage);
+      return 2;
+    }
+  }
+
+  const int saved_vpp = config.parallel.vpp_chunks;
+  config = ApplyConfigTag(config, tag);
+  if (saved_vpp > 1) {
+    config.parallel.vpp_chunks = saved_vpp;
+  }
+
+  WorkloadBuilder workload(ModelByName(model_name), config);
+  Trace trace = workload.Build(seed);
+  // Binary when the extension says so, CSV otherwise.
+  const bool binary = out.size() > 4 && out.substr(out.size() - 4) == ".bin";
+  const bool ok = binary ? WriteTraceBinaryFile(trace, out) : WriteTraceCsvFile(trace, out);
+  if (!ok) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  TraceStats stats = ComputeStats(trace);
+  std::printf("wrote %s: %zu events\n%s", out.c_str(), trace.size(), stats.ToString().c_str());
+  return 0;
+}
