@@ -5,7 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "src/allocators/caching_allocator.h"
 #include "src/allocators/expandable_segments.h"

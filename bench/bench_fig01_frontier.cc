@@ -5,6 +5,8 @@
 // the PyTorch caching allocator inflates reserved memory beyond the 80 GiB device for the most
 // aggressive configuration, while STAlloc's defragmented reservation still fits.
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 
 #include "bench/bench_util.h"

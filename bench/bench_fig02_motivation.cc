@@ -5,6 +5,7 @@
 // efficiency to ~80%; recomputation cuts allocated memory but drops efficiency to ~60%.
 // The shape to reproduce: E(N) > E(V) > E(R), with Ma(R) < Ma(N) <= Ma(V).
 
+#include <cstdint>
 #include <cstdio>
 
 #include "bench/bench_util.h"

@@ -5,7 +5,11 @@
 // iteration collapse onto only a few dozen distinct sizes, and the distinct-size count barely
 // changes when recomputation or VPP is enabled.
 
+#include <cstdint>
 #include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/trace/trace_stats.h"

@@ -8,7 +8,10 @@
 //   * MoE: STAlloc 93-98%, still ahead of every baseline;
 //   * the largest caching-allocator drops appear in recompute-heavy configs.
 
+#include <cstdint>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 

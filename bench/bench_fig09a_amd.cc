@@ -5,6 +5,7 @@
 //
 // Shape to reproduce: STAlloc >90% (up to ~99.7%) on both; caching <60% for Llama2-7B.
 
+#include <cstdint>
 #include <cstdio>
 
 #include "bench/bench_util.h"

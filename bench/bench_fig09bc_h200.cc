@@ -6,7 +6,11 @@
 // with model/cluster size; "OOM" cells appear for the baselines on the biggest settings while
 // STAlloc completes.
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 

@@ -5,7 +5,10 @@
 // the microbatch (and thus the recompute-affected activation size) grows, and the largest sizes
 // OOM under fragmentation-prone allocators.
 
+#include <cstdint>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 

@@ -4,7 +4,10 @@
 // Shape to reproduce: STAlloc beats every baseline at both batch sizes; efficiency of the
 // baselines is lower at the larger batch.
 
+#include <cstdint>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 

@@ -8,8 +8,12 @@
 // based allocators (PyTorch ES; GMLake with a low fragLimit) pay for map/unmap churn — the
 // second table reproduces those "specific scenarios".
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <utility>
 
 #include "bench/bench_util.h"
 #include "src/allocators/expandable_segments.h"

@@ -6,9 +6,11 @@
 //   * the static plan contributes ~90% of the defragmentation;
 //   * dynamic reuse helps most with recomputation (dynamic and static lifespans disjoint) and
 //     little without it (Table 3: fallback bytes drop when reuse is enabled, most under R).
-// Also prints the fusion and gap-insertion planner ablations called out in DESIGN.md.
+// Also prints the fusion and gap-insertion planner ablations called out in docs/ARCHITECTURE.md.
 
+#include <cstdint>
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "src/core/planner.h"
@@ -55,8 +57,8 @@ int main() {
               "traffic)\n\n");
   table3.Print();
 
-  // Planner ablations (DESIGN.md): effect of TMP fusion and descending-size gap insertion on
-  // the plan pool size.
+  // Planner ablations (docs/ARCHITECTURE.md): effect of TMP fusion and descending-size gap
+  // insertion on the plan pool size.
   std::printf("\nPlanner ablations (pool size, Qwen1.5-MoE, R config):\n\n");
   TrainConfig c = ApplyConfigTag(base, "R");
   c.opt.zero = ZeroStage::kStage1;

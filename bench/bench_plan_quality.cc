@@ -7,6 +7,7 @@
 // within a few percent of both the lower bound and the compacted plan, at a fraction of the
 // cost.
 
+#include <cstdint>
 #include <cstdio>
 
 #include "bench/bench_util.h"

@@ -3,6 +3,7 @@
 // trade-off space that motivates the paper. Not a paper figure; included as the substrate
 // validation for the pipeline schedules.
 
+#include <cstdint>
 #include <cstdio>
 
 #include "bench/bench_util.h"

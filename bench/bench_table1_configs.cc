@@ -5,7 +5,10 @@
 // Shape to reproduce: only STAlloc runs the original config, and
 // TFLOPS(original) > TFLOPS(disable VPP) > TFLOPS(TP=4) > TFLOPS(recompute).
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "src/metrics/throughput_model.h"

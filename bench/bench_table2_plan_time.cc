@@ -6,6 +6,7 @@
 // relative to its size (more HomoLayer groups to interrogate, §9.3). Absolute times differ from
 // the paper (different host and trace sizes); report both wall time and request counts.
 
+#include <cstdint>
 #include <cstdio>
 
 #include "bench/bench_util.h"

@@ -5,6 +5,7 @@
 //
 //   $ ./allocator_playground
 
+#include <cstdint>
 #include <cstdio>
 #include <vector>
 

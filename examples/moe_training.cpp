@@ -5,6 +5,7 @@
 //
 //   $ ./moe_training [iterations]
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 

@@ -1,6 +1,8 @@
 #include "src/allocators/allocator.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <optional>
 
 #include "src/common/check.h"
 

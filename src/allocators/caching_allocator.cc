@@ -1,6 +1,9 @@
 #include "src/allocators/caching_allocator.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
 
 #include "src/common/check.h"
 

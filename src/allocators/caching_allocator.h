@@ -23,7 +23,9 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "src/allocators/allocator.h"

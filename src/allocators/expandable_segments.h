@@ -15,10 +15,13 @@
 #ifndef SRC_ALLOCATORS_EXPANDABLE_SEGMENTS_H_
 #define SRC_ALLOCATORS_EXPANDABLE_SEGMENTS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "src/allocators/caching_allocator.h"

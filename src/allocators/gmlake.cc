@@ -1,6 +1,12 @@
 #include "src/allocators/gmlake.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
 
 #include "src/common/check.h"
 

@@ -12,10 +12,13 @@
 #ifndef SRC_ALLOCATORS_GMLAKE_H_
 #define SRC_ALLOCATORS_GMLAKE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "src/allocators/caching_allocator.h"

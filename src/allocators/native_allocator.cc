@@ -1,5 +1,8 @@
 #include "src/allocators/native_allocator.h"
 
+#include <cstdint>
+#include <optional>
+
 #include "src/common/units.h"
 
 namespace stalloc {

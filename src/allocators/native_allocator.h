@@ -8,6 +8,9 @@
 #ifndef SRC_ALLOCATORS_NATIVE_ALLOCATOR_H_
 #define SRC_ALLOCATORS_NATIVE_ALLOCATOR_H_
 
+#include <cstdint>
+#include <optional>
+
 #include "src/allocators/allocator.h"
 #include "src/gpu/sim_device.h"
 

@@ -10,6 +10,7 @@
 #include <cstdarg>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace stalloc {

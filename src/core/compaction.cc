@@ -1,6 +1,8 @@
 #include "src/core/compaction.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "src/common/check.h"

@@ -1,6 +1,9 @@
 #include "src/core/dynamic_space.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "src/common/check.h"
 

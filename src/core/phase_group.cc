@@ -1,7 +1,10 @@
 #include "src/core/phase_group.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
+#include <utility>
+#include <vector>
 
 #include "src/common/check.h"
 #include "src/common/units.h"

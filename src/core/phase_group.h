@@ -49,7 +49,7 @@ LocalPlan FusePlans(const LocalPlan& a, const LocalPlan& b);
 
 // Groups static events by (ps, pe), packs each group, then runs fusion passes: a fusion of
 // adjacent groups is kept only when the fused TMP exceeds the weighted average of the originals.
-// `enable_fusion` off reproduces the ablation in DESIGN.md.
+// `enable_fusion` off reproduces the ablation in docs/ARCHITECTURE.md.
 std::vector<LocalPlan> BuildPhaseGroups(const std::vector<MemoryEvent>& static_events,
                                         bool enable_fusion = true);
 

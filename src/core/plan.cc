@@ -1,8 +1,12 @@
 #include "src/core/plan.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "src/common/check.h"
 

@@ -1,6 +1,10 @@
 #include "src/core/planner.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "src/common/check.h"
 #include "src/common/stopwatch.h"

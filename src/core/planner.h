@@ -22,10 +22,10 @@ namespace stalloc {
 struct PlanSynthesizerConfig {
   bool enable_fusion = true;         // TMP-guided HomoPhase fusion (ablation switch)
   bool enable_gap_insertion = true;  // descending-size insertion into larger layers (ablation)
-  // Plan post-selection (extension over the paper, see DESIGN.md): also compute a lifetime-aware
-  // greedy first-fit plan over the raw events and keep whichever reserves less. The grouped plan
-  // wins or ties on homogeneous ranks; greedy recovers the group-granularity loss on ranks with
-  // rare oversized transients (LM-head fp32 logits).
+  // Plan post-selection (extension over the paper, see docs/ARCHITECTURE.md): also compute a
+  // lifetime-aware greedy first-fit plan over the raw events and keep whichever reserves less.
+  // The grouped plan wins or ties on homogeneous ranks; greedy recovers the group-granularity
+  // loss on ranks with rare oversized transients (LM-head fp32 logits).
   bool enable_greedy_refinement = true;
   bool validate = true;              // run the stomping sweep on the result
 };

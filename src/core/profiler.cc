@@ -1,5 +1,6 @@
 #include "src/core/profiler.h"
 
+#include <cstdint>
 #include <unordered_map>
 
 #include "src/allocators/native_allocator.h"

@@ -1,8 +1,11 @@
 #include "src/core/size_group.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "src/common/check.h"
 

@@ -54,7 +54,7 @@ struct GlobalLayout {
 
 // Runs the descending-size global planning over the group requests. When
 // `enable_gap_insertion` is false every size builds fresh layers (ablation of the design choice
-// in DESIGN.md).
+// in docs/ARCHITECTURE.md).
 GlobalLayout PlanGlobally(const std::vector<GroupRequest>& requests,
                           bool enable_gap_insertion = true);
 

@@ -1,6 +1,10 @@
 #include "src/core/stalloc_allocator.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
 
 #include "src/common/check.h"
 #include "src/common/units.h"

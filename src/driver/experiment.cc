@@ -1,6 +1,8 @@
 #include "src/driver/experiment.h"
 
 #include <memory>
+#include <string>
+#include <utility>
 
 #include "src/allocators/caching_allocator.h"
 #include "src/allocators/expandable_segments.h"

@@ -1,6 +1,8 @@
 #include "src/driver/job.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
 
 #include "src/common/table.h"
 #include "src/common/units.h"

@@ -5,6 +5,7 @@
 #ifndef SRC_DRIVER_JOB_H_
 #define SRC_DRIVER_JOB_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

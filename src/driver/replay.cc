@@ -1,5 +1,7 @@
 #include "src/driver/replay.h"
 
+#include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 

@@ -1,6 +1,10 @@
 #include "src/gpu/sim_device.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
 
 #include "src/common/check.h"
 

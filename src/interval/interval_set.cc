@@ -1,7 +1,11 @@
 #include "src/interval/interval_set.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "src/common/check.h"
 

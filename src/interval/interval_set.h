@@ -26,7 +26,10 @@ struct Interval {
   bool Contains(const Interval& other) const { return other.lo >= lo && other.hi <= hi; }
   bool Overlaps(const Interval& other) const { return lo < other.hi && other.lo < hi; }
 
-  friend bool operator==(const Interval&, const Interval&) = default;
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+  friend bool operator!=(const Interval& a, const Interval& b) { return !(a == b); }
 };
 
 class IntervalSet {

@@ -1,7 +1,10 @@
 #include "src/trace/timeline.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <fstream>
+#include <string>
+#include <vector>
 
 #include "src/common/table.h"
 #include "src/common/units.h"

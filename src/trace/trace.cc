@@ -1,6 +1,10 @@
 #include "src/trace/trace.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "src/common/check.h"
 

@@ -1,8 +1,11 @@
 #include "src/trace/trace_io.h"
 
+#include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/check.h"

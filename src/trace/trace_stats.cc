@@ -1,7 +1,12 @@
 #include "src/trace/trace_stats.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <map>
 #include <set>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "src/common/table.h"
 #include "src/common/units.h"

@@ -1,5 +1,8 @@
 #include "src/trainsim/model_config.h"
 
+#include <cstdint>
+#include <string>
+
 #include "src/common/check.h"
 
 namespace stalloc {

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "src/common/check.h"
 

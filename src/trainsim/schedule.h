@@ -22,7 +22,10 @@ struct ScheduleStep {
   int microbatch = 0;
   int chunk = 0;  // virtual-pipeline model chunk executed in this step (0 when VPP is off)
 
-  friend bool operator==(const ScheduleStep&, const ScheduleStep&) = default;
+  friend bool operator==(const ScheduleStep& a, const ScheduleStep& b) {
+    return a.kind == b.kind && a.microbatch == b.microbatch && a.chunk == b.chunk;
+  }
+  friend bool operator!=(const ScheduleStep& a, const ScheduleStep& b) { return !(a == b); }
   std::string ToString() const;
 };
 

@@ -1,5 +1,7 @@
 #include "src/trainsim/train_config.h"
 
+#include <string>
+
 namespace stalloc {
 
 std::string OptimizationConfig::Tag() const {

@@ -1,7 +1,11 @@
 #include "src/trainsim/workload.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "src/common/check.h"
 #include "src/common/units.h"

@@ -1,6 +1,6 @@
 // WorkloadBuilder: generates the GPU memory-request trace of one training iteration of a
 // transformer model on one pipeline rank — the synthetic stand-in for profiling Megatron-LM /
-// Colossal-AI under PyTorch (see DESIGN.md, substitution table).
+// Colossal-AI under PyTorch (see docs/ARCHITECTURE.md, substitution table).
 //
 // The emitted stream reproduces the structure the paper measures:
 //   * spatial regularity (§2.3, Fig. 3): tensor sizes are functions of (s, b, h, f, v)/tp — a few

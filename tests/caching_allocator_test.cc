@@ -1,5 +1,8 @@
 #include "src/allocators/caching_allocator.h"
 
+#include <cstdint>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "src/common/rng.h"

@@ -1,5 +1,8 @@
 #include "src/core/compaction.h"
 
+#include <cstdint>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "src/common/rng.h"

@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 #include "src/common/units.h"
 #include "src/core/stalloc_allocator.h"
 

@@ -1,5 +1,8 @@
 #include "src/core/dynamic_space.h"
 
+#include <algorithm>
+#include <cstdint>
+
 #include <gtest/gtest.h>
 
 #include "src/core/planner.h"

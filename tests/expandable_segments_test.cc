@@ -1,5 +1,8 @@
 #include "src/allocators/expandable_segments.h"
 
+#include <cstdint>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "src/common/rng.h"

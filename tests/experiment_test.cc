@@ -1,5 +1,7 @@
 #include "src/driver/experiment.h"
 
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "src/common/units.h"

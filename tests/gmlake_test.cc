@@ -1,5 +1,8 @@
 #include "src/allocators/gmlake.h"
 
+#include <cstdint>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "src/common/rng.h"

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "src/allocators/caching_allocator.h"
 #include "src/common/units.h"
 #include "src/core/planner.h"

@@ -1,5 +1,8 @@
 #include "src/interval/interval_set.h"
 
+#include <cstdint>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "src/common/rng.h"

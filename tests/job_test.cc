@@ -1,5 +1,9 @@
 #include "src/driver/job.h"
 
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "src/common/units.h"

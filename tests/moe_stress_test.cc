@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "src/common/units.h"
 #include "src/core/planner.h"
 #include "src/core/profiler.h"

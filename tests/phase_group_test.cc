@@ -1,5 +1,8 @@
 #include "src/core/phase_group.h"
 
+#include <cstdint>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "src/common/rng.h"

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 
 #include "src/core/planner.h"
 #include "src/trainsim/model_config.h"

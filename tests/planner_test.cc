@@ -1,5 +1,9 @@
 #include "src/core/planner.h"
 
+#include <cstdint>
+#include <set>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "src/common/units.h"

@@ -1,5 +1,7 @@
 #include "src/trainsim/schedule.h"
 
+#include <string>
+
 #include <gtest/gtest.h>
 
 namespace stalloc {

@@ -1,5 +1,7 @@
 #include "src/gpu/sim_device.h"
 
+#include <cstdint>
+
 #include <gtest/gtest.h>
 
 #include "src/common/units.h"

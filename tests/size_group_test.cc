@@ -1,5 +1,10 @@
 #include "src/core/size_group.h"
 
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "src/common/rng.h"

@@ -1,5 +1,10 @@
 #include "src/core/stalloc_allocator.h"
 
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+
 #include <gtest/gtest.h>
 
 #include "src/common/units.h"

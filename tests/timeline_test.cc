@@ -1,5 +1,8 @@
 #include "src/trace/timeline.h"
 
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace stalloc {

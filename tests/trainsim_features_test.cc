@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "src/trace/trace_stats.h"
 #include "src/trainsim/model_config.h"
 #include "src/trainsim/schedule.h"

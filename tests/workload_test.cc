@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
+#include <string>
 
 #include "src/trace/trace_stats.h"
 #include "src/trainsim/model_config.h"

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "src/core/plan_io.h"
 #include "src/trace/timeline.h"

@@ -3,6 +3,7 @@
 //
 //   stalloc_trace_gen --model gpt2 --config VR --pp 2 --tp 1 --dp 4 --mb 8 --out trace.csv
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
