@@ -1,0 +1,151 @@
+// Serving allocator comparison: every allocator kind over every servesim scenario preset —
+// the inference-serving counterpart of bench_fig08_allocators.
+//
+// The serving stream has none of training's spatio-temporal regularity, so the ordering the
+// paper establishes for training does not carry over: STAlloc's plan covers only the persistent
+// weights (almost every runtime request falls back), while the paged-KV pool — useless for
+// training — is at home here. The bench prints one table per scenario and, with --json FILE,
+// a machine-readable summary for the perf trajectory ("-" writes JSON to stdout).
+//
+//   bench_serving [--model NAME] [--json FILE]
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/driver/serve_experiment.h"
+#include "src/servesim/engine.h"
+#include "src/servesim/request_gen.h"
+
+namespace {
+
+using namespace stalloc;
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+struct ScenarioRun {
+  std::string scenario;
+  std::vector<std::pair<AllocatorKind, ServeExperimentResult>> results;
+};
+
+std::string ToJson(const std::string& model, const ServeOptions& opt,
+                   const std::vector<ScenarioRun>& runs) {
+  std::string out = "{\n";
+  out += StrFormat("  \"bench\": \"serving\",\n  \"model\": \"%s\",\n",
+                   JsonEscape(model).c_str());
+  out += StrFormat("  \"capacity_bytes\": %llu,\n  \"kv_budget_bytes\": %llu,\n",
+                   static_cast<unsigned long long>(opt.base.capacity_bytes),
+                   static_cast<unsigned long long>(opt.engine.kv_budget_bytes));
+  out += StrFormat("  \"run_seed\": %llu,\n  \"scenarios\": [\n",
+                   static_cast<unsigned long long>(opt.base.run_seed));
+  for (size_t s = 0; s < runs.size(); ++s) {
+    const ScenarioRun& run = runs[s];
+    out += StrFormat("    {\"scenario\": \"%s\", \"results\": [\n",
+                     JsonEscape(run.scenario).c_str());
+    for (size_t i = 0; i < run.results.size(); ++i) {
+      const auto& [kind, r] = run.results[i];
+      out += StrFormat(
+          "      {\"allocator\": \"%s\", \"oom\": %s, \"infeasible\": %s, "
+          "\"memory_efficiency\": %.6f, \"allocated_peak\": %llu, \"reserved_peak\": %llu, "
+          "\"fragmentation_bytes\": %llu, \"device_api_calls\": %llu, "
+          "\"device_api_cost_us\": %.1f, \"device_release_calls\": %llu, "
+          "\"preemptions\": %llu, \"tokens_admitted\": %llu, \"tokens_generated\": %llu, "
+          "\"peak_batch\": %d, \"trace_events\": %llu}%s\n",
+          AllocatorKindName(kind), r.replay.oom ? "true" : "false",
+          r.replay.infeasible ? "true" : "false", r.replay.memory_efficiency,
+          static_cast<unsigned long long>(r.replay.allocated_peak),
+          static_cast<unsigned long long>(r.replay.reserved_peak),
+          static_cast<unsigned long long>(r.replay.fragmentation_bytes),
+          static_cast<unsigned long long>(r.replay.device_api_calls),
+          r.replay.device_api_cost_us,
+          static_cast<unsigned long long>(r.replay.device_release_calls),
+          static_cast<unsigned long long>(r.serve.preemptions),
+          static_cast<unsigned long long>(r.serve.tokens_admitted),
+          static_cast<unsigned long long>(r.serve.tokens_generated), r.serve.peak_batch,
+          static_cast<unsigned long long>(r.trace_events),
+          i + 1 < run.results.size() ? "," : "");
+    }
+    out += StrFormat("    ]}%s\n", s + 1 < runs.size() ? "," : "");
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string model_name = "gpt2";
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--model") && i + 1 < argc) {
+      model_name = argv[++i];
+    } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_serving [--model NAME] [--json FILE]\n");
+      return 2;
+    }
+  }
+
+  const ModelConfig model = ModelByName(model_name);
+  ServeOptions opt;
+  opt.base.capacity_bytes = 16ull * GiB;
+  opt.engine.kv_budget_bytes = 4ull * GiB;
+
+  std::vector<ScenarioRun> runs;
+  for (const std::string& name : ScenarioNames()) {
+    const ServeScenario scenario = ScenarioByName(name);
+    std::printf("Serving — %s scenario, %s, device=%s, KV budget=%s, KV block=%s\n\n",
+                name.c_str(), model.name.c_str(), FormatBytes(opt.base.capacity_bytes).c_str(),
+                FormatBytes(opt.engine.kv_budget_bytes).c_str(),
+                FormatBytes(KvBlockBytes(model, opt.engine)).c_str());
+    TextTable table({"allocator", "E (%)", "Ma", "Mr", "frag", "API calls", "API cost (ms)",
+                     "releases", "preempt", "peak batch"});
+    ScenarioRun run;
+    run.scenario = name;
+    for (AllocatorKind kind : AllAllocatorKinds()) {
+      ServeExperimentResult r = RunServeExperiment(model, scenario, kind, opt);
+      table.AddRow({AllocatorKindName(kind), EffCell(r.replay), FormatBytes(r.replay.allocated_peak),
+                    ReservedCell(r.replay), FormatBytes(r.replay.fragmentation_bytes),
+                    StrFormat("%llu", static_cast<unsigned long long>(r.replay.device_api_calls)),
+                    StrFormat("%.1f", r.replay.device_api_cost_us / 1000.0),
+                    StrFormat("%llu",
+                              static_cast<unsigned long long>(r.replay.device_release_calls)),
+                    StrFormat("%llu", static_cast<unsigned long long>(r.serve.preemptions)),
+                    StrFormat("%d", r.serve.peak_batch)});
+      run.results.emplace_back(kind, std::move(r));
+    }
+    table.Print();
+    std::printf("\n");
+    runs.push_back(std::move(run));
+  }
+
+  if (!json_path.empty()) {
+    const std::string json = ToJson(model.name, opt, runs);
+    if (json_path == "-") {
+      std::fputs(json.c_str(), stdout);
+    } else {
+      std::FILE* f = std::fopen(json_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+      }
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+#include "src/allocators/paged_kv.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace stalloc {
+
+PagedKVAllocator::PagedKVAllocator(SimDevice* device, PagedKVConfig config)
+    : device_(device), config_(config) {
+  STALLOC_CHECK(config_.block_bytes > 0);
+  STALLOC_CHECK(config_.slab_blocks > 0);
+}
+
+PagedKVAllocator::~PagedKVAllocator() {
+  // Return every slab and passthrough block so a shared SimDevice's accounting stays clean.
+  for (const auto& [base, slab] : slabs_) {
+    device_->DevFree(base);
+  }
+  for (const auto& [addr, size] : passthrough_) {
+    device_->DevFree(addr);
+  }
+}
+
+bool PagedKVAllocator::GrowPool() {
+  // Shrink the slab under device pressure: a smaller contiguous run may still fit.
+  for (uint64_t blocks = config_.slab_blocks; blocks >= 1; blocks /= 2) {
+    auto base = device_->DevMalloc(blocks * config_.block_bytes);
+    if (!base.has_value()) {
+      continue;
+    }
+    slabs_.emplace(*base, Slab{blocks, blocks});
+    for (uint64_t b = 0; b < blocks; ++b) {
+      const uint64_t addr = *base + b * config_.block_bytes;
+      free_blocks_.insert(addr);
+      block_slab_.emplace(addr, *base);
+    }
+    reserved_ += SlabBytes(blocks);
+    return true;
+  }
+  return false;
+}
+
+std::optional<uint64_t> PagedKVAllocator::DoMalloc(uint64_t size, const RequestContext& ctx) {
+  (void)ctx;
+  if (size <= config_.block_bytes) {
+    if (free_blocks_.empty() && !GrowPool()) {
+      return std::nullopt;
+    }
+    const auto it = free_blocks_.begin();
+    const uint64_t addr = *it;
+    free_blocks_.erase(it);
+    --slabs_.at(block_slab_.at(addr)).free;
+    return addr;
+  }
+  // Non-KV-sized request (weights, prefill activations): native passthrough, with one retry
+  // after releasing cached free slabs — mirroring the caching allocator's OOM protocol.
+  auto addr = device_->DevMalloc(size);
+  if (!addr.has_value()) {
+    EmptyCache();
+    addr = device_->DevMalloc(size);
+    if (!addr.has_value()) {
+      return std::nullopt;
+    }
+  }
+  passthrough_.emplace(*addr, size);
+  reserved_ += AlignUp(size, SimDevice::kMallocAlign);
+  return addr;
+}
+
+void PagedKVAllocator::DoFree(uint64_t addr, uint64_t size) {
+  auto block = block_slab_.find(addr);
+  if (block != block_slab_.end()) {
+    const bool inserted = free_blocks_.insert(addr).second;
+    STALLOC_CHECK(inserted, << "double free of pool block " << addr);
+    ++slabs_.at(block->second).free;
+    return;
+  }
+  auto pass = passthrough_.find(addr);
+  STALLOC_CHECK(pass != passthrough_.end(), << "paged-kv free of unknown address " << addr);
+  STALLOC_CHECK_EQ(pass->second, size);
+  device_->DevFree(addr);
+  reserved_ -= AlignUp(size, SimDevice::kMallocAlign);
+  passthrough_.erase(pass);
+}
+
+void PagedKVAllocator::EmptyCache() {
+  std::vector<uint64_t> releasable;
+  for (const auto& [base, slab] : slabs_) {
+    if (slab.free == slab.blocks) {
+      releasable.push_back(base);
+    }
+  }
+  for (uint64_t base : releasable) {
+    const Slab slab = slabs_.at(base);
+    for (uint64_t b = 0; b < slab.blocks; ++b) {
+      const uint64_t addr = base + b * config_.block_bytes;
+      free_blocks_.erase(addr);
+      block_slab_.erase(addr);
+    }
+    device_->DevFree(base);
+    reserved_ -= SlabBytes(slab.blocks);
+    slabs_.erase(base);
+  }
+}
+
+}  // namespace stalloc

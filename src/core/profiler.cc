@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 
 #include "src/allocators/native_allocator.h"
 #include "src/common/stopwatch.h"
@@ -11,9 +12,17 @@ namespace stalloc {
 
 ProfileResult ProfileWorkload(const WorkloadBuilder& workload, uint64_t capacity_bytes,
                               uint64_t iteration_seed) {
+  // wall_ms covers trace generation + replay (Table 2's Tprofile), so time the build too.
+  Stopwatch timer;
+  ProfileResult result = ProfileTrace(workload.Build(iteration_seed), capacity_bytes);
+  result.wall_ms = timer.ElapsedMillis();
+  return result;
+}
+
+ProfileResult ProfileTrace(Trace trace, uint64_t capacity_bytes) {
   Stopwatch timer;
   ProfileResult result;
-  result.trace = workload.Build(iteration_seed);
+  result.trace = std::move(trace);
 
   SimDevice device(capacity_bytes);
   NativeAllocator native(&device);

@@ -32,6 +32,11 @@ struct ProfileResult {
 ProfileResult ProfileWorkload(const WorkloadBuilder& workload, uint64_t capacity_bytes,
                               uint64_t iteration_seed);
 
+// Profiles an already-built trace (any workload source — training or serving): replays it under
+// the native allocator for the feasibility verdict and API-cost ledger. `trace` is moved into
+// the result.
+ProfileResult ProfileTrace(Trace trace, uint64_t capacity_bytes);
+
 }  // namespace stalloc
 
 #endif  // SRC_CORE_PROFILER_H_

@@ -1,5 +1,6 @@
 #include "src/driver/experiment.h"
 
+#include <array>
 #include <memory>
 #include <string>
 #include <utility>
@@ -8,6 +9,8 @@
 #include "src/allocators/expandable_segments.h"
 #include "src/allocators/gmlake.h"
 #include "src/allocators/native_allocator.h"
+#include "src/allocators/paged_kv.h"
+#include "src/common/check.h"
 #include "src/common/table.h"
 #include "src/common/units.h"
 #include "src/core/profiler.h"
@@ -28,8 +31,23 @@ const char* AllocatorKindName(AllocatorKind kind) {
       return "stalloc";
     case AllocatorKind::kSTAllocNoReuse:
       return "stalloc-noreuse";
+    case AllocatorKind::kPagedKV:
+      return "paged-kv";
+    case AllocatorKind::kCount:
+      break;
   }
   return "?";
+}
+
+std::vector<AllocatorKind> AllAllocatorKinds() {
+  constexpr std::array<AllocatorKind, 7> kKinds = {
+      AllocatorKind::kNative,  AllocatorKind::kCaching, AllocatorKind::kExpandable,
+      AllocatorKind::kGMLake,  AllocatorKind::kSTAlloc, AllocatorKind::kSTAllocNoReuse,
+      AllocatorKind::kPagedKV};
+  // A new enum value missing from the list above must fail to compile, not be silently skipped.
+  static_assert(kKinds.size() == static_cast<size_t>(AllocatorKind::kCount),
+                "AllAllocatorKinds() is out of sync with AllocatorKind");
+  return {kKinds.begin(), kKinds.end()};
 }
 
 std::string ExperimentResult::Summary() const {
@@ -39,9 +57,84 @@ std::string ExperimentResult::Summary() const {
   if (oom) {
     return "OOM";
   }
-  return StrFormat("E=%5.1f%%  Ma=%s  Mr=%s  frag=%s", memory_efficiency * 100.0,
+  return StrFormat("E=%5.1f%%  Ma=%s  Mr=%s  frag=%s  releases=%llu", memory_efficiency * 100.0,
                    FormatBytes(allocated_peak).c_str(), FormatBytes(reserved_peak).c_str(),
-                   FormatBytes(fragmentation_bytes).c_str());
+                   FormatBytes(fragmentation_bytes).c_str(),
+                   static_cast<unsigned long long>(device_release_calls));
+}
+
+std::unique_ptr<Allocator> MakeBaselineAllocator(AllocatorKind kind, SimDevice* device,
+                                                 const ExperimentOptions& options) {
+  switch (kind) {
+    case AllocatorKind::kNative:
+      return std::make_unique<NativeAllocator>(device);
+    case AllocatorKind::kCaching:
+      return std::make_unique<CachingAllocator>(device);
+    case AllocatorKind::kExpandable:
+      return std::make_unique<ExpandableSegmentsAllocator>(device);
+    case AllocatorKind::kGMLake: {
+      GMLakeConfig config;
+      if (options.gmlake_frag_limit != 0) {
+        config.frag_limit = options.gmlake_frag_limit;
+      }
+      return std::make_unique<GMLakeAllocator>(device, config);
+    }
+    case AllocatorKind::kPagedKV: {
+      PagedKVConfig config;
+      if (options.paged_block_bytes != 0) {
+        config.block_bytes = options.paged_block_bytes;
+      }
+      return std::make_unique<PagedKVAllocator>(device, config);
+    }
+    case AllocatorKind::kSTAlloc:
+    case AllocatorKind::kSTAllocNoReuse:
+    case AllocatorKind::kCount:
+      break;  // STAlloc needs the offline profile+plan pipeline
+  }
+  return nullptr;
+}
+
+std::unique_ptr<STAllocAllocator> MakeSTAllocFromProfile(const ProfileResult& profile,
+                                                         AllocatorKind kind, SimDevice* device,
+                                                         ExperimentResult* result) {
+  result->profile_wall_ms = profile.wall_ms;
+  if (!profile.feasible) {
+    result->infeasible = true;
+    return nullptr;
+  }
+  SynthesisResult synthesis = SynthesizePlan(profile.trace);
+  result->plan_stats = synthesis.stats;
+
+  STAllocConfig config;
+  config.enable_dynamic_reuse = kind == AllocatorKind::kSTAlloc;
+  auto alloc = std::make_unique<STAllocAllocator>(
+      device, std::move(synthesis.plan), std::move(synthesis.dyn_space), config);
+  if (!alloc->Init()) {
+    result->oom = true;
+    return nullptr;
+  }
+  return alloc;
+}
+
+void FinishExperimentResult(const ReplayResult& replay, const Allocator& active,
+                            const SimDevice& device, const STAllocAllocator* stalloc_alloc,
+                            ExperimentResult* result) {
+  result->oom = replay.oom;
+  result->allocated_peak = replay.allocated_peak;
+  result->reserved_peak = replay.reserved_peak;
+  result->memory_efficiency = replay.memory_efficiency;
+  result->fragmentation_ratio = 1.0 - replay.memory_efficiency;
+  result->fragmentation_bytes = active.stats().FragmentationBytes();
+  result->device_api_cost_us = device.counters().total_cost_us;
+  result->device_api_calls = device.counters().TotalCalls();
+  result->device_release_calls = device.counters().cuda_free + device.counters().mem_unmap +
+                                 device.counters().mem_release;
+  if (stalloc_alloc != nullptr) {
+    result->breakdown = stalloc_alloc->breakdown();
+  }
+  if (result->oom && result->kind == AllocatorKind::kNative) {
+    result->infeasible = true;
+  }
 }
 
 ExperimentResult RunExperiment(const WorkloadBuilder& workload, AllocatorKind kind,
@@ -59,65 +152,18 @@ ExperimentResult RunExperiment(const WorkloadBuilder& workload, AllocatorKind ki
     // Offline stage: profile (different seed) + plan synthesis.
     ProfileResult profile =
         ProfileWorkload(workload, options.capacity_bytes, options.profile_seed);
-    result.profile_wall_ms = profile.wall_ms;
-    if (!profile.feasible) {
-      result.infeasible = true;
-      return result;
-    }
-    SynthesisResult synthesis = SynthesizePlan(profile.trace);
-    result.plan_stats = synthesis.stats;
-
-    STAllocConfig config;
-    config.enable_dynamic_reuse = kind == AllocatorKind::kSTAlloc;
-    stalloc_alloc = std::make_unique<STAllocAllocator>(
-        &device, std::move(synthesis.plan), std::move(synthesis.dyn_space), config);
-    if (!stalloc_alloc->Init()) {
-      result.oom = true;
+    stalloc_alloc = MakeSTAllocFromProfile(profile, kind, &device, &result);
+    if (stalloc_alloc == nullptr) {
       return result;
     }
   } else {
-    switch (kind) {
-      case AllocatorKind::kNative:
-        alloc = std::make_unique<NativeAllocator>(&device);
-        break;
-      case AllocatorKind::kCaching:
-        alloc = std::make_unique<CachingAllocator>(&device);
-        break;
-      case AllocatorKind::kExpandable:
-        alloc = std::make_unique<ExpandableSegmentsAllocator>(&device);
-        break;
-      case AllocatorKind::kGMLake: {
-        GMLakeConfig config;
-        if (options.gmlake_frag_limit != 0) {
-          config.frag_limit = options.gmlake_frag_limit;
-        }
-        alloc = std::make_unique<GMLakeAllocator>(&device, config);
-        break;
-      }
-      default:
-        break;
-    }
+    alloc = MakeBaselineAllocator(kind, &device, options);
   }
 
   Allocator* active = stalloc_alloc ? stalloc_alloc.get() : alloc.get();
+  STALLOC_CHECK(active != nullptr, << "no allocator for kind " << AllocatorKindName(kind));
   ReplayResult replay = ReplayTrace(run_trace, active);
-
-  result.oom = replay.oom;
-  result.allocated_peak = replay.allocated_peak;
-  result.reserved_peak = replay.reserved_peak;
-  result.memory_efficiency = replay.memory_efficiency;
-  result.fragmentation_ratio = 1.0 - replay.memory_efficiency;
-  result.fragmentation_bytes = active->stats().FragmentationBytes();
-  result.device_api_cost_us = device.counters().total_cost_us;
-  result.device_api_calls = device.counters().TotalCalls();
-  result.device_release_calls = device.counters().cuda_free + device.counters().mem_unmap +
-                                device.counters().mem_release;
-  if (stalloc_alloc) {
-    result.breakdown = stalloc_alloc->breakdown();
-  }
-  if (result.oom && kind == AllocatorKind::kNative) {
-    result.infeasible = true;
-  }
+  FinishExperimentResult(replay, *active, device, stalloc_alloc.get(), &result);
   return result;
 }
 

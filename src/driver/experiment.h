@@ -9,9 +9,12 @@
 #define SRC_DRIVER_EXPERIMENT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "src/core/planner.h"
+#include "src/core/profiler.h"
 #include "src/core/stalloc_allocator.h"
 #include "src/driver/replay.h"
 #include "src/gpu/sim_device.h"
@@ -26,9 +29,14 @@ enum class AllocatorKind : uint8_t {
   kGMLake,        // GMLake virtual-memory stitching
   kSTAlloc,       // full STAlloc
   kSTAllocNoReuse,  // STAlloc without dynamic reuse (Fig. 13 ablation)
+  kPagedKV,       // vLLM-style fixed-size block pool (serving-native baseline)
+  kCount,         // sentinel — keeps AllAllocatorKinds() verifiably exhaustive
 };
 
 const char* AllocatorKindName(AllocatorKind kind);
+
+// Every kind, in enum order — keeps benches/tests in sync when kinds are added.
+std::vector<AllocatorKind> AllAllocatorKinds();
 
 struct ExperimentOptions {
   uint64_t capacity_bytes = 80ull * 1024 * 1024 * 1024;  // A800-80G default
@@ -36,6 +44,9 @@ struct ExperimentOptions {
   uint64_t run_seed = 2002;
   // GMLake stitching threshold override (0 = default 512 MiB).
   uint64_t gmlake_frag_limit = 0;
+  // Paged-KV pool page size override (0 = PagedKVConfig default). Serving pipelines set this to
+  // the workload's KV block size so every cache allocation is a pool hit.
+  uint64_t paged_block_bytes = 0;
 };
 
 struct ExperimentResult {
@@ -64,6 +75,27 @@ struct ExperimentResult {
 // Runs one (workload, allocator) experiment.
 ExperimentResult RunExperiment(const WorkloadBuilder& workload, AllocatorKind kind,
                                const ExperimentOptions& options = ExperimentOptions{});
+
+// Constructs a baseline (non-STAlloc) allocator of `kind` over `device`, honouring the
+// per-allocator overrides in `options`. Returns nullptr for the STAlloc kinds, which need the
+// offline profile+plan pipeline. Shared by the training and serving experiment drivers.
+std::unique_ptr<Allocator> MakeBaselineAllocator(AllocatorKind kind, SimDevice* device,
+                                                 const ExperimentOptions& options);
+
+// Offline STAlloc stage shared by the training and serving pipelines: takes a profiled
+// iteration, synthesizes the plan and returns an initialized runtime allocator. Returns nullptr
+// with result->infeasible (profile exceeds capacity) or result->oom (pool reservation failed)
+// set; also fills result->profile_wall_ms and result->plan_stats.
+std::unique_ptr<STAllocAllocator> MakeSTAllocFromProfile(const ProfileResult& profile,
+                                                         AllocatorKind kind, SimDevice* device,
+                                                         ExperimentResult* result);
+
+// Populates the replay-outcome fields of `result` (peaks, efficiency, fragmentation, device API
+// counters, STAlloc breakdown, native-OOM -> infeasible promotion) after ReplayTrace. Shared by
+// the training and serving pipelines so the reported semantics cannot drift.
+void FinishExperimentResult(const ReplayResult& replay, const Allocator& active,
+                            const SimDevice& device, const STAllocAllocator* stalloc_alloc,
+                            ExperimentResult* result);
 
 }  // namespace stalloc
 

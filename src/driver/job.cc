@@ -17,9 +17,10 @@ std::string JobResult::Summary() const {
   if (oom) {
     return "OOM";
   }
-  return StrFormat("worst E=%.1f%%  max Mr=%s (rank %d)  total Mr=%s", worst_efficiency * 100.0,
-                   FormatBytes(max_reserved).c_str(), limiting_rank,
-                   FormatBytes(total_reserved).c_str());
+  return StrFormat("worst E=%.1f%%  max Mr=%s (rank %d)  total Mr=%s  releases=%llu",
+                   worst_efficiency * 100.0, FormatBytes(max_reserved).c_str(), limiting_rank,
+                   FormatBytes(total_reserved).c_str(),
+                   static_cast<unsigned long long>(max_release_calls));
 }
 
 JobResult RunJob(const ModelConfig& model, TrainConfig config, AllocatorKind kind,

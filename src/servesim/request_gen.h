@@ -1,0 +1,73 @@
+// Serving request generation: deterministic inference-request streams for the serving simulator.
+//
+// Where trainsim produces the *regular* allocation pattern of one training iteration (§2.3),
+// servesim produces its adversarial opposite: bursty request arrivals, wide prompt/output length
+// spreads and unpredictable completion times — the allocation stream of an LLM inference server
+// under continuous batching. Arrival processes and length distributions are sampled exclusively
+// through Rng (src/common/rng.h) so one (scenario, seed) pair reproduces the stream byte-for-byte.
+
+#ifndef SRC_SERVESIM_REQUEST_GEN_H_
+#define SRC_SERVESIM_REQUEST_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stalloc {
+
+// One inference request as seen by the engine's admission queue.
+struct ServeRequest {
+  uint64_t id = 0;             // dense index in arrival order
+  uint64_t arrival_step = 0;   // engine step at which the request becomes visible
+  uint32_t prompt_tokens = 0;  // tokens prefilled on admission
+  uint32_t output_tokens = 0;  // tokens generated before completion (>= 1)
+};
+
+enum class ArrivalProcess : uint8_t {
+  kPoisson,  // exponential inter-arrival with a fixed mean
+  kBursty,   // Poisson modulated by on/off bursts (rate x burst_factor while "on")
+  kBatch,    // all requests present at step 0 (offline batch inference)
+};
+
+// A length distribution: a weighted mixture of inclusive [lo, hi] token ranges. Mixtures express
+// the bimodal shapes of real serving traffic (many short chats + a long-context tail) without
+// the numeric pitfalls of parametric samplers.
+struct LengthBucket {
+  uint32_t lo = 1;
+  uint32_t hi = 1;
+  double weight = 1.0;
+};
+
+struct ServeScenario {
+  std::string name;
+  ArrivalProcess arrival = ArrivalProcess::kPoisson;
+  uint32_t num_requests = 64;
+  // Mean engine steps between arrivals (Poisson/bursty base rate).
+  double mean_interarrival_steps = 2.0;
+  // Bursty modulation: while a burst is on, the arrival rate is multiplied by burst_factor;
+  // burst on/off window lengths are themselves exponential with these means.
+  double burst_factor = 6.0;
+  double burst_on_steps = 8.0;
+  double burst_off_steps = 32.0;
+  std::vector<LengthBucket> prompt_dist;
+  std::vector<LengthBucket> output_dist;
+};
+
+// Named presets spanning the serving design space:
+//   chat          — short prompts, interactive outputs, steady Poisson arrivals;
+//   rag-long      — long retrieved contexts (KV-heavy prefill), short answers, bursty arrivals;
+//   batch-offline — everything queued up front, long generations (throughput-bound).
+ServeScenario ChatScenario();
+ServeScenario RagLongScenario();
+ServeScenario BatchOfflineScenario();
+
+// Lookup by preset name; aborts on unknown. Names: "chat", "rag-long", "batch-offline".
+ServeScenario ScenarioByName(const std::string& name);
+std::vector<std::string> ScenarioNames();
+
+// Generates the request stream of `scenario`, sorted by arrival_step with dense ids.
+std::vector<ServeRequest> GenerateRequests(const ServeScenario& scenario, uint64_t seed);
+
+}  // namespace stalloc
+
+#endif  // SRC_SERVESIM_REQUEST_GEN_H_

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/common/check.h"
 
@@ -167,6 +168,11 @@ ModelConfig ModelByName(const std::string& name) {
     return Qwen15_MoE_A27B();
   }
   STALLOC_CHECK(false, << "unknown model: " << name);
+}
+
+std::vector<std::string> KnownModelNames() {
+  return {"gpt2",       "llama2-7b",  "qwen2.5-7b", "qwen2.5-14b",
+          "qwen2.5-32b", "qwen2.5-72b", "qwen1.5-moe"};
 }
 
 }  // namespace stalloc

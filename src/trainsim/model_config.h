@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace stalloc {
 
@@ -58,6 +59,9 @@ ModelConfig Qwen15_MoE_A27B();
 
 // Lookup by name ("gpt2", "llama2-7b", "qwen2.5-14b", "qwen1.5-moe", ...). Aborts on unknown.
 ModelConfig ModelByName(const std::string& name);
+
+// Canonical names of all model presets, in ModelByName lookup order (tools' --list-models).
+std::vector<std::string> KnownModelNames();
 
 }  // namespace stalloc
 

@@ -1,0 +1,139 @@
+// Round-trip coverage for src/trace/trace_io.*: CSV and binary serialization must be lossless,
+// and a write -> read -> re-write cycle must reproduce the first serialization byte-for-byte
+// (the determinism contract external plan-synthesis tooling relies on, §8).
+
+#include "src/trace/trace_io.h"
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/servesim/engine.h"
+#include "src/servesim/request_gen.h"
+#include "src/trainsim/model_config.h"
+#include "src/trainsim/workload.h"
+
+namespace stalloc {
+namespace {
+
+Trace TinyTrace() {
+  Trace t;
+  t.set_name("tiny");
+  PhaseId init = t.AddPhase(PhaseInfo{PhaseKind::kIterInit, -1, -1, 0, 2});
+  PhaseId fwd = t.AddPhase(PhaseInfo{PhaseKind::kForward, 0, -1, 2, 5});
+  LayerId layer = t.AddLayer(LayerInfo{"expert0", 2, 5});
+  MemoryEvent weight;
+  weight.size = 4096;
+  weight.ts = 0;
+  weight.te = 5;
+  weight.ps = init;
+  weight.pe = fwd;
+  t.AddEvent(weight);
+  MemoryEvent dyn;
+  dyn.size = 1536;
+  dyn.ts = 2;
+  dyn.te = 4;
+  dyn.ps = fwd;
+  dyn.pe = fwd;
+  dyn.dyn = true;
+  dyn.ls = layer;
+  dyn.le = layer;
+  dyn.stream = kA2aStream;
+  t.AddEvent(dyn);
+  return t;
+}
+
+Trace TrainingTrace() {
+  TrainConfig config;
+  config.parallel.pp = 2;
+  config.num_microbatches = 2;
+  config.micro_batch_size = 2;
+  return WorkloadBuilder(ModelByName("gpt2"), config).Build(7);
+}
+
+Trace ServingTrace() {
+  ServeScenario scenario = ChatScenario();
+  scenario.num_requests = 8;
+  return BuildServeTrace(ModelByName("gpt2"), scenario, EngineConfig{}, 7).trace;
+}
+
+std::string CsvOf(const Trace& t) {
+  std::ostringstream os;
+  WriteTraceCsv(t, os);
+  return os.str();
+}
+
+void ExpectTracesEqual(const Trace& a, const Trace& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.name(), b.name());
+  ASSERT_EQ(a.phases().size(), b.phases().size());
+  ASSERT_EQ(a.layers().size(), b.layers().size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    const MemoryEvent& ea = a.events()[i];
+    const MemoryEvent& eb = b.events()[i];
+    EXPECT_EQ(ea.size, eb.size) << i;
+    EXPECT_EQ(ea.ts, eb.ts) << i;
+    EXPECT_EQ(ea.te, eb.te) << i;
+    EXPECT_EQ(ea.ps, eb.ps) << i;
+    EXPECT_EQ(ea.pe, eb.pe) << i;
+    EXPECT_EQ(ea.dyn, eb.dyn) << i;
+    EXPECT_EQ(ea.ls, eb.ls) << i;
+    EXPECT_EQ(ea.le, eb.le) << i;
+    EXPECT_EQ(ea.stream, eb.stream) << i;
+  }
+}
+
+TEST(TraceIo, CsvRoundTripIsByteIdentical) {
+  for (const Trace& original : {TinyTrace(), TrainingTrace(), ServingTrace()}) {
+    const std::string first = CsvOf(original);
+    std::istringstream is(first);
+    Trace reread = ReadTraceCsv(is);
+    ExpectTracesEqual(original, reread);
+    EXPECT_EQ(first, CsvOf(reread)) << "re-serialization must be byte-identical";
+  }
+}
+
+TEST(TraceIo, BinaryRoundTripIsLossless) {
+  for (const Trace& original : {TinyTrace(), TrainingTrace(), ServingTrace()}) {
+    std::ostringstream os;
+    WriteTraceBinary(original, os);
+    std::istringstream is(os.str());
+    Trace reread = ReadTraceBinary(is);
+    ExpectTracesEqual(original, reread);
+    // Binary -> binary is byte-identical too.
+    std::ostringstream os2;
+    WriteTraceBinary(reread, os2);
+    EXPECT_EQ(os.str(), os2.str());
+  }
+}
+
+TEST(TraceIo, CsvAndBinaryAgree) {
+  const Trace original = TrainingTrace();
+  std::ostringstream bin;
+  WriteTraceBinary(original, bin);
+  std::istringstream bin_is(bin.str());
+  Trace from_binary = ReadTraceBinary(bin_is);
+  EXPECT_EQ(CsvOf(original), CsvOf(from_binary));
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const Trace original = TinyTrace();
+  const std::string csv_path = ::testing::TempDir() + "/trace_io_test.csv";
+  const std::string bin_path = ::testing::TempDir() + "/trace_io_test.bin";
+  ASSERT_TRUE(WriteTraceCsvFile(original, csv_path));
+  ASSERT_TRUE(WriteTraceBinaryFile(original, bin_path));
+  ExpectTracesEqual(original, ReadTraceCsvFile(csv_path));
+  ExpectTracesEqual(original, ReadTraceBinaryFile(bin_path));
+  std::remove(csv_path.c_str());
+  std::remove(bin_path.c_str());
+}
+
+TEST(TraceIo, WriteToUnwritablePathFails) {
+  EXPECT_FALSE(WriteTraceCsvFile(TinyTrace(), "/nonexistent-dir/trace.csv"));
+  EXPECT_FALSE(WriteTraceBinaryFile(TinyTrace(), "/nonexistent-dir/trace.bin"));
+}
+
+}  // namespace
+}  // namespace stalloc

@@ -35,6 +35,22 @@ TEST(ModelConfigs, LookupByName) {
   EXPECT_TRUE(ModelByName("qwen1.5-moe").moe.enabled());
 }
 
+TEST(ModelConfigs, KnownModelNamesRoundTripThroughLookup) {
+  // --list-models is the discovery path for the trace tool: every advertised name must resolve,
+  // and every preset must be advertised (the lists are maintained by hand).
+  const auto names = KnownModelNames();
+  std::set<std::string> resolved;
+  for (const std::string& name : names) {
+    resolved.insert(ModelByName(name).name);  // aborts on unknown
+  }
+  EXPECT_EQ(resolved.size(), names.size()) << "duplicate or aliased entries";
+  for (const ModelConfig& preset :
+       {Gpt2_345M(), Llama2_7B(), Qwen25_7B(), Qwen25_14B(), Qwen25_32B(), Qwen25_72B(),
+        Qwen15_MoE_A27B()}) {
+    EXPECT_TRUE(resolved.count(preset.name)) << preset.name << " missing from KnownModelNames()";
+  }
+}
+
 TEST(Workload, TraceIsValidAndBalanced) {
   WorkloadBuilder wb(Gpt2_345M(), SmallConfig());
   Trace trace = wb.Build(1);

@@ -1,14 +1,20 @@
-// stalloc_trace_gen: generates the allocation trace of one training iteration to CSV — the
-// offline profiling stage of the paper's deployment (§8), runnable standalone.
+// stalloc_trace_gen: generates the allocation trace of one training iteration — or one serving
+// day — to CSV: the offline profiling stage of the paper's deployment (§8), runnable standalone.
 //
 //   stalloc_trace_gen --model gpt2 --config VR --pp 2 --tp 1 --dp 4 --mb 8 --out trace.csv
+//   stalloc_trace_gen --model gpt2 --serve chat --seed 7 --out serve.csv
+//   stalloc_trace_gen --list-models
 
+#include <cctype>
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "src/servesim/engine.h"
+#include "src/servesim/request_gen.h"
 #include "src/trace/trace_io.h"
 #include "src/trace/trace_stats.h"
 #include "src/trainsim/model_config.h"
@@ -19,9 +25,49 @@ namespace {
 const char* kUsage =
     "usage: stalloc_trace_gen [--model NAME] [--config TAG] [--pp N] [--tp N] [--dp N]\n"
     "                         [--ep N] [--vpp N] [--mb N] [--microbatches N] [--rank N]\n"
-    "                         [--seed N] [--out FILE]\n"
-    "  model: gpt2 | llama2-7b | qwen2.5-{7b,14b,32b,72b} | qwen1.5-moe\n"
-    "  config tag: N | R | V | VR | ZR | ZOR\n";
+    "                         [--seed N] [--capacity BYTES] [--serve SCENARIO] [--out FILE]\n"
+    "                         [--list-models]\n"
+    "  model: see --list-models\n"
+    "  config tag: N | R | V | VR | ZR | ZOR\n"
+    "  serve scenario: chat | rag-long | batch-offline (serving trace instead of training)\n"
+    "  capacity: accepts suffixes K/M/G (GiB), e.g. 80G; reports a feasibility verdict\n";
+
+// Parses "80G" / "512M" / raw bytes. Anything else (bad digits, unknown or trailing suffix
+// characters) is rejected — a typo must not silently flip the feasibility verdict.
+uint64_t ParseBytes(const char* s) {
+  char* end = nullptr;
+  errno = 0;
+  const uint64_t v = std::strtoull(s, &end, 10);
+  uint64_t unit = 1;
+  // strtoull wraps a leading '-' modulo 2^64; require a plain digit first.
+  bool bad = !std::isdigit(static_cast<unsigned char>(s[0])) || end == s || v == 0 ||
+             errno == ERANGE;
+  if (!bad && *end != '\0') {
+    switch (*end) {
+      case 'K':
+      case 'k':
+        unit = 1024ull;
+        break;
+      case 'M':
+      case 'm':
+        unit = 1024ull * 1024;
+        break;
+      case 'G':
+      case 'g':
+        unit = 1024ull * 1024 * 1024;
+        break;
+      default:
+        bad = true;
+    }
+    bad = bad || *(end + 1) != '\0';
+  }
+  bad = bad || v > UINT64_MAX / unit;  // the scaled value must fit too
+  if (bad) {
+    std::fprintf(stderr, "bad byte count '%s' (expected e.g. 80G, 512M, 1073741824)\n", s);
+    std::exit(2);
+  }
+  return v * unit;
+}
 
 }  // namespace
 
@@ -31,12 +77,15 @@ int main(int argc, char** argv) {
   std::string model_name = "gpt2";
   std::string tag = "N";
   std::string out = "trace.csv";
+  std::string serve_scenario;
   TrainConfig config;
   config.parallel.pp = 2;
   config.parallel.dp = 4;
   config.num_microbatches = 8;
   config.micro_batch_size = 8;
   uint64_t seed = 1;
+  uint64_t capacity = 0;  // 0 = no feasibility report
+  bool training_flags_used = false;  // --serve and training-shape flags are mutually exclusive
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -50,24 +99,42 @@ int main(int argc, char** argv) {
       model_name = next("--model");
     } else if (!std::strcmp(argv[i], "--config")) {
       tag = next("--config");
+      training_flags_used = true;
     } else if (!std::strcmp(argv[i], "--pp")) {
       config.parallel.pp = std::atoi(next("--pp"));
+      training_flags_used = true;
     } else if (!std::strcmp(argv[i], "--tp")) {
       config.parallel.tp = std::atoi(next("--tp"));
+      training_flags_used = true;
     } else if (!std::strcmp(argv[i], "--dp")) {
       config.parallel.dp = std::atoi(next("--dp"));
+      training_flags_used = true;
     } else if (!std::strcmp(argv[i], "--ep")) {
       config.parallel.ep = std::atoi(next("--ep"));
+      training_flags_used = true;
     } else if (!std::strcmp(argv[i], "--vpp")) {
       config.parallel.vpp_chunks = std::atoi(next("--vpp"));
+      training_flags_used = true;
     } else if (!std::strcmp(argv[i], "--mb")) {
       config.micro_batch_size = std::strtoull(next("--mb"), nullptr, 10);
+      training_flags_used = true;
     } else if (!std::strcmp(argv[i], "--microbatches")) {
       config.num_microbatches = std::atoi(next("--microbatches"));
+      training_flags_used = true;
     } else if (!std::strcmp(argv[i], "--rank")) {
       config.rank = std::atoi(next("--rank"));
+      training_flags_used = true;
     } else if (!std::strcmp(argv[i], "--seed")) {
       seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--capacity")) {
+      capacity = ParseBytes(next("--capacity"));
+    } else if (!std::strcmp(argv[i], "--serve")) {
+      serve_scenario = next("--serve");
+    } else if (!std::strcmp(argv[i], "--list-models")) {
+      for (const std::string& name : KnownModelNames()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
     } else if (!std::strcmp(argv[i], "--out")) {
       out = next("--out");
     } else {
@@ -76,14 +143,29 @@ int main(int argc, char** argv) {
     }
   }
 
-  const int saved_vpp = config.parallel.vpp_chunks;
-  config = ApplyConfigTag(config, tag);
-  if (saved_vpp > 1) {
-    config.parallel.vpp_chunks = saved_vpp;
+  if (!serve_scenario.empty() && training_flags_used) {
+    std::fprintf(stderr, "--serve generates a serving trace; training-shape flags "
+                         "(--config/--pp/--tp/--dp/--ep/--vpp/--mb/--microbatches/--rank) "
+                         "would be silently ignored\n%s", kUsage);
+    return 2;
   }
 
-  WorkloadBuilder workload(ModelByName(model_name), config);
-  Trace trace = workload.Build(seed);
+  Trace trace;
+  if (!serve_scenario.empty()) {
+    ServeTraceResult serve =
+        BuildServeTrace(ModelByName(model_name), ScenarioByName(serve_scenario), EngineConfig{},
+                        seed);
+    std::printf("%s\n", serve.stats.ToString().c_str());
+    trace = std::move(serve.trace);
+  } else {
+    const int saved_vpp = config.parallel.vpp_chunks;
+    config = ApplyConfigTag(config, tag);
+    if (saved_vpp > 1) {
+      config.parallel.vpp_chunks = saved_vpp;
+    }
+    WorkloadBuilder workload(ModelByName(model_name), config);
+    trace = workload.Build(seed);
+  }
   // Binary when the extension says so, CSV otherwise.
   const bool binary = out.size() > 4 && out.substr(out.size() - 4) == ".bin";
   const bool ok = binary ? WriteTraceBinaryFile(trace, out) : WriteTraceCsvFile(trace, out);
@@ -93,5 +175,11 @@ int main(int argc, char** argv) {
   }
   TraceStats stats = ComputeStats(trace);
   std::printf("wrote %s: %zu events\n%s", out.c_str(), trace.size(), stats.ToString().c_str());
+  if (capacity > 0) {
+    std::printf("capacity check: peak %llu of %llu bytes — %s\n",
+                static_cast<unsigned long long>(stats.peak_allocated),
+                static_cast<unsigned long long>(capacity),
+                stats.peak_allocated <= capacity ? "feasible" : "INFEASIBLE");
+  }
   return 0;
 }
