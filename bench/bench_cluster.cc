@@ -1,0 +1,259 @@
+// Fleet-scheduling comparison: scheduler policy x device-allocator kind x fleet size over a
+// seeded mixed train+serve cluster workload — the capacity story the single-device benches
+// cannot tell. Under co-location pressure the admission estimate decides whether a job OOMs on
+// the device or never gets there, and the allocator decides how much of the fleet's capacity
+// fragmentation eats.
+//
+// Two scenarios run:
+//   * mixed     — a day of interleaved training jobs and serving instances on 2- and 4-device
+//                 fleets, for every policy x allocator cell;
+//   * oversized — the admission acid test: a training job whose activation-heavy footprint
+//                 exceeds every device. first-fit admits it on the naive model-size estimate and
+//                 it OOMs at runtime; plan-aware predicts the reservation from the profiled
+//                 trace and rejects it up front (requeue-or-reject vs never-admit).
+//
+//   bench_cluster [--json FILE]   ("-" writes JSON to stdout)
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/cluster/cluster_workload.h"
+#include "src/cluster/fleet.h"
+#include "src/cluster/scheduler.h"
+
+namespace {
+
+using namespace stalloc;
+
+// The allocator line-up: every kind that can front a shared device, minus native (no caching,
+// so its fleet behaviour is the theoretical floor — uninteresting here and slow).
+std::vector<AllocatorKind> BenchKinds() {
+  return {AllocatorKind::kCaching, AllocatorKind::kExpandable, AllocatorKind::kGMLake,
+          AllocatorKind::kPagedKV};
+}
+
+struct Cell {
+  int devices = 0;
+  uint64_t capacity = 0;
+  SchedulerPolicy policy = SchedulerPolicy::kFirstFit;
+  AllocatorKind kind = AllocatorKind::kCaching;
+  ClusterResult result;
+};
+
+struct Scenario {
+  std::string name;
+  uint64_t seed = 0;
+  std::vector<Cell> cells;
+};
+
+ClusterWorkloadConfig MixedWorkload() {
+  ClusterWorkloadConfig config;
+  config.num_jobs = 10;
+  config.train_fraction = 0.5;
+  config.mean_interarrival = 1200;
+  config.micro_batches = {1, 2, 4};
+  config.num_microbatches = 4;
+  config.max_pp = 2;
+  config.min_iterations = 1;
+  config.max_iterations = 2;
+  config.serve_requests = 32;
+  config.kv_budget_bytes = 2 * GiB;
+  return config;
+}
+
+// One oversized training job (~14 GiB peak, ~5.5 GiB naive estimate) in an otherwise easy day.
+std::vector<ClusterJob> OversizedWorkload(uint64_t seed) {
+  ClusterWorkloadConfig small = MixedWorkload();
+  small.num_jobs = 3;
+  small.micro_batches = {1};
+  small.num_microbatches = 2;
+  small.max_iterations = 1;
+  std::vector<ClusterJob> jobs = GenerateClusterWorkload(small, seed);
+  ClusterJob big;
+  big.id = jobs.size();
+  big.type = ClusterJobType::kTraining;
+  big.submit_time = jobs.empty() ? 1 : jobs.back().submit_time + 1;
+  big.model = "gpt2";
+  big.seed = seed * 31 + 7;
+  TrainConfig config;
+  config.num_microbatches = 8;
+  config.micro_batch_size = 8;
+  big.train = ApplyConfigTag(config, "N");
+  big.iterations = 1;
+  jobs.push_back(std::move(big));
+  return jobs;
+}
+
+Scenario RunMixed(uint64_t seed) {
+  Scenario scenario;
+  scenario.name = "mixed";
+  scenario.seed = seed;
+  const std::vector<ClusterJob> jobs = GenerateClusterWorkload(MixedWorkload(), seed);
+  for (int devices : {2, 4}) {
+    for (SchedulerPolicy policy : AllSchedulerPolicies()) {
+      for (AllocatorKind kind : BenchKinds()) {
+        Cell cell;
+        cell.devices = devices;
+        cell.capacity = 16 * GiB;
+        cell.policy = policy;
+        cell.kind = kind;
+        FleetConfig fleet;
+        fleet.device_capacities.assign(static_cast<size_t>(devices), cell.capacity);
+        fleet.policy = policy;
+        fleet.allocator = kind;
+        cell.result = RunCluster(fleet, jobs);
+        scenario.cells.push_back(std::move(cell));
+      }
+    }
+  }
+  return scenario;
+}
+
+Scenario RunOversized(uint64_t seed) {
+  Scenario scenario;
+  scenario.name = "oversized";
+  scenario.seed = seed;
+  const std::vector<ClusterJob> jobs = OversizedWorkload(seed);
+  for (SchedulerPolicy policy : AllSchedulerPolicies()) {
+    for (AllocatorKind kind : BenchKinds()) {
+      Cell cell;
+      cell.devices = 2;
+      cell.capacity = 12 * GiB;
+      cell.policy = policy;
+      cell.kind = kind;
+      FleetConfig fleet;
+      fleet.device_capacities.assign(2, cell.capacity);
+      fleet.policy = policy;
+      fleet.allocator = kind;
+      fleet.max_oom_retries = 1;
+      cell.result = RunCluster(fleet, jobs);
+      scenario.cells.push_back(std::move(cell));
+    }
+  }
+  return scenario;
+}
+
+void PrintScenario(const Scenario& scenario, std::FILE* out) {
+  std::fprintf(out, "Cluster — %s scenario (seed %llu)\n\n", scenario.name.c_str(),
+               static_cast<unsigned long long>(scenario.seed));
+  TextTable table({"fleet", "policy", "allocator", "completed", "rej up", "rej oom", "ooms",
+                   "util (%)", "frag (%)", "wait p50", "wait p99", "SLO"});
+  for (const Cell& cell : scenario.cells) {
+    const ClusterResult& r = cell.result;
+    double frag = 0;
+    for (const DeviceMetrics& d : r.devices) {
+      frag = std::max(frag, d.avg_external_frag);
+    }
+    table.AddRow({StrFormat("%dx%s", cell.devices, FormatBytes(cell.capacity).c_str()),
+                  SchedulerPolicyName(cell.policy), AllocatorKindName(cell.kind),
+                  StrFormat("%llu/%llu", static_cast<unsigned long long>(r.completed),
+                            static_cast<unsigned long long>(r.num_jobs)),
+                  StrFormat("%llu", static_cast<unsigned long long>(r.rejected_upfront)),
+                  StrFormat("%llu", static_cast<unsigned long long>(r.rejected_oom)),
+                  StrFormat("%llu", static_cast<unsigned long long>(r.oom_events)),
+                  StrFormat("%.1f", r.fleet_avg_utilization * 100.0),
+                  StrFormat("%.1f", frag * 100.0), StrFormat("%.0f", r.queue_wait_p50),
+                  StrFormat("%.0f", r.queue_wait_p99),
+                  StrFormat("%.2f", r.serve_slo_attainment)});
+  }
+  std::fputs(table.ToString().c_str(), out);
+  std::fprintf(out, "\n");
+}
+
+std::string CellJson(const Cell& cell) {
+  const ClusterResult& r = cell.result;
+  std::string out = StrFormat(
+      "        {\"policy\": \"%s\", \"allocator\": \"%s\", \"devices\": %d, "
+      "\"capacity_bytes\": %llu,\n"
+      "         \"jobs\": %llu, \"admitted\": %llu, \"completed\": %llu, "
+      "\"rejected_upfront\": %llu, \"rejected_oom\": %llu, \"starved\": %llu,\n"
+      "         \"oom_events\": %llu, \"requeues\": %llu, \"makespan\": %llu, "
+      "\"fleet_avg_utilization\": %.6f,\n"
+      "         \"queue_wait_p50\": %.1f, \"queue_wait_p90\": %.1f, \"queue_wait_p99\": %.1f, "
+      "\"serve_slo_attainment\": %.6f,\n"
+      "         \"device_metrics\": [",
+      SchedulerPolicyName(cell.policy), AllocatorKindName(cell.kind), cell.devices,
+      static_cast<unsigned long long>(cell.capacity), static_cast<unsigned long long>(r.num_jobs),
+      static_cast<unsigned long long>(r.admitted), static_cast<unsigned long long>(r.completed),
+      static_cast<unsigned long long>(r.rejected_upfront),
+      static_cast<unsigned long long>(r.rejected_oom), static_cast<unsigned long long>(r.starved),
+      static_cast<unsigned long long>(r.oom_events), static_cast<unsigned long long>(r.requeues),
+      static_cast<unsigned long long>(r.makespan), r.fleet_avg_utilization, r.queue_wait_p50,
+      r.queue_wait_p90, r.queue_wait_p99, r.serve_slo_attainment);
+  for (size_t d = 0; d < r.devices.size(); ++d) {
+    const DeviceMetrics& m = r.devices[d];
+    out += StrFormat(
+        "%s{\"peak_used\": %llu, \"avg_utilization\": %.6f, \"avg_external_frag\": %.6f, "
+        "\"memory_efficiency\": %.6f, \"oom_events\": %llu}",
+        d == 0 ? "" : ", ", static_cast<unsigned long long>(m.peak_used), m.avg_utilization,
+        m.avg_external_frag, m.memory_efficiency, static_cast<unsigned long long>(m.oom_events));
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ToJson(const std::vector<Scenario>& scenarios) {
+  std::string out = "{\n  \"bench\": \"cluster\",\n  \"scenarios\": [\n";
+  for (size_t s = 0; s < scenarios.size(); ++s) {
+    const Scenario& scenario = scenarios[s];
+    out += StrFormat("    {\"scenario\": \"%s\", \"seed\": %llu, \"results\": [\n",
+                     scenario.name.c_str(), static_cast<unsigned long long>(scenario.seed));
+    for (size_t c = 0; c < scenario.cells.size(); ++c) {
+      out += CellJson(scenario.cells[c]);
+      out += c + 1 < scenario.cells.size() ? ",\n" : "\n";
+    }
+    out += StrFormat("    ]}%s\n", s + 1 < scenarios.size() ? "," : "");
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  uint64_t seed = 42;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "usage: bench_cluster [--seed N] [--json FILE]\n");
+      return 2;
+    }
+  }
+
+  std::vector<Scenario> scenarios;
+  scenarios.push_back(RunMixed(seed));
+  scenarios.push_back(RunOversized(seed));
+  // With --json - the JSON owns stdout; the tables move to stderr so the output stays pipeable.
+  std::FILE* report = json_path == "-" ? stderr : stdout;
+  for (const Scenario& scenario : scenarios) {
+    PrintScenario(scenario, report);
+  }
+
+  if (!json_path.empty()) {
+    const std::string json = ToJson(scenarios);
+    if (json_path == "-") {
+      std::fputs(json.c_str(), stdout);
+    } else {
+      std::FILE* f = std::fopen(json_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+      }
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+  }
+  return 0;
+}

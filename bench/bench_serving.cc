@@ -104,13 +104,16 @@ int main(int argc, char** argv) {
   opt.base.capacity_bytes = 16ull * GiB;
   opt.engine.kv_budget_bytes = 4ull * GiB;
 
+  // With --json - the JSON owns stdout; the tables move to stderr so the output stays pipeable.
+  std::FILE* report = json_path == "-" ? stderr : stdout;
+
   std::vector<ScenarioRun> runs;
   for (const std::string& name : ScenarioNames()) {
     const ServeScenario scenario = ScenarioByName(name);
-    std::printf("Serving — %s scenario, %s, device=%s, KV budget=%s, KV block=%s\n\n",
-                name.c_str(), model.name.c_str(), FormatBytes(opt.base.capacity_bytes).c_str(),
-                FormatBytes(opt.engine.kv_budget_bytes).c_str(),
-                FormatBytes(KvBlockBytes(model, opt.engine)).c_str());
+    std::fprintf(report, "Serving — %s scenario, %s, device=%s, KV budget=%s, KV block=%s\n\n",
+                 name.c_str(), model.name.c_str(), FormatBytes(opt.base.capacity_bytes).c_str(),
+                 FormatBytes(opt.engine.kv_budget_bytes).c_str(),
+                 FormatBytes(KvBlockBytes(model, opt.engine)).c_str());
     TextTable table({"allocator", "E (%)", "Ma", "Mr", "frag", "API calls", "API cost (ms)",
                      "releases", "preempt", "peak batch"});
     ScenarioRun run;
@@ -127,8 +130,8 @@ int main(int argc, char** argv) {
                     StrFormat("%d", r.serve.peak_batch)});
       run.results.emplace_back(kind, std::move(r));
     }
-    table.Print();
-    std::printf("\n");
+    std::fputs(table.ToString().c_str(), report);
+    std::fprintf(report, "\n");
     runs.push_back(std::move(run));
   }
 

@@ -1,0 +1,93 @@
+#include "src/cluster/cluster_workload.h"
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/common/table.h"
+
+namespace stalloc {
+
+namespace {
+
+// Exponential inter-arrival sample with the given mean, floored to >= 1 tick so submissions
+// stay strictly ordered events.
+uint64_t SampleInterarrival(Rng& rng, double mean) {
+  const double u = rng.NextDouble();
+  const double gap = -mean * std::log(1.0 - u);
+  return gap < 1.0 ? 1 : static_cast<uint64_t>(gap);
+}
+
+template <typename T>
+const T& Pick(Rng& rng, const std::vector<T>& options) {
+  STALLOC_CHECK(!options.empty());
+  return options[rng.NextBelow(options.size())];
+}
+
+}  // namespace
+
+const char* ClusterJobTypeName(ClusterJobType type) {
+  switch (type) {
+    case ClusterJobType::kTraining:
+      return "train";
+    case ClusterJobType::kServing:
+      return "serve";
+  }
+  return "?";
+}
+
+std::string ClusterJob::Describe() const {
+  if (type == ClusterJobType::kTraining) {
+    return StrFormat("train[%s %s pp%d mb%llu x%d]", model.c_str(), train.opt.Tag().c_str(),
+                     train.parallel.pp, static_cast<unsigned long long>(train.micro_batch_size),
+                     iterations);
+  }
+  return StrFormat("serve[%s %s n%u]", model.c_str(), scenario.name.c_str(),
+                   scenario.num_requests);
+}
+
+std::vector<ClusterJob> GenerateClusterWorkload(const ClusterWorkloadConfig& config,
+                                                uint64_t seed) {
+  STALLOC_CHECK(config.num_jobs >= 0);
+  STALLOC_CHECK(config.max_pp >= 1);
+  STALLOC_CHECK(config.min_iterations >= 1 && config.max_iterations >= config.min_iterations);
+  Rng rng(seed);
+  std::vector<ClusterJob> jobs;
+  jobs.reserve(static_cast<size_t>(config.num_jobs));
+  uint64_t t = 0;
+  for (int i = 0; i < config.num_jobs; ++i) {
+    t += SampleInterarrival(rng, config.mean_interarrival);
+    ClusterJob job;
+    job.id = static_cast<uint64_t>(i);
+    job.submit_time = t;
+    job.model = config.model;
+    job.seed = rng.Next();
+    if (rng.NextDouble() < config.train_fraction) {
+      job.type = ClusterJobType::kTraining;
+      TrainConfig base;
+      base.parallel.pp = 1 + static_cast<int>(rng.NextBelow(static_cast<uint64_t>(config.max_pp)));
+      base.num_microbatches = config.num_microbatches;
+      base.micro_batch_size = Pick(rng, config.micro_batches);
+      job.train = ApplyConfigTag(base, Pick(rng, config.train_tags));
+      job.iterations = config.min_iterations +
+                       static_cast<int>(rng.NextBelow(static_cast<uint64_t>(
+                           config.max_iterations - config.min_iterations + 1)));
+    } else {
+      job.type = ClusterJobType::kServing;
+      job.scenario = ScenarioByName(Pick(rng, config.serve_scenarios));
+      if (config.serve_requests > 0) {
+        job.scenario.num_requests = config.serve_requests;
+      }
+      job.engine.kv_budget_bytes = config.kv_budget_bytes;
+      job.iterations = 1;
+    }
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace stalloc

@@ -1,0 +1,78 @@
+// ClusterWorkload: a deterministic, timestamped queue of mixed jobs for the fleet simulator.
+//
+// Two job species share the cluster: training jobs (a TrainConfig whose pp ranks must be placed
+// on distinct devices, replaying their iteration trace back-to-back for a few iterations) and
+// serving instances (a servesim scenario pinned to one device, replaying one serving day). Both
+// reduce to the same Trace/Allocator vocabulary, so a fleet device can host any mix — the
+// co-location pressure under which allocator choice and fragmentation decide capacity.
+//
+// Generation is seeded: one (ClusterWorkloadConfig, seed) pair reproduces the job queue
+// byte-for-byte, including every per-job trace seed.
+
+#ifndef SRC_CLUSTER_CLUSTER_WORKLOAD_H_
+#define SRC_CLUSTER_CLUSTER_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/servesim/engine.h"
+#include "src/servesim/request_gen.h"
+#include "src/trainsim/train_config.h"
+
+namespace stalloc {
+
+enum class ClusterJobType : uint8_t {
+  kTraining,  // pp ranks on distinct devices, iteration trace repeated `iterations` times
+  kServing,   // one continuous-batching day on a single device
+};
+
+const char* ClusterJobTypeName(ClusterJobType type);
+
+struct ClusterJob {
+  uint64_t id = 0;
+  ClusterJobType type = ClusterJobType::kTraining;
+  uint64_t submit_time = 0;  // cluster tick of submission
+  std::string model = "gpt2";
+  uint64_t seed = 1;         // run-trace seed (MoE routing / request arrivals)
+
+  // Training shape (type == kTraining). `train.rank` is ignored; every rank in [0, pp) runs.
+  TrainConfig train;
+  int iterations = 1;        // back-to-back replays of the iteration trace
+
+  // Serving shape (type == kServing).
+  ServeScenario scenario;
+  EngineConfig engine;
+
+  int ranks() const { return type == ClusterJobType::kTraining ? train.parallel.pp : 1; }
+  std::string Describe() const;  // "train[gpt2 R pp2 mb4 x3]" / "serve[gpt2 chat]"
+};
+
+struct ClusterWorkloadConfig {
+  int num_jobs = 12;
+  double train_fraction = 0.5;       // probability a job is a training job
+  double mean_interarrival = 1500;   // cluster ticks between submissions (exponential)
+  std::string model = "gpt2";
+
+  // Training shape ranges, sampled uniformly per job.
+  std::vector<std::string> train_tags = {"N", "R"};
+  std::vector<uint64_t> micro_batches = {1, 2, 4};
+  int max_pp = 2;
+  int num_microbatches = 4;
+  int min_iterations = 1;
+  int max_iterations = 3;
+
+  // Serving shape.
+  std::vector<std::string> serve_scenarios = {"chat", "rag-long"};
+  uint32_t serve_requests = 48;        // overrides scenario.num_requests (0 = keep preset)
+  uint64_t kv_budget_bytes = 2 * GiB;  // per-instance KV budget
+};
+
+// Generates the job queue: jobs sorted by submit_time with dense ids.
+std::vector<ClusterJob> GenerateClusterWorkload(const ClusterWorkloadConfig& config,
+                                                uint64_t seed);
+
+}  // namespace stalloc
+
+#endif  // SRC_CLUSTER_CLUSTER_WORKLOAD_H_

@@ -1,0 +1,552 @@
+#include "src/cluster/fleet.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/table.h"
+#include "src/common/units.h"
+#include "src/gpu/sim_device.h"
+#include "src/trainsim/model_config.h"
+#include "src/trainsim/workload.h"
+
+namespace stalloc {
+
+namespace {
+
+constexpr uint64_t kNever = std::numeric_limits<uint64_t>::max();
+
+// One admitted job-rank resident on one device: a cursor over its trace's op stream, repeated
+// `iterations` times back-to-back, plus the live-block ledger needed to unwind it on abort.
+struct Placement {
+  size_t job = 0;  // index into the JobState vector
+  int rank = 0;
+  int device = 0;
+  const Trace* trace = nullptr;
+  const std::vector<TraceOp>* ops = nullptr;
+  uint64_t start = 0;   // admission tick
+  uint64_t period = 0;  // trace end_time: iteration i replays at start + i * period
+  int iterations = 1;
+  size_t cursor = 0;
+  bool active = false;
+  uint64_t estimate = 0;  // admission claim held on the device while resident
+  std::unordered_map<uint64_t, uint64_t> live;  // event id -> device address
+  uint64_t live_bytes = 0;
+  uint64_t peak_live = 0;
+
+  size_t TotalOps() const { return ops->size() * static_cast<size_t>(iterations); }
+  bool Done() const { return cursor >= TotalOps(); }
+  uint64_t NextOpTime() const {
+    const size_t n = ops->size();
+    return start + static_cast<uint64_t>(cursor / n) * period + (*ops)[cursor % n].time;
+  }
+};
+
+struct DeviceState {
+  std::unique_ptr<SimDevice> device;
+  std::unique_ptr<Allocator> alloc;
+  uint64_t claimed = 0;  // sum of resident placements' admission estimates
+
+  // Utilization is integrated exactly (on every op); external fragmentation is sampled at
+  // scheduling events (arrival / completion / abort) and time-weighted between samples.
+  uint64_t last_util_time = 0;
+  double util_integral = 0;  // bytes * ticks
+  uint64_t last_frag_time = 0;
+  double frag_value = 0;
+  double frag_integral = 0;
+  double peak_frag = 0;
+  uint64_t peak_used = 0;
+  uint64_t placements = 0;
+  uint64_t ooms = 0;
+};
+
+struct JobState {
+  const ClusterJob* spec = nullptr;
+  JobOutcome outcome;
+  ModelConfig model;
+  std::vector<Trace> traces;              // one per rank
+  std::vector<std::vector<TraceOp>> ops;  // cached Ops() per rank
+  std::vector<uint64_t> estimates;        // per-rank admission estimate
+  ServeSimStats serve_stats;              // serving jobs only
+  int live_ranks = 0;
+};
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) {
+    return 0;
+  }
+  std::sort(values.begin(), values.end());
+  const size_t rank = static_cast<size_t>(p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(rank, values.size() - 1)];
+}
+
+class ClusterSim {
+ public:
+  ClusterSim(const FleetConfig& config, const std::vector<ClusterJob>& specs)
+      : config_(config), scheduler_(MakeScheduler(config.policy)) {
+    STALLOC_CHECK(!config.device_capacities.empty(), << "fleet needs at least one device");
+    devices_.reserve(config.device_capacities.size());
+    for (uint64_t capacity : config.device_capacities) {
+      DeviceState d;
+      d.device = std::make_unique<SimDevice>(capacity);
+      d.alloc = MakeBaselineAllocator(config.allocator, d.device.get(),
+                                      config.allocator_options);
+      STALLOC_CHECK(d.alloc != nullptr,
+                    << "allocator kind '" << AllocatorKindName(config.allocator)
+                    << "' cannot front a shared fleet device (STAlloc kinds need a per-job "
+                       "plan; see ClusterAllocatorKinds())");
+      devices_.push_back(std::move(d));
+    }
+    jobs_.reserve(specs.size());
+    for (const ClusterJob& spec : specs) {
+      JobState job;
+      job.spec = &spec;
+      job.outcome.id = spec.id;
+      job.outcome.type = spec.type;
+      job.outcome.submit_time = spec.submit_time;
+      jobs_.push_back(std::move(job));
+    }
+  }
+
+  ClusterResult Run() {
+    size_t next_arrival = 0;
+    while (true) {
+      const uint64_t t_arr =
+          next_arrival < jobs_.size() ? jobs_[next_arrival].spec->submit_time : kNever;
+      DropStaleHeapEntries();
+      const uint64_t t_op = heap_.empty() ? kNever : heap_.top().first;
+      if (t_arr == kNever && t_op == kNever) {
+        break;
+      }
+      if (t_arr <= t_op) {
+        now_ = t_arr;
+        while (next_arrival < jobs_.size() &&
+               jobs_[next_arrival].spec->submit_time == now_) {
+          Submit(next_arrival++);
+        }
+        SampleFrag();
+        SchedulePass();
+        continue;
+      }
+      const auto [time, placement_id] = heap_.top();
+      heap_.pop();
+      now_ = time;
+      ProcessOp(placement_id);
+    }
+    // Whatever is still queued can no longer be unblocked: no running job, no future arrival.
+    for (size_t idx : queue_) {
+      jobs_[idx].outcome.status = JobStatus::kStarved;
+      jobs_[idx].outcome.finish_time = now_;
+    }
+    queue_.clear();
+    return Finalize();
+  }
+
+ private:
+  void DropStaleHeapEntries() {
+    while (!heap_.empty() && !placements_[heap_.top().second].active) {
+      heap_.pop();
+    }
+  }
+
+  void AdvanceUtil(DeviceState& d) {
+    d.util_integral += static_cast<double>(d.device->physical_used()) *
+                       static_cast<double>(now_ - d.last_util_time);
+    d.last_util_time = now_;
+  }
+
+  static double CurrentFrag(const DeviceState& d) {
+    const uint64_t free_total = d.device->classic_free_total();
+    if (free_total == 0) {
+      return 0;
+    }
+    return 1.0 - static_cast<double>(d.device->classic_largest_free()) /
+                     static_cast<double>(free_total);
+  }
+
+  void SampleFrag() {
+    for (DeviceState& d : devices_) {
+      d.frag_integral += d.frag_value * static_cast<double>(now_ - d.last_frag_time);
+      d.frag_value = CurrentFrag(d);
+      d.peak_frag = std::max(d.peak_frag, d.frag_value);
+      d.last_frag_time = now_;
+    }
+  }
+
+  // Builds the job's traces, cached op streams and per-policy admission estimates; decides
+  // up-front rejection. Called once, at submission.
+  void Submit(size_t idx) {
+    JobState& job = jobs_[idx];
+    const ClusterJob& spec = *job.spec;
+    job.model = ModelByName(spec.model);
+    const bool plan_aware = config_.policy == SchedulerPolicy::kPlanAware;
+    if (spec.type == ClusterJobType::kTraining) {
+      TrainConfig per_rank = spec.train;
+      for (int rank = 0; rank < spec.train.parallel.pp; ++rank) {
+        per_rank.rank = rank;
+        WorkloadBuilder workload(job.model, per_rank);
+        job.traces.push_back(workload.Build(spec.seed));
+        job.estimates.push_back(plan_aware
+                                    ? PlanPredictedReservation(workload.Build(config_.profile_seed))
+                                    : NaiveTrainingEstimate(job.model, spec.train, rank));
+      }
+    } else {
+      ServeTraceResult run = BuildServeTrace(job.model, spec.scenario, spec.engine, spec.seed);
+      job.serve_stats = std::move(run.stats);
+      job.traces.push_back(std::move(run.trace));
+      if (plan_aware) {
+        ServeTraceResult profile =
+            BuildServeTrace(job.model, spec.scenario, spec.engine, config_.profile_seed);
+        job.estimates.push_back(PlanPredictedReservation(profile.trace));
+      } else {
+        job.estimates.push_back(NaiveServingEstimate(job.model, spec.engine));
+      }
+    }
+    for (const Trace& trace : job.traces) {
+      job.ops.push_back(trace.Ops());
+    }
+    job.outcome.estimate = *std::max_element(job.estimates.begin(), job.estimates.end());
+
+    uint64_t max_capacity = 0;
+    for (const DeviceState& d : devices_) {
+      max_capacity = std::max(max_capacity, d.device->capacity());
+    }
+    if (job.traces.size() > devices_.size() || job.outcome.estimate > max_capacity) {
+      job.outcome.status = JobStatus::kRejectedUpfront;
+      job.outcome.finish_time = now_;
+      return;
+    }
+    queue_.push_back(idx);
+  }
+
+  std::vector<DeviceView> BuildViews() const {
+    std::vector<DeviceView> views;
+    views.reserve(devices_.size());
+    for (size_t d = 0; d < devices_.size(); ++d) {
+      DeviceView v;
+      v.index = static_cast<int>(d);
+      v.capacity = devices_[d].device->capacity();
+      v.claimed = devices_[d].claimed;
+      v.physical_used = devices_[d].device->physical_used();
+      views.push_back(v);
+    }
+    return views;
+  }
+
+  // FCFS with backfill: scan the queue in order, admit every job that fits right now; restart
+  // after each admission because claims changed.
+  void SchedulePass() {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        JobState& job = jobs_[*it];
+        auto placed = scheduler_->Place(job.estimates, BuildViews());
+        if (placed.has_value()) {
+          Admit(*it, *placed);
+          queue_.erase(it);
+          progress = true;
+          break;
+        }
+      }
+    }
+  }
+
+  void Admit(size_t idx, const std::vector<int>& chosen) {
+    JobState& job = jobs_[idx];
+    ++job.outcome.attempts;
+    if (job.outcome.attempts == 1) {
+      job.outcome.admit_time = now_;
+      job.outcome.queue_wait = static_cast<double>(now_ - job.outcome.submit_time);
+    } else {
+      ++requeue_admissions_;
+    }
+    job.outcome.devices = chosen;
+    job.live_ranks = static_cast<int>(job.traces.size());
+    for (size_t rank = 0; rank < job.traces.size(); ++rank) {
+      Placement p;
+      p.job = idx;
+      p.rank = static_cast<int>(rank);
+      p.device = chosen[rank];
+      p.trace = &job.traces[rank];
+      p.ops = &job.ops[rank];
+      p.start = now_;
+      p.period = job.traces[rank].end_time();
+      p.iterations = job.spec->type == ClusterJobType::kTraining ? job.spec->iterations : 1;
+      p.estimate = job.estimates[rank];
+      p.active = true;
+      DeviceState& dev = devices_[static_cast<size_t>(p.device)];
+      dev.claimed += p.estimate;
+      ++dev.placements;
+      placements_.push_back(std::move(p));
+      const size_t id = placements_.size() - 1;
+      if (placements_[id].TotalOps() == 0) {
+        FinishPlacement(id);
+      } else {
+        heap_.emplace(placements_[id].NextOpTime(), id);
+      }
+    }
+  }
+
+  void ProcessOp(size_t placement_id) {
+    Placement& p = placements_[placement_id];
+    if (!p.active) {
+      return;
+    }
+    DeviceState& dev = devices_[static_cast<size_t>(p.device)];
+    AdvanceUtil(dev);
+    const TraceOp& op = (*p.ops)[p.cursor % p.ops->size()];
+    const MemoryEvent& e = p.trace->event(op.event_id);
+    if (op.kind == TraceOp::Kind::kMalloc) {
+      RequestContext ctx;
+      ctx.dyn = e.dyn;
+      ctx.phase = e.ps;
+      ctx.layer = e.ls;
+      ctx.stream = e.stream;
+      const auto addr = dev.alloc->Malloc(e.size, ctx);
+      if (!addr.has_value()) {
+        ++dev.ooms;
+        ++oom_events_;
+        HandleOom(p.job);
+        return;
+      }
+      p.live.emplace(op.event_id, *addr);
+      p.live_bytes += e.size;
+      p.peak_live = std::max(p.peak_live, p.live_bytes);
+    } else {
+      const auto it = p.live.find(op.event_id);
+      STALLOC_DCHECK(it != p.live.end());
+      if (it != p.live.end()) {
+        dev.alloc->Free(it->second);
+        p.live_bytes -= e.size;
+        p.live.erase(it);
+      }
+    }
+    dev.peak_used = std::max(dev.peak_used, dev.device->physical_used());
+    ++p.cursor;
+    if (p.Done()) {
+      FinishPlacement(placement_id);
+      SampleFrag();
+      SchedulePass();
+    } else {
+      heap_.emplace(p.NextOpTime(), placement_id);
+    }
+  }
+
+  // Unwinds every rank of the job: frees its live blocks, releases its claims, deactivates its
+  // placements. The job itself is then requeued or rejected by the caller's policy.
+  void AbortJob(size_t idx) {
+    JobState& job = jobs_[idx];
+    for (Placement& p : placements_) {
+      if (!p.active || p.job != idx) {
+        continue;
+      }
+      DeviceState& dev = devices_[static_cast<size_t>(p.device)];
+      AdvanceUtil(dev);
+      for (const auto& [event_id, addr] : p.live) {
+        dev.alloc->Free(addr);
+      }
+      p.live.clear();
+      p.live_bytes = 0;
+      dev.claimed -= p.estimate;
+      p.active = false;
+      job.outcome.actual_peak = std::max(job.outcome.actual_peak, p.peak_live);
+    }
+    job.live_ranks = 0;
+  }
+
+  void HandleOom(size_t idx) {
+    JobState& job = jobs_[idx];
+    AbortJob(idx);
+    ++job.outcome.oom_count;
+    if (job.outcome.oom_count <= config_.max_oom_retries) {
+      queue_.push_back(idx);
+    } else {
+      job.outcome.status = JobStatus::kRejectedOom;
+      job.outcome.finish_time = now_;
+    }
+    SampleFrag();
+    SchedulePass();
+  }
+
+  void FinishPlacement(size_t placement_id) {
+    Placement& p = placements_[placement_id];
+    DeviceState& dev = devices_[static_cast<size_t>(p.device)];
+    STALLOC_DCHECK(p.live.empty(), << "placement finished with live blocks");
+    dev.claimed -= p.estimate;
+    p.active = false;
+    JobState& job = jobs_[p.job];
+    job.outcome.actual_peak = std::max(job.outcome.actual_peak, p.peak_live);
+    if (--job.live_ranks == 0) {
+      job.outcome.status = JobStatus::kCompleted;
+      job.outcome.finish_time = now_;
+      if (job.spec->type == ClusterJobType::kServing) {
+        // Cluster queue wait delays every request of the instance: convert ticks to engine
+        // steps through the trace's own tick density and fold it into the latency model.
+        const double ticks_per_step =
+            job.serve_stats.engine_steps > 0
+                ? static_cast<double>(job.traces[0].end_time()) /
+                      static_cast<double>(job.serve_stats.engine_steps)
+                : 1.0;
+        ServeSloOptions slo;
+        slo.slack_factor = config_.slo_slack_factor;
+        slo.extra_latency_steps = job.outcome.queue_wait / ticks_per_step;
+        job.outcome.slo_attainment =
+            EstimateServeSlo(job.model, config_.gpu, job.serve_stats, slo).attainment;
+      }
+    }
+  }
+
+  ClusterResult Finalize() {
+    for (DeviceState& d : devices_) {
+      AdvanceUtil(d);
+    }
+    SampleFrag();
+
+    ClusterResult result;
+    result.policy = config_.policy;
+    result.allocator = config_.allocator;
+    result.num_jobs = jobs_.size();
+    result.makespan = now_;
+    result.oom_events = oom_events_;
+    result.requeues = requeue_admissions_;
+
+    double util_sum = 0;
+    double capacity_ticks = 0;
+    for (const DeviceState& d : devices_) {
+      DeviceMetrics m;
+      m.capacity = d.device->capacity();
+      m.peak_used = d.peak_used;
+      if (now_ > 0) {
+        m.avg_utilization = d.util_integral / (static_cast<double>(m.capacity) *
+                                               static_cast<double>(now_));
+        m.avg_external_frag = d.frag_integral / static_cast<double>(now_);
+      }
+      m.peak_external_frag = d.peak_frag;
+      m.placements = d.placements;
+      m.oom_events = d.ooms;
+      m.memory_efficiency = d.alloc->stats().MemoryEfficiency();
+      m.device_api_calls = d.device->counters().TotalCalls();
+      m.device_api_cost_us = d.device->counters().total_cost_us;
+      util_sum += d.util_integral;
+      capacity_ticks += static_cast<double>(m.capacity) * static_cast<double>(now_);
+      result.devices.push_back(m);
+    }
+    result.fleet_avg_utilization = capacity_ticks > 0 ? util_sum / capacity_ticks : 0;
+
+    std::vector<double> waits;
+    double slo_sum = 0;
+    for (JobState& job : jobs_) {
+      const JobOutcome& o = job.outcome;
+      if (o.attempts > 0) {
+        ++result.admitted;
+        waits.push_back(o.queue_wait);
+      }
+      switch (o.status) {
+        case JobStatus::kCompleted:
+          ++result.completed;
+          break;
+        case JobStatus::kRejectedUpfront:
+          ++result.rejected_upfront;
+          break;
+        case JobStatus::kRejectedOom:
+          ++result.rejected_oom;
+          break;
+        case JobStatus::kStarved:
+          ++result.starved;
+          break;
+        case JobStatus::kQueued:
+          break;
+      }
+      if (o.type == ClusterJobType::kServing) {
+        ++result.serving_jobs;
+        // A serving instance that never ran served nobody: it attains 0 of its SLO.
+        slo_sum += o.status == JobStatus::kCompleted && o.slo_attainment >= 0
+                       ? o.slo_attainment
+                       : 0.0;
+      }
+      result.jobs.push_back(std::move(job.outcome));
+    }
+    result.queue_wait_p50 = Percentile(waits, 0.50);
+    result.queue_wait_p90 = Percentile(waits, 0.90);
+    result.queue_wait_p99 = Percentile(waits, 0.99);
+    result.serve_slo_attainment =
+        result.serving_jobs > 0 ? slo_sum / static_cast<double>(result.serving_jobs) : 1.0;
+    return result;
+  }
+
+  const FleetConfig& config_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::vector<DeviceState> devices_;
+  std::vector<JobState> jobs_;
+  std::vector<Placement> placements_;
+  std::deque<size_t> queue_;  // indices into jobs_, FCFS order
+  // Min-heap of (next op time, placement id); stale entries carry inactive placements.
+  std::priority_queue<std::pair<uint64_t, size_t>, std::vector<std::pair<uint64_t, size_t>>,
+                      std::greater<>>
+      heap_;
+  uint64_t now_ = 0;
+  uint64_t oom_events_ = 0;
+  uint64_t requeue_admissions_ = 0;
+};
+
+}  // namespace
+
+std::vector<AllocatorKind> ClusterAllocatorKinds() {
+  std::vector<AllocatorKind> kinds;
+  for (AllocatorKind kind : AllAllocatorKinds()) {
+    if (kind != AllocatorKind::kSTAlloc && kind != AllocatorKind::kSTAllocNoReuse) {
+      kinds.push_back(kind);
+    }
+  }
+  return kinds;
+}
+
+const char* JobStatusName(JobStatus status) {
+  switch (status) {
+    case JobStatus::kQueued:
+      return "queued";
+    case JobStatus::kCompleted:
+      return "completed";
+    case JobStatus::kRejectedUpfront:
+      return "rejected-upfront";
+    case JobStatus::kRejectedOom:
+      return "rejected-oom";
+    case JobStatus::kStarved:
+      return "starved";
+  }
+  return "?";
+}
+
+std::string ClusterResult::Summary() const {
+  return StrFormat(
+      "policy=%s alloc=%s jobs=%llu completed=%llu rejected(up=%llu oom=%llu) starved=%llu "
+      "ooms=%llu util=%.1f%% slo=%.2f wait_p50=%.0f p99=%.0f",
+      SchedulerPolicyName(policy), AllocatorKindName(allocator),
+      static_cast<unsigned long long>(num_jobs), static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(rejected_upfront),
+      static_cast<unsigned long long>(rejected_oom), static_cast<unsigned long long>(starved),
+      static_cast<unsigned long long>(oom_events), fleet_avg_utilization * 100.0,
+      serve_slo_attainment, queue_wait_p50, queue_wait_p99);
+}
+
+ClusterResult RunCluster(const FleetConfig& config, const std::vector<ClusterJob>& jobs) {
+  for (size_t i = 1; i < jobs.size(); ++i) {
+    STALLOC_CHECK(jobs[i - 1].submit_time <= jobs[i].submit_time,
+                  << "cluster jobs must be sorted by submit_time");
+  }
+  ClusterSim sim(config, jobs);
+  return sim.Run();
+}
+
+}  // namespace stalloc

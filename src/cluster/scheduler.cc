@@ -1,0 +1,160 @@
+#include "src/cluster/scheduler.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/core/planner.h"
+#include "src/trace/trace_stats.h"
+#include "src/trainsim/workload.h"
+
+namespace stalloc {
+
+namespace {
+
+// Greedy per-rank placement: ranks are placed in order, each on the device `pick` prefers among
+// those still unused by this job with enough `free` bytes. All-or-nothing: one unplaceable rank
+// fails the whole job (a training job cannot run with a missing pipeline stage).
+template <typename FreeFn, typename ScoreFn>
+std::optional<std::vector<int>> PlaceGreedy(const std::vector<uint64_t>& demands,
+                                            const std::vector<DeviceView>& devices,
+                                            FreeFn free_bytes, ScoreFn score) {
+  std::vector<int> chosen;
+  chosen.reserve(demands.size());
+  std::vector<bool> used(devices.size(), false);
+  for (uint64_t demand : demands) {
+    int best = -1;
+    uint64_t best_score = std::numeric_limits<uint64_t>::max();
+    for (size_t d = 0; d < devices.size(); ++d) {
+      if (used[d] || free_bytes(devices[d]) < demand) {
+        continue;
+      }
+      const uint64_t s = score(devices[d], demand);
+      if (s < best_score) {
+        best_score = s;
+        best = static_cast<int>(d);
+      }
+    }
+    if (best < 0) {
+      return std::nullopt;
+    }
+    used[static_cast<size_t>(best)] = true;
+    chosen.push_back(devices[static_cast<size_t>(best)].index);
+  }
+  return chosen;
+}
+
+class FirstFitScheduler : public Scheduler {
+ public:
+  SchedulerPolicy policy() const override { return SchedulerPolicy::kFirstFit; }
+  std::optional<std::vector<int>> Place(const std::vector<uint64_t>& demands,
+                                        const std::vector<DeviceView>& devices) const override {
+    return PlaceGreedy(
+        demands, devices, [](const DeviceView& d) { return d.FreeByClaims(); },
+        [](const DeviceView& d, uint64_t) { return static_cast<uint64_t>(d.index); });
+  }
+};
+
+class BestFitScheduler : public Scheduler {
+ public:
+  SchedulerPolicy policy() const override { return SchedulerPolicy::kBestFit; }
+  std::optional<std::vector<int>> Place(const std::vector<uint64_t>& demands,
+                                        const std::vector<DeviceView>& devices) const override {
+    // Tightest fit by *live* free bytes: slack after placement, ties to the lower index.
+    return PlaceGreedy(
+        demands, devices, [](const DeviceView& d) { return d.FreeByTelemetry(); },
+        [](const DeviceView& d, uint64_t demand) { return d.FreeByTelemetry() - demand; });
+  }
+};
+
+class PlanAwareScheduler : public Scheduler {
+ public:
+  SchedulerPolicy policy() const override { return SchedulerPolicy::kPlanAware; }
+  std::optional<std::vector<int>> Place(const std::vector<uint64_t>& demands,
+                                        const std::vector<DeviceView>& devices) const override {
+    // Demands are plan-predicted reservations; claims accounting keeps admissions sound even
+    // when resident jobs are momentarily between their peaks.
+    return PlaceGreedy(
+        demands, devices, [](const DeviceView& d) { return d.FreeByClaims(); },
+        [](const DeviceView& d, uint64_t demand) { return d.FreeByClaims() - demand; });
+  }
+};
+
+}  // namespace
+
+const char* SchedulerPolicyName(SchedulerPolicy policy) {
+  switch (policy) {
+    case SchedulerPolicy::kFirstFit:
+      return "first-fit";
+    case SchedulerPolicy::kBestFit:
+      return "best-fit";
+    case SchedulerPolicy::kPlanAware:
+      return "plan-aware";
+    case SchedulerPolicy::kCount:
+      break;
+  }
+  return "?";
+}
+
+std::vector<SchedulerPolicy> AllSchedulerPolicies() {
+  constexpr std::array<SchedulerPolicy, 3> kPolicies = {
+      SchedulerPolicy::kFirstFit, SchedulerPolicy::kBestFit, SchedulerPolicy::kPlanAware};
+  static_assert(kPolicies.size() == static_cast<size_t>(SchedulerPolicy::kCount),
+                "AllSchedulerPolicies() is out of sync with SchedulerPolicy");
+  return {kPolicies.begin(), kPolicies.end()};
+}
+
+SchedulerPolicy SchedulerPolicyByName(const std::string& name) {
+  for (SchedulerPolicy policy : AllSchedulerPolicies()) {
+    if (name == SchedulerPolicyName(policy)) {
+      return policy;
+    }
+  }
+  STALLOC_CHECK(false, << "unknown scheduler policy '" << name << "'");
+  return SchedulerPolicy::kFirstFit;
+}
+
+std::unique_ptr<Scheduler> MakeScheduler(SchedulerPolicy policy) {
+  switch (policy) {
+    case SchedulerPolicy::kFirstFit:
+      return std::make_unique<FirstFitScheduler>();
+    case SchedulerPolicy::kBestFit:
+      return std::make_unique<BestFitScheduler>();
+    case SchedulerPolicy::kPlanAware:
+      return std::make_unique<PlanAwareScheduler>();
+    case SchedulerPolicy::kCount:
+      break;
+  }
+  STALLOC_CHECK(false, << "unknown scheduler policy");
+  return nullptr;
+}
+
+uint64_t NaiveTrainingEstimate(const ModelConfig& model, const TrainConfig& config, int rank) {
+  TrainConfig per_rank = config;
+  per_rank.rank = rank;
+  WorkloadBuilder workload(model, per_rank);
+  return workload.Estimate().persistent_bytes;
+}
+
+uint64_t NaiveServingEstimate(const ModelConfig& model, const EngineConfig& engine) {
+  return model.TotalParams() * 2 + engine.kv_budget_bytes;
+}
+
+uint64_t PlanPredictedReservation(const Trace& profile_trace) {
+  const SynthesisResult synthesis = SynthesizePlan(profile_trace);
+  uint64_t predicted = synthesis.stats.pool_size;
+  // The plan pool covers the profiled static events; dynamic-heavy traces (serving days) can
+  // exceed it through the fallback path, so floor the prediction at the worst phase-window peak.
+  for (const PhasePeak& p : PhasePeakBreakdown(profile_trace)) {
+    predicted = std::max(predicted, p.peak_live);
+  }
+  return predicted;
+}
+
+}  // namespace stalloc

@@ -1,0 +1,89 @@
+// Cluster schedulers: admission + placement policies for the fleet simulator.
+//
+// A scheduler answers one question: given the per-rank admission estimates of a queued job and
+// the current state of every device, which devices (if any) should host its ranks right now?
+// Three policies span the design space the STAlloc paper motivates:
+//
+//   * first-fit   — the naive baseline: estimate a rank's footprint from model size alone
+//                   (persistent model states; weights + KV budget for serving) and place on the
+//                   first device whose unclaimed capacity fits. Underestimates activation-heavy
+//                   jobs, which then OOM at runtime.
+//   * best-fit    — same naive estimate, but placed by live telemetry: the device with the
+//                   tightest current free bytes wins. Packs tighter and overcommits harder —
+//                   a device may look empty between iterations of a resident job.
+//   * plan-aware  — the STAlloc-native policy: admit against the planner's predicted per-rank
+//                   reservation (plan pool size / worst phase-window peak from the profiled
+//                   trace, §5) instead of a model-size heuristic. Jobs whose predicted footprint
+//                   can never fit are rejected up front instead of being admitted into an OOM.
+
+#ifndef SRC_CLUSTER_SCHEDULER_H_
+#define SRC_CLUSTER_SCHEDULER_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/servesim/engine.h"
+#include "src/trace/trace.h"
+#include "src/trainsim/model_config.h"
+#include "src/trainsim/train_config.h"
+
+namespace stalloc {
+
+enum class SchedulerPolicy : uint8_t {
+  kFirstFit,   // naive estimate, first device with unclaimed capacity
+  kBestFit,    // naive estimate, tightest fit by live free bytes
+  kPlanAware,  // planner-predicted reservation, tightest fit by unclaimed capacity
+  kCount,      // sentinel — keeps AllSchedulerPolicies() verifiably exhaustive
+};
+
+const char* SchedulerPolicyName(SchedulerPolicy policy);
+std::vector<SchedulerPolicy> AllSchedulerPolicies();
+SchedulerPolicy SchedulerPolicyByName(const std::string& name);  // aborts on unknown
+
+// Per-device snapshot handed to the placement policy.
+struct DeviceView {
+  int index = 0;
+  uint64_t capacity = 0;
+  uint64_t claimed = 0;        // sum of admission estimates of resident placements
+  uint64_t physical_used = 0;  // live bytes on the SimDevice right now
+
+  uint64_t FreeByClaims() const { return capacity > claimed ? capacity - claimed : 0; }
+  uint64_t FreeByTelemetry() const {
+    return capacity > physical_used ? capacity - physical_used : 0;
+  }
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual SchedulerPolicy policy() const = 0;
+  // Places one rank per entry of `demands` on distinct devices. Returns the chosen device index
+  // per rank, or nullopt when no feasible placement exists right now (the job keeps waiting).
+  virtual std::optional<std::vector<int>> Place(const std::vector<uint64_t>& demands,
+                                                const std::vector<DeviceView>& devices) const = 0;
+};
+
+std::unique_ptr<Scheduler> MakeScheduler(SchedulerPolicy policy);
+
+// --- admission estimates ---
+
+// The naive "GPU memory = model states" heuristic for one training rank: persistent bytes
+// (weights + grads + optimizer state) only — activations are ignored, exactly the estimate that
+// admits activation-heavy configurations into runtime OOMs.
+uint64_t NaiveTrainingEstimate(const ModelConfig& model, const TrainConfig& config, int rank);
+
+// Naive serving estimate: fp16 weights plus the engine's KV budget. Ignores transient
+// prefill/decode activations.
+uint64_t NaiveServingEstimate(const ModelConfig& model, const EngineConfig& engine);
+
+// The plan-aware admission signal: the STAlloc planner's predicted reservation for one profiled
+// rank trace — the synthesized plan's pool size, floored by the worst computation-phase window
+// peak (PhasePeakBreakdown), which bounds the rank's live bytes on its device.
+uint64_t PlanPredictedReservation(const Trace& profile_trace);
+
+}  // namespace stalloc
+
+#endif  // SRC_CLUSTER_SCHEDULER_H_

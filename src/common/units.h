@@ -3,8 +3,12 @@
 #ifndef SRC_COMMON_UNITS_H_
 #define SRC_COMMON_UNITS_H_
 
+#include <cctype>
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <optional>
 #include <string>
 
 #include "src/common/check.h"
@@ -24,6 +28,44 @@ constexpr uint64_t AlignUp(uint64_t v, uint64_t align) {
 constexpr uint64_t AlignDown(uint64_t v, uint64_t align) { return v & ~(align - 1); }
 
 constexpr bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+// Parses a byte count with an optional K/M/G suffix ("80G", "512M", raw bytes) — the inverse of
+// FormatBytes at CLI precision, shared by the command-line tools. Returns nullopt on malformed
+// input: missing leading digit (strtoull would wrap a '-' modulo 2^64), zero, unknown or
+// trailing suffix characters, or overflow of the scaled value. A typo must never silently
+// change a capacity.
+inline std::optional<uint64_t> ParseByteSize(const char* s) {
+  char* end = nullptr;
+  errno = 0;
+  const uint64_t v = std::strtoull(s, &end, 10);
+  uint64_t unit = 1;
+  bool bad = !std::isdigit(static_cast<unsigned char>(s[0])) || end == s || v == 0 ||
+             errno == ERANGE;
+  if (!bad && *end != '\0') {
+    switch (*end) {
+      case 'K':
+      case 'k':
+        unit = 1024ull;
+        break;
+      case 'M':
+      case 'm':
+        unit = 1024ull * 1024;
+        break;
+      case 'G':
+      case 'g':
+        unit = 1024ull * 1024 * 1024;
+        break;
+      default:
+        bad = true;
+    }
+    bad = bad || *(end + 1) != '\0';
+  }
+  bad = bad || v > UINT64_MAX / unit;  // the scaled value must fit too
+  if (bad) {
+    return std::nullopt;
+  }
+  return v * unit;
+}
 
 // Formats a byte count as a human-readable string ("12.3 GiB").
 inline std::string FormatBytes(uint64_t bytes) {

@@ -103,6 +103,12 @@ class SimDevice {
   // --- accounting ---
   // Physically used bytes right now (classic allocations + created handles).
   uint64_t physical_used() const { return classic_used_ + handle_used_; }
+  // Free-space telemetry of the classic arena, for cluster-level fragmentation metrics:
+  // total free address space and the largest single contiguous free region. VMM-based
+  // allocators leave the classic arena untouched (their fragmentation is internal to handles),
+  // so these report the arena as fully free under expandable-segments/GMLake tenants.
+  uint64_t classic_free_total() const { return classic_free_.TotalLength(); }
+  uint64_t classic_largest_free() const { return classic_free_.MaxIntervalLength(); }
   uint64_t physical_peak() const { return physical_peak_; }
   uint64_t classic_used() const { return classic_used_; }
   uint64_t handle_used() const { return handle_used_; }

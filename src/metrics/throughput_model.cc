@@ -70,4 +70,43 @@ ThroughputEstimate EstimateThroughput(const ModelConfig& model, const TrainConfi
   return est;
 }
 
+ServeSloResult EstimateServeSlo(const ModelConfig& model, const GpuSpec& gpu,
+                                const ServeSimStats& stats, const ServeSloOptions& options) {
+  ServeSloResult out;
+  // Mean decode batch over the run; one decode step costs ~2*P FLOPs per running token.
+  const double avg_batch = stats.engine_steps > 0
+                               ? static_cast<double>(stats.tokens_generated) /
+                                     static_cast<double>(stats.engine_steps)
+                               : 0.0;
+  const double effective_flops = gpu.peak_bf16_tflops * 1e12 * gpu.mfu;
+  if (avg_batch > 0 && effective_flops > 0) {
+    out.step_seconds = 2.0 * static_cast<double>(model.TotalParams()) * avg_batch /
+                       effective_flops;
+    out.tokens_per_second = out.step_seconds > 0 ? avg_batch / out.step_seconds : 0.0;
+  }
+
+  // Rejected requests were never admissible (context exceeds the KV budget outright): they are
+  // excluded from the denominator. Requests that never completed (engine drained at max_steps)
+  // stay in the denominator and count as missed.
+  const uint64_t rejected = stats.rejected;
+  out.considered = stats.num_requests > rejected ? stats.num_requests - rejected : 0;
+
+  double latency_sum = 0;
+  for (const ServeRequestOutcome& r : stats.outcomes) {
+    const double latency =
+        static_cast<double>(r.LatencySteps()) + options.extra_latency_steps;
+    latency_sum += latency;
+    const double ideal = static_cast<double>(r.output_tokens) + 1.0;  // prefill + decodes
+    if (latency <= options.slack_factor * ideal) {
+      ++out.met;
+    }
+  }
+  out.mean_latency_steps =
+      stats.outcomes.empty() ? 0.0 : latency_sum / static_cast<double>(stats.outcomes.size());
+  out.attainment = out.considered > 0
+                       ? static_cast<double>(out.met) / static_cast<double>(out.considered)
+                       : 1.0;
+  return out;
+}
+
 }  // namespace stalloc

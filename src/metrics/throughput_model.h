@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/servesim/engine.h"
 #include "src/trainsim/model_config.h"
 #include "src/trainsim/train_config.h"
 
@@ -43,6 +44,33 @@ ThroughputEstimate EstimateThroughput(const ModelConfig& model, const TrainConfi
 
 // Model FLOPs of one iteration for one GPU (the numerator of reported TFLOPS).
 double ModelFlopsPerGpu(const ModelConfig& model, const TrainConfig& config);
+
+// --- serving latency / SLO model ---
+//
+// Converts the engine's step-quantized completion records (ServeRequestOutcome) into an SLO
+// verdict: one decode step executes ~2*P FLOPs per running token, so wall time per step follows
+// from model size, the mean decode batch and the GPU's effective FLOPS. A request attains its
+// SLO when end-to-end latency (arrival to last token, plus any cluster-side delay) stays within
+// slack_factor x its ideal service time (one prefill step + one decode step per output token).
+// Queue buildup, preemption-with-recompute and cluster queue waits all erode attainment.
+
+struct ServeSloOptions {
+  double slack_factor = 3.0;       // SLO bound = slack_factor * ideal latency
+  double extra_latency_steps = 0;  // cluster-side delay (e.g. queue wait) added to every request
+};
+
+struct ServeSloResult {
+  uint64_t considered = 0;  // requests the engine should have served (all minus hard rejects)
+  uint64_t met = 0;         // completed within the SLO bound
+  double attainment = 1.0;  // met / considered; 1.0 when nothing was considered
+  double mean_latency_steps = 0;  // over completed requests
+  double step_seconds = 0;        // modelled wall time of one decode step
+  double tokens_per_second = 0;   // modelled decode throughput
+};
+
+ServeSloResult EstimateServeSlo(const ModelConfig& model, const GpuSpec& gpu,
+                                const ServeSimStats& stats,
+                                const ServeSloOptions& options = ServeSloOptions{});
 
 }  // namespace stalloc
 

@@ -217,6 +217,9 @@ ServeTraceResult BuildServeTrace(const ModelConfig& model, const ServeScenario& 
         if (it->generated >= it->req.output_tokens) {
           release_kv(*it, phase);
           ++stats.completed;
+          stats.outcomes.push_back(ServeRequestOutcome{it->req.id, it->req.arrival_step, step,
+                                                       it->req.prompt_tokens,
+                                                       it->req.output_tokens, it->was_preempted});
           it = running.erase(it);
         } else {
           ++it;

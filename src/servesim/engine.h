@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/common/units.h"
 #include "src/servesim/request_gen.h"
@@ -40,6 +41,21 @@ struct EngineConfig {
   bool emit_weights = true;
 };
 
+// Completion record of one served request — the raw material of the serving latency / SLO model
+// (EstimateServeSlo in src/metrics/throughput_model.*). Only requests that generated every
+// output token appear; rejected or never-finished requests are visible via the counters.
+struct ServeRequestOutcome {
+  uint64_t id = 0;
+  uint64_t arrival_step = 0;     // step the request became visible to the engine
+  uint64_t completion_step = 0;  // step the last output token was produced
+  uint32_t prompt_tokens = 0;
+  uint32_t output_tokens = 0;
+  bool was_preempted = false;    // suffered at least one preempt-with-recompute
+
+  // Queue wait + service time, quantized to engine steps (inclusive of the completion step).
+  uint64_t LatencySteps() const { return completion_step - arrival_step + 1; }
+};
+
 struct ServeSimStats {
   uint64_t num_requests = 0;       // total requests in the stream
   uint64_t completed = 0;          // requests that generated all their output tokens
@@ -52,6 +68,7 @@ struct ServeSimStats {
   uint64_t engine_steps = 0;       // continuous-batching iterations executed
   uint64_t kv_blocks_allocated = 0;  // KV block events emitted
   uint64_t peak_kv_bytes = 0;      // max live KV bytes seen by the engine
+  std::vector<ServeRequestOutcome> outcomes;  // completion records, in completion order
 
   std::string ToString() const;
 };

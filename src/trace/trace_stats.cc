@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <iterator>
 #include <map>
 #include <set>
 #include <string>
@@ -78,6 +79,35 @@ std::vector<std::pair<LogicalTime, uint64_t>> LiveBytesCurve(
   return curve;
 }
 
+std::vector<PhasePeak> PhasePeakBreakdown(const Trace& trace) {
+  const auto curve = LiveBytesCurve(trace.events());
+  std::vector<PhasePeak> peaks;
+  peaks.reserve(trace.phases().size());
+  for (PhaseId id = 0; id < static_cast<PhaseId>(trace.phases().size()); ++id) {
+    const PhaseInfo& phase = trace.phase(id);
+    PhasePeak p;
+    p.phase = id;
+    p.kind = phase.kind;
+    p.start = phase.start;
+    p.end = phase.end;
+    if (phase.end > phase.start) {
+      // The live-bytes step function holds the value of the last change point <= t at tick t:
+      // the window's peak is the carried-in value at `start` plus every sample inside [start, end).
+      auto it = std::lower_bound(
+          curve.begin(), curve.end(), phase.start,
+          [](const std::pair<LogicalTime, uint64_t>& s, LogicalTime t) { return s.first < t; });
+      if (it != curve.begin()) {
+        p.peak_live = std::prev(it)->second;  // value carried into the window
+      }
+      for (; it != curve.end() && it->first < phase.end; ++it) {
+        p.peak_live = std::max(p.peak_live, it->second);
+      }
+    }
+    peaks.push_back(p);
+  }
+  return peaks;
+}
+
 TraceStats ComputeStats(const Trace& trace, uint64_t min_size_filter) {
   TraceStats stats;
   stats.min_size_filter = min_size_filter;
@@ -134,6 +164,7 @@ TraceStats ComputeStats(const Trace& trace, uint64_t min_size_filter) {
       break;
     }
   }
+  stats.phase_peaks = PhasePeakBreakdown(trace);
   return stats;
 }
 
@@ -155,6 +186,17 @@ std::string TraceStats::ToString() const {
                    FormatBytes(scoped_bytes).c_str(),
                    static_cast<unsigned long long>(transient_count),
                    FormatBytes(transient_bytes).c_str());
+  if (!phase_peaks.empty()) {
+    const PhasePeak* worst = &phase_peaks.front();
+    for (const PhasePeak& p : phase_peaks) {
+      if (p.peak_live > worst->peak_live) {
+        worst = &p;
+      }
+    }
+    out += StrFormat("phase peaks: %zu windows, worst %s in phase #%d (%s)\n", phase_peaks.size(),
+                     FormatBytes(worst->peak_live).c_str(), worst->phase,
+                     PhaseKindName(worst->kind));
+  }
   return out;
 }
 

@@ -23,6 +23,17 @@ struct SizeBucket {
   double frequency = 0;  // count / total
 };
 
+// Peak live bytes inside one computation-phase window — the per-phase memory breakdown a
+// memory-aware cluster scheduler admits against (the worst window bounds the job's footprint
+// on its device; see src/cluster/scheduler.*).
+struct PhasePeak {
+  PhaseId phase = kInvalidPhase;
+  PhaseKind kind = PhaseKind::kIterInit;
+  LogicalTime start = 0;
+  LogicalTime end = 0;       // exclusive
+  uint64_t peak_live = 0;    // max live bytes at any tick in [start, end)
+};
+
 struct TraceStats {
   uint64_t num_events = 0;
   uint64_t num_static = 0;
@@ -39,6 +50,7 @@ struct TraceStats {
   uint64_t scoped_bytes = 0;
   uint64_t transient_bytes = 0;
   std::vector<SizeBucket> size_histogram;  // power-of-two buckets, Fig. 3 style
+  std::vector<PhasePeak> phase_peaks;      // one entry per trace phase, in phase order
 
   std::string ToString() const;
 };
@@ -56,6 +68,10 @@ uint64_t PeakAllocated(const Trace& trace);
 // The live-bytes curve sampled at every change point: pairs of (time, live bytes after ops at
 // that time). Useful for plotting and for locating static/dynamic peak separation (§5.2).
 std::vector<std::pair<LogicalTime, uint64_t>> LiveBytesCurve(const std::vector<MemoryEvent>& events);
+
+// Peak live bytes per computation-phase window, in phase order. Standalone entry point for
+// callers that do not need the full ComputeStats pass (plan-aware cluster admission).
+std::vector<PhasePeak> PhasePeakBreakdown(const Trace& trace);
 
 }  // namespace stalloc
 

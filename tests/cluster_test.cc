@@ -1,0 +1,293 @@
+// Coverage for src/cluster/scheduler.* and src/cluster/fleet.*: placement policies on
+// hand-built device views, end-to-end fleet days over mixed workloads, the OOM
+// requeue-or-reject discipline, and the plan-aware-vs-first-fit admission split that motivates
+// the whole layer (a job first-fit admits and OOMs, plan-aware rejects up front).
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster_workload.h"
+#include "src/cluster/fleet.h"
+#include "src/cluster/scheduler.h"
+#include "src/common/units.h"
+#include "src/trace/trace_stats.h"
+#include "src/trainsim/model_config.h"
+#include "src/trainsim/workload.h"
+
+namespace stalloc {
+namespace {
+
+DeviceView View(int index, uint64_t capacity, uint64_t claimed, uint64_t used) {
+  DeviceView v;
+  v.index = index;
+  v.capacity = capacity;
+  v.claimed = claimed;
+  v.physical_used = used;
+  return v;
+}
+
+// --- scheduler policies on hand-built views ---
+
+TEST(Scheduler, FirstFitPicksLowestIndexWithUnclaimedRoom) {
+  auto s = MakeScheduler(SchedulerPolicy::kFirstFit);
+  std::vector<DeviceView> views = {View(0, 10 * GiB, 9 * GiB, 0), View(1, 10 * GiB, 2 * GiB, 0),
+                                   View(2, 10 * GiB, 0, 0)};
+  auto placed = s->Place({4 * GiB}, views);
+  ASSERT_TRUE(placed.has_value());
+  EXPECT_EQ(*placed, (std::vector<int>{1}));  // device 0 is too claimed, 1 is first that fits
+}
+
+TEST(Scheduler, BestFitUsesLiveTelemetryAndTightestSlack) {
+  auto s = MakeScheduler(SchedulerPolicy::kBestFit);
+  // Claims say device 1 is full, but live bytes say it is the tightest feasible fit: best-fit
+  // schedules on telemetry and overcommits it anyway.
+  std::vector<DeviceView> views = {View(0, 16 * GiB, 0, 2 * GiB),
+                                   View(1, 16 * GiB, 16 * GiB, 11 * GiB)};
+  auto placed = s->Place({4 * GiB}, views);
+  ASSERT_TRUE(placed.has_value());
+  EXPECT_EQ(*placed, (std::vector<int>{1}));
+}
+
+TEST(Scheduler, PlanAwareBestFitsByClaims) {
+  auto s = MakeScheduler(SchedulerPolicy::kPlanAware);
+  std::vector<DeviceView> views = {View(0, 16 * GiB, 0, 0), View(1, 16 * GiB, 10 * GiB, 0)};
+  auto placed = s->Place({4 * GiB}, views);
+  ASSERT_TRUE(placed.has_value());
+  EXPECT_EQ(*placed, (std::vector<int>{1}));  // 6 GiB slack beats 16 GiB slack
+}
+
+TEST(Scheduler, MultiRankPlacementUsesDistinctDevices) {
+  for (SchedulerPolicy policy : AllSchedulerPolicies()) {
+    auto s = MakeScheduler(policy);
+    std::vector<DeviceView> views = {View(0, 16 * GiB, 0, 0), View(1, 16 * GiB, 0, 0)};
+    auto placed = s->Place({4 * GiB, 4 * GiB}, views);
+    ASSERT_TRUE(placed.has_value()) << SchedulerPolicyName(policy);
+    EXPECT_NE((*placed)[0], (*placed)[1]) << SchedulerPolicyName(policy);
+    // Three ranks over two devices can never be placed.
+    EXPECT_FALSE(s->Place({GiB, GiB, GiB}, views).has_value()) << SchedulerPolicyName(policy);
+  }
+}
+
+TEST(Scheduler, AllOrNothingWhenOneRankCannotFit) {
+  auto s = MakeScheduler(SchedulerPolicy::kFirstFit);
+  std::vector<DeviceView> views = {View(0, 16 * GiB, 0, 0), View(1, 8 * GiB, 7 * GiB, 0)};
+  EXPECT_FALSE(s->Place({4 * GiB, 4 * GiB}, views).has_value());
+}
+
+TEST(Scheduler, NamesRoundTrip) {
+  for (SchedulerPolicy policy : AllSchedulerPolicies()) {
+    EXPECT_EQ(SchedulerPolicyByName(SchedulerPolicyName(policy)), policy);
+    EXPECT_EQ(MakeScheduler(policy)->policy(), policy);
+  }
+}
+
+// --- admission estimates ---
+
+TEST(Scheduler, NaiveTrainingEstimateIgnoresActivations) {
+  const ModelConfig model = ModelByName("gpt2");
+  TrainConfig small = ApplyConfigTag(TrainConfig{}, "N");
+  small.micro_batch_size = 1;
+  small.num_microbatches = 2;
+  TrainConfig big = small;
+  big.micro_batch_size = 8;
+  big.num_microbatches = 8;
+  // The naive "model states" heuristic does not move with batch shape...
+  EXPECT_EQ(NaiveTrainingEstimate(model, small, 0), NaiveTrainingEstimate(model, big, 0));
+  // ...but the actual footprint does, which is exactly the admission gap the fleet measures.
+  const uint64_t naive = NaiveTrainingEstimate(model, big, 0);
+  big.rank = 0;
+  const Trace trace = WorkloadBuilder(model, big).Build(1);
+  EXPECT_GT(PlanPredictedReservation(trace), naive);
+}
+
+TEST(Scheduler, PlanPredictedReservationCoversTheTracePeak) {
+  const ModelConfig model = ModelByName("gpt2");
+  TrainConfig config = ApplyConfigTag(TrainConfig{}, "R");
+  config.micro_batch_size = 2;
+  config.num_microbatches = 2;
+  const Trace trace = WorkloadBuilder(model, config).Build(3);
+  uint64_t worst_phase = 0;
+  for (const PhasePeak& p : PhasePeakBreakdown(trace)) {
+    worst_phase = std::max(worst_phase, p.peak_live);
+  }
+  EXPECT_GE(PlanPredictedReservation(trace), worst_phase);
+}
+
+// --- fleet end-to-end ---
+
+ClusterWorkloadConfig MixedWorkload() {
+  ClusterWorkloadConfig config;
+  config.num_jobs = 6;
+  config.train_fraction = 0.5;
+  config.mean_interarrival = 800;
+  config.micro_batches = {1, 2};
+  config.num_microbatches = 2;
+  config.max_pp = 2;
+  config.min_iterations = 1;
+  config.max_iterations = 2;
+  config.serve_requests = 12;
+  config.kv_budget_bytes = 1 * GiB;
+  return config;
+}
+
+FleetConfig SmallFleet(SchedulerPolicy policy, AllocatorKind kind) {
+  FleetConfig fleet;
+  fleet.device_capacities = {16 * GiB, 16 * GiB};
+  fleet.policy = policy;
+  fleet.allocator = kind;
+  return fleet;
+}
+
+TEST(Fleet, MixedDayCompletesOnEveryPolicy) {
+  const auto jobs = GenerateClusterWorkload(MixedWorkload(), 21);
+  for (SchedulerPolicy policy : AllSchedulerPolicies()) {
+    ClusterResult r = RunCluster(SmallFleet(policy, AllocatorKind::kCaching), jobs);
+    EXPECT_EQ(r.num_jobs, jobs.size()) << SchedulerPolicyName(policy);
+    EXPECT_EQ(r.completed, jobs.size()) << SchedulerPolicyName(policy);
+    EXPECT_EQ(r.oom_events, 0u) << SchedulerPolicyName(policy);
+    EXPECT_GT(r.makespan, 0u);
+    EXPECT_GT(r.fleet_avg_utilization, 0.0);
+    ASSERT_EQ(r.devices.size(), 2u);
+    for (const DeviceMetrics& d : r.devices) {
+      EXPECT_GT(d.avg_utilization, 0.0);
+      EXPECT_LE(d.peak_used, d.capacity);
+    }
+    for (const JobOutcome& o : r.jobs) {
+      EXPECT_EQ(o.status, JobStatus::kCompleted);
+      EXPECT_GT(o.actual_peak, 0u);
+      EXPECT_GE(o.finish_time, o.admit_time);
+      if (o.type == ClusterJobType::kServing) {
+        EXPECT_GE(o.slo_attainment, 0.0);
+        EXPECT_LE(o.slo_attainment, 1.0);
+      }
+    }
+  }
+}
+
+TEST(Fleet, DeterministicForFixedInputs) {
+  const auto jobs = GenerateClusterWorkload(MixedWorkload(), 9);
+  const FleetConfig fleet = SmallFleet(SchedulerPolicy::kBestFit, AllocatorKind::kCaching);
+  ClusterResult a = RunCluster(fleet, jobs);
+  ClusterResult b = RunCluster(fleet, jobs);
+  EXPECT_EQ(a.Summary(), b.Summary());
+  EXPECT_EQ(a.makespan, b.makespan);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].admit_time, b.jobs[i].admit_time);
+    EXPECT_EQ(a.jobs[i].finish_time, b.jobs[i].finish_time);
+    EXPECT_EQ(a.jobs[i].actual_peak, b.jobs[i].actual_peak);
+  }
+}
+
+TEST(Fleet, RunsOnEveryClusterAllocatorKind) {
+  ClusterWorkloadConfig wl = MixedWorkload();
+  wl.num_jobs = 3;
+  const auto jobs = GenerateClusterWorkload(wl, 4);
+  const auto kinds = ClusterAllocatorKinds();
+  EXPECT_GE(kinds.size(), 3u);
+  for (AllocatorKind kind : kinds) {
+    EXPECT_NE(kind, AllocatorKind::kSTAlloc);
+    EXPECT_NE(kind, AllocatorKind::kSTAllocNoReuse);
+    ClusterResult r = RunCluster(SmallFleet(SchedulerPolicy::kFirstFit, kind), jobs);
+    EXPECT_EQ(r.completed + r.rejected_oom + r.rejected_upfront + r.starved, jobs.size())
+        << AllocatorKindName(kind);
+  }
+}
+
+// The acceptance scenario of the cluster layer: a training job whose activation-heavy footprint
+// exceeds device capacity. The naive model-size estimate says it fits, so first-fit admits it
+// and the job OOMs at runtime (requeue, OOM again, reject). The plan-aware scheduler predicts
+// the real reservation from the profiled trace and rejects it up front — no device time wasted.
+ClusterJob OversizedTrainingJob() {
+  ClusterJob job;
+  job.id = 0;
+  job.type = ClusterJobType::kTraining;
+  job.submit_time = 1;
+  job.model = "gpt2";
+  job.seed = 5;
+  TrainConfig config;
+  config.num_microbatches = 8;
+  config.micro_batch_size = 8;
+  job.train = ApplyConfigTag(config, "N");  // no recompute: ~14 GiB peak vs ~5.5 GiB naive
+  job.iterations = 1;
+  return job;
+}
+
+TEST(Fleet, PlanAwareRejectsUpfrontWhatFirstFitAdmitsIntoOom) {
+  const std::vector<ClusterJob> jobs = {OversizedTrainingJob()};
+  FleetConfig fleet = SmallFleet(SchedulerPolicy::kFirstFit, AllocatorKind::kCaching);
+  fleet.device_capacities = {12 * GiB, 12 * GiB};
+  fleet.max_oom_retries = 1;
+
+  ClusterResult first_fit = RunCluster(fleet, jobs);
+  EXPECT_EQ(first_fit.admitted, 1u);
+  EXPECT_GT(first_fit.oom_events, 0u);
+  EXPECT_EQ(first_fit.requeues, 1u);  // one retry, then reject
+  EXPECT_EQ(first_fit.rejected_oom, 1u);
+  EXPECT_EQ(first_fit.jobs[0].status, JobStatus::kRejectedOom);
+  EXPECT_GT(first_fit.jobs[0].actual_peak, first_fit.jobs[0].estimate);
+
+  fleet.policy = SchedulerPolicy::kPlanAware;
+  ClusterResult plan_aware = RunCluster(fleet, jobs);
+  EXPECT_EQ(plan_aware.admitted, 0u);
+  EXPECT_EQ(plan_aware.oom_events, 0u);
+  EXPECT_EQ(plan_aware.rejected_upfront, 1u);
+  EXPECT_EQ(plan_aware.jobs[0].status, JobStatus::kRejectedUpfront);
+  // The plan-predicted estimate exceeds what any 12 GiB device could hold.
+  EXPECT_GT(plan_aware.jobs[0].estimate, 12 * GiB);
+}
+
+TEST(Fleet, RequeueSucceedsWhenMemoryFreesUp) {
+  // Two sequential admissions of the same footprint fit one after the other: the second job
+  // waits in the queue (first-fit claims block it) and admits once the first completes.
+  ClusterJob a = OversizedTrainingJob();
+  a.train.micro_batch_size = 2;
+  a.train.num_microbatches = 2;
+  ClusterJob b = a;
+  b.id = 1;
+  b.submit_time = 2;
+  b.seed = 6;
+  FleetConfig fleet = SmallFleet(SchedulerPolicy::kFirstFit, AllocatorKind::kCaching);
+  fleet.device_capacities = {9 * GiB};  // one device: jobs must serialize
+  ClusterResult r = RunCluster(fleet, {a, b});
+  EXPECT_EQ(r.completed, 2u);
+  EXPECT_EQ(r.oom_events, 0u);
+  EXPECT_GT(r.jobs[1].queue_wait, 0.0);
+  EXPECT_GE(r.queue_wait_p99, r.queue_wait_p50);
+}
+
+TEST(Fleet, TooManyRanksForTheFleetIsRejectedUpfront) {
+  ClusterJob job = OversizedTrainingJob();
+  job.train.micro_batch_size = 1;
+  job.train.num_microbatches = 2;
+  job.train.parallel.pp = 3;
+  ClusterResult r =
+      RunCluster(SmallFleet(SchedulerPolicy::kFirstFit, AllocatorKind::kCaching), {job});
+  EXPECT_EQ(r.rejected_upfront, 1u);
+  EXPECT_EQ(r.jobs[0].status, JobStatus::kRejectedUpfront);
+}
+
+TEST(Fleet, ServingSloDegradesToZeroForFailedInstances) {
+  ClusterJob serve;
+  serve.id = 0;
+  serve.type = ClusterJobType::kServing;
+  serve.submit_time = 1;
+  serve.model = "gpt2";
+  serve.seed = 3;
+  serve.scenario = ScenarioByName("chat");
+  serve.scenario.num_requests = 8;
+  serve.engine.kv_budget_bytes = 64 * GiB;  // naive estimate can never fit: rejected up front
+  ClusterResult r =
+      RunCluster(SmallFleet(SchedulerPolicy::kFirstFit, AllocatorKind::kCaching), {serve});
+  EXPECT_EQ(r.serving_jobs, 1u);
+  EXPECT_EQ(r.rejected_upfront, 1u);
+  EXPECT_EQ(r.serve_slo_attainment, 0.0);
+}
+
+}  // namespace
+}  // namespace stalloc

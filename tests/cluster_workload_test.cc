@@ -1,0 +1,97 @@
+// Coverage for src/cluster/cluster_workload.*: seeded generation of mixed train+serve job
+// queues — determinism, ordering, shape ranges.
+
+#include "src/cluster/cluster_workload.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace stalloc {
+namespace {
+
+ClusterWorkloadConfig SmallConfig() {
+  ClusterWorkloadConfig config;
+  config.num_jobs = 16;
+  config.train_fraction = 0.5;
+  config.mean_interarrival = 500;
+  config.micro_batches = {1, 2};
+  config.num_microbatches = 2;
+  config.serve_requests = 8;
+  return config;
+}
+
+TEST(ClusterWorkload, DeterministicPerSeed) {
+  const auto a = GenerateClusterWorkload(SmallConfig(), 7);
+  const auto b = GenerateClusterWorkload(SmallConfig(), 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].submit_time, b[i].submit_time);
+    EXPECT_EQ(a[i].type, b[i].type);
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    EXPECT_EQ(a[i].Describe(), b[i].Describe());
+  }
+  // A different seed must actually change the queue.
+  const auto c = GenerateClusterWorkload(SmallConfig(), 8);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    any_diff |= a[i].submit_time != c[i].submit_time || a[i].type != c[i].type;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ClusterWorkload, SortedDenseAndShaped) {
+  const auto jobs = GenerateClusterWorkload(SmallConfig(), 3);
+  ASSERT_EQ(jobs.size(), 16u);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].id, i);
+    if (i > 0) {
+      EXPECT_LE(jobs[i - 1].submit_time, jobs[i].submit_time);
+    }
+    if (jobs[i].type == ClusterJobType::kTraining) {
+      EXPECT_GE(jobs[i].train.parallel.pp, 1);
+      EXPECT_LE(jobs[i].train.parallel.pp, 2);
+      EXPECT_GE(jobs[i].iterations, 1);
+      EXPECT_LE(jobs[i].iterations, 3);
+      EXPECT_EQ(jobs[i].ranks(), jobs[i].train.parallel.pp);
+    } else {
+      EXPECT_EQ(jobs[i].ranks(), 1);
+      EXPECT_EQ(jobs[i].scenario.num_requests, 8u);
+      EXPECT_EQ(jobs[i].engine.kv_budget_bytes, SmallConfig().kv_budget_bytes);
+    }
+  }
+}
+
+TEST(ClusterWorkload, MixContainsBothSpecies) {
+  const auto jobs = GenerateClusterWorkload(SmallConfig(), 11);
+  std::set<ClusterJobType> types;
+  for (const ClusterJob& job : jobs) {
+    types.insert(job.type);
+  }
+  EXPECT_EQ(types.size(), 2u);
+}
+
+TEST(ClusterWorkload, FractionExtremesPinTheSpecies) {
+  ClusterWorkloadConfig config = SmallConfig();
+  config.train_fraction = 1.0;
+  for (const ClusterJob& job : GenerateClusterWorkload(config, 5)) {
+    EXPECT_EQ(job.type, ClusterJobType::kTraining);
+  }
+  config.train_fraction = 0.0;
+  for (const ClusterJob& job : GenerateClusterWorkload(config, 5)) {
+    EXPECT_EQ(job.type, ClusterJobType::kServing);
+  }
+}
+
+TEST(ClusterWorkload, DescribeNamesTheShape) {
+  ClusterWorkloadConfig config = SmallConfig();
+  config.train_fraction = 1.0;
+  const auto jobs = GenerateClusterWorkload(config, 2);
+  ASSERT_FALSE(jobs.empty());
+  EXPECT_NE(jobs[0].Describe().find("train[gpt2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stalloc

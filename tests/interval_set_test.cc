@@ -208,6 +208,84 @@ TEST(IntervalSet, FirstFitPicksLowestAddress) {
   EXPECT_EQ(fit->lo, 100u);
 }
 
+// ----- targeted edge cases: adjacency, zero-length operations, whole-range frees -----
+
+TEST(IntervalSet, AdjacentInsertsMergeFromBothSides) {
+  IntervalSet set;
+  set.Insert(20, 30);
+  set.Insert(10, 20);  // adjacent below
+  set.Insert(30, 40);  // adjacent above
+  EXPECT_EQ(set.interval_count(), 1u);
+  EXPECT_TRUE(set.Covers(10, 40));
+  // Exactly plugging a hole must also collapse to one span.
+  set.Erase(20, 30);
+  EXPECT_EQ(set.interval_count(), 2u);
+  set.Insert(20, 30);
+  EXPECT_EQ(set.interval_count(), 1u);
+  EXPECT_EQ(set.TotalLength(), 30u);
+}
+
+TEST(IntervalSet, ZeroLengthInsertInsideExistingSpanIsNoop) {
+  IntervalSet set;
+  set.Insert(10, 20);
+  set.Insert(15, 15);  // zero-length, interior
+  set.Insert(10, 10);  // zero-length, at the left edge
+  set.Insert(20, 20);  // zero-length, at the right edge
+  EXPECT_EQ(set.interval_count(), 1u);
+  EXPECT_EQ(set.TotalLength(), 10u);
+  EXPECT_EQ(set.ToVector(), (std::vector<Interval>{{10, 20}}));
+}
+
+TEST(IntervalSet, ZeroLengthEraseIsNoop) {
+  IntervalSet set;
+  set.Insert(10, 20);
+  set.Erase(15, 15);
+  set.Erase(10, 10);
+  set.Erase(20, 20);
+  EXPECT_EQ(set.interval_count(), 1u);
+  EXPECT_TRUE(set.Covers(10, 20));
+}
+
+TEST(IntervalSet, FreeOfEntireRangeAcrossManySpans) {
+  // The free-the-whole-arena pattern of SimDevice teardown: one erase spanning everything.
+  IntervalSet set;
+  set.Insert(0, 10);
+  set.Insert(20, 30);
+  set.Insert(40, 50);
+  set.Erase(0, 50);
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.TotalLength(), 0u);
+  EXPECT_FALSE(set.BestFit(1).has_value());
+  // Erasing from an already-empty set stays a no-op.
+  set.Erase(0, 50);
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(IntervalSet, EraseSupersetOfSingleSpan) {
+  IntervalSet set;
+  set.Insert(10, 20);
+  set.Erase(0, 100);  // strict superset
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(IntervalSet, BestFitExactSizeMatch) {
+  IntervalSet set;
+  set.Insert(0, 10);
+  set.Insert(100, 132);
+  auto fit = set.BestFit(32);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_EQ(fit->lo, 100u);
+  EXPECT_EQ(fit->length(), 32u);
+}
+
+TEST(IntervalSet, CoversAndIntersectsOnEmptyQueryRange) {
+  IntervalSet set;
+  set.Insert(10, 20);
+  // Half-open [x, x) is empty: trivially covered, never intersecting.
+  EXPECT_TRUE(set.Covers(15, 15));
+  EXPECT_FALSE(set.Intersects(15, 15));
+}
+
 TEST(IntervalSet, MaxIntervalLength) {
   IntervalSet set;
   EXPECT_EQ(set.MaxIntervalLength(), 0u);

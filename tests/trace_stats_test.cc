@@ -3,6 +3,7 @@
 
 #include "src/trace/trace_stats.h"
 
+#include <algorithm>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -113,6 +114,44 @@ TEST(TraceStats, SizeHistogramBucketsArePowerOfTwoAndSumToTotal) {
   }
   EXPECT_EQ(total, s.num_events);
   EXPECT_NEAR(freq, 1.0, 1e-9);
+}
+
+TEST(TraceStats, PhasePeakBreakdownPerWindow) {
+  // Live bytes: [0,2)=1000, [2,3)=1600, [3,5)=1700, [5,6)=1600, [6,8)=2200, [8,9)=1600,
+  // [9,10)=1000, [10,12)=1000.
+  const Trace t = KnownTrace();
+  auto peaks = PhasePeakBreakdown(t);
+  ASSERT_EQ(peaks.size(), 4u);
+  EXPECT_EQ(peaks[0].kind, PhaseKind::kIterInit);
+  EXPECT_EQ(peaks[0].peak_live, 1000u);
+  EXPECT_EQ(peaks[1].kind, PhaseKind::kForward);
+  EXPECT_EQ(peaks[1].peak_live, 1700u);
+  EXPECT_EQ(peaks[2].kind, PhaseKind::kBackward);
+  EXPECT_EQ(peaks[2].peak_live, 2200u);
+  // The optimizer window has no change points of its own: the peak is the carried-in live value.
+  EXPECT_EQ(peaks[3].kind, PhaseKind::kOptimizer);
+  EXPECT_EQ(peaks[3].peak_live, 1000u);
+  // Window bounds come straight from the phase table.
+  EXPECT_EQ(peaks[2].start, 6u);
+  EXPECT_EQ(peaks[2].end, 10u);
+}
+
+TEST(TraceStats, PhasePeaksBoundTheGlobalPeak) {
+  TraceStats s = ComputeStats(KnownTrace());
+  ASSERT_EQ(s.phase_peaks.size(), 4u);
+  uint64_t worst = 0;
+  for (const PhasePeak& p : s.phase_peaks) {
+    EXPECT_LE(p.peak_live, s.peak_allocated);
+    worst = std::max(worst, p.peak_live);
+  }
+  // Phases tile the trace timeline here, so the worst window *is* the global peak.
+  EXPECT_EQ(worst, s.peak_allocated);
+}
+
+TEST(TraceStats, PhasePeaksOnPhaselessTraceAreEmpty) {
+  Trace t;
+  t.AddEvent(Ev(100, 0, 4, kInvalidPhase, kInvalidPhase));
+  EXPECT_TRUE(PhasePeakBreakdown(t).empty());
 }
 
 TEST(TraceStats, ToStringMentionsTheClasses) {

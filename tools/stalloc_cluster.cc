@@ -1,0 +1,190 @@
+// stalloc_cluster: run a seeded mixed train+serve workload over a simulated multi-GPU fleet —
+// the cluster layer's standalone demo. Generates the job queue, schedules it under the chosen
+// policy, replays every admitted job through the per-device allocators and prints the day:
+// per-job outcomes, per-device utilization/fragmentation, and the fleet summary.
+//
+//   stalloc_cluster --devices 4 --capacity 16G --policy plan-aware --alloc torch-caching
+//   stalloc_cluster --capacity 16G,16G,24G --policy best-fit --jobs 12 --seed 7
+//   stalloc_cluster --list-policies
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster_workload.h"
+#include "src/cluster/fleet.h"
+#include "src/cluster/scheduler.h"
+#include "src/common/table.h"
+#include "src/common/units.h"
+
+namespace {
+
+using namespace stalloc;
+
+const char* kUsage =
+    "usage: stalloc_cluster [--devices N] [--capacity BYTES[,BYTES...]] [--policy NAME]\n"
+    "                       [--alloc KIND] [--jobs N] [--seed N] [--train-frac F]\n"
+    "                       [--retries N] [--list-policies] [--list-allocs]\n"
+    "  capacity: suffixes K/M/G accepted; a comma list builds a heterogeneous fleet\n"
+    "  policy:   first-fit | best-fit | plan-aware\n"
+    "  alloc:    any kind from --list-allocs (STAlloc kinds need a per-job plan and are\n"
+    "            cluster *scheduling* policy, not a shared device allocator)\n";
+
+uint64_t ParseBytes(const char* s) {
+  const std::optional<uint64_t> v = ParseByteSize(s);
+  if (!v.has_value()) {
+    std::fprintf(stderr, "bad byte count '%s' (expected e.g. 16G, 512M)\n", s);
+    std::exit(2);
+  }
+  return *v;
+}
+
+std::vector<uint64_t> ParseCapacityList(const std::string& arg) {
+  std::vector<uint64_t> capacities;
+  size_t pos = 0;
+  while (pos <= arg.size()) {
+    const size_t comma = arg.find(',', pos);
+    const std::string item = arg.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (item.empty()) {
+      std::fprintf(stderr, "empty capacity in list '%s'\n", arg.c_str());
+      std::exit(2);
+    }
+    capacities.push_back(ParseBytes(item.c_str()));
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  return capacities;
+}
+
+AllocatorKind AllocatorKindByName(const std::string& name) {
+  for (AllocatorKind kind : ClusterAllocatorKinds()) {
+    if (name == AllocatorKindName(kind)) {
+      return kind;
+    }
+  }
+  std::fprintf(stderr, "unknown cluster allocator '%s' (see --list-allocs)\n", name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int num_devices = 4;
+  std::vector<uint64_t> capacities;
+  uint64_t capacity = 16 * GiB;
+  std::string policy_name = "plan-aware";
+  std::string alloc_name = "torch-caching";
+  ClusterWorkloadConfig workload;
+  workload.num_jobs = 10;
+  int retries = 1;
+  uint64_t seed = 42;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n%s", flag, kUsage);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--devices")) {
+      num_devices = std::atoi(next("--devices"));
+    } else if (!std::strcmp(argv[i], "--capacity")) {
+      const std::string arg = next("--capacity");
+      if (arg.find(',') != std::string::npos) {
+        capacities = ParseCapacityList(arg);
+      } else {
+        capacity = ParseBytes(arg.c_str());
+      }
+    } else if (!std::strcmp(argv[i], "--policy")) {
+      policy_name = next("--policy");
+    } else if (!std::strcmp(argv[i], "--alloc")) {
+      alloc_name = next("--alloc");
+    } else if (!std::strcmp(argv[i], "--jobs")) {
+      workload.num_jobs = std::atoi(next("--jobs"));
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--train-frac")) {
+      workload.train_fraction = std::atof(next("--train-frac"));
+    } else if (!std::strcmp(argv[i], "--retries")) {
+      retries = std::atoi(next("--retries"));
+    } else if (!std::strcmp(argv[i], "--list-policies")) {
+      for (SchedulerPolicy policy : AllSchedulerPolicies()) {
+        std::printf("%s\n", SchedulerPolicyName(policy));
+      }
+      return 0;
+    } else if (!std::strcmp(argv[i], "--list-allocs")) {
+      for (AllocatorKind kind : ClusterAllocatorKinds()) {
+        std::printf("%s\n", AllocatorKindName(kind));
+      }
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n%s", argv[i], kUsage);
+      return 2;
+    }
+  }
+  if (num_devices < 1 || workload.num_jobs < 0 || retries < 0) {
+    std::fprintf(stderr, "%s", kUsage);
+    return 2;
+  }
+
+  FleetConfig fleet;
+  fleet.device_capacities =
+      capacities.empty() ? std::vector<uint64_t>(static_cast<size_t>(num_devices), capacity)
+                         : capacities;
+  fleet.policy = SchedulerPolicyByName(policy_name);
+  fleet.allocator = AllocatorKindByName(alloc_name);
+  fleet.max_oom_retries = retries;
+
+  const std::vector<ClusterJob> jobs = GenerateClusterWorkload(workload, seed);
+  std::printf("Fleet: %zu devices", fleet.device_capacities.size());
+  for (uint64_t c : fleet.device_capacities) {
+    std::printf(" [%s]", FormatBytes(c).c_str());
+  }
+  std::printf(", policy=%s, allocator=%s, %zu jobs (seed %llu)\n\n",
+              SchedulerPolicyName(fleet.policy), AllocatorKindName(fleet.allocator), jobs.size(),
+              static_cast<unsigned long long>(seed));
+
+  const ClusterResult result = RunCluster(fleet, jobs);
+
+  TextTable job_table({"job", "shape", "submit", "status", "wait", "tries", "estimate",
+                       "actual peak", "devices", "SLO"});
+  for (size_t i = 0; i < result.jobs.size(); ++i) {
+    const JobOutcome& o = result.jobs[i];
+    std::string devices;
+    for (int d : o.devices) {
+      devices += (devices.empty() ? "" : ",") + std::to_string(d);
+    }
+    job_table.AddRow(
+        {StrFormat("%llu", static_cast<unsigned long long>(o.id)), jobs[i].Describe(),
+         StrFormat("%llu", static_cast<unsigned long long>(o.submit_time)), JobStatusName(o.status),
+         StrFormat("%.0f", o.queue_wait), StrFormat("%d", o.attempts),
+         FormatBytes(o.estimate), o.attempts > 0 ? FormatBytes(o.actual_peak) : "-",
+         devices.empty() ? "-" : devices,
+         o.slo_attainment >= 0 ? StrFormat("%.2f", o.slo_attainment) : "-"});
+  }
+  job_table.Print();
+  std::printf("\n");
+
+  TextTable dev_table({"device", "capacity", "peak used", "avg util (%)", "ext frag (%)",
+                       "E (%)", "ranks", "ooms", "API calls"});
+  for (size_t d = 0; d < result.devices.size(); ++d) {
+    const DeviceMetrics& m = result.devices[d];
+    dev_table.AddRow({StrFormat("%zu", d), FormatBytes(m.capacity), FormatBytes(m.peak_used),
+                      StrFormat("%.1f", m.avg_utilization * 100.0),
+                      StrFormat("%.1f", m.avg_external_frag * 100.0),
+                      StrFormat("%.1f", m.memory_efficiency * 100.0),
+                      StrFormat("%llu", static_cast<unsigned long long>(m.placements)),
+                      StrFormat("%llu", static_cast<unsigned long long>(m.oom_events)),
+                      StrFormat("%llu", static_cast<unsigned long long>(m.device_api_calls))});
+  }
+  dev_table.Print();
+  std::printf("\n%s\n", result.Summary().c_str());
+  return 0;
+}

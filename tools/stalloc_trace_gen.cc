@@ -5,14 +5,15 @@
 //   stalloc_trace_gen --model gpt2 --serve chat --seed 7 --out serve.csv
 //   stalloc_trace_gen --list-models
 
-#include <cctype>
-#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
+#include "src/common/table.h"
+#include "src/common/units.h"
 #include "src/servesim/engine.h"
 #include "src/servesim/request_gen.h"
 #include "src/trace/trace_io.h"
@@ -26,47 +27,89 @@ const char* kUsage =
     "usage: stalloc_trace_gen [--model NAME] [--config TAG] [--pp N] [--tp N] [--dp N]\n"
     "                         [--ep N] [--vpp N] [--mb N] [--microbatches N] [--rank N]\n"
     "                         [--seed N] [--capacity BYTES] [--serve SCENARIO] [--out FILE]\n"
-    "                         [--list-models]\n"
+    "                         [--json FILE] [--list-models]\n"
     "  model: see --list-models\n"
     "  config tag: N | R | V | VR | ZR | ZOR\n"
     "  serve scenario: chat | rag-long | batch-offline (serving trace instead of training)\n"
-    "  capacity: accepts suffixes K/M/G (GiB), e.g. 80G; reports a feasibility verdict\n";
+    "  capacity: accepts suffixes K/M/G (GiB), e.g. 80G; reports a feasibility verdict\n"
+    "  json: machine-readable trace stats + capacity verdict ('-' = stdout), for scripting\n"
+    "        cluster configs (mirrors bench_serving --json)\n";
 
-// Parses "80G" / "512M" / raw bytes. Anything else (bad digits, unknown or trailing suffix
-// characters) is rejected — a typo must not silently flip the feasibility verdict.
+// Parses "80G" / "512M" / raw bytes. Malformed input is rejected — a typo must not silently
+// flip the feasibility verdict.
 uint64_t ParseBytes(const char* s) {
-  char* end = nullptr;
-  errno = 0;
-  const uint64_t v = std::strtoull(s, &end, 10);
-  uint64_t unit = 1;
-  // strtoull wraps a leading '-' modulo 2^64; require a plain digit first.
-  bool bad = !std::isdigit(static_cast<unsigned char>(s[0])) || end == s || v == 0 ||
-             errno == ERANGE;
-  if (!bad && *end != '\0') {
-    switch (*end) {
-      case 'K':
-      case 'k':
-        unit = 1024ull;
-        break;
-      case 'M':
-      case 'm':
-        unit = 1024ull * 1024;
-        break;
-      case 'G':
-      case 'g':
-        unit = 1024ull * 1024 * 1024;
-        break;
-      default:
-        bad = true;
-    }
-    bad = bad || *(end + 1) != '\0';
-  }
-  bad = bad || v > UINT64_MAX / unit;  // the scaled value must fit too
-  if (bad) {
+  const std::optional<uint64_t> v = stalloc::ParseByteSize(s);
+  if (!v.has_value()) {
     std::fprintf(stderr, "bad byte count '%s' (expected e.g. 80G, 512M, 1073741824)\n", s);
     std::exit(2);
   }
-  return v * unit;
+  return *v;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+// Machine-readable stats + feasibility verdict, so fleet/cluster configurations can be scripted
+// off the profiled footprint without scraping the human-readable report.
+std::string StatsJson(const std::string& source, const std::string& model,
+                      const std::string& shape, uint64_t seed, const stalloc::TraceStats& stats,
+                      uint64_t capacity) {
+  using stalloc::PhaseKindName;
+  using stalloc::StrFormat;
+  std::string out = "{\n";
+  out += StrFormat("  \"tool\": \"stalloc_trace_gen\",\n  \"source\": \"%s\",\n",
+                   JsonEscape(source).c_str());
+  out += StrFormat("  \"model\": \"%s\",\n  \"shape\": \"%s\",\n  \"seed\": %llu,\n",
+                   JsonEscape(model).c_str(), JsonEscape(shape).c_str(),
+                   static_cast<unsigned long long>(seed));
+  out += StrFormat(
+      "  \"events\": %llu,\n  \"static_events\": %llu,\n  \"dynamic_events\": %llu,\n",
+      static_cast<unsigned long long>(stats.num_events),
+      static_cast<unsigned long long>(stats.num_static),
+      static_cast<unsigned long long>(stats.num_dynamic));
+  out += StrFormat("  \"peak_allocated\": %llu,\n  \"peak_time\": %llu,\n",
+                   static_cast<unsigned long long>(stats.peak_allocated),
+                   static_cast<unsigned long long>(stats.peak_time));
+  out += StrFormat("  \"distinct_sizes\": %llu,\n",
+                   static_cast<unsigned long long>(stats.distinct_sizes));
+  out += StrFormat(
+      "  \"lifespans\": {\"persistent\": %llu, \"scoped\": %llu, \"transient\": %llu,\n"
+      "                \"persistent_bytes\": %llu, \"scoped_bytes\": %llu, "
+      "\"transient_bytes\": %llu},\n",
+      static_cast<unsigned long long>(stats.persistent_count),
+      static_cast<unsigned long long>(stats.scoped_count),
+      static_cast<unsigned long long>(stats.transient_count),
+      static_cast<unsigned long long>(stats.persistent_bytes),
+      static_cast<unsigned long long>(stats.scoped_bytes),
+      static_cast<unsigned long long>(stats.transient_bytes));
+  out += "  \"phase_peaks\": [";
+  for (size_t i = 0; i < stats.phase_peaks.size(); ++i) {
+    const stalloc::PhasePeak& p = stats.phase_peaks[i];
+    out += StrFormat("%s{\"phase\": %d, \"kind\": \"%s\", \"start\": %llu, \"end\": %llu, "
+                     "\"peak_live\": %llu}",
+                     i == 0 ? "" : ", ", p.phase, PhaseKindName(p.kind),
+                     static_cast<unsigned long long>(p.start),
+                     static_cast<unsigned long long>(p.end),
+                     static_cast<unsigned long long>(p.peak_live));
+  }
+  out += "],\n";
+  if (capacity > 0) {
+    out += StrFormat("  \"capacity_bytes\": %llu,\n  \"feasible\": %s\n",
+                     static_cast<unsigned long long>(capacity),
+                     stats.peak_allocated <= capacity ? "true" : "false");
+  } else {
+    out += "  \"capacity_bytes\": null,\n  \"feasible\": null\n";
+  }
+  out += "}\n";
+  return out;
 }
 
 }  // namespace
@@ -77,6 +120,7 @@ int main(int argc, char** argv) {
   std::string model_name = "gpt2";
   std::string tag = "N";
   std::string out = "trace.csv";
+  std::string json_path;
   std::string serve_scenario;
   TrainConfig config;
   config.parallel.pp = 2;
@@ -137,6 +181,8 @@ int main(int argc, char** argv) {
       return 0;
     } else if (!std::strcmp(argv[i], "--out")) {
       out = next("--out");
+    } else if (!std::strcmp(argv[i], "--json")) {
+      json_path = next("--json");
     } else {
       std::fprintf(stderr, "unknown flag %s\n%s", argv[i], kUsage);
       return 2;
@@ -150,12 +196,16 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // With --json - the JSON owns stdout; the human-readable report moves to stderr so the
+  // advertised machine-readable mode stays pipeable.
+  std::FILE* report = json_path == "-" ? stderr : stdout;
+
   Trace trace;
   if (!serve_scenario.empty()) {
     ServeTraceResult serve =
         BuildServeTrace(ModelByName(model_name), ScenarioByName(serve_scenario), EngineConfig{},
                         seed);
-    std::printf("%s\n", serve.stats.ToString().c_str());
+    std::fprintf(report, "%s\n", serve.stats.ToString().c_str());
     trace = std::move(serve.trace);
   } else {
     const int saved_vpp = config.parallel.vpp_chunks;
@@ -174,12 +224,36 @@ int main(int argc, char** argv) {
     return 1;
   }
   TraceStats stats = ComputeStats(trace);
-  std::printf("wrote %s: %zu events\n%s", out.c_str(), trace.size(), stats.ToString().c_str());
+  std::fprintf(report, "wrote %s: %zu events\n%s", out.c_str(), trace.size(),
+               stats.ToString().c_str());
   if (capacity > 0) {
-    std::printf("capacity check: peak %llu of %llu bytes — %s\n",
-                static_cast<unsigned long long>(stats.peak_allocated),
-                static_cast<unsigned long long>(capacity),
-                stats.peak_allocated <= capacity ? "feasible" : "INFEASIBLE");
+    std::fprintf(report, "capacity check: peak %llu of %llu bytes — %s\n",
+                 static_cast<unsigned long long>(stats.peak_allocated),
+                 static_cast<unsigned long long>(capacity),
+                 stats.peak_allocated <= capacity ? "feasible" : "INFEASIBLE");
+  }
+  if (!json_path.empty()) {
+    const bool serving = !serve_scenario.empty();
+    const std::string shape =
+        serving ? serve_scenario
+                : StrFormat("%s pp%d tp%d dp%d mb%llu x%d rank%d", tag.c_str(),
+                            config.parallel.pp, config.parallel.tp, config.parallel.dp,
+                            static_cast<unsigned long long>(config.micro_batch_size),
+                            config.num_microbatches, config.rank);
+    const std::string json = StatsJson(serving ? "serve" : "train", model_name, shape, seed,
+                                       stats, capacity);
+    if (json_path == "-") {
+      std::fputs(json.c_str(), stdout);
+    } else {
+      std::FILE* f = std::fopen(json_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+      }
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", json_path.c_str());
+    }
   }
   return 0;
 }
