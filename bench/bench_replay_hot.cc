@@ -1,0 +1,246 @@
+// Replay-engine hot-path throughput: simulator ops/sec through the unified streaming replay
+// core (src/replay/) for every allocator kind — the perf baseline that gates any further work
+// on the free-space hot paths.
+//
+// Two op streams, ~100k ops each:
+//   * storm — a synthetic cache storm: ~1.5k concurrently-live blocks drawn from a few dozen
+//     recurring sizes (the size-distribution shape of §2.3, Fig. 3), freed in random order. This
+//     keeps the caching-style free lists deep, which is exactly the path the size-bucketed
+//     BestFitIndex replaced the flat ordered-set search on. The storm has no phase structure, so
+//     the STAlloc kinds (which need the offline profile+plan pipeline) sit this one out.
+//   * train — the gpt2 1F1B iteration replayed back-to-back until ~100k ops, for every one of
+//     the 7 kinds (STAlloc plans come from the usual profile-seed pipeline).
+//
+// Timing wraps the whole ReplayTrace call (engine + driver bookkeeping), best of --repeats
+// fresh-allocator runs — directly comparable across revisions of the replay/allocator stack.
+//
+//   bench_replay_hot [--events N] [--repeats N] [--json FILE]   ("-" = JSON to stdout)
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/stopwatch.h"
+#include "src/core/profiler.h"
+#include "src/core/stalloc_allocator.h"
+#include "src/driver/experiment.h"
+#include "src/driver/replay.h"
+#include "src/gpu/sim_device.h"
+#include "src/trace/synthetic.h"
+#include "src/trace/trace.h"
+
+namespace {
+
+using namespace stalloc;
+
+constexpr uint64_t kCapacity = 64ull * GiB;
+
+struct HotResult {
+  AllocatorKind kind = AllocatorKind::kCaching;
+  bool skipped = false;  // kind not runnable on this stream (STAlloc on the unphased storm)
+  bool oom = false;
+  uint64_t ops = 0;
+  double best_wall_seconds = 0;
+  double ops_per_sec = 0;
+  uint64_t reserved_peak = 0;
+  double memory_efficiency = 1.0;
+};
+
+struct StreamRun {
+  std::string stream;
+  uint64_t trace_events = 0;
+  int iterations = 1;
+  std::vector<HotResult> results;
+};
+
+// One timed pass: `iterations` back-to-back ReplayTrace calls into `alloc` (caches persist
+// across iterations, as in training). Returns false on OOM.
+bool TimedReplay(const Trace& trace, Allocator* alloc, int iterations, HotResult* out) {
+  Stopwatch timer;
+  uint64_t ops = 0;
+  for (int i = 0; i < iterations; ++i) {
+    ReplayResult r = ReplayTrace(trace, alloc);
+    ops += r.num_mallocs + r.num_frees;
+    if (r.oom) {
+      out->oom = true;
+      out->ops = ops;
+      return false;
+    }
+  }
+  const double wall = timer.ElapsedSeconds();
+  out->ops = ops;
+  if (out->best_wall_seconds == 0 || wall < out->best_wall_seconds) {
+    out->best_wall_seconds = wall;
+  }
+  return true;
+}
+
+HotResult RunKind(AllocatorKind kind, const Trace& trace, int iterations, int repeats) {
+  HotResult out;
+  out.kind = kind;
+
+  const bool is_stalloc =
+      kind == AllocatorKind::kSTAlloc || kind == AllocatorKind::kSTAllocNoReuse;
+  SynthesisResult synthesis;
+  if (is_stalloc) {
+    // Plan once (offline stage, not timed); each repeat replays against a fresh pool.
+    ProfileResult profile = ProfileTrace(trace, kCapacity);
+    if (!profile.feasible) {
+      out.skipped = true;
+      return out;
+    }
+    synthesis = SynthesizePlan(profile.trace);
+  }
+
+  for (int rep = 0; rep < repeats; ++rep) {
+    SimDevice device(kCapacity);
+    std::unique_ptr<Allocator> alloc;
+    if (is_stalloc) {
+      STAllocConfig config;
+      config.enable_dynamic_reuse = kind == AllocatorKind::kSTAlloc;
+      auto st = std::make_unique<STAllocAllocator>(&device, synthesis.plan, synthesis.dyn_space,
+                                                   config);
+      if (!st->Init()) {
+        out.oom = true;
+        return out;
+      }
+      alloc = std::move(st);
+    } else {
+      alloc = MakeBaselineAllocator(kind, &device, ExperimentOptions{});
+    }
+    if (!TimedReplay(trace, alloc.get(), iterations, &out)) {
+      return out;
+    }
+    out.reserved_peak = alloc->stats().reserved_peak;
+    out.memory_efficiency = alloc->stats().MemoryEfficiency();
+  }
+  out.ops_per_sec =
+      out.best_wall_seconds > 0 ? static_cast<double>(out.ops) / out.best_wall_seconds : 0;
+  return out;
+}
+
+StreamRun RunStream(const std::string& name, const Trace& trace, int iterations, int repeats,
+                    bool include_stalloc, std::FILE* report) {
+  StreamRun run;
+  run.stream = name;
+  run.trace_events = trace.size();
+  run.iterations = iterations;
+
+  std::fprintf(report, "Replay hot path — %s stream: %llu events x %d iterations = %llu ops\n\n",
+               name.c_str(), static_cast<unsigned long long>(trace.size()), iterations,
+               static_cast<unsigned long long>(trace.size() * 2 * iterations));
+  TextTable table({"allocator", "ops", "best wall (ms)", "Mops/s", "Mr", "E (%)"});
+  for (AllocatorKind kind : AllAllocatorKinds()) {
+    const bool is_stalloc =
+        kind == AllocatorKind::kSTAlloc || kind == AllocatorKind::kSTAllocNoReuse;
+    if (is_stalloc && !include_stalloc) {
+      continue;
+    }
+    HotResult r = RunKind(kind, trace, iterations, repeats);
+    if (r.skipped) {
+      table.AddRow({AllocatorKindName(kind), "-", "-", "skipped", "-", "-"});
+    } else if (r.oom) {
+      table.AddRow({AllocatorKindName(kind),
+                    StrFormat("%llu", static_cast<unsigned long long>(r.ops)), "-", "OOM", "-",
+                    "-"});
+    } else {
+      table.AddRow({AllocatorKindName(kind),
+                    StrFormat("%llu", static_cast<unsigned long long>(r.ops)),
+                    StrFormat("%.2f", r.best_wall_seconds * 1e3),
+                    StrFormat("%.2f", r.ops_per_sec / 1e6), FormatBytes(r.reserved_peak),
+                    StrFormat("%.1f", r.memory_efficiency * 100.0)});
+    }
+    run.results.push_back(r);
+  }
+  std::fputs(table.ToString().c_str(), report);
+  std::fprintf(report, "\n");
+  return run;
+}
+
+std::string ToJson(uint64_t events, int repeats, const std::vector<StreamRun>& runs) {
+  std::string out = "{\n";
+  out += StrFormat("  \"bench\": \"replay_hot\",\n  \"storm_events\": %llu,\n",
+                   static_cast<unsigned long long>(events));
+  out += StrFormat("  \"repeats\": %d,\n  \"streams\": [\n", repeats);
+  for (size_t s = 0; s < runs.size(); ++s) {
+    const StreamRun& run = runs[s];
+    out += StrFormat(
+        "    {\"stream\": \"%s\", \"trace_events\": %llu, \"iterations\": %d, \"results\": [\n",
+        run.stream.c_str(), static_cast<unsigned long long>(run.trace_events), run.iterations);
+    for (size_t i = 0; i < run.results.size(); ++i) {
+      const HotResult& r = run.results[i];
+      out += StrFormat(
+          "      {\"allocator\": \"%s\", \"skipped\": %s, \"oom\": %s, \"ops\": %llu, "
+          "\"best_wall_seconds\": %.6f, \"ops_per_sec\": %.0f, \"reserved_peak\": %llu, "
+          "\"memory_efficiency\": %.6f}%s\n",
+          AllocatorKindName(r.kind), r.skipped ? "true" : "false", r.oom ? "true" : "false",
+          static_cast<unsigned long long>(r.ops), r.best_wall_seconds, r.ops_per_sec,
+          static_cast<unsigned long long>(r.reserved_peak), r.memory_efficiency,
+          i + 1 < run.results.size() ? "," : "");
+    }
+    out += StrFormat("    ]}%s\n", s + 1 < runs.size() ? "," : "");
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t events = 50000;  // 2 ops per event -> the 100k-op storm baseline
+  int repeats = 3;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--events") && i + 1 < argc) {
+      events = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--repeats") && i + 1 < argc) {
+      repeats = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_replay_hot [--events N] [--repeats N] [--json FILE]\n");
+      return 2;
+    }
+  }
+
+  // With --json - the JSON owns stdout; the tables move to stderr so the output stays pipeable.
+  std::FILE* report = json_path == "-" ? stderr : stdout;
+
+  std::vector<StreamRun> runs;
+  const Trace storm = BuildStormTrace(events, 42);
+  runs.push_back(RunStream("storm", storm, 1, repeats, /*include_stalloc=*/false, report));
+
+  TrainConfig config;
+  config.parallel.pp = 2;
+  config.num_microbatches = 16;
+  config.micro_batch_size = 4;
+  WorkloadBuilder wb(Gpt2_345M(), config);
+  const Trace train = wb.Build(2);
+  // ~10k ops per iteration: replay back-to-back until the stream matches the storm's length.
+  const int iterations =
+      std::max<int>(1, static_cast<int>(events / (train.size() > 0 ? train.size() : 1)));
+  runs.push_back(RunStream("train", train, iterations, repeats, /*include_stalloc=*/true,
+                           report));
+
+  if (!json_path.empty()) {
+    const std::string json = ToJson(events, repeats, runs);
+    if (json_path == "-") {
+      std::fputs(json.c_str(), stdout);
+    } else {
+      std::FILE* f = std::fopen(json_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+      }
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+  }
+  return 0;
+}

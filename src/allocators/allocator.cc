@@ -5,19 +5,33 @@
 #include <optional>
 
 #include "src/common/check.h"
+#include "src/common/stopwatch.h"
 
 namespace stalloc {
 
 std::optional<uint64_t> AllocatorBase::Malloc(uint64_t size, const RequestContext& ctx) {
+  // Latency measurement is armed only while a hook observes this allocator: two clock reads per
+  // op are measurable noise on the replay hot path and dead weight when nobody listens.
+  Stopwatch timer{Stopwatch::Unstarted{}};
+  const bool timed = hook_ != nullptr;
+  if (timed) {
+    timer.Reset();
+  }
   ++stats_.num_mallocs;
   if (size == 0) {
     ++stats_.num_oom;
+    if (hook_ != nullptr) {
+      hook_->OnOom(size, Snapshot());
+    }
     return std::nullopt;
   }
   auto addr = DoMalloc(size, ctx);
   if (!addr.has_value()) {
     ++stats_.num_oom;
     NotePressure();
+    if (hook_ != nullptr) {
+      hook_->OnOom(size, Snapshot());
+    }
     return std::nullopt;
   }
   // Memory-stomping detector: the returned block may not overlap any live block.
@@ -33,15 +47,28 @@ std::optional<uint64_t> AllocatorBase::Malloc(uint64_t size, const RequestContex
                   << name() << ": block at " << *addr << " stomped by live block [" << prev->first
                   << ", " << prev->first + prev->second << ")");
   }
-  live_.emplace(*addr, size);
+  // `next` is exactly the successor of the new address: reuse it as the insertion hint so the
+  // ledger insert costs O(1) instead of a second tree walk.
+  live_.emplace_hint(next, *addr, size);
   stats_.allocated_current += size;
   stats_.allocated_peak = std::max(stats_.allocated_peak, stats_.allocated_current);
+  stats_.bytes_allocated_total += size;
   stats_.live_blocks = live_.size();
   NotePressure();
+  if (timed) {
+    const double us = timer.ElapsedSeconds() * 1e6;
+    stats_.malloc_latency_us += us;
+    hook_->OnMalloc(size, us, Snapshot());
+  }
   return addr;
 }
 
 bool AllocatorBase::Free(uint64_t addr) {
+  Stopwatch timer{Stopwatch::Unstarted{}};
+  const bool timed = hook_ != nullptr;
+  if (timed) {
+    timer.Reset();
+  }
   auto it = live_.find(addr);
   if (it == live_.end()) {
     return false;
@@ -50,9 +77,15 @@ bool AllocatorBase::Free(uint64_t addr) {
   const uint64_t size = it->second;
   live_.erase(it);
   stats_.allocated_current -= size;
+  stats_.bytes_freed_total += size;
   stats_.live_blocks = live_.size();
   DoFree(addr, size);
   NotePressure();
+  if (timed) {
+    const double us = timer.ElapsedSeconds() * 1e6;
+    stats_.free_latency_us += us;
+    hook_->OnFree(size, us, Snapshot());
+  }
   return true;
 }
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <map>
 #include <optional>
 
 #include "src/common/check.h"
@@ -40,25 +39,40 @@ uint64_t CachingAllocator::SegmentSizeFor(uint64_t rounded) const {
   return AlignUp(rounded, config_.round_large);
 }
 
+uint32_t CachingAllocator::NewBlockSlot() {
+  if (!free_slots_.empty()) {
+    const uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  blocks_.emplace_back();
+  return static_cast<uint32_t>(blocks_.size() - 1);
+}
+
+void CachingAllocator::ReleaseBlockSlot(uint32_t slot) { free_slots_.push_back(slot); }
+
+uint32_t CachingAllocator::FindBlock(uint64_t addr) const {
+  auto it = by_addr_.find(addr);
+  return it == by_addr_.end() ? kNoBlock : it->second;
+}
+
 std::optional<uint64_t> CachingAllocator::AllocFromCache(uint64_t rounded, bool small,
                                                          StreamId stream) {
-  auto& free_list = FreeListFor(small, stream);
-  auto it = free_list.lower_bound(FreeKey{rounded, 0});
-  if (it == free_list.end()) {
+  auto best = FreeListFor(small, stream).PopBestFit(rounded);
+  if (!best.has_value()) {
     return std::nullopt;
   }
-  const uint64_t addr = it->second;
-  free_list.erase(it);
-  auto bit = blocks_.find(addr);
-  STALLOC_CHECK(bit != blocks_.end() && bit->second.free);
-  bit->second.free = false;
-  segments_[bit->second.segment].free_bytes -= bit->second.size;
-  SplitBlock(bit, rounded);
+  const uint64_t addr = best->second;
+  const uint32_t slot = FindBlock(addr);
+  STALLOC_CHECK(slot != kNoBlock && blocks_[slot].free);
+  blocks_[slot].free = false;
+  segments_[blocks_[slot].segment].free_bytes -= blocks_[slot].size;
+  SplitBlock(slot, rounded);
   return addr;
 }
 
-void CachingAllocator::SplitBlock(std::map<uint64_t, Block>::iterator it, uint64_t want) {
-  Block& block = it->second;
+void CachingAllocator::SplitBlock(uint32_t slot, uint64_t want) {
+  Block& block = blocks_[slot];
   STALLOC_CHECK_GE(block.size, want);
   const uint64_t remainder = block.size - want;
   const Segment& seg = segments_[block.segment];
@@ -69,15 +83,24 @@ void CachingAllocator::SplitBlock(std::map<uint64_t, Block>::iterator it, uint64
   if (!split) {
     return;
   }
-  block.size = want;
-  Block rest;
-  rest.addr = block.addr + want;
+  const uint32_t rest_slot = NewBlockSlot();
+  Block& b = blocks_[slot];  // re-fetch: NewBlockSlot may reallocate the pool
+  b.size = want;
+  Block& rest = blocks_[rest_slot];
+  rest.addr = b.addr + want;
   rest.size = remainder;
   rest.free = true;
-  rest.segment = block.segment;
-  blocks_.emplace(rest.addr, rest);
+  rest.segment = b.segment;
+  // Link the remainder right after the block in the segment's address-ordered list.
+  rest.prev = slot;
+  rest.next = b.next;
+  if (b.next != kNoBlock) {
+    blocks_[b.next].prev = rest_slot;
+  }
+  b.next = rest_slot;
+  by_addr_.emplace(rest.addr, rest_slot);
   segments_[rest.segment].free_bytes += remainder;
-  FreeListFor(small, seg.stream).insert(FreeKey{remainder, rest.addr});
+  FreeListFor(small, seg.stream).Insert(remainder, rest.addr);
 }
 
 std::optional<uint64_t> CachingAllocator::AllocFromNewSegment(uint64_t rounded, bool small,
@@ -103,14 +126,17 @@ std::optional<uint64_t> CachingAllocator::AllocFromNewSegment(uint64_t rounded, 
   reserved_ += seg_size;
   const uint32_t seg_id = static_cast<uint32_t>(segments_.size() - 1);
 
-  Block block;
+  const uint32_t slot = NewBlockSlot();
+  Block& block = blocks_[slot];
   block.addr = *base;
   block.size = seg_size;
   block.free = false;
   block.segment = seg_id;
-  auto [bit, inserted] = blocks_.emplace(block.addr, block);
+  block.prev = kNoBlock;
+  block.next = kNoBlock;
+  const bool inserted = by_addr_.emplace(block.addr, slot).second;
   STALLOC_CHECK(inserted);
-  SplitBlock(bit, rounded);
+  SplitBlock(slot, rounded);
   return *base;
 }
 
@@ -125,39 +151,48 @@ std::optional<uint64_t> CachingAllocator::DoMalloc(uint64_t size, const RequestC
 
 void CachingAllocator::DoFree(uint64_t addr, uint64_t size) {
   (void)size;
-  auto it = blocks_.find(addr);
-  STALLOC_CHECK(it != blocks_.end() && !it->second.free,
+  const uint32_t slot = FindBlock(addr);
+  STALLOC_CHECK(slot != kNoBlock && !blocks_[slot].free,
                 << "caching allocator: free of unknown block " << addr);
-  it->second.free = true;
-  segments_[it->second.segment].free_bytes += it->second.size;
-  Coalesce(it);
+  blocks_[slot].free = true;
+  segments_[blocks_[slot].segment].free_bytes += blocks_[slot].size;
+  Coalesce(slot);
 }
 
-void CachingAllocator::Coalesce(std::map<uint64_t, Block>::iterator it) {
-  const uint32_t seg_id = it->second.segment;
-  const bool small = segments_[seg_id].small;
-  auto& free_list = FreeListFor(small, segments_[seg_id].stream);
+void CachingAllocator::Coalesce(uint32_t slot) {
+  Block& block = blocks_[slot];
+  const uint32_t seg_id = block.segment;
+  auto& free_list = FreeListFor(segments_[seg_id].small, segments_[seg_id].stream);
 
-  // Merge with the next block if contiguous, same segment and free.
-  auto next = std::next(it);
-  if (next != blocks_.end() && next->second.free && next->second.segment == seg_id &&
-      it->second.addr + it->second.size == next->second.addr) {
-    free_list.erase(FreeKey{next->second.size, next->second.addr});
-    it->second.size += next->second.size;
-    blocks_.erase(next);
+  // Merge with the next block if free (list neighbours are contiguous within the segment).
+  const uint32_t next = block.next;
+  if (next != kNoBlock && blocks_[next].free) {
+    STALLOC_DCHECK_EQ(block.addr + block.size, blocks_[next].addr);
+    free_list.Erase(blocks_[next].size, blocks_[next].addr);
+    by_addr_.erase(blocks_[next].addr);
+    block.size += blocks_[next].size;
+    block.next = blocks_[next].next;
+    if (block.next != kNoBlock) {
+      blocks_[block.next].prev = slot;
+    }
+    ReleaseBlockSlot(next);
   }
   // Merge with the previous block.
-  if (it != blocks_.begin()) {
-    auto prev = std::prev(it);
-    if (prev->second.free && prev->second.segment == seg_id &&
-        prev->second.addr + prev->second.size == it->second.addr) {
-      free_list.erase(FreeKey{prev->second.size, prev->second.addr});
-      prev->second.size += it->second.size;
-      blocks_.erase(it);
-      it = prev;
+  uint32_t merged = slot;
+  const uint32_t prev = block.prev;
+  if (prev != kNoBlock && blocks_[prev].free) {
+    STALLOC_DCHECK_EQ(blocks_[prev].addr + blocks_[prev].size, block.addr);
+    free_list.Erase(blocks_[prev].size, blocks_[prev].addr);
+    by_addr_.erase(block.addr);
+    blocks_[prev].size += block.size;
+    blocks_[prev].next = block.next;
+    if (block.next != kNoBlock) {
+      blocks_[block.next].prev = prev;
     }
+    ReleaseBlockSlot(slot);
+    merged = prev;
   }
-  free_list.insert(FreeKey{it->second.size, it->second.addr});
+  free_list.Insert(blocks_[merged].size, blocks_[merged].addr);
 }
 
 uint64_t CachingAllocator::ReleaseCachedSegments() {
@@ -168,10 +203,12 @@ uint64_t CachingAllocator::ReleaseCachedSegments() {
       continue;
     }
     // The segment is one fully-free block (coalescing guarantees it); drop it.
-    auto it = blocks_.find(seg.base);
-    STALLOC_CHECK(it != blocks_.end() && it->second.free && it->second.size == seg.size);
-    FreeListFor(seg.small, seg.stream).erase(FreeKey{it->second.size, it->second.addr});
-    blocks_.erase(it);
+    const uint32_t slot = FindBlock(seg.base);
+    STALLOC_CHECK(slot != kNoBlock && blocks_[slot].free && blocks_[slot].size == seg.size);
+    STALLOC_CHECK(blocks_[slot].prev == kNoBlock && blocks_[slot].next == kNoBlock);
+    FreeListFor(seg.small, seg.stream).Erase(blocks_[slot].size, blocks_[slot].addr);
+    by_addr_.erase(seg.base);
+    ReleaseBlockSlot(slot);
     device_->DevFree(seg.base);
     seg.released = true;
     seg.free_bytes = 0;

@@ -8,7 +8,7 @@
 //     requests < 10 MiB (kMinLargeAlloc), else the request rounded up to 2 MiB (kRoundLarge);
 //   * free blocks are kept per (pool, stream) — a freed block is only reusable by requests on
 //     the stream that allocated it, as in PyTorch — and selected best-fit (smallest sufficient
-//     block);
+//     block) through a size-bucketed BestFitIndex (src/allocators/free_index.h);
 //   * an oversized block is split when the remainder is >= 512 B (small pool) or > 1 MiB (large
 //     pool); the remainder stays cached;
 //   * on device OOM the allocator releases all fully-free cached segments (cudaFree) and retries
@@ -17,6 +17,10 @@
 //
 // This is the "online best-fit without lifespan knowledge" policy whose fragmentation behaviour
 // §2.2 analyses.
+//
+// Block records live in a slot pool threaded into per-segment doubly-linked lists in address
+// order (as in upstream PyTorch), with a hash map from address to slot: the replay hot path does
+// no ordered-tree walk besides the BestFitIndex size lookup.
 
 #ifndef SRC_ALLOCATORS_CACHING_ALLOCATOR_H_
 #define SRC_ALLOCATORS_CACHING_ALLOCATOR_H_
@@ -24,11 +28,12 @@
 #include <cstdint>
 #include <map>
 #include <optional>
-#include <set>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "src/allocators/allocator.h"
+#include "src/allocators/free_index.h"
 #include "src/common/units.h"
 #include "src/gpu/sim_device.h"
 
@@ -64,11 +69,15 @@ class CachingAllocator final : public AllocatorBase {
   void DoFree(uint64_t addr, uint64_t size) override;
 
  private:
+  static constexpr uint32_t kNoBlock = ~uint32_t{0};
+
   struct Block {
     uint64_t addr = 0;
-    uint64_t size = 0;     // rounded (physical) size
+    uint64_t size = 0;      // rounded (physical) size
     bool free = true;
-    uint32_t segment = 0;  // owning segment index
+    uint32_t segment = 0;   // owning segment index
+    uint32_t prev = kNoBlock;  // address-ordered neighbours within the segment
+    uint32_t next = kNoBlock;
   };
   struct Segment {
     uint64_t base = 0;
@@ -78,16 +87,18 @@ class CachingAllocator final : public AllocatorBase {
     StreamId stream = kComputeStream;  // all blocks of a segment belong to one stream
     uint64_t free_bytes = 0;  // sum of free block bytes inside
   };
-  // Free-list key: (size, addr) so lower_bound gives the best fit deterministically.
-  using FreeKey = std::pair<uint64_t, uint64_t>;
-  // One free list per (pool, stream): PyTorch segregates cached blocks by stream.
+  // One free index per (pool, stream): PyTorch segregates cached blocks by stream.
   using PoolKey = std::pair<bool, StreamId>;
 
   bool IsSmall(uint64_t rounded) const { return rounded <= config_.small_size; }
   uint64_t SegmentSizeFor(uint64_t rounded) const;
-  std::set<FreeKey>& FreeListFor(bool small, StreamId stream) {
+  BestFitIndex& FreeListFor(bool small, StreamId stream) {
     return free_lists_[PoolKey{small, stream}];
   }
+
+  uint32_t NewBlockSlot();
+  void ReleaseBlockSlot(uint32_t slot);
+  uint32_t FindBlock(uint64_t addr) const;
 
   // Attempts to serve from cached free blocks; nullopt if none fits.
   std::optional<uint64_t> AllocFromCache(uint64_t rounded, bool small, StreamId stream);
@@ -95,13 +106,15 @@ class CachingAllocator final : public AllocatorBase {
   std::optional<uint64_t> AllocFromNewSegment(uint64_t rounded, bool small, StreamId stream);
   // Releases all fully-free segments back to the device; returns bytes released.
   uint64_t ReleaseCachedSegments();
-  void SplitBlock(std::map<uint64_t, Block>::iterator it, uint64_t want);
-  void Coalesce(std::map<uint64_t, Block>::iterator it);
+  void SplitBlock(uint32_t slot, uint64_t want);
+  void Coalesce(uint32_t slot);
 
   SimDevice* device_;
   CachingAllocatorConfig config_;
-  std::map<uint64_t, Block> blocks_;  // all blocks (free and used), keyed by address
-  std::map<PoolKey, std::set<FreeKey>> free_lists_;
+  std::vector<Block> blocks_;        // slot pool; free slots recycled via free_slots_
+  std::vector<uint32_t> free_slots_;
+  std::unordered_map<uint64_t, uint32_t> by_addr_;  // block address -> slot
+  std::map<PoolKey, BestFitIndex> free_lists_;
   std::vector<Segment> segments_;
   uint64_t reserved_ = 0;
 };

@@ -91,8 +91,8 @@ void ExpandableSegmentsAllocator::DoFree(uint64_t addr, uint64_t size) {
 std::optional<uint64_t> ExpandableSegmentsAllocator::LargeMalloc(StreamSegment& seg,
                                                                  uint64_t rounded) {
   // Best fit among free blocks of the segment.
-  auto it = seg.free_list.lower_bound(FreeKey{rounded, 0});
-  if (it == seg.free_list.end()) {
+  auto best = seg.free_list.PopBestFit(rounded);
+  if (!best.has_value()) {
     // No hole fits: grow the frontier. If a free block ends exactly at the frontier we only need
     // the difference.
     uint64_t tail_free = 0;
@@ -106,11 +106,10 @@ std::optional<uint64_t> ExpandableSegmentsAllocator::LargeMalloc(StreamSegment& 
     if (need > 0 && !Grow(seg, AlignUp(need, SimDevice::kGranularity))) {
       return std::nullopt;
     }
-    it = seg.free_list.lower_bound(FreeKey{rounded, 0});
-    STALLOC_CHECK(it != seg.free_list.end(), << "expandable segment grow did not produce a fit");
+    best = seg.free_list.PopBestFit(rounded);
+    STALLOC_CHECK(best.has_value(), << "expandable segment grow did not produce a fit");
   }
-  const uint64_t off = it->second;
-  seg.free_list.erase(it);
+  const uint64_t off = best->second;
   auto bit = seg.blocks.find(off);
   STALLOC_CHECK(bit != seg.blocks.end() && bit->second.free);
   bit->second.free = false;
@@ -121,8 +120,9 @@ std::optional<uint64_t> ExpandableSegmentsAllocator::LargeMalloc(StreamSegment& 
     rest.size = bit->second.size - rounded;
     rest.free = true;
     bit->second.size = rounded;
-    seg.blocks.emplace(rest.off, rest);
-    seg.free_list.insert(FreeKey{rest.size, rest.off});
+    // The remainder lands immediately after `bit` in offset order: O(1) hinted insert.
+    seg.blocks.emplace_hint(std::next(bit), rest.off, rest);
+    seg.free_list.Insert(rest.size, rest.off);
   }
   return off;
 }
@@ -174,9 +174,9 @@ bool ExpandableSegmentsAllocator::Grow(StreamSegment& seg, uint64_t bytes) {
   if (!seg.blocks.empty()) {
     auto last = std::prev(seg.blocks.end());
     if (last->second.free && last->second.off + last->second.size == old_end) {
-      seg.free_list.erase(FreeKey{last->second.size, last->second.off});
+      seg.free_list.Erase(last->second.size, last->second.off);
       last->second.size += bytes;
-      seg.free_list.insert(FreeKey{last->second.size, last->second.off});
+      seg.free_list.Insert(last->second.size, last->second.off);
       return true;
     }
   }
@@ -185,7 +185,7 @@ bool ExpandableSegmentsAllocator::Grow(StreamSegment& seg, uint64_t bytes) {
   block.size = bytes;
   block.free = true;
   seg.blocks.emplace(block.off, block);
-  seg.free_list.insert(FreeKey{block.size, block.off});
+  seg.free_list.Insert(block.size, block.off);
   return true;
 }
 
@@ -203,20 +203,20 @@ void ExpandableSegmentsAllocator::Coalesce(StreamSegment& seg,
   auto next = std::next(it);
   if (next != seg.blocks.end() && next->second.free &&
       it->second.off + it->second.size == next->second.off) {
-    seg.free_list.erase(FreeKey{next->second.size, next->second.off});
+    seg.free_list.Erase(next->second.size, next->second.off);
     it->second.size += next->second.size;
     seg.blocks.erase(next);
   }
   if (it != seg.blocks.begin()) {
     auto prev = std::prev(it);
     if (prev->second.free && prev->second.off + prev->second.size == it->second.off) {
-      seg.free_list.erase(FreeKey{prev->second.size, prev->second.off});
+      seg.free_list.Erase(prev->second.size, prev->second.off);
       prev->second.size += it->second.size;
       seg.blocks.erase(it);
       it = prev;
     }
   }
-  seg.free_list.insert(FreeKey{it->second.size, it->second.off});
+  seg.free_list.Insert(it->second.size, it->second.off);
 }
 
 void ExpandableSegmentsAllocator::TrimTail(StreamSegment& seg) {
@@ -242,10 +242,10 @@ void ExpandableSegmentsAllocator::TrimTail(StreamSegment& seg) {
     STALLOC_CHECK(device_->MemRelease(hit->second) == DeviceStatus::kOk);
     seg.granule_handles.erase(hit);
   }
-  seg.free_list.erase(FreeKey{last->second.size, last->second.off});
+  seg.free_list.Erase(last->second.size, last->second.off);
   if (last->second.off < new_end) {
     last->second.size = new_end - last->second.off;
-    seg.free_list.insert(FreeKey{last->second.size, last->second.off});
+    seg.free_list.Insert(last->second.size, last->second.off);
   } else {
     seg.blocks.erase(last);
   }

@@ -20,11 +20,11 @@
 #include <map>
 #include <memory>
 #include <optional>
-#include <set>
 #include <utility>
 #include <vector>
 
 #include "src/allocators/caching_allocator.h"
+#include "src/allocators/free_index.h"
 #include "src/gpu/sim_device.h"
 
 namespace stalloc {
@@ -64,8 +64,6 @@ class ExpandableSegmentsAllocator final : public AllocatorBase {
     uint64_t size = 0;
     bool free = true;
   };
-  using FreeKey = std::pair<uint64_t, uint64_t>;  // (size, off)
-
   // Per-stream expandable segment state.
   struct StreamSegment {
     VaPtr va = 0;
@@ -73,7 +71,7 @@ class ExpandableSegmentsAllocator final : public AllocatorBase {
     uint64_t mapped_end = 0;  // granularity-aligned mapped frontier
     std::map<uint64_t, MemHandle> granule_handles;  // offset -> handle (one per granule)
     std::map<uint64_t, Block> blocks;               // keyed by offset
-    std::set<FreeKey> free_list;
+    BestFitIndex free_list;
   };
 
   bool IsSmall(uint64_t size) const {

@@ -1,0 +1,128 @@
+// BestFitIndex: the indexed free-space structure shared by the caching-style allocators
+// (caching_allocator, gmlake, expandable_segments).
+//
+// A free block is the pair (size, addr). Best-fit selection — smallest sufficient size, then
+// lowest address — used to walk one flat ordered set over *all* free blocks; under training
+// workloads thousands of cached blocks share a few dozen distinct sizes (§2.3, Fig. 3), so that
+// tree is deep and the lower_bound/insert walks dominated the whole simulator's hot path.
+//
+// BestFitIndex buckets free blocks by size: an ordered map keyed by size whose values are
+// address vectors sorted descending, so the best (lowest) address of a bucket is an O(1)
+// pop_back. The size map itself is a flat sorted vector (the same few dozen sizes recur for the
+// whole run, so new-size insertions are rare and binary search over contiguous memory beats a
+// node-based tree), buckets are kept alive when they empty — steady-state inserts/pops are
+// allocation-free — and lower_bound walks to the first *non-empty* bucket. The block each
+// PopBestFit picks is bit-identical to what lower_bound on the flat (size, addr) set it
+// replaces would have picked.
+
+#ifndef SRC_ALLOCATORS_FREE_INDEX_H_
+#define SRC_ALLOCATORS_FREE_INDEX_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace stalloc {
+
+class BestFitIndex {
+ public:
+  // A free block of `size` bytes at `addr`. (size, addr) pairs must be unique.
+  void Insert(uint64_t size, uint64_t addr) {
+    Bucket& b = BucketFor(size);
+    // Descending order keeps the best (lowest) address at the back. Same-size blocks are
+    // typically freed high-to-low or reused immediately, so the binary search usually resolves
+    // to one end of a short vector.
+    auto it = std::upper_bound(b.begin(), b.end(), addr, std::greater<uint64_t>());
+    // In descending order every element at/after `it` is < addr; a duplicate would sit just
+    // before the insertion point.
+    STALLOC_DCHECK(it == b.begin() || *(it - 1) != addr,
+                   << "free index: duplicate block (" << size << ", " << addr << ")");
+    b.insert(it, addr);
+    ++count_;
+  }
+
+  // Removes a block known to be present (e.g. a neighbour being coalesced away).
+  void Erase(uint64_t size, uint64_t addr) {
+    const size_t pos = LowerBound(size);
+    STALLOC_CHECK(pos < sizes_.size() && sizes_[pos] == size,
+                  << "free index: erase of unknown size " << size);
+    Bucket& b = buckets_[pos];
+    auto it = std::lower_bound(b.begin(), b.end(), addr, std::greater<uint64_t>());
+    STALLOC_CHECK(it != b.end() && *it == addr,
+                  << "free index: erase of unknown block (" << size << ", " << addr << ")");
+    b.erase(it);
+    --count_;
+  }
+
+  // Removes and returns the best fit for `min_size`: the lowest-addressed block of the smallest
+  // size >= min_size, exactly the block lower_bound found in the flat-set representation.
+  std::optional<std::pair<uint64_t, uint64_t>> PopBestFit(uint64_t min_size) {
+    for (size_t pos = LowerBound(min_size); pos < sizes_.size(); ++pos) {
+      Bucket& b = buckets_[pos];
+      if (b.empty()) {
+        continue;  // kept-alive empty bucket
+      }
+      const uint64_t addr = b.back();
+      b.pop_back();
+      --count_;
+      return std::pair<uint64_t, uint64_t>{sizes_[pos], addr};
+    }
+    return std::nullopt;
+  }
+
+  // Best fit without removal (telemetry / tests).
+  std::optional<std::pair<uint64_t, uint64_t>> BestFit(uint64_t min_size) const {
+    for (size_t pos = LowerBound(min_size); pos < sizes_.size(); ++pos) {
+      if (!buckets_[pos].empty()) {
+        return std::pair<uint64_t, uint64_t>{sizes_[pos], buckets_[pos].back()};
+      }
+    }
+    return std::nullopt;
+  }
+
+  bool empty() const { return count_ == 0; }
+  size_t size() const { return count_; }
+  size_t num_size_buckets() const { return sizes_.size(); }  // includes kept-alive empties
+  uint64_t largest_size() const {
+    for (size_t pos = sizes_.size(); pos > 0; --pos) {
+      if (!buckets_[pos - 1].empty()) {
+        return sizes_[pos - 1];
+      }
+    }
+    return 0;
+  }
+
+ private:
+  using Bucket = std::vector<uint64_t>;  // addresses, sorted descending (best fit at back)
+
+  // Index of the first size >= `size` in the flat sorted size array.
+  size_t LowerBound(uint64_t size) const {
+    return static_cast<size_t>(std::lower_bound(sizes_.begin(), sizes_.end(), size) -
+                               sizes_.begin());
+  }
+
+  Bucket& BucketFor(uint64_t size) {
+    const size_t pos = LowerBound(size);
+    if (pos < sizes_.size() && sizes_[pos] == size) {
+      return buckets_[pos];
+    }
+    // New distinct size: rare after warm-up (a few dozen sizes recur, §2.3 Fig. 3).
+    sizes_.insert(sizes_.begin() + static_cast<ptrdiff_t>(pos), size);
+    buckets_.insert(buckets_.begin() + static_cast<ptrdiff_t>(pos), Bucket{});
+    return buckets_[pos];
+  }
+
+  std::vector<uint64_t> sizes_;  // sorted ascending; parallel to buckets_
+  std::vector<Bucket> buckets_;
+  size_t count_ = 0;
+};
+
+}  // namespace stalloc
+
+#endif  // SRC_ALLOCATORS_FREE_INDEX_H_

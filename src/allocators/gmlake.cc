@@ -87,13 +87,11 @@ std::optional<uint64_t> GMLakeAllocator::LargeMalloc(uint64_t rounded, StreamId 
 }
 
 std::optional<uint64_t> GMLakeAllocator::AllocFromCache(uint64_t rounded, StreamId stream) {
-  auto& free_list = free_lists_[stream];
-  auto it = free_list.lower_bound(FreeKey{rounded, 0});
-  if (it == free_list.end()) {
+  auto best = free_lists_[stream].PopBestFit(rounded);
+  if (!best.has_value()) {
     return std::nullopt;
   }
-  const uint64_t addr = it->second;
-  free_list.erase(it);
+  const uint64_t addr = best->second;
   auto bit = blocks_.find(addr);
   STALLOC_CHECK(bit != blocks_.end() && bit->second.free);
   bit->second.free = false;
@@ -163,7 +161,7 @@ void GMLakeAllocator::DismantleSegment(uint32_t seg_id, bool release_physical) {
   // A fully-free segment is one coalesced free block starting at its base.
   auto it = blocks_.find(seg.va);
   STALLOC_CHECK(it != blocks_.end() && it->second.free && it->second.size == seg.size);
-  free_lists_[seg.stream].erase(FreeKey{it->second.size, it->second.addr});
+  free_lists_[seg.stream].Erase(it->second.size, it->second.addr);
   blocks_.erase(it);
   uint64_t off = 0;
   for (const auto& part : seg.handles) {
@@ -254,9 +252,10 @@ void GMLakeAllocator::SplitBlock(std::map<uint64_t, Block>::iterator it, uint64_
   rest.size = remainder;
   rest.free = true;
   rest.segment = block.segment;
-  blocks_.emplace(rest.addr, rest);
+  // The remainder lands immediately after `it` in address order: O(1) hinted insert.
+  blocks_.emplace_hint(std::next(it), rest.addr, rest);
   segments_[rest.segment].free_bytes += remainder;
-  free_lists_[segments_[rest.segment].stream].insert(FreeKey{remainder, rest.addr});
+  free_lists_[segments_[rest.segment].stream].Insert(remainder, rest.addr);
 }
 
 void GMLakeAllocator::Coalesce(std::map<uint64_t, Block>::iterator it) {
@@ -265,7 +264,7 @@ void GMLakeAllocator::Coalesce(std::map<uint64_t, Block>::iterator it) {
   auto next = std::next(it);
   if (next != blocks_.end() && next->second.free && next->second.segment == seg_id &&
       it->second.addr + it->second.size == next->second.addr) {
-    free_list.erase(FreeKey{next->second.size, next->second.addr});
+    free_list.Erase(next->second.size, next->second.addr);
     it->second.size += next->second.size;
     blocks_.erase(next);
   }
@@ -273,13 +272,13 @@ void GMLakeAllocator::Coalesce(std::map<uint64_t, Block>::iterator it) {
     auto prev = std::prev(it);
     if (prev->second.free && prev->second.segment == seg_id &&
         prev->second.addr + prev->second.size == it->second.addr) {
-      free_list.erase(FreeKey{prev->second.size, prev->second.addr});
+      free_list.Erase(prev->second.size, prev->second.addr);
       prev->second.size += it->second.size;
       blocks_.erase(it);
       it = prev;
     }
   }
-  free_list.insert(FreeKey{it->second.size, it->second.addr});
+  free_list.Insert(it->second.size, it->second.addr);
 }
 
 uint64_t GMLakeAllocator::ReleaseCachedSegments() {

@@ -17,11 +17,11 @@
 #include <map>
 #include <memory>
 #include <optional>
-#include <set>
 #include <utility>
 #include <vector>
 
 #include "src/allocators/caching_allocator.h"
+#include "src/allocators/free_index.h"
 #include "src/gpu/sim_device.h"
 
 namespace stalloc {
@@ -70,8 +70,6 @@ class GMLakeAllocator final : public AllocatorBase {
     bool free = true;
     uint32_t segment = 0;
   };
-  using FreeKey = std::pair<uint64_t, uint64_t>;
-
   bool IsSmall(uint64_t size) const {
     return AlignUp(std::max(size, uint64_t{512}), 512) <= config_.small_size;
   }
@@ -95,7 +93,7 @@ class GMLakeAllocator final : public AllocatorBase {
   std::unique_ptr<CachingAllocator> small_pool_;
   std::vector<Segment> segments_;
   std::map<uint64_t, Block> blocks_;
-  std::map<StreamId, std::set<FreeKey>> free_lists_;
+  std::map<StreamId, BestFitIndex> free_lists_;
   uint64_t reserved_large_ = 0;  // physical bytes held by large segments
   uint64_t num_stitches_ = 0;
 };

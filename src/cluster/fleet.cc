@@ -3,13 +3,10 @@
 #include <algorithm>
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <limits>
 #include <memory>
 #include <optional>
-#include <queue>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -17,6 +14,7 @@
 #include "src/common/table.h"
 #include "src/common/units.h"
 #include "src/gpu/sim_device.h"
+#include "src/replay/replay_engine.h"
 #include "src/trainsim/model_config.h"
 #include "src/trainsim/workload.h"
 
@@ -25,32 +23,6 @@ namespace stalloc {
 namespace {
 
 constexpr uint64_t kNever = std::numeric_limits<uint64_t>::max();
-
-// One admitted job-rank resident on one device: a cursor over its trace's op stream, repeated
-// `iterations` times back-to-back, plus the live-block ledger needed to unwind it on abort.
-struct Placement {
-  size_t job = 0;  // index into the JobState vector
-  int rank = 0;
-  int device = 0;
-  const Trace* trace = nullptr;
-  const std::vector<TraceOp>* ops = nullptr;
-  uint64_t start = 0;   // admission tick
-  uint64_t period = 0;  // trace end_time: iteration i replays at start + i * period
-  int iterations = 1;
-  size_t cursor = 0;
-  bool active = false;
-  uint64_t estimate = 0;  // admission claim held on the device while resident
-  std::unordered_map<uint64_t, uint64_t> live;  // event id -> device address
-  uint64_t live_bytes = 0;
-  uint64_t peak_live = 0;
-
-  size_t TotalOps() const { return ops->size() * static_cast<size_t>(iterations); }
-  bool Done() const { return cursor >= TotalOps(); }
-  uint64_t NextOpTime() const {
-    const size_t n = ops->size();
-    return start + static_cast<uint64_t>(cursor / n) * period + (*ops)[cursor % n].time;
-  }
-};
 
 struct DeviceState {
   std::unique_ptr<SimDevice> device;
@@ -67,18 +39,25 @@ struct DeviceState {
   double peak_frag = 0;
   uint64_t peak_used = 0;
   uint64_t placements = 0;
-  uint64_t ooms = 0;
 };
 
 struct JobState {
   const ClusterJob* spec = nullptr;
   JobOutcome outcome;
   ModelConfig model;
-  std::vector<Trace> traces;              // one per rank
-  std::vector<std::vector<TraceOp>> ops;  // cached Ops() per rank
-  std::vector<uint64_t> estimates;        // per-rank admission estimate
-  ServeSimStats serve_stats;              // serving jobs only
+  std::vector<Trace> traces;       // one per rank
+  std::vector<uint64_t> estimates; // per-rank admission estimate
+  ServeSimStats serve_stats;       // serving jobs only
   int live_ranks = 0;
+};
+
+// Rank-placement bookkeeping, indexed by engine source id (source ids are dense and append-only;
+// every admission — including post-OOM re-admissions — adds fresh sources).
+struct SourceInfo {
+  size_t job = 0;
+  int rank = 0;
+  int device = 0;
+  uint64_t estimate = 0;
 };
 
 double Percentile(std::vector<double> values, double p) {
@@ -90,10 +69,36 @@ double Percentile(std::vector<double> values, double p) {
   return values[std::min(rank, values.size() - 1)];
 }
 
+class ClusterSim;
+
+// The fleet's replay observer: the shared requeue-or-reject OOM policy of the engine layer,
+// with re-admission routed through the cluster Scheduler instead of the default park-and-retry.
+class FleetObserver final : public OomPolicyObserver {
+ public:
+  FleetObserver(ClusterSim* sim, int max_oom_retries)
+      : OomPolicyObserver(OomPolicy::kRequeue, max_oom_retries), sim_(sim) {}
+
+  void BeforeOp(ReplayEngine& engine, const ReplayOpView& op) override;
+  void AfterMalloc(ReplayEngine& engine, const ReplayOpView& op, uint64_t addr) override;
+  void AfterFree(ReplayEngine& engine, const ReplayOpView& op, uint64_t addr) override;
+  void OnSourceAborted(ReplayEngine& engine, size_t source, uint64_t now) override;
+  void OnSourceDone(ReplayEngine& engine, size_t source, uint64_t now) override;
+
+ protected:
+  void RequeueTenant(ReplayEngine& engine, uint64_t tenant, uint64_t now) override;
+  void RejectTenant(ReplayEngine& engine, uint64_t tenant, uint64_t now) override;
+
+ private:
+  ClusterSim* sim_;
+};
+
 class ClusterSim {
  public:
   ClusterSim(const FleetConfig& config, const std::vector<ClusterJob>& specs)
-      : config_(config), scheduler_(MakeScheduler(config.policy)) {
+      : config_(config),
+        scheduler_(MakeScheduler(config.policy)),
+        observer_(this, config.max_oom_retries),
+        engine_(&observer_) {
     STALLOC_CHECK(!config.device_capacities.empty(), << "fleet needs at least one device");
     devices_.reserve(config.device_capacities.size());
     for (uint64_t capacity : config.device_capacities) {
@@ -123,8 +128,7 @@ class ClusterSim {
     while (true) {
       const uint64_t t_arr =
           next_arrival < jobs_.size() ? jobs_[next_arrival].spec->submit_time : kNever;
-      DropStaleHeapEntries();
-      const uint64_t t_op = heap_.empty() ? kNever : heap_.top().first;
+      const uint64_t t_op = engine_.NextOpTime();  // kNoPendingOp == kNever
       if (t_arr == kNever && t_op == kNever) {
         break;
       }
@@ -138,10 +142,8 @@ class ClusterSim {
         SchedulePass();
         continue;
       }
-      const auto [time, placement_id] = heap_.top();
-      heap_.pop();
-      now_ = time;
-      ProcessOp(placement_id);
+      engine_.Step();
+      now_ = std::max(now_, engine_.now());
     }
     // Whatever is still queued can no longer be unblocked: no running job, no future arrival.
     for (size_t idx : queue_) {
@@ -153,11 +155,7 @@ class ClusterSim {
   }
 
  private:
-  void DropStaleHeapEntries() {
-    while (!heap_.empty() && !placements_[heap_.top().second].active) {
-      heap_.pop();
-    }
-  }
+  friend class FleetObserver;
 
   void AdvanceUtil(DeviceState& d) {
     d.util_integral += static_cast<double>(d.device->physical_used()) *
@@ -183,8 +181,8 @@ class ClusterSim {
     }
   }
 
-  // Builds the job's traces, cached op streams and per-policy admission estimates; decides
-  // up-front rejection. Called once, at submission.
+  // Builds the job's traces and per-policy admission estimates; decides up-front rejection.
+  // Called once, at submission.
   void Submit(size_t idx) {
     JobState& job = jobs_[idx];
     const ClusterJob& spec = *job.spec;
@@ -211,9 +209,6 @@ class ClusterSim {
       } else {
         job.estimates.push_back(NaiveServingEstimate(job.model, spec.engine));
       }
-    }
-    for (const Trace& trace : job.traces) {
-      job.ops.push_back(trace.Ops());
     }
     job.outcome.estimate = *std::max_element(job.estimates.begin(), job.estimates.end());
 
@@ -246,6 +241,9 @@ class ClusterSim {
   // FCFS with backfill: scan the queue in order, admit every job that fits right now; restart
   // after each admission because claims changed.
   void SchedulePass() {
+    if (admitting_) {
+      return;  // a zero-op source completing inside Admit must not recurse into scheduling
+    }
     bool progress = true;
     while (progress) {
       progress = false;
@@ -262,6 +260,8 @@ class ClusterSim {
     }
   }
 
+  // Hands every rank of the job to the replay engine as one tenant gang — one source per rank,
+  // each feeding its device's shared allocator.
   void Admit(size_t idx, const std::vector<int>& chosen) {
     JobState& job = jobs_[idx];
     ++job.outcome.attempts;
@@ -273,121 +273,48 @@ class ClusterSim {
     }
     job.outcome.devices = chosen;
     job.live_ranks = static_cast<int>(job.traces.size());
+    admitting_ = true;
     for (size_t rank = 0; rank < job.traces.size(); ++rank) {
-      Placement p;
-      p.job = idx;
-      p.rank = static_cast<int>(rank);
-      p.device = chosen[rank];
-      p.trace = &job.traces[rank];
-      p.ops = &job.ops[rank];
-      p.start = now_;
-      p.period = job.traces[rank].end_time();
-      p.iterations = job.spec->type == ClusterJobType::kTraining ? job.spec->iterations : 1;
-      p.estimate = job.estimates[rank];
-      p.active = true;
-      DeviceState& dev = devices_[static_cast<size_t>(p.device)];
-      dev.claimed += p.estimate;
+      DeviceState& dev = devices_[static_cast<size_t>(chosen[rank])];
+      dev.claimed += job.estimates[rank];
       ++dev.placements;
-      placements_.push_back(std::move(p));
-      const size_t id = placements_.size() - 1;
-      if (placements_[id].TotalOps() == 0) {
-        FinishPlacement(id);
-      } else {
-        heap_.emplace(placements_[id].NextOpTime(), id);
-      }
+
+      SourceInfo info;
+      info.job = idx;
+      info.rank = static_cast<int>(rank);
+      info.device = chosen[rank];
+      info.estimate = job.estimates[rank];
+      source_info_.push_back(info);
+
+      ReplaySource src;
+      src.trace = &job.traces[rank];
+      src.alloc = dev.alloc.get();
+      src.start = now_;
+      src.iterations = job.spec->type == ClusterJobType::kTraining ? job.spec->iterations : 1;
+      src.tenant = idx;
+      const size_t sid = engine_.AddSource(src);
+      STALLOC_CHECK_EQ(sid, source_info_.size() - 1);
     }
+    admitting_ = false;
   }
 
-  void ProcessOp(size_t placement_id) {
-    Placement& p = placements_[placement_id];
-    if (!p.active) {
-      return;
-    }
-    DeviceState& dev = devices_[static_cast<size_t>(p.device)];
+  // A rank finished or was unwound: release its claim and record its peak.
+  void ReleaseRank(size_t source, uint64_t now) {
+    now_ = std::max(now_, now);
+    const SourceInfo& info = source_info_[source];
+    DeviceState& dev = devices_[static_cast<size_t>(info.device)];
     AdvanceUtil(dev);
-    const TraceOp& op = (*p.ops)[p.cursor % p.ops->size()];
-    const MemoryEvent& e = p.trace->event(op.event_id);
-    if (op.kind == TraceOp::Kind::kMalloc) {
-      RequestContext ctx;
-      ctx.dyn = e.dyn;
-      ctx.phase = e.ps;
-      ctx.layer = e.ls;
-      ctx.stream = e.stream;
-      const auto addr = dev.alloc->Malloc(e.size, ctx);
-      if (!addr.has_value()) {
-        ++dev.ooms;
-        ++oom_events_;
-        HandleOom(p.job);
-        return;
-      }
-      p.live.emplace(op.event_id, *addr);
-      p.live_bytes += e.size;
-      p.peak_live = std::max(p.peak_live, p.live_bytes);
-    } else {
-      const auto it = p.live.find(op.event_id);
-      STALLOC_DCHECK(it != p.live.end());
-      if (it != p.live.end()) {
-        dev.alloc->Free(it->second);
-        p.live_bytes -= e.size;
-        p.live.erase(it);
-      }
-    }
-    dev.peak_used = std::max(dev.peak_used, dev.device->physical_used());
-    ++p.cursor;
-    if (p.Done()) {
-      FinishPlacement(placement_id);
-      SampleFrag();
-      SchedulePass();
-    } else {
-      heap_.emplace(p.NextOpTime(), placement_id);
-    }
+    dev.claimed -= info.estimate;
+    JobState& job = jobs_[info.job];
+    job.outcome.actual_peak =
+        std::max(job.outcome.actual_peak, engine_.progress(source).peak_live_bytes);
+    --job.live_ranks;
   }
 
-  // Unwinds every rank of the job: frees its live blocks, releases its claims, deactivates its
-  // placements. The job itself is then requeued or rejected by the caller's policy.
-  void AbortJob(size_t idx) {
-    JobState& job = jobs_[idx];
-    for (Placement& p : placements_) {
-      if (!p.active || p.job != idx) {
-        continue;
-      }
-      DeviceState& dev = devices_[static_cast<size_t>(p.device)];
-      AdvanceUtil(dev);
-      for (const auto& [event_id, addr] : p.live) {
-        dev.alloc->Free(addr);
-      }
-      p.live.clear();
-      p.live_bytes = 0;
-      dev.claimed -= p.estimate;
-      p.active = false;
-      job.outcome.actual_peak = std::max(job.outcome.actual_peak, p.peak_live);
-    }
-    job.live_ranks = 0;
-  }
-
-  void HandleOom(size_t idx) {
-    JobState& job = jobs_[idx];
-    AbortJob(idx);
-    ++job.outcome.oom_count;
-    if (job.outcome.oom_count <= config_.max_oom_retries) {
-      queue_.push_back(idx);
-    } else {
-      job.outcome.status = JobStatus::kRejectedOom;
-      job.outcome.finish_time = now_;
-    }
-    SampleFrag();
-    SchedulePass();
-  }
-
-  void FinishPlacement(size_t placement_id) {
-    Placement& p = placements_[placement_id];
-    DeviceState& dev = devices_[static_cast<size_t>(p.device)];
-    STALLOC_DCHECK(p.live.empty(), << "placement finished with live blocks");
-    dev.claimed -= p.estimate;
-    p.active = false;
-    JobState& job = jobs_[p.job];
-    job.outcome.actual_peak = std::max(job.outcome.actual_peak, p.peak_live);
-    if (--job.live_ranks == 0) {
+  void FinishRank(size_t source, uint64_t now) {
+    ReleaseRank(source, now);
+    JobState& job = jobs_[source_info_[source].job];
+    if (job.live_ranks == 0) {
       job.outcome.status = JobStatus::kCompleted;
       job.outcome.finish_time = now_;
       if (job.spec->type == ClusterJobType::kServing) {
@@ -405,6 +332,27 @@ class ClusterSim {
             EstimateServeSlo(job.model, config_.gpu, job.serve_stats, slo).attainment;
       }
     }
+    if (!admitting_) {
+      SampleFrag();
+      SchedulePass();
+    }
+  }
+
+  void RequeueJob(size_t idx) {
+    JobState& job = jobs_[idx];
+    job.outcome.oom_count = observer_.oom_count(idx);
+    queue_.push_back(idx);
+    SampleFrag();
+    SchedulePass();
+  }
+
+  void RejectJob(size_t idx) {
+    JobState& job = jobs_[idx];
+    job.outcome.oom_count = observer_.oom_count(idx);
+    job.outcome.status = JobStatus::kRejectedOom;
+    job.outcome.finish_time = now_;
+    SampleFrag();
+    SchedulePass();
   }
 
   ClusterResult Finalize() {
@@ -418,7 +366,7 @@ class ClusterSim {
     result.allocator = config_.allocator;
     result.num_jobs = jobs_.size();
     result.makespan = now_;
-    result.oom_events = oom_events_;
+    result.oom_events = engine_.result().oom_events;
     result.requeues = requeue_admissions_;
 
     double util_sum = 0;
@@ -434,8 +382,9 @@ class ClusterSim {
       }
       m.peak_external_frag = d.peak_frag;
       m.placements = d.placements;
-      m.oom_events = d.ooms;
+      m.oom_events = d.alloc->stats().num_oom;
       m.memory_efficiency = d.alloc->stats().MemoryEfficiency();
+      m.bytes_moved = d.alloc->stats().bytes_allocated_total;
       m.device_api_calls = d.device->counters().TotalCalls();
       m.device_api_cost_us = d.device->counters().total_cost_us;
       util_sum += d.util_integral;
@@ -487,18 +436,59 @@ class ClusterSim {
 
   const FleetConfig& config_;
   std::unique_ptr<Scheduler> scheduler_;
+  FleetObserver observer_;
+  ReplayEngine engine_;
   std::vector<DeviceState> devices_;
   std::vector<JobState> jobs_;
-  std::vector<Placement> placements_;
-  std::deque<size_t> queue_;  // indices into jobs_, FCFS order
-  // Min-heap of (next op time, placement id); stale entries carry inactive placements.
-  std::priority_queue<std::pair<uint64_t, size_t>, std::vector<std::pair<uint64_t, size_t>>,
-                      std::greater<>>
-      heap_;
+  std::vector<SourceInfo> source_info_;  // indexed by engine source id
+  std::deque<size_t> queue_;             // indices into jobs_, FCFS order
   uint64_t now_ = 0;
-  uint64_t oom_events_ = 0;
   uint64_t requeue_admissions_ = 0;
+  bool admitting_ = false;
 };
+
+void FleetObserver::BeforeOp(ReplayEngine& engine, const ReplayOpView& op) {
+  sim_->now_ = std::max(sim_->now_, engine.now());
+  sim_->AdvanceUtil(sim_->devices_[static_cast<size_t>(sim_->source_info_[op.source].device)]);
+}
+
+void FleetObserver::AfterMalloc(ReplayEngine& engine, const ReplayOpView& op, uint64_t addr) {
+  (void)engine;
+  (void)addr;
+  DeviceState& dev = sim_->devices_[static_cast<size_t>(sim_->source_info_[op.source].device)];
+  dev.peak_used = std::max(dev.peak_used, dev.device->physical_used());
+}
+
+void FleetObserver::AfterFree(ReplayEngine& engine, const ReplayOpView& op, uint64_t addr) {
+  (void)engine;
+  (void)addr;
+  DeviceState& dev = sim_->devices_[static_cast<size_t>(sim_->source_info_[op.source].device)];
+  dev.peak_used = std::max(dev.peak_used, dev.device->physical_used());
+}
+
+void FleetObserver::OnSourceAborted(ReplayEngine& engine, size_t source, uint64_t now) {
+  (void)engine;
+  sim_->ReleaseRank(source, now);
+}
+
+void FleetObserver::OnSourceDone(ReplayEngine& engine, size_t source, uint64_t now) {
+  (void)engine;
+  sim_->FinishRank(source, now);
+}
+
+void FleetObserver::RequeueTenant(ReplayEngine& engine, uint64_t tenant, uint64_t now) {
+  (void)engine;
+  (void)now;
+  CountRequeue();
+  sim_->RequeueJob(static_cast<size_t>(tenant));
+}
+
+void FleetObserver::RejectTenant(ReplayEngine& engine, uint64_t tenant, uint64_t now) {
+  (void)engine;
+  (void)now;
+  CountRejected();
+  sim_->RejectJob(static_cast<size_t>(tenant));
+}
 
 }  // namespace
 

@@ -3,11 +3,14 @@
 // A Fleet owns N SimDevices (heterogeneous capacities allowed), each fronted by one long-lived
 // baseline allocator of the configured AllocatorKind — the whole simulated day flows through it,
 // so fragmentation accumulates across tenants exactly as it would on a real shared GPU. A
-// Scheduler (src/cluster/scheduler.h) admits jobs from a ClusterWorkload queue; admitted jobs
-// replay their traces op-by-op, interleaved in global time order across all devices, so
-// co-located jobs contend for the same address space. A failed malloc aborts the whole job
-// (every rank's live blocks are freed), which is then requeued up to max_oom_retries times
-// before being rejected — the requeue-or-reject discipline of production schedulers.
+// Scheduler (src/cluster/scheduler.h) admits jobs from a ClusterWorkload queue; each admitted
+// job becomes one tenant gang of the unified replay engine (src/replay/replay_engine.h) — one
+// source per pipeline rank, feeding its device's shared allocator — and the engine interleaves
+// every tenant's trace ops in global time order, so co-located jobs contend for the same
+// address space. OOM handling is the engine's shared requeue-or-reject policy observer: a
+// failed malloc unwinds the whole tenant (every rank's live blocks are freed, claims released),
+// and the fleet's scheduler re-admits it up to max_oom_retries times before rejecting — the
+// discipline of production schedulers.
 //
 // STAlloc itself cannot be the *device* allocator here: its static plan is synthesized per job
 // trace, not per device, and a shared pool across unrelated tenants has no plan to follow.
@@ -79,6 +82,7 @@ struct DeviceMetrics {
   uint64_t placements = 0;       // job-ranks hosted over the day
   uint64_t oom_events = 0;       // failed mallocs observed on this device
   double memory_efficiency = 1.0;  // allocator Ma/Mr over the whole day
+  uint64_t bytes_moved = 0;      // cumulative bytes allocated through the device's allocator
   uint64_t device_api_calls = 0;
   double device_api_cost_us = 0;
 };

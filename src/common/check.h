@@ -65,4 +65,7 @@ class MessageBuilder {
 #define STALLOC_DCHECK(cond, ...) STALLOC_CHECK(cond, __VA_ARGS__)
 #endif
 
+#define STALLOC_DCHECK_EQ(a, b, ...) STALLOC_DCHECK((a) == (b), __VA_ARGS__)
+#define STALLOC_DCHECK_LT(a, b, ...) STALLOC_DCHECK((a) < (b), __VA_ARGS__)
+
 #endif  // SRC_COMMON_CHECK_H_

@@ -11,6 +11,10 @@ class Stopwatch {
  public:
   Stopwatch() : start_(Clock::now()) {}
 
+  // Tag type for constructing without reading the clock (hot paths that only sometimes time).
+  struct Unstarted {};
+  explicit Stopwatch(Unstarted) {}
+
   void Reset() { start_ = Clock::now(); }
 
   double ElapsedSeconds() const {

@@ -2,11 +2,10 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
-#include <vector>
 
 #include "src/common/table.h"
 #include "src/common/units.h"
+#include "src/replay/replay_engine.h"
 
 namespace stalloc {
 
@@ -20,45 +19,26 @@ std::string ReplayResult::ToString() const {
                    FormatBytes(reserved_peak).c_str(), memory_efficiency * 100.0);
 }
 
-ReplayResult ReplayTrace(const Trace& trace, Allocator* alloc) {
-  ReplayResult result;
-  std::unordered_map<uint64_t, uint64_t> addr_of;
-  addr_of.reserve(trace.size());
+ReplayResult ReplayTrace(const Trace& trace, Allocator* alloc, ReplayObserver* observer) {
+  ReplayEngine engine(observer);
+  ReplaySource source;
+  source.trace = &trace;
+  source.alloc = alloc;
+  engine.AddSource(source);
+  const ReplayEngineResult& run = engine.Run();
 
-  for (const auto& op : trace.Ops()) {
-    const MemoryEvent& e = trace.event(op.event_id);
-    if (op.kind == TraceOp::Kind::kMalloc) {
-      RequestContext ctx;
-      ctx.dyn = e.dyn;
-      ctx.layer = e.ls;
-      ctx.phase = e.ps;
-      ctx.stream = e.stream;
-      auto addr = alloc->Malloc(e.size, ctx);
-      ++result.num_mallocs;
-      if (!addr.has_value()) {
-        result.oom = true;
-        result.failed_event = e.id;
-        break;
-      }
-      addr_of.emplace(e.id, *addr);
-    } else {
-      auto it = addr_of.find(e.id);
-      if (it != addr_of.end()) {
-        alloc->Free(it->second);
-        addr_of.erase(it);
-        ++result.num_frees;
-      }
-    }
-  }
-  // Release anything still live (OOM path) so a shared device stays balanced.
-  for (const auto& [id, addr] : addr_of) {
-    alloc->Free(addr);
-  }
   alloc->EndIteration();
 
+  ReplayResult result;
+  result.oom = run.oom;
+  result.failed_event = run.first_failed_event;
+  result.num_mallocs = run.num_mallocs;
+  result.num_frees = run.num_frees;
   result.allocated_peak = alloc->stats().allocated_peak;
   result.reserved_peak = alloc->stats().reserved_peak;
   result.memory_efficiency = alloc->stats().MemoryEfficiency();
+  result.replay_wall_seconds = run.wall_seconds;
+  result.replay_ops_per_sec = run.OpsPerSec();
   return result;
 }
 

@@ -1,5 +1,9 @@
 // Trace replay: feeds a workload's malloc/free stream into an allocator, exactly as the training
 // framework would through the PluggableAllocator interface, and reports the outcome.
+//
+// This is a thin wrapper over the unified streaming replay core (src/replay/replay_engine.h) —
+// one single-tenant source, abort-on-OOM policy — kept as the stable entry point of the
+// training/serving experiment pipelines.
 
 #ifndef SRC_DRIVER_REPLAY_H_
 #define SRC_DRIVER_REPLAY_H_
@@ -8,6 +12,7 @@
 #include <string>
 
 #include "src/allocators/allocator.h"
+#include "src/replay/replay_engine.h"
 #include "src/trace/trace.h"
 
 namespace stalloc {
@@ -20,13 +25,18 @@ struct ReplayResult {
   uint64_t allocated_peak = 0;  // Ma observed by the allocator
   uint64_t reserved_peak = 0;   // Mr
   double memory_efficiency = 1.0;
+  double replay_wall_seconds = 0;  // host time inside the replay engine
+  double replay_ops_per_sec = 0;   // simulator throughput of this replay
 
   std::string ToString() const;
 };
 
-// Replays every op of `trace` into `alloc`. Stops at the first allocation failure (training
-// would crash with CUDA OOM). Live blocks are freed at the end so the allocator can be reused.
-ReplayResult ReplayTrace(const Trace& trace, Allocator* alloc);
+// Replays every op of `trace` into `alloc` through the replay engine. Stops at the first
+// allocation failure (training would crash with CUDA OOM). Live blocks are freed at the end so
+// the allocator can be reused. `observer` (optional) taps the op stream; the default abort
+// policy applies when it is null.
+ReplayResult ReplayTrace(const Trace& trace, Allocator* alloc,
+                         ReplayObserver* observer = nullptr);
 
 }  // namespace stalloc
 

@@ -1,0 +1,410 @@
+#include "src/replay/replay_engine.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/stopwatch.h"
+
+namespace stalloc {
+
+namespace {
+RequestContext ContextOf(const MemoryEvent& e) {
+  RequestContext ctx;
+  ctx.dyn = e.dyn;
+  ctx.phase = e.ps;
+  ctx.layer = e.ls;
+  ctx.stream = e.stream;
+  return ctx;
+}
+}  // namespace
+
+size_t ReplayEngine::AddSource(const ReplaySource& source) {
+  STALLOC_CHECK(source.trace != nullptr && source.alloc != nullptr,
+                << "replay source needs a trace and an allocator");
+  STALLOC_CHECK_GE(source.iterations, 0);
+  SourceState s;
+  s.spec = source;
+  s.ops_ptr = &source.trace->Ops();
+  s.period = source.period != 0 ? source.period : source.trace->end_time();
+  s.addr_of.assign(source.trace->size(), kNoAddr);
+  const size_t id = sources_.size();
+  sources_.push_back(std::move(s));
+  tenants_[source.tenant].push_back(id);
+  SourceState& added = sources_.back();
+  if (added.TotalOps() == 0) {
+    added.progress.done = true;
+    if (observer_ != nullptr) {
+      observer_->OnSourceDone(*this, id, now_);
+    }
+    return id;
+  }
+  added.progress.active = true;
+  ++active_sources_;
+  Schedule(added, id);
+  return id;
+}
+
+const std::vector<size_t>& ReplayEngine::tenant_sources(uint64_t tenant) const {
+  static const std::vector<size_t> kEmpty;
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? kEmpty : it->second;
+}
+
+void ReplayEngine::UnwindSource(size_t sid) {
+  SourceState& s = sources_[sid];
+  if (s.progress.live_bytes == 0) {
+    return;
+  }
+  for (uint64_t id = 0; id < s.addr_of.size(); ++id) {
+    if (s.addr_of[id] != kNoAddr) {
+      s.spec.alloc->Free(s.addr_of[id]);
+      s.addr_of[id] = kNoAddr;
+    }
+  }
+  s.progress.live_bytes = 0;
+}
+
+void ReplayEngine::AbortTenant(uint64_t tenant) {
+  auto it = tenants_.find(tenant);
+  STALLOC_CHECK(it != tenants_.end(), << "abort of unknown tenant " << tenant);
+  for (size_t sid : it->second) {
+    SourceState& s = sources_[sid];
+    if (!s.progress.active) {
+      continue;
+    }
+    if (observer_ != nullptr) {
+      observer_->OnSourceAborted(*this, sid, now_);
+    }
+    UnwindSource(sid);
+    s.progress.active = false;
+    s.progress.aborted = true;
+    ++s.epoch;  // invalidates any pending heap entry
+    --active_sources_;
+  }
+  if (observer_ != nullptr) {
+    observer_->OnTenantAborted(*this, tenant, now_);
+  }
+}
+
+void ReplayEngine::RestartTenant(uint64_t tenant) {
+  auto it = tenants_.find(tenant);
+  STALLOC_CHECK(it != tenants_.end(), << "restart of unknown tenant " << tenant);
+  for (size_t sid : it->second) {
+    SourceState& s = sources_[sid];
+    STALLOC_CHECK(!s.progress.active,
+                  << "restart of tenant " << tenant << " with source " << sid << " still active");
+    STALLOC_CHECK_EQ(s.progress.live_bytes, 0u);
+    if (s.TotalOps() == 0) {
+      continue;
+    }
+    s.cursor = 0;
+    s.spec.start = now_;
+    ++s.epoch;
+    s.progress.active = true;
+    s.progress.done = false;
+    ++s.progress.restarts;
+    ++active_sources_;
+    Schedule(s, sid);
+  }
+}
+
+void ReplayEngine::FinishSource(size_t sid) {
+  SourceState& s = sources_[sid];
+  STALLOC_DCHECK_EQ(s.progress.live_bytes, 0u, << "source finished with live blocks");
+  s.progress.active = false;
+  s.progress.done = true;
+  --active_sources_;
+  if (observer_ != nullptr) {
+    observer_->OnSourceDone(*this, sid, now_);
+  }
+}
+
+ReplayEngine::OpOutcome ReplayEngine::ApplyOp(size_t sid, const TraceOp& op) {
+  // Observer callbacks (BeforeOp, OnOom, After*) may AddSource and reallocate sources_:
+  // capture the stable spec values up front and re-fetch sources_[sid] after every callback.
+  Allocator* const alloc = sources_[sid].spec.alloc;
+  const uint64_t tenant = sources_[sid].spec.tenant;
+  const MemoryEvent& e = sources_[sid].spec.trace->event(op.event_id);
+
+  ReplayOpView view;
+  const bool observed = observer_ != nullptr;
+  if (observed) {
+    view.source = sid;
+    view.tenant = tenant;
+    view.time = now_;
+    view.kind = op.kind;
+    view.event = &e;
+    view.alloc = alloc;
+    observer_->BeforeOp(*this, view);
+  }
+
+  if (op.kind == TraceOp::Kind::kMalloc) {
+    ++sources_[sid].progress.num_mallocs;
+    ++result_.num_mallocs;
+    const auto addr = alloc->Malloc(e.size, ContextOf(e));
+    if (!addr.has_value()) {
+      if (!result_.oom) {
+        result_.oom = true;
+        result_.first_failed_event = e.id;
+      }
+      ++result_.oom_events;
+      const OomAction action = observed ? observer_->OnOom(*this, view) : OomAction::kAbortRun;
+      switch (action) {
+        case OomAction::kAbortRun:
+          run_aborted_ = true;
+          result_.aborted = true;
+          return OpOutcome::kRunAborted;
+        case OomAction::kAbortTenant:
+          AbortTenant(tenant);
+          return OpOutcome::kTenantAborted;
+        case OomAction::kSkipOp:
+          break;  // drop the op; the matching free will be skipped too
+      }
+    } else {
+      SourceState& sr = sources_[sid];  // re-fetch: observer callbacks may add sources
+      sr.addr_of[e.id] = *addr;
+      sr.progress.live_bytes += e.size;
+      sr.progress.peak_live_bytes = std::max(sr.progress.peak_live_bytes, sr.progress.live_bytes);
+      if (observed) {
+        observer_->AfterMalloc(*this, view, *addr);
+      }
+    }
+  } else {
+    SourceState& sr = sources_[sid];
+    const uint64_t addr = sr.addr_of[e.id];
+    if (addr != kNoAddr) {
+      sr.spec.alloc->Free(addr);
+      sr.addr_of[e.id] = kNoAddr;
+      sr.progress.live_bytes -= e.size;
+      ++sr.progress.num_frees;
+      ++result_.num_frees;
+      if (observed) {
+        observer_->AfterFree(*this, view, addr);
+      }
+    }
+  }
+
+  SourceState& sa = sources_[sid];
+  ++sa.progress.ops_replayed;
+  ++result_.ops_replayed;
+  ++sa.cursor;
+  if (sa.cursor >= sa.TotalOps()) {
+    FinishSource(sid);
+    return OpOutcome::kSourceDone;
+  }
+  return OpOutcome::kContinue;
+}
+
+void ReplayEngine::DropStaleHeapEntries() {
+  while (!heap_.empty()) {
+    const auto& [time, sid, epoch] = heap_.top();
+    const SourceState& s = sources_[sid];
+    if (s.progress.active && s.epoch == epoch) {
+      return;
+    }
+    heap_.pop();
+  }
+}
+
+uint64_t ReplayEngine::NextOpTime() {
+  DropStaleHeapEntries();
+  return heap_.empty() ? kNoPendingOp : std::get<0>(heap_.top());
+}
+
+bool ReplayEngine::Step() {
+  DropStaleHeapEntries();
+  if (heap_.empty()) {
+    return false;
+  }
+  const auto [time, sid, epoch] = heap_.top();
+  heap_.pop();
+  now_ = std::max(now_, time);
+  SourceState& s = sources_[sid];
+  const OpOutcome outcome = ApplyOp(sid, s.ops()[s.cursor % s.ops().size()]);
+  if (outcome == OpOutcome::kContinue) {
+    Schedule(sources_[sid], sid);
+  }
+  return true;
+}
+
+void ReplayEngine::RunSingleSourceFast() {
+  // One active source: its ops are already time-ordered, so the scheduling heap is pure
+  // overhead. Drain the source inline; fall back to the heap as soon as a callback admits
+  // another source (or aborts this one).
+  const size_t sid = 0;
+  {
+    DropStaleHeapEntries();
+    if (heap_.empty()) {
+      return;
+    }
+    heap_.pop();  // the source's own entry — re-pushed on exit if still active
+  }
+  while (!run_aborted_) {
+    SourceState& s = sources_[sid];
+    if (!s.progress.active) {
+      return;
+    }
+    // Ops within one iteration are time-sorted, so the clock only moves forward; the division
+    // in the generic NextOpTime() is skipped for the common single-iteration replay.
+    const size_t n = s.ops().size();
+    const TraceOp& op = s.cursor < n ? s.ops()[s.cursor] : s.ops()[s.cursor % n];
+    now_ = std::max(now_, s.cursor < n ? s.spec.start + op.time : s.NextOpTime());
+    const OpOutcome outcome = ApplyOp(sid, op);
+    if (outcome != OpOutcome::kContinue) {
+      return;
+    }
+    if (sources_.size() > 1) {
+      // A callback added sources: restore the heap discipline.
+      Schedule(sources_[sid], sid);
+      return;
+    }
+  }
+}
+
+const ReplayEngineResult& ReplayEngine::Run() {
+  Stopwatch timer;
+  if (sources_.size() == 1) {
+    RunSingleSourceFast();
+  }
+  while (!run_aborted_ && Step()) {
+  }
+  // An aborted run (or an externally driven partial replay) may leave live blocks; release
+  // them so a shared device stays balanced. These frees are cleanup, not replayed ops.
+  for (size_t sid = 0; sid < sources_.size(); ++sid) {
+    SourceState& s = sources_[sid];
+    if (s.progress.active) {
+      UnwindSource(sid);
+      s.progress.active = false;
+      s.progress.aborted = true;
+      ++s.epoch;
+      --active_sources_;
+    }
+  }
+  result_.end_time = now_;
+  result_.wall_seconds += timer.ElapsedSeconds();
+  return result_;
+}
+
+// --- OomPolicyObserver ---
+
+const char* OomPolicyName(OomPolicy policy) {
+  switch (policy) {
+    case OomPolicy::kAbort:
+      return "abort";
+    case OomPolicy::kRequeue:
+      return "requeue";
+    case OomPolicy::kPreemptRecompute:
+      return "preempt-recompute";
+  }
+  return "?";
+}
+
+int OomPolicyObserver::oom_count(uint64_t tenant) const {
+  auto it = oom_counts_.find(tenant);
+  return it == oom_counts_.end() ? 0 : it->second;
+}
+
+OomAction OomPolicyObserver::OnOom(ReplayEngine& engine, const ReplayOpView& op) {
+  (void)engine;
+  if (policy_ == OomPolicy::kAbort) {
+    return OomAction::kAbortRun;
+  }
+  ++oom_counts_[op.tenant];
+  return OomAction::kAbortTenant;
+}
+
+void OomPolicyObserver::OnTenantAborted(ReplayEngine& engine, uint64_t tenant, uint64_t now) {
+  if (policy_ == OomPolicy::kAbort) {
+    return;
+  }
+  if (oom_counts_[tenant] > max_retries_) {
+    RejectTenant(engine, tenant, now);
+    // The rejected tenant's memory is gone for good: if nothing is left running, parked
+    // tenants would otherwise strand (no OnSourceDone will ever fire). Give them their retry
+    // over the freed space now.
+    RestartWaiting(engine);
+    return;
+  }
+  if (policy_ == OomPolicy::kPreemptRecompute) {
+    // Recompute-style preemption: the tenant's memory is gone, its work redone from scratch at
+    // the current tick while the surviving tenants keep the freed space.
+    ++preemptions_;
+    engine.RestartTenant(tenant);
+    return;
+  }
+  RequeueTenant(engine, tenant, now);
+}
+
+void OomPolicyObserver::RequeueTenant(ReplayEngine& engine, uint64_t tenant, uint64_t now) {
+  if (engine.active_sources() == 0) {
+    // Nothing else is running, so no memory will ever free up: retrying is futile.
+    RejectTenant(engine, tenant, now);
+    RestartWaiting(engine);
+    return;
+  }
+  ++requeues_;
+  waiting_.push_back(tenant);
+}
+
+void OomPolicyObserver::RejectTenant(ReplayEngine& engine, uint64_t tenant, uint64_t now) {
+  (void)engine;
+  (void)tenant;
+  (void)now;
+  ++rejected_;
+}
+
+void OomPolicyObserver::OnSourceDone(ReplayEngine& engine, size_t source, uint64_t now) {
+  (void)source;
+  (void)now;
+  // Memory was just returned: re-admit parked tenants (they unwound completely, so restarting
+  // them replays their whole stream).
+  RestartWaiting(engine);
+}
+
+void OomPolicyObserver::RestartWaiting(ReplayEngine& engine) {
+  if (waiting_.empty()) {
+    return;
+  }
+  std::vector<uint64_t> ready;
+  ready.swap(waiting_);
+  for (uint64_t tenant : ready) {
+    engine.RestartTenant(tenant);
+  }
+}
+
+// --- TimelineObserver ---
+
+void TimelineObserver::MaybeSample(ReplayEngine& engine, uint64_t time) {
+  if (++ops_seen_ % every_ != 0) {
+    return;
+  }
+  (void)engine;
+  samples_.push_back(Sample{time, live_bytes_});
+}
+
+void TimelineObserver::AfterMalloc(ReplayEngine& engine, const ReplayOpView& op, uint64_t addr) {
+  (void)addr;
+  live_bytes_ += op.event->size;
+  MaybeSample(engine, op.time);
+}
+
+void TimelineObserver::AfterFree(ReplayEngine& engine, const ReplayOpView& op, uint64_t addr) {
+  (void)addr;
+  live_bytes_ -= op.event->size;
+  MaybeSample(engine, op.time);
+}
+
+void TimelineObserver::OnSourceAborted(ReplayEngine& engine, size_t source, uint64_t now) {
+  // Called before the unwind's frees land, while the source's live total is still accurate.
+  const uint64_t unwound = engine.progress(source).live_bytes;
+  if (unwound == 0) {
+    return;
+  }
+  live_bytes_ -= unwound;
+  samples_.push_back(Sample{now, live_bytes_});
+}
+
+}  // namespace stalloc

@@ -1,0 +1,289 @@
+// ReplayEngine: the single streaming replay core behind every driver in this repository.
+//
+// Historically three layers each re-implemented the same loop — ReplayTrace (single training
+// iteration), RunServeExperiment (serving day) and the cluster Fleet (op-interleaved
+// multi-tenant replay): op dispatch into an Allocator, live-block ledgers, OOM unwinding and
+// metrics accumulation, three times over. The engine unifies them: it consumes a merged,
+// timestamp-ordered stream of per-tenant trace ops (each *source* is one trace replayed
+// `iterations` times back-to-back against one Allocator) and drives the allocators through a
+// pluggable ReplayObserver — metrics, timeline sampling and the OOM policy (abort / requeue /
+// preempt-with-recompute) are observers, not copies of the loop. Anything that parallelizes or
+// shards replay in the future parallelizes this one engine.
+//
+// Determinism: ops are processed in global (time, source-id) order; within one source, ops
+// follow Trace::Ops() order (frees before mallocs at equal ticks). A single-source engine run
+// replays exactly the sequence the old ReplayTrace loop produced.
+
+#ifndef SRC_REPLAY_REPLAY_ENGINE_H_
+#define SRC_REPLAY_REPLAY_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <queue>
+#include <tuple>
+#include <vector>
+
+#include "src/allocators/allocator.h"
+#include "src/trace/trace.h"
+
+namespace stalloc {
+
+class ReplayEngine;
+
+// One op stream feeding the engine: `trace` replayed `iterations` times back-to-back into
+// `alloc`, offset to global tick `start`. Sources sharing a `tenant` id form one gang (e.g. the
+// pipeline ranks of a training job): an OOM-triggered unwind covers the whole tenant.
+struct ReplaySource {
+  const Trace* trace = nullptr;
+  Allocator* alloc = nullptr;
+  uint64_t start = 0;     // global tick of the source's local time 0
+  int iterations = 1;     // back-to-back replays of the trace
+  uint64_t period = 0;    // tick distance between iterations; 0 = trace->end_time()
+  uint64_t tenant = 0;    // gang id for OOM unwinding (defaults to one tenant per AddSource)
+};
+
+// Per-source replay state, exposed to observers and drivers.
+struct ReplaySourceProgress {
+  bool active = false;   // currently scheduled
+  bool done = false;     // replayed every op of every iteration
+  bool aborted = false;  // unwound by an OOM (possibly restarted later)
+  uint64_t ops_replayed = 0;
+  uint64_t num_mallocs = 0;      // attempted mallocs, including the failed one
+  uint64_t num_frees = 0;        // successful replayed frees (unwinds not counted)
+  uint64_t live_bytes = 0;       // requested bytes currently held by this source
+  uint64_t peak_live_bytes = 0;  // high-water mark of live_bytes across restarts
+  int restarts = 0;              // times this source was re-admitted after an unwind
+};
+
+// Aggregate outcome of a Run() (or of externally Step()-driven replay).
+struct ReplayEngineResult {
+  bool oom = false;      // at least one malloc failed
+  bool aborted = false;  // an observer stopped the run (OomAction::kAbortRun)
+  uint64_t first_failed_event = 0;  // event id of the first failed malloc (valid when oom)
+  uint64_t oom_events = 0;          // failed mallocs across all sources
+  uint64_t num_mallocs = 0;         // attempted mallocs across all sources
+  uint64_t num_frees = 0;           // successful replayed frees
+  uint64_t ops_replayed = 0;
+  uint64_t end_time = 0;            // engine clock when the stream drained
+  double wall_seconds = 0;          // host time spent inside Run()
+
+  double OpsPerSec() const {
+    return wall_seconds > 0 ? static_cast<double>(ops_replayed) / wall_seconds : 0.0;
+  }
+};
+
+// The view of one op handed to observers.
+struct ReplayOpView {
+  size_t source = 0;
+  uint64_t tenant = 0;
+  uint64_t time = 0;  // global tick
+  TraceOp::Kind kind = TraceOp::Kind::kMalloc;
+  const MemoryEvent* event = nullptr;
+  Allocator* alloc = nullptr;
+};
+
+// What the engine does after a failed malloc.
+enum class OomAction : uint8_t {
+  kAbortRun,     // stop the whole engine (single-job replay: training would crash)
+  kAbortTenant,  // unwind every source of the failing tenant, keep the rest running
+  kSkipOp,       // count the failure, drop the op, keep going (lossy replay)
+};
+
+// Pluggable replay observer. All callbacks are optional; with no observer installed the engine
+// aborts the run on the first OOM (the historical ReplayTrace contract).
+class ReplayObserver {
+ public:
+  virtual ~ReplayObserver() = default;
+
+  // Called immediately before an op is applied.
+  virtual void BeforeOp(ReplayEngine& /*engine*/, const ReplayOpView& /*op*/) {}
+  // Called after a successful malloc / replayed free.
+  virtual void AfterMalloc(ReplayEngine& /*engine*/, const ReplayOpView& /*op*/,
+                           uint64_t /*addr*/) {}
+  virtual void AfterFree(ReplayEngine& /*engine*/, const ReplayOpView& /*op*/,
+                         uint64_t /*addr*/) {}
+  // A malloc failed; decide the engine's reaction.
+  virtual OomAction OnOom(ReplayEngine& /*engine*/, const ReplayOpView& /*op*/) {
+    return OomAction::kAbortRun;
+  }
+  // A source is about to be unwound (its live blocks are still allocated): last chance to
+  // sample per-device state before the frees land.
+  virtual void OnSourceAborted(ReplayEngine& /*engine*/, size_t /*source*/, uint64_t /*now*/) {}
+  // Every source of `tenant` has been unwound.
+  virtual void OnTenantAborted(ReplayEngine& /*engine*/, uint64_t /*tenant*/, uint64_t /*now*/) {}
+  // A source replayed its last op.
+  virtual void OnSourceDone(ReplayEngine& /*engine*/, size_t /*source*/, uint64_t /*now*/) {}
+};
+
+class ReplayEngine {
+ public:
+  explicit ReplayEngine(ReplayObserver* observer = nullptr) : observer_(observer) {}
+
+  // Registers a source and schedules its first op. May be called mid-run from observer
+  // callbacks (e.g. a scheduler admitting a queued job). Returns the dense source id.
+  size_t AddSource(const ReplaySource& source);
+
+  // Frees every live block of every source of `tenant` and deactivates them. Observer hooks:
+  // OnSourceAborted per source (before its frees), then OnTenantAborted.
+  void AbortTenant(uint64_t tenant);
+
+  // Re-admits an aborted (or completed) tenant at the current engine time: cursors rewind to op
+  // 0 and the whole stream replays — the preempt-with-recompute discipline.
+  void RestartTenant(uint64_t tenant);
+
+  // Processes the single earliest pending op. Returns false when nothing is pending.
+  bool Step();
+
+  // Drains every source (fast-pathing the single-source case), then unwinds whatever is still
+  // live if the run was aborted. Accumulates into (and returns) result().
+  const ReplayEngineResult& Run();
+
+  // Global tick of the earliest pending op, or UINT64_MAX when drained. Lets external
+  // event loops (the fleet scheduler) interleave their own events with the op stream.
+  uint64_t NextOpTime();
+  static constexpr uint64_t kNoPendingOp = ~uint64_t{0};
+
+  bool HasPending() { return NextOpTime() != kNoPendingOp; }
+  uint64_t now() const { return now_; }
+
+  size_t num_sources() const { return sources_.size(); }
+  size_t active_sources() const { return active_sources_; }
+  const ReplaySource& source(size_t id) const { return sources_[id].spec; }
+  const ReplaySourceProgress& progress(size_t id) const { return sources_[id].progress; }
+  const std::vector<size_t>& tenant_sources(uint64_t tenant) const;
+  const ReplayEngineResult& result() const { return result_; }
+
+ private:
+  struct SourceState {
+    ReplaySource spec;
+    const std::vector<TraceOp>* ops_ptr = nullptr;  // the trace's cached op stream
+    uint64_t period = 0;
+    size_t cursor = 0;         // next op, in [0, ops.size() * iterations]
+    uint64_t epoch = 0;        // bumped on abort/restart; stale heap entries carry old epochs
+    std::vector<uint64_t> addr_of;  // event id -> live address (kNoAddr when not live)
+    ReplaySourceProgress progress;
+
+    const std::vector<TraceOp>& ops() const { return *ops_ptr; }
+    size_t TotalOps() const {
+      return ops().size() * static_cast<size_t>(spec.iterations > 0 ? spec.iterations : 0);
+    }
+    uint64_t NextOpTime() const {
+      const size_t n = ops().size();
+      return spec.start + static_cast<uint64_t>(cursor / n) * period + ops()[cursor % n].time;
+    }
+  };
+
+  static constexpr uint64_t kNoAddr = ~uint64_t{0};
+  // (time, source id, epoch); ordered by (time, source id) — the epoch only disambiguates stale
+  // entries of one source against its own current schedule.
+  using HeapEntry = std::tuple<uint64_t, size_t, uint64_t>;
+
+  enum class OpOutcome : uint8_t { kContinue, kSourceDone, kTenantAborted, kRunAborted };
+
+  // Applies `op` (the op at `sources_[sid].cursor`) and advances. The caller owns scheduling.
+  OpOutcome ApplyOp(size_t sid, const TraceOp& op);
+  void FinishSource(size_t sid);
+  void UnwindSource(size_t sid);  // frees live blocks; does not fire observer callbacks
+  void Schedule(SourceState& s, size_t sid) {
+    heap_.emplace(s.NextOpTime(), sid, s.epoch);
+  }
+  void DropStaleHeapEntries();
+  void RunSingleSourceFast();
+
+  ReplayObserver* observer_ = nullptr;
+  std::vector<SourceState> sources_;
+  std::map<uint64_t, std::vector<size_t>> tenants_;  // tenant id -> source ids
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>> heap_;
+  uint64_t now_ = 0;
+  size_t active_sources_ = 0;
+  bool run_aborted_ = false;
+  ReplayEngineResult result_;
+};
+
+// The shared OOM-policy observer: the requeue-or-reject / preempt-with-recompute disciplines
+// that used to live ad hoc inside each driver, expressed once over the engine primitives.
+//
+//   kAbort             -> stop the run on the first failed malloc (training crashes).
+//   kRequeue           -> unwind the failing tenant and park it; once any other tenant
+//                         completes (memory freed), restart it. A tenant that OOMs with nothing
+//                         else running, or more than `max_retries` times, is rejected.
+//   kPreemptRecompute  -> unwind the failing tenant and restart it immediately at the current
+//                         tick, redoing all its work — the recompute-style preemption of
+//                         serving engines (servesim) at replay granularity.
+//
+// Drivers with their own admission machinery (the cluster Fleet) subclass this and override
+// RequeueTenant/RejectTenant to route re-admission through their scheduler while reusing the
+// policy accounting and the engine's unwind mechanics.
+enum class OomPolicy : uint8_t { kAbort, kRequeue, kPreemptRecompute };
+
+const char* OomPolicyName(OomPolicy policy);
+
+class OomPolicyObserver : public ReplayObserver {
+ public:
+  explicit OomPolicyObserver(OomPolicy policy, int max_retries = 1)
+      : policy_(policy), max_retries_(max_retries) {}
+
+  OomAction OnOom(ReplayEngine& engine, const ReplayOpView& op) override;
+  void OnTenantAborted(ReplayEngine& engine, uint64_t tenant, uint64_t now) override;
+  void OnSourceDone(ReplayEngine& engine, size_t source, uint64_t now) override;
+
+  uint64_t preemptions() const { return preemptions_; }
+  uint64_t requeues() const { return requeues_; }
+  uint64_t rejected_tenants() const { return rejected_; }
+  int oom_count(uint64_t tenant) const;
+
+ protected:
+  // Re-admission request for an unwound tenant with retry budget left. Default: park until any
+  // other tenant completes; reject right away when nothing else is running.
+  virtual void RequeueTenant(ReplayEngine& engine, uint64_t tenant, uint64_t now);
+  // The tenant exhausted its retries (or can never be re-admitted).
+  virtual void RejectTenant(ReplayEngine& engine, uint64_t tenant, uint64_t now);
+
+  void CountRequeue() { ++requeues_; }
+  void CountRejected() { ++rejected_; }
+
+ private:
+  // Restarts every parked tenant (no-op when none are waiting).
+  void RestartWaiting(ReplayEngine& engine);
+
+  OomPolicy policy_;
+  int max_retries_;
+  std::map<uint64_t, int> oom_counts_;
+  std::vector<uint64_t> waiting_;  // kRequeue: tenants parked for re-admission
+  uint64_t preemptions_ = 0;
+  uint64_t requeues_ = 0;
+  uint64_t rejected_ = 0;
+};
+
+// Timeline-sampling observer: records (tick, live bytes summed over sources) every
+// `sample_every` replayed ops — the memory-over-time curve of a replay without any driver
+// keeping its own counters.
+class TimelineObserver : public ReplayObserver {
+ public:
+  struct Sample {
+    uint64_t time = 0;
+    uint64_t live_bytes = 0;
+  };
+
+  explicit TimelineObserver(uint64_t sample_every = 1) : every_(sample_every ? sample_every : 1) {}
+
+  void AfterMalloc(ReplayEngine& engine, const ReplayOpView& op, uint64_t addr) override;
+  void AfterFree(ReplayEngine& engine, const ReplayOpView& op, uint64_t addr) override;
+  // Unwinds free a source's live blocks without AfterFree callbacks: drop them from the curve
+  // (and record the cliff) so the timeline stays truthful across aborts/preemptions.
+  void OnSourceAborted(ReplayEngine& engine, size_t source, uint64_t now) override;
+
+  const std::vector<Sample>& samples() const { return samples_; }
+
+ private:
+  void MaybeSample(ReplayEngine& engine, uint64_t time);
+
+  uint64_t every_;
+  uint64_t ops_seen_ = 0;
+  uint64_t live_bytes_ = 0;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace stalloc
+
+#endif  // SRC_REPLAY_REPLAY_ENGINE_H_

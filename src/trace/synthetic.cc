@@ -1,0 +1,60 @@
+#include "src/trace/synthetic.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/trace/event.h"
+
+namespace stalloc {
+
+Trace BuildStormTrace(uint64_t num_events, uint64_t seed) {
+  uint64_t s = seed != 0 ? seed : 1;
+  auto rnd = [&s]() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  };
+
+  std::vector<uint64_t> palette;
+  for (uint64_t k = 1; k <= 8; ++k) {
+    palette.push_back(k * 64 * KiB);  // small pool (<= 1 MiB)
+  }
+  for (uint64_t mib : {2, 3, 4, 6, 8, 12, 16, 20, 24, 32}) {
+    palette.push_back(mib * MiB);  // large pool
+  }
+
+  constexpr uint64_t kTargetLive = 1500;
+  std::vector<MemoryEvent> events;
+  events.reserve(num_events);
+  std::vector<size_t> open;  // indices of events not yet given a free tick
+  LogicalTime t = 0;
+  while (events.size() < num_events) {
+    const bool do_malloc = open.size() < 64 || rnd() % (2 * kTargetLive) >= open.size();
+    if (do_malloc) {
+      MemoryEvent e;
+      e.size = palette[rnd() % palette.size()];
+      e.ts = t++;
+      e.te = e.ts + 1;  // patched when the free is drawn
+      open.push_back(events.size());
+      events.push_back(e);
+    } else {
+      const size_t pick = rnd() % open.size();
+      events[open[pick]].te = t++;
+      open[pick] = open.back();
+      open.pop_back();
+    }
+  }
+  for (size_t ev : open) {
+    events[ev].te = t++;
+  }
+  Trace trace;
+  trace.set_name("storm");
+  for (const MemoryEvent& e : events) {
+    trace.AddEvent(e);
+  }
+  return trace;
+}
+
+}  // namespace stalloc

@@ -1,0 +1,24 @@
+// Synthetic adversarial traces for benches and tests — op streams with none of the training
+// workload's phase structure, built to stress the allocators' free-space hot paths directly.
+
+#ifndef SRC_TRACE_SYNTHETIC_H_
+#define SRC_TRACE_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "src/trace/trace.h"
+
+namespace stalloc {
+
+// A deterministic cache storm: one malloc or free per tick, steered toward ~1.5k
+// concurrently-live blocks, sizes drawn from a fixed palette of a few dozen recurring values
+// (the size-distribution shape of §2.3, Fig. 3). Random-order frees keep the caching-style free
+// lists deep — the path the size-bucketed BestFitIndex replaced the flat ordered-set search on.
+//
+// The generator must stay byte-stable across revisions: recorded perf baselines and the
+// pinned-placement regression tests are only comparable on identical traces.
+Trace BuildStormTrace(uint64_t num_events, uint64_t seed);
+
+}  // namespace stalloc
+
+#endif  // SRC_TRACE_SYNTHETIC_H_

@@ -63,6 +63,8 @@ uint64_t Trace::AddEvent(MemoryEvent event) {
   event.id = events_.size();
   end_time_ = std::max(end_time_, event.te);
   events_.push_back(event);
+  ops_cached_ = false;
+  ops_cache_.clear();
   return event.id;
 }
 
@@ -74,11 +76,6 @@ PhaseInfo& Trace::MutablePhase(PhaseId id) {
 LayerInfo& Trace::MutableLayer(LayerId id) {
   STALLOC_CHECK(id >= 0 && static_cast<size_t>(id) < layers_.size());
   return layers_[static_cast<size_t>(id)];
-}
-
-const MemoryEvent& Trace::event(uint64_t id) const {
-  STALLOC_CHECK_LT(id, events_.size());
-  return events_[id];
 }
 
 const PhaseInfo& Trace::phase(PhaseId id) const {
@@ -106,8 +103,12 @@ LifespanClass Trace::Classify(const MemoryEvent& event) const {
   return LifespanClass::kScoped;
 }
 
-std::vector<TraceOp> Trace::Ops() const {
-  std::vector<TraceOp> ops;
+const std::vector<TraceOp>& Trace::Ops() const {
+  if (ops_cached_) {
+    return ops_cache_;
+  }
+  std::vector<TraceOp>& ops = ops_cache_;
+  ops.clear();
   ops.reserve(events_.size() * 2);
   for (const auto& e : events_) {
     ops.push_back(TraceOp{TraceOp::Kind::kMalloc, e.ts, e.id});
@@ -123,6 +124,7 @@ std::vector<TraceOp> Trace::Ops() const {
     }
     return a.event_id < b.event_id;
   });
+  ops_cached_ = true;
   return ops;
 }
 

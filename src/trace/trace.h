@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/check.h"
 #include "src/trace/event.h"
 
 namespace stalloc {
@@ -41,7 +42,11 @@ class Trace {
   const std::vector<MemoryEvent>& events() const { return events_; }
   const std::vector<PhaseInfo>& phases() const { return phases_; }
   const std::vector<LayerInfo>& layers() const { return layers_; }
-  const MemoryEvent& event(uint64_t id) const;
+  // Inline: this is the replay engine's per-op lookup (ids are validated dense at build time).
+  const MemoryEvent& event(uint64_t id) const {
+    STALLOC_DCHECK_LT(id, events_.size());
+    return events_[id];
+  }
   const PhaseInfo& phase(PhaseId id) const;
   const LayerInfo& layer(LayerId id) const;
   size_t size() const { return events_.size(); }
@@ -55,7 +60,9 @@ class Trace {
 
   // The interleaved malloc/free operation stream, ordered by time. Frees at time t sort before
   // mallocs at time t so replay never double-counts memory that is handed over at a boundary.
-  std::vector<TraceOp> Ops() const;
+  // Built lazily and cached (the replay engine iterates it once per source, per iteration);
+  // AddEvent invalidates the cache.
+  const std::vector<TraceOp>& Ops() const;
 
   // Checks internal consistency (ts < te, phases valid, ids dense); aborts on violation.
   void Validate() const;
@@ -66,6 +73,8 @@ class Trace {
   std::vector<PhaseInfo> phases_;
   std::vector<LayerInfo> layers_;
   LogicalTime end_time_ = 0;
+  mutable std::vector<TraceOp> ops_cache_;  // built by Ops(), cleared by AddEvent
+  mutable bool ops_cached_ = false;
 };
 
 }  // namespace stalloc

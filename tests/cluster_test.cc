@@ -261,6 +261,68 @@ TEST(Fleet, RequeueSucceedsWhenMemoryFreesUp) {
   EXPECT_GE(r.queue_wait_p99, r.queue_wait_p50);
 }
 
+// Regression for the requeue-after-partial-placement path through the shared OOM-policy
+// observer: a two-rank job lands on an asymmetric fleet — rank 0 on a roomy device allocates
+// happily, rank 1 on a device whose capacity the naive estimate says suffices (3.4 GiB claimed,
+// 5.8 GiB actual) OOMs mid-stream. The whole tenant gang must unwind (including the healthy,
+// partially-placed rank 0), release both devices' claims, requeue through the fleet scheduler,
+// burn its retry on the same deterministic placement and get rejected — after which a later job
+// must still admit and complete on the same devices, proving the unwinds left no stuck claims
+// or leaked blocks.
+TEST(Fleet, RequeueAfterPartialPlacementUnwindsBothDevices) {
+  ClusterJob pipelined;
+  pipelined.id = 0;
+  pipelined.type = ClusterJobType::kTraining;
+  pipelined.submit_time = 1;
+  pipelined.model = "gpt2";
+  pipelined.seed = 8;
+  TrainConfig config;
+  config.parallel.pp = 2;
+  config.num_microbatches = 4;
+  config.micro_batch_size = 4;
+  pipelined.train = ApplyConfigTag(config, "N");  // rank peaks 6.6 / 5.8 GiB vs 3.4 GiB naive
+  pipelined.iterations = 1;
+
+  ClusterJob later;  // a job that fits the roomy device, submitted after the rejection settles
+  later.id = 1;
+  later.type = ClusterJobType::kTraining;
+  later.submit_time = 20000;
+  later.model = "gpt2";
+  later.seed = 3;
+  TrainConfig small;
+  small.num_microbatches = 2;
+  small.micro_batch_size = 1;
+  later.train = ApplyConfigTag(small, "N");
+  later.iterations = 1;
+
+  FleetConfig fleet = SmallFleet(SchedulerPolicy::kFirstFit, AllocatorKind::kCaching);
+  fleet.device_capacities = {16 * GiB, 5 * GiB};
+  fleet.max_oom_retries = 1;
+  ClusterResult r = RunCluster(fleet, {pipelined, later});
+
+  // Attempt 1: rank 1 OOMs on the 5 GiB device while rank 0 holds live memory on the 16 GiB
+  // one; the gang unwinds and requeues. Attempt 2 repeats the placement, OOMs again, and the
+  // retry budget rejects the job.
+  const JobOutcome& out = r.jobs[0];
+  EXPECT_EQ(out.status, JobStatus::kRejectedOom);
+  EXPECT_EQ(out.attempts, 2u);
+  EXPECT_EQ(out.oom_count, 2);
+  EXPECT_EQ(r.requeues, 1u);
+  EXPECT_GT(out.actual_peak, 0u);  // rank 0 really had memory placed before the unwind
+  ASSERT_EQ(out.devices.size(), 2u);
+  EXPECT_NE(out.devices[0], out.devices[1]);
+  EXPECT_GE(r.oom_events, 2u);
+
+  // The devices survive the partial-placement unwinds with claims and blocks fully released:
+  // the later job admits immediately and completes.
+  EXPECT_EQ(r.completed, 1u);
+  EXPECT_EQ(r.jobs[1].status, JobStatus::kCompleted);
+  EXPECT_EQ(r.jobs[1].queue_wait, 0.0);
+  for (const DeviceMetrics& d : r.devices) {
+    EXPECT_LE(d.peak_used, d.capacity);
+  }
+}
+
 TEST(Fleet, TooManyRanksForTheFleetIsRejectedUpfront) {
   ClusterJob job = OversizedTrainingJob();
   job.train.micro_batch_size = 1;

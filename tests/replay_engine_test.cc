@@ -1,0 +1,501 @@
+// Coverage for src/replay/replay_engine.*: the unified streaming replay core every driver
+// (ReplayTrace, RunServeExperiment, the cluster Fleet) now routes through. Exercises global
+// (time, source) op ordering, tenant-gang unwinding, the three shared OOM policies
+// (abort / requeue / preempt-with-recompute), restart semantics and the observer surface.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/allocators/caching_allocator.h"
+#include "src/allocators/native_allocator.h"
+#include "src/common/units.h"
+#include "src/driver/replay.h"
+#include "src/gpu/sim_device.h"
+#include "src/replay/replay_engine.h"
+#include "src/trace/trace.h"
+#include "src/trainsim/model_config.h"
+#include "src/trainsim/workload.h"
+
+namespace stalloc {
+namespace {
+
+// Builds a trace from (size, ts, te) triples.
+Trace MakeTrace(const std::vector<std::tuple<uint64_t, LogicalTime, LogicalTime>>& events) {
+  Trace trace;
+  for (const auto& [size, ts, te] : events) {
+    MemoryEvent e;
+    e.size = size;
+    e.ts = ts;
+    e.te = te;
+    trace.AddEvent(e);
+  }
+  return trace;
+}
+
+// Records every op the engine hands to observers, in order.
+class OpRecorder : public ReplayObserver {
+ public:
+  struct Seen {
+    size_t source;
+    uint64_t time;
+    TraceOp::Kind kind;
+    uint64_t event_id;
+  };
+  void BeforeOp(ReplayEngine&, const ReplayOpView& op) override {
+    seen.push_back({op.source, op.time, op.kind, op.event->id});
+  }
+  std::vector<Seen> seen;
+};
+
+TEST(ReplayEngine, SingleSourceReplaysOpsInTraceOrder) {
+  const Trace trace = MakeTrace({{1 * MiB, 0, 4}, {2 * MiB, 1, 3}, {3 * MiB, 2, 6}});
+  SimDevice dev(1 * GiB);
+  NativeAllocator alloc(&dev);
+  OpRecorder recorder;
+  ReplayEngine engine(&recorder);
+  ReplaySource src;
+  src.trace = &trace;
+  src.alloc = &alloc;
+  engine.AddSource(src);
+  const ReplayEngineResult& r = engine.Run();
+
+  EXPECT_FALSE(r.oom);
+  EXPECT_EQ(r.num_mallocs, 3u);
+  EXPECT_EQ(r.num_frees, 3u);
+  EXPECT_EQ(r.ops_replayed, 6u);
+  EXPECT_EQ(r.end_time, trace.end_time());  // the last free lands at the largest te
+  EXPECT_TRUE(engine.progress(0).done);
+  EXPECT_EQ(engine.active_sources(), 0u);
+  EXPECT_EQ(alloc.stats().allocated_current, 0u);
+
+  // The observed stream is exactly Trace::Ops() — times nondecreasing, frees before mallocs at
+  // equal ticks.
+  ASSERT_EQ(recorder.seen.size(), trace.Ops().size());
+  for (size_t i = 0; i < recorder.seen.size(); ++i) {
+    EXPECT_EQ(recorder.seen[i].time, trace.Ops()[i].time) << i;
+    EXPECT_EQ(recorder.seen[i].event_id, trace.Ops()[i].event_id) << i;
+    EXPECT_EQ(recorder.seen[i].kind == TraceOp::Kind::kMalloc,
+              trace.Ops()[i].kind == TraceOp::Kind::kMalloc)
+        << i;
+  }
+}
+
+TEST(ReplayEngine, FreesApplyBeforeMallocsAtTheSameTick) {
+  // 6 GiB handed over at tick 5 on an 8 GiB device: only possible if the free lands first.
+  const Trace trace = MakeTrace({{6 * GiB, 0, 5}, {6 * GiB, 5, 10}});
+  SimDevice dev(8 * GiB);
+  NativeAllocator alloc(&dev);
+  ReplayEngine engine;
+  ReplaySource src;
+  src.trace = &trace;
+  src.alloc = &alloc;
+  engine.AddSource(src);
+  EXPECT_FALSE(engine.Run().oom);
+}
+
+TEST(ReplayEngine, MultiSourceOpsInterleaveInGlobalTimeOrder) {
+  const Trace a = MakeTrace({{1 * MiB, 0, 8}, {1 * MiB, 4, 6}});
+  const Trace b = MakeTrace({{1 * MiB, 1, 3}, {1 * MiB, 5, 7}});
+  SimDevice dev(1 * GiB);
+  NativeAllocator alloc(&dev);
+  OpRecorder recorder;
+  ReplayEngine engine(&recorder);
+  ReplaySource src;
+  src.alloc = &alloc;
+  src.trace = &a;
+  src.tenant = 0;
+  engine.AddSource(src);
+  src.trace = &b;
+  src.tenant = 1;
+  src.start = 2;  // b's local ticks shift by +2: ops at 3, 5, 7, 9
+  engine.AddSource(src);
+  const ReplayEngineResult& r = engine.Run();
+
+  EXPECT_FALSE(r.oom);
+  EXPECT_EQ(r.ops_replayed, 8u);
+  ASSERT_EQ(recorder.seen.size(), 8u);
+  for (size_t i = 1; i < recorder.seen.size(); ++i) {
+    const auto& prev = recorder.seen[i - 1];
+    const auto& cur = recorder.seen[i];
+    // Global (time, source) order: ties broken by source id.
+    EXPECT_TRUE(prev.time < cur.time || (prev.time == cur.time && prev.source <= cur.source))
+        << "op " << i;
+  }
+  // Both streams really interleave (source 1 appears between source-0 ops).
+  EXPECT_EQ(recorder.seen[0].source, 0u);  // t=0
+  EXPECT_EQ(recorder.seen[1].source, 1u);  // t=3
+}
+
+TEST(ReplayEngine, IterationsReplayBackToBack) {
+  const Trace trace = MakeTrace({{1 * MiB, 0, 2}, {2 * MiB, 1, 3}});
+  SimDevice dev(1 * GiB);
+  NativeAllocator alloc(&dev);
+  ReplayEngine engine;
+  ReplaySource src;
+  src.trace = &trace;
+  src.alloc = &alloc;
+  src.iterations = 3;
+  engine.AddSource(src);
+  const ReplayEngineResult& r = engine.Run();
+  EXPECT_FALSE(r.oom);
+  EXPECT_EQ(r.num_mallocs, 6u);
+  EXPECT_EQ(r.num_frees, 6u);
+  EXPECT_EQ(engine.progress(0).ops_replayed, 12u);
+  // Iterations are offset by the trace's end_time: the last free lands at 2*3 + 3.
+  EXPECT_EQ(r.end_time, 2 * trace.end_time() + trace.end_time());
+}
+
+TEST(ReplayEngine, ZeroOpSourceIsImmediatelyDone) {
+  const Trace empty;
+  SimDevice dev(1 * GiB);
+  NativeAllocator alloc(&dev);
+  ReplayEngine engine;
+  ReplaySource src;
+  src.trace = &empty;
+  src.alloc = &alloc;
+  const size_t id = engine.AddSource(src);
+  EXPECT_TRUE(engine.progress(id).done);
+  EXPECT_EQ(engine.active_sources(), 0u);
+  EXPECT_FALSE(engine.HasPending());
+}
+
+TEST(ReplayEngine, DefaultPolicyAbortsRunOnFirstOomAndUnwinds) {
+  const Trace trace = MakeTrace({{6 * GiB, 0, 10}, {6 * GiB, 1, 10}, {1 * MiB, 2, 10}});
+  SimDevice dev(8 * GiB);
+  NativeAllocator alloc(&dev);
+  ReplayEngine engine;
+  ReplaySource src;
+  src.trace = &trace;
+  src.alloc = &alloc;
+  engine.AddSource(src);
+  const ReplayEngineResult& r = engine.Run();
+  EXPECT_TRUE(r.oom);
+  EXPECT_TRUE(r.aborted);
+  EXPECT_EQ(r.first_failed_event, 1u);
+  EXPECT_EQ(r.oom_events, 1u);
+  EXPECT_EQ(r.ops_replayed, 1u);  // the successful first malloc; the failed op does not count
+  EXPECT_TRUE(engine.progress(0).aborted);
+  // The run's live blocks were released on exit.
+  EXPECT_EQ(alloc.stats().allocated_current, 0u);
+}
+
+TEST(ReplayEngine, SkipOpPolicyDropsTheOpAndItsFree) {
+  class SkipAll : public ReplayObserver {
+   public:
+    OomAction OnOom(ReplayEngine&, const ReplayOpView&) override { return OomAction::kSkipOp; }
+  };
+  const Trace trace = MakeTrace({{6 * GiB, 0, 10}, {6 * GiB, 1, 5}, {1 * GiB, 2, 10}});
+  SimDevice dev(8 * GiB);
+  NativeAllocator alloc(&dev);
+  SkipAll skip;
+  ReplayEngine engine(&skip);
+  ReplaySource src;
+  src.trace = &trace;
+  src.alloc = &alloc;
+  engine.AddSource(src);
+  const ReplayEngineResult& r = engine.Run();
+  EXPECT_TRUE(r.oom);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_EQ(r.oom_events, 1u);
+  EXPECT_EQ(r.num_mallocs, 3u);  // attempts, including the failed one
+  EXPECT_EQ(r.num_frees, 2u);    // the dropped op's free is silently skipped
+  EXPECT_EQ(r.ops_replayed, 6u); // the stream still drains completely
+  EXPECT_TRUE(engine.progress(0).done);
+}
+
+TEST(ReplayEngine, RequeuePolicyParksTenantUntilMemoryFrees) {
+  const Trace a = MakeTrace({{6 * GiB, 1, 10}});
+  const Trace b = MakeTrace({{6 * GiB, 2, 12}});
+  SimDevice dev(8 * GiB);
+  NativeAllocator alloc(&dev);
+  OomPolicyObserver policy(OomPolicy::kRequeue, /*max_retries=*/2);
+  ReplayEngine engine(&policy);
+  ReplaySource src;
+  src.alloc = &alloc;
+  src.trace = &a;
+  src.tenant = 0;
+  engine.AddSource(src);
+  src.trace = &b;
+  src.tenant = 1;
+  engine.AddSource(src);
+  const ReplayEngineResult& r = engine.Run();
+
+  EXPECT_TRUE(r.oom);  // tenant 1's first attempt failed...
+  EXPECT_FALSE(r.aborted);
+  EXPECT_EQ(policy.requeues(), 1u);
+  EXPECT_EQ(policy.rejected_tenants(), 0u);
+  EXPECT_EQ(policy.oom_count(1), 1);
+  // ...but it was re-admitted when tenant 0 completed, and both finished.
+  EXPECT_TRUE(engine.progress(0).done);
+  EXPECT_TRUE(engine.progress(1).done);
+  EXPECT_EQ(engine.progress(1).restarts, 1);
+  // The restart replays the whole stream at the tick the memory freed (t=10): its ops land at
+  // 10+2 and 10+12.
+  EXPECT_EQ(r.end_time, 22u);
+  EXPECT_EQ(alloc.stats().allocated_current, 0u);
+}
+
+TEST(ReplayEngine, RequeueWithNothingElseRunningRejects) {
+  const Trace trace = MakeTrace({{6 * GiB, 0, 10}, {6 * GiB, 1, 10}});
+  SimDevice dev(8 * GiB);
+  NativeAllocator alloc(&dev);
+  OomPolicyObserver policy(OomPolicy::kRequeue, /*max_retries=*/2);
+  ReplayEngine engine(&policy);
+  ReplaySource src;
+  src.trace = &trace;
+  src.alloc = &alloc;
+  engine.AddSource(src);
+  const ReplayEngineResult& r = engine.Run();
+  EXPECT_TRUE(r.oom);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_EQ(policy.requeues(), 0u);
+  EXPECT_EQ(policy.rejected_tenants(), 1u);  // retrying alone can never free memory
+  EXPECT_TRUE(engine.progress(0).aborted);
+  EXPECT_FALSE(engine.progress(0).done);
+  EXPECT_EQ(alloc.stats().allocated_current, 0u);
+}
+
+TEST(ReplayEngine, PreemptRecomputeRestartsAtTheCurrentTick) {
+  // Tenant 1 collides with tenant 0 (live on [1,3)), is preempted, redoes its work from the
+  // current tick and succeeds once tenant 0's memory is gone.
+  const Trace a = MakeTrace({{6 * GiB, 1, 3}});
+  const Trace b = MakeTrace({{6 * GiB, 2, 10}});
+  SimDevice dev(8 * GiB);
+  NativeAllocator alloc(&dev);
+  OomPolicyObserver policy(OomPolicy::kPreemptRecompute, /*max_retries=*/2);
+  ReplayEngine engine(&policy);
+  ReplaySource src;
+  src.alloc = &alloc;
+  src.trace = &a;
+  src.tenant = 0;
+  engine.AddSource(src);
+  src.trace = &b;
+  src.tenant = 1;
+  engine.AddSource(src);
+  const ReplayEngineResult& r = engine.Run();
+
+  EXPECT_TRUE(r.oom);
+  EXPECT_EQ(policy.preemptions(), 1u);
+  EXPECT_EQ(policy.rejected_tenants(), 0u);
+  EXPECT_TRUE(engine.progress(0).done);
+  EXPECT_TRUE(engine.progress(1).done);
+  EXPECT_EQ(engine.progress(1).restarts, 1);
+  // Restarted at now=2: tenant 1's ops land at 2+2 and 2+10.
+  EXPECT_EQ(r.end_time, 12u);
+}
+
+TEST(ReplayEngine, RetryBudgetExhaustionRejectsTheTenant) {
+  // Tenant 1 can never fit (10 GiB on an 8 GiB device): one preempt-recompute retry, then
+  // rejection; tenant 0 is unaffected.
+  const Trace a = MakeTrace({{2 * GiB, 0, 20}});
+  const Trace b = MakeTrace({{10 * GiB, 1, 10}});
+  SimDevice dev(8 * GiB);
+  NativeAllocator alloc(&dev);
+  OomPolicyObserver policy(OomPolicy::kPreemptRecompute, /*max_retries=*/1);
+  ReplayEngine engine(&policy);
+  ReplaySource src;
+  src.alloc = &alloc;
+  src.trace = &a;
+  src.tenant = 0;
+  engine.AddSource(src);
+  src.trace = &b;
+  src.tenant = 1;
+  engine.AddSource(src);
+  const ReplayEngineResult& r = engine.Run();
+
+  EXPECT_TRUE(r.oom);
+  EXPECT_EQ(r.oom_events, 2u);  // first attempt + one retry
+  EXPECT_EQ(policy.preemptions(), 1u);
+  EXPECT_EQ(policy.rejected_tenants(), 1u);
+  EXPECT_EQ(policy.oom_count(1), 2);
+  EXPECT_TRUE(engine.progress(0).done);
+  EXPECT_TRUE(engine.progress(1).aborted);
+  EXPECT_FALSE(engine.progress(1).done);
+}
+
+TEST(ReplayEngine, ParkedTenantRestartsWhenTheLastRunnerIsRejected) {
+  // Tenant 1 parks while tenant 0 runs; tenant 0 then OOMs alone and is rejected. The parked
+  // tenant must not strand — the rejection frees the device, so it restarts and completes.
+  const Trace a = MakeTrace({{4 * GiB, 1, 6}, {7 * GiB, 5, 10}});  // self-OOMs at t=5
+  const Trace b = MakeTrace({{6 * GiB, 2, 30}});
+  SimDevice dev(8 * GiB);
+  NativeAllocator alloc(&dev);
+  OomPolicyObserver policy(OomPolicy::kRequeue, /*max_retries=*/1);
+  ReplayEngine engine(&policy);
+  ReplaySource src;
+  src.alloc = &alloc;
+  src.trace = &a;
+  src.tenant = 0;
+  engine.AddSource(src);
+  src.trace = &b;
+  src.tenant = 1;
+  engine.AddSource(src);
+  const ReplayEngineResult& r = engine.Run();
+
+  EXPECT_TRUE(r.oom);
+  EXPECT_EQ(policy.requeues(), 1u);          // tenant 1 parked at t=2
+  EXPECT_EQ(policy.rejected_tenants(), 1u);  // tenant 0 rejected at t=5, nothing else running
+  EXPECT_TRUE(engine.progress(0).aborted);
+  EXPECT_FALSE(engine.progress(0).done);
+  EXPECT_TRUE(engine.progress(1).done);  // restarted over the freed space
+  EXPECT_EQ(engine.progress(1).restarts, 1);
+  EXPECT_EQ(alloc.stats().allocated_current, 0u);
+}
+
+TEST(ReplayEngine, TimelineObserverDropsUnwoundBytes) {
+  // Unwinds free live blocks without AfterFree callbacks; the timeline must subtract them via
+  // OnSourceAborted or the curve stays inflated forever after an abort.
+  class AbortTenantTimeline : public TimelineObserver {
+   public:
+    using TimelineObserver::TimelineObserver;
+    OomAction OnOom(ReplayEngine&, const ReplayOpView&) override {
+      return OomAction::kAbortTenant;
+    }
+  };
+  const Trace a = MakeTrace({{4 * GiB, 1, 10}});
+  const Trace b = MakeTrace({{2 * GiB, 2, 8}, {6 * GiB, 3, 8}});  // OOMs at t=3 with 2 GiB live
+  SimDevice dev(8 * GiB);
+  NativeAllocator alloc(&dev);
+  AbortTenantTimeline timeline(/*sample_every=*/1);
+  ReplayEngine engine(&timeline);
+  ReplaySource src;
+  src.alloc = &alloc;
+  src.trace = &a;
+  src.tenant = 0;
+  engine.AddSource(src);
+  src.trace = &b;
+  src.tenant = 1;
+  engine.AddSource(src);
+  const ReplayEngineResult& r = engine.Run();
+
+  EXPECT_TRUE(r.oom);
+  EXPECT_TRUE(engine.progress(0).done);
+  EXPECT_TRUE(engine.progress(1).aborted);
+  ASSERT_FALSE(timeline.samples().empty());
+  // Tenant 0's free at t=10 is the last event: the curve must return to exactly zero, which
+  // only happens if tenant 1's unwound 2 GiB were dropped when it aborted.
+  EXPECT_EQ(timeline.samples().back().live_bytes, 0u);
+  uint64_t peak = 0;
+  for (const TimelineObserver::Sample& s : timeline.samples()) {
+    peak = std::max(peak, s.live_bytes);
+  }
+  EXPECT_EQ(peak, 6 * GiB);  // 4 GiB (tenant 0) + 2 GiB (tenant 1) before the abort
+}
+
+TEST(ReplayEngine, TenantGangUnwindsTogetherOnOneSourceOom) {
+  // Two sources form one tenant gang (pipeline ranks). When the second OOMs, the first — which
+  // has live memory and no failure of its own — unwinds too.
+  const Trace rank0 = MakeTrace({{3 * GiB, 1, 20}});
+  const Trace rank1 = MakeTrace({{3 * GiB, 1, 20}, {3 * GiB, 2, 20}, {3 * GiB, 3, 20}});
+  SimDevice dev(8 * GiB);
+  NativeAllocator alloc(&dev);
+  OomPolicyObserver policy(OomPolicy::kRequeue, /*max_retries=*/1);
+  ReplayEngine engine(&policy);
+  ReplaySource src;
+  src.alloc = &alloc;
+  src.tenant = 7;
+  src.trace = &rank0;
+  engine.AddSource(src);
+  src.trace = &rank1;
+  engine.AddSource(src);
+  ASSERT_EQ(engine.tenant_sources(7).size(), 2u);
+  const ReplayEngineResult& r = engine.Run();
+
+  EXPECT_TRUE(r.oom);
+  EXPECT_TRUE(engine.progress(0).aborted);
+  EXPECT_TRUE(engine.progress(1).aborted);
+  EXPECT_EQ(engine.progress(0).live_bytes, 0u);
+  EXPECT_EQ(engine.progress(1).live_bytes, 0u);
+  EXPECT_EQ(alloc.stats().allocated_current, 0u);  // every rank's blocks were freed
+  EXPECT_EQ(policy.rejected_tenants(), 1u);        // gang alone on the device: no requeue
+}
+
+TEST(ReplayEngine, ExternallySteppedReplayMatchesRun) {
+  const Trace trace = MakeTrace({{1 * MiB, 0, 4}, {2 * MiB, 1, 3}, {3 * MiB, 2, 6}});
+  SimDevice dev(1 * GiB);
+  NativeAllocator alloc(&dev);
+  ReplayEngine engine;
+  ReplaySource src;
+  src.trace = &trace;
+  src.alloc = &alloc;
+  engine.AddSource(src);
+
+  // Drive the engine one op at a time, checking the announced next-op clock.
+  uint64_t steps = 0;
+  while (engine.HasPending()) {
+    const uint64_t next = engine.NextOpTime();
+    ASSERT_NE(next, ReplayEngine::kNoPendingOp);
+    ASSERT_TRUE(engine.Step());
+    EXPECT_EQ(engine.now(), next);
+    ++steps;
+  }
+  EXPECT_EQ(steps, 6u);
+  EXPECT_FALSE(engine.Step());
+  EXPECT_TRUE(engine.progress(0).done);
+  // Run() on a drained engine just finalizes the result.
+  EXPECT_EQ(engine.Run().ops_replayed, 6u);
+}
+
+TEST(ReplayEngine, TimelineObserverSamplesTheLiveBytesCurve) {
+  const Trace trace =
+      MakeTrace({{4 * MiB, 0, 3}, {2 * MiB, 1, 5}, {1 * MiB, 2, 4}});  // peak 7 MiB at t=2
+  SimDevice dev(1 * GiB);
+  NativeAllocator alloc(&dev);
+  TimelineObserver timeline(/*sample_every=*/1);
+  ReplayEngine engine(&timeline);
+  ReplaySource src;
+  src.trace = &trace;
+  src.alloc = &alloc;
+  engine.AddSource(src);
+  ASSERT_FALSE(engine.Run().oom);
+
+  ASSERT_EQ(timeline.samples().size(), 6u);
+  uint64_t peak = 0;
+  for (const TimelineObserver::Sample& s : timeline.samples()) {
+    peak = std::max(peak, s.live_bytes);
+  }
+  EXPECT_EQ(peak, 7 * MiB);
+  EXPECT_EQ(timeline.samples().back().live_bytes, 0u);
+}
+
+// The legacy ReplayTrace wrapper and a hand-driven single-source engine must agree op for op —
+// the engine's single-source fast path replays exactly the historical loop.
+TEST(ReplayEngine, ReplayTraceWrapperMatchesDirectEngineUse) {
+  TrainConfig config;
+  config.num_microbatches = 2;
+  config.micro_batch_size = 2;
+  WorkloadBuilder wb(Gpt2_345M(), config);
+  const Trace trace = wb.Build(3);
+
+  SimDevice dev_a(32 * GiB);
+  CachingAllocator alloc_a(&dev_a);
+  const ReplayResult via_wrapper = ReplayTrace(trace, &alloc_a);
+
+  SimDevice dev_b(32 * GiB);
+  CachingAllocator alloc_b(&dev_b);
+  ReplayEngine engine;
+  ReplaySource src;
+  src.trace = &trace;
+  src.alloc = &alloc_b;
+  engine.AddSource(src);
+  const ReplayEngineResult& direct = engine.Run();
+
+  EXPECT_FALSE(via_wrapper.oom);
+  EXPECT_FALSE(direct.oom);
+  EXPECT_EQ(via_wrapper.num_mallocs, direct.num_mallocs);
+  EXPECT_EQ(via_wrapper.num_frees, direct.num_frees);
+  EXPECT_EQ(alloc_a.stats().allocated_peak, alloc_b.stats().allocated_peak);
+  EXPECT_EQ(alloc_a.stats().reserved_peak, alloc_b.stats().reserved_peak);
+}
+
+TEST(ReplayEngine, OomPolicyNamesAreStable) {
+  EXPECT_STREQ(OomPolicyName(OomPolicy::kAbort), "abort");
+  EXPECT_STREQ(OomPolicyName(OomPolicy::kRequeue), "requeue");
+  EXPECT_STREQ(OomPolicyName(OomPolicy::kPreemptRecompute), "preempt-recompute");
+}
+
+}  // namespace
+}  // namespace stalloc
