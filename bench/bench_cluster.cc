@@ -2,7 +2,7 @@
 // seeded mixed train+serve cluster workload — the capacity story the single-device benches
 // cannot tell. Under co-location pressure the admission estimate decides whether a job OOMs on
 // the device or never gets there, and the allocator decides how much of the fleet's capacity
-// fragmentation eats.
+// fragmentation eats. Runs through the unified Session/ExperimentSpec API.
 //
 // Two scenarios run:
 //   * mixed     — a day of interleaved training jobs and serving instances on 2- and 4-device
@@ -12,21 +12,23 @@
 //                 it OOMs at runtime; plan-aware predicts the reservation from the profiled
 //                 trace and rejects it up front (requeue-or-reject vs never-admit).
 //
-//   bench_cluster [--json FILE]   ("-" writes JSON to stdout)
+//   bench_cluster [--seed N] [--jobs N] [--json FILE]   ("-" writes JSON to stdout)
 
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/api/report.h"
+#include "src/api/serializers.h"
+#include "src/api/session.h"
 #include "src/cluster/cluster_workload.h"
 #include "src/cluster/fleet.h"
 #include "src/cluster/scheduler.h"
+#include "src/common/flags.h"
 
 namespace {
 
@@ -34,28 +36,18 @@ using namespace stalloc;
 
 // The allocator line-up: every kind that can front a shared device, minus native (no caching,
 // so its fleet behaviour is the theoretical floor — uninteresting here and slow).
-std::vector<AllocatorKind> BenchKinds() {
-  return {AllocatorKind::kCaching, AllocatorKind::kExpandable, AllocatorKind::kGMLake,
-          AllocatorKind::kPagedKV};
+std::vector<std::string> BenchAllocators() {
+  std::vector<std::string> names = AllocatorRegistry::Global().Names(/*include_plan_kinds=*/false);
+  names.erase(std::remove(names.begin(), names.end(), "native"), names.end());
+  return names;
 }
 
-struct Cell {
-  int devices = 0;
-  uint64_t capacity = 0;
-  SchedulerPolicy policy = SchedulerPolicy::kFirstFit;
-  AllocatorKind kind = AllocatorKind::kCaching;
-  ClusterResult result;
-};
-
-struct Scenario {
-  std::string name;
-  uint64_t seed = 0;
-  std::vector<Cell> cells;
-};
+// Overridable via --jobs for quick (e.g. sanitizer) smoke runs.
+int g_mixed_jobs = 10;
 
 ClusterWorkloadConfig MixedWorkload() {
   ClusterWorkloadConfig config;
-  config.num_jobs = 10;
+  config.num_jobs = g_mixed_jobs;
   config.train_fraction = 0.5;
   config.mean_interarrival = 1200;
   config.micro_batches = {1, 2, 4};
@@ -91,68 +83,71 @@ std::vector<ClusterJob> OversizedWorkload(uint64_t seed) {
   return jobs;
 }
 
-Scenario RunMixed(uint64_t seed) {
+struct Scenario {
+  std::string name;
+  uint64_t seed = 0;
+  std::vector<RunRecord> cells;  // one cluster day per (fleet, policy, allocator)
+};
+
+// Spec for one fleet shape; the allocator set and policy rotate per cell.
+ExperimentSpec ClusterSpec(int devices, uint64_t capacity, const std::string& policy,
+                           uint64_t seed, int retries) {
+  ExperimentSpec spec;
+  spec.axis = WorkloadAxis::kCluster;
+  spec.cluster = MixedWorkload();
+  spec.devices = devices;
+  spec.policy = policy;
+  spec.oom_retries = retries;
+  spec.options.capacity_bytes = capacity;
+  spec.options.run_seed = seed;
+  spec.allocators = BenchAllocators();
+  return spec;
+}
+
+Scenario RunMixed(Session& session, uint64_t seed) {
   Scenario scenario;
   scenario.name = "mixed";
   scenario.seed = seed;
-  const std::vector<ClusterJob> jobs = GenerateClusterWorkload(MixedWorkload(), seed);
   for (int devices : {2, 4}) {
     for (SchedulerPolicy policy : AllSchedulerPolicies()) {
-      for (AllocatorKind kind : BenchKinds()) {
-        Cell cell;
-        cell.devices = devices;
-        cell.capacity = 16 * GiB;
-        cell.policy = policy;
-        cell.kind = kind;
-        FleetConfig fleet;
-        fleet.device_capacities.assign(static_cast<size_t>(devices), cell.capacity);
-        fleet.policy = policy;
-        fleet.allocator = kind;
-        cell.result = RunCluster(fleet, jobs);
-        scenario.cells.push_back(std::move(cell));
-      }
+      ExperimentSpec spec =
+          ClusterSpec(devices, 16 * GiB, SchedulerPolicyName(policy), seed, /*retries=*/1);
+      std::vector<RunRecord> records = session.Run(spec);
+      scenario.cells.insert(scenario.cells.end(), std::make_move_iterator(records.begin()),
+                            std::make_move_iterator(records.end()));
     }
   }
   return scenario;
 }
 
-Scenario RunOversized(uint64_t seed) {
+Scenario RunOversized(Session& session, uint64_t seed) {
   Scenario scenario;
   scenario.name = "oversized";
   scenario.seed = seed;
   const std::vector<ClusterJob> jobs = OversizedWorkload(seed);
   for (SchedulerPolicy policy : AllSchedulerPolicies()) {
-    for (AllocatorKind kind : BenchKinds()) {
-      Cell cell;
-      cell.devices = 2;
-      cell.capacity = 12 * GiB;
-      cell.policy = policy;
-      cell.kind = kind;
-      FleetConfig fleet;
-      fleet.device_capacities.assign(2, cell.capacity);
-      fleet.policy = policy;
-      fleet.allocator = kind;
-      fleet.max_oom_retries = 1;
-      cell.result = RunCluster(fleet, jobs);
-      scenario.cells.push_back(std::move(cell));
+    ExperimentSpec spec =
+        ClusterSpec(2, 12 * GiB, SchedulerPolicyName(policy), seed, /*retries=*/1);
+    for (const std::string& allocator : spec.allocators) {
+      scenario.cells.push_back(session.RunClusterJobs(spec, allocator, jobs));
     }
   }
   return scenario;
 }
 
-void PrintScenario(const Scenario& scenario, std::FILE* out) {
-  std::fprintf(out, "Cluster — %s scenario (seed %llu)\n\n", scenario.name.c_str(),
-               static_cast<unsigned long long>(scenario.seed));
+void PrintScenario(const Scenario& scenario, ReportSink& sink) {
+  sink.Printf("Cluster — %s scenario (seed %llu)\n\n", scenario.name.c_str(),
+              static_cast<unsigned long long>(scenario.seed));
   TextTable table({"fleet", "policy", "allocator", "completed", "rej up", "rej oom", "ooms",
                    "util (%)", "frag (%)", "wait p50", "wait p99", "SLO"});
-  for (const Cell& cell : scenario.cells) {
-    const ClusterResult& r = cell.result;
+  for (const RunRecord& cell : scenario.cells) {
+    const ClusterResult& r = *cell.cluster;
     double frag = 0;
     for (const DeviceMetrics& d : r.devices) {
       frag = std::max(frag, d.avg_external_frag);
     }
-    table.AddRow({StrFormat("%dx%s", cell.devices, FormatBytes(cell.capacity).c_str()),
-                  SchedulerPolicyName(cell.policy), AllocatorKindName(cell.kind),
+    table.AddRow({StrFormat("%zux%s", r.devices.size(), FormatBytes(cell.capacity_bytes).c_str()),
+                  SchedulerPolicyName(r.policy), cell.allocator,
                   StrFormat("%llu/%llu", static_cast<unsigned long long>(r.completed),
                             static_cast<unsigned long long>(r.num_jobs)),
                   StrFormat("%llu", static_cast<unsigned long long>(r.rejected_upfront)),
@@ -163,56 +158,19 @@ void PrintScenario(const Scenario& scenario, std::FILE* out) {
                   StrFormat("%.0f", r.queue_wait_p99),
                   StrFormat("%.2f", r.serve_slo_attainment)});
   }
-  std::fputs(table.ToString().c_str(), out);
-  std::fprintf(out, "\n");
+  sink.Print(table);
 }
 
-std::string CellJson(const Cell& cell) {
-  const ClusterResult& r = cell.result;
-  std::string out = StrFormat(
-      "        {\"policy\": \"%s\", \"allocator\": \"%s\", \"devices\": %d, "
-      "\"capacity_bytes\": %llu,\n"
-      "         \"jobs\": %llu, \"admitted\": %llu, \"completed\": %llu, "
-      "\"rejected_upfront\": %llu, \"rejected_oom\": %llu, \"starved\": %llu,\n"
-      "         \"oom_events\": %llu, \"requeues\": %llu, \"makespan\": %llu, "
-      "\"fleet_avg_utilization\": %.6f,\n"
-      "         \"queue_wait_p50\": %.1f, \"queue_wait_p90\": %.1f, \"queue_wait_p99\": %.1f, "
-      "\"serve_slo_attainment\": %.6f,\n"
-      "         \"device_metrics\": [",
-      SchedulerPolicyName(cell.policy), AllocatorKindName(cell.kind), cell.devices,
-      static_cast<unsigned long long>(cell.capacity), static_cast<unsigned long long>(r.num_jobs),
-      static_cast<unsigned long long>(r.admitted), static_cast<unsigned long long>(r.completed),
-      static_cast<unsigned long long>(r.rejected_upfront),
-      static_cast<unsigned long long>(r.rejected_oom), static_cast<unsigned long long>(r.starved),
-      static_cast<unsigned long long>(r.oom_events), static_cast<unsigned long long>(r.requeues),
-      static_cast<unsigned long long>(r.makespan), r.fleet_avg_utilization, r.queue_wait_p50,
-      r.queue_wait_p90, r.queue_wait_p99, r.serve_slo_attainment);
-  for (size_t d = 0; d < r.devices.size(); ++d) {
-    const DeviceMetrics& m = r.devices[d];
-    out += StrFormat(
-        "%s{\"peak_used\": %llu, \"avg_utilization\": %.6f, \"avg_external_frag\": %.6f, "
-        "\"memory_efficiency\": %.6f, \"oom_events\": %llu}",
-        d == 0 ? "" : ", ", static_cast<unsigned long long>(m.peak_used), m.avg_utilization,
-        m.avg_external_frag, m.memory_efficiency, static_cast<unsigned long long>(m.oom_events));
+Json ScenarioJson(const Scenario& scenario) {
+  Json j = Json::Object();
+  j.Set("scenario", scenario.name);
+  j.Set("seed", scenario.seed);
+  Json results = Json::Array();
+  for (const RunRecord& cell : scenario.cells) {
+    results.Add(ToJson(cell));
   }
-  out += "]}";
-  return out;
-}
-
-std::string ToJson(const std::vector<Scenario>& scenarios) {
-  std::string out = "{\n  \"bench\": \"cluster\",\n  \"scenarios\": [\n";
-  for (size_t s = 0; s < scenarios.size(); ++s) {
-    const Scenario& scenario = scenarios[s];
-    out += StrFormat("    {\"scenario\": \"%s\", \"seed\": %llu, \"results\": [\n",
-                     scenario.name.c_str(), static_cast<unsigned long long>(scenario.seed));
-    for (size_t c = 0; c < scenario.cells.size(); ++c) {
-      out += CellJson(scenario.cells[c]);
-      out += c + 1 < scenario.cells.size() ? ",\n" : "\n";
-    }
-    out += StrFormat("    ]}%s\n", s + 1 < scenarios.size() ? "," : "");
-  }
-  out += "  ]\n}\n";
-  return out;
+  j.Set("results", std::move(results));
+  return j;
 }
 
 }  // namespace
@@ -220,40 +178,40 @@ std::string ToJson(const std::vector<Scenario>& scenarios) {
 int main(int argc, char** argv) {
   std::string json_path;
   uint64_t seed = 42;
-  for (int i = 1; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
-      json_path = argv[++i];
-    } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
-      seed = std::strtoull(argv[++i], nullptr, 10);
-    } else {
-      std::fprintf(stderr, "usage: bench_cluster [--seed N] [--json FILE]\n");
+  int jobs = 0;
+  FlagParser flags("bench_cluster",
+                   "Scheduler policy x allocator x fleet size over a mixed train+serve day.");
+  flags.Add("--seed", &seed, "N", "cluster workload seed");
+  flags.Add("--jobs", &jobs, "N", "override the mixed day's job count (smaller = faster)");
+  flags.Add("--json", &json_path, "FILE", "machine-readable summary ('-' = stdout)");
+  if (!flags.Parse(argc, argv)) {
+    return 2;
+  }
+  if (flags.Seen("--jobs")) {
+    if (jobs <= 0) {
+      std::fprintf(stderr, "--jobs must be >= 1\n");
       return 2;
     }
+    g_mixed_jobs = jobs;
   }
 
+  Session session;
   std::vector<Scenario> scenarios;
-  scenarios.push_back(RunMixed(seed));
-  scenarios.push_back(RunOversized(seed));
-  // With --json - the JSON owns stdout; the tables move to stderr so the output stays pipeable.
-  std::FILE* report = json_path == "-" ? stderr : stdout;
-  for (const Scenario& scenario : scenarios) {
-    PrintScenario(scenario, report);
-  }
+  scenarios.push_back(RunMixed(session, seed));
+  scenarios.push_back(RunOversized(session, seed));
 
-  if (!json_path.empty()) {
-    const std::string json = ToJson(scenarios);
-    if (json_path == "-") {
-      std::fputs(json.c_str(), stdout);
-    } else {
-      std::FILE* f = std::fopen(json_path.c_str(), "w");
-      if (f == nullptr) {
-        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
-        return 1;
-      }
-      std::fputs(json.c_str(), f);
-      std::fclose(f);
-      std::printf("wrote %s\n", json_path.c_str());
-    }
+  ReportSink sink("cluster", json_path);
+  Json allocator_names = Json::Array();
+  for (const std::string& name : BenchAllocators()) {
+    allocator_names.Add(name);
   }
-  return 0;
+  sink.Meta("allocators", std::move(allocator_names));
+  sink.Meta("seed", seed);
+  Json scenarios_json = Json::Array();
+  for (const Scenario& scenario : scenarios) {
+    PrintScenario(scenario, sink);
+    scenarios_json.Add(ScenarioJson(scenario));
+  }
+  sink.Meta("scenarios", std::move(scenarios_json));
+  return sink.Finish();
 }

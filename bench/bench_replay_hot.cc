@@ -1,30 +1,33 @@
 // Replay-engine hot-path throughput: simulator ops/sec through the unified streaming replay
-// core (src/replay/) for every allocator kind — the perf baseline that gates any further work
-// on the free-space hot paths.
+// core (src/replay/) for every registered allocator — the perf baseline that gates any further
+// work on the free-space hot paths.
 //
 // Two op streams, ~100k ops each:
 //   * storm — a synthetic cache storm: ~1.5k concurrently-live blocks drawn from a few dozen
 //     recurring sizes (the size-distribution shape of §2.3, Fig. 3), freed in random order. This
 //     keeps the caching-style free lists deep, which is exactly the path the size-bucketed
 //     BestFitIndex replaced the flat ordered-set search on. The storm has no phase structure, so
-//     the STAlloc kinds (which need the offline profile+plan pipeline) sit this one out.
-//   * train — the gpt2 1F1B iteration replayed back-to-back until ~100k ops, for every one of
-//     the 7 kinds (STAlloc plans come from the usual profile-seed pipeline).
+//     the plan-pipeline (STAlloc) kinds sit this one out.
+//   * train — the gpt2 1F1B iteration replayed back-to-back until ~100k ops, for every
+//     registered kind (STAlloc plans come from the usual profile-seed pipeline).
 //
 // Timing wraps the whole ReplayTrace call (engine + driver bookkeeping), best of --repeats
 // fresh-allocator runs — directly comparable across revisions of the replay/allocator stack.
+// Allocators are constructed by registry name, so a newly registered kind shows up here with no
+// bench change.
 //
 //   bench_replay_hot [--events N] [--repeats N] [--json FILE]   ("-" = JSON to stdout)
 
+#include <algorithm>
 #include <cstdint>
-#include <cstdio>
-#include <cstring>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/api/report.h"
+#include "src/common/flags.h"
 #include "src/common/stopwatch.h"
 #include "src/core/profiler.h"
 #include "src/core/stalloc_allocator.h"
@@ -41,7 +44,7 @@ using namespace stalloc;
 constexpr uint64_t kCapacity = 64ull * GiB;
 
 struct HotResult {
-  AllocatorKind kind = AllocatorKind::kCaching;
+  std::string allocator;
   bool skipped = false;  // kind not runnable on this stream (STAlloc on the unphased storm)
   bool oom = false;
   uint64_t ops = 0;
@@ -80,14 +83,13 @@ bool TimedReplay(const Trace& trace, Allocator* alloc, int iterations, HotResult
   return true;
 }
 
-HotResult RunKind(AllocatorKind kind, const Trace& trace, int iterations, int repeats) {
+HotResult RunEntry(const AllocatorRegistry::Entry& entry, const Trace& trace, int iterations,
+                   int repeats) {
   HotResult out;
-  out.kind = kind;
+  out.allocator = entry.name;
 
-  const bool is_stalloc =
-      kind == AllocatorKind::kSTAlloc || kind == AllocatorKind::kSTAllocNoReuse;
   SynthesisResult synthesis;
-  if (is_stalloc) {
+  if (entry.requires_plan) {
     // Plan once (offline stage, not timed); each repeat replays against a fresh pool.
     ProfileResult profile = ProfileTrace(trace, kCapacity);
     if (!profile.feasible) {
@@ -100,9 +102,9 @@ HotResult RunKind(AllocatorKind kind, const Trace& trace, int iterations, int re
   for (int rep = 0; rep < repeats; ++rep) {
     SimDevice device(kCapacity);
     std::unique_ptr<Allocator> alloc;
-    if (is_stalloc) {
+    if (entry.requires_plan) {
       STAllocConfig config;
-      config.enable_dynamic_reuse = kind == AllocatorKind::kSTAlloc;
+      config.enable_dynamic_reuse = entry.kind == AllocatorKind::kSTAlloc;
       auto st = std::make_unique<STAllocAllocator>(&device, synthesis.plan, synthesis.dyn_space,
                                                    config);
       if (!st->Init()) {
@@ -111,7 +113,7 @@ HotResult RunKind(AllocatorKind kind, const Trace& trace, int iterations, int re
       }
       alloc = std::move(st);
     } else {
-      alloc = MakeBaselineAllocator(kind, &device, ExperimentOptions{});
+      alloc = AllocatorRegistry::Global().Create(entry.name, &device);
     }
     if (!TimedReplay(trace, alloc.get(), iterations, &out)) {
       return out;
@@ -125,68 +127,59 @@ HotResult RunKind(AllocatorKind kind, const Trace& trace, int iterations, int re
 }
 
 StreamRun RunStream(const std::string& name, const Trace& trace, int iterations, int repeats,
-                    bool include_stalloc, std::FILE* report) {
+                    bool include_stalloc, ReportSink& sink) {
   StreamRun run;
   run.stream = name;
   run.trace_events = trace.size();
   run.iterations = iterations;
 
-  std::fprintf(report, "Replay hot path — %s stream: %llu events x %d iterations = %llu ops\n\n",
-               name.c_str(), static_cast<unsigned long long>(trace.size()), iterations,
-               static_cast<unsigned long long>(trace.size() * 2 * iterations));
+  sink.Printf("Replay hot path — %s stream: %llu events x %d iterations = %llu ops\n\n",
+              name.c_str(), static_cast<unsigned long long>(trace.size()), iterations,
+              static_cast<unsigned long long>(trace.size() * 2 * iterations));
   TextTable table({"allocator", "ops", "best wall (ms)", "Mops/s", "Mr", "E (%)"});
-  for (AllocatorKind kind : AllAllocatorKinds()) {
-    const bool is_stalloc =
-        kind == AllocatorKind::kSTAlloc || kind == AllocatorKind::kSTAllocNoReuse;
-    if (is_stalloc && !include_stalloc) {
+  for (const std::string& alloc_name : AllocatorRegistry::Global().Names()) {
+    const AllocatorRegistry::Entry& entry = *AllocatorRegistry::Global().Find(alloc_name);
+    if (entry.requires_plan && !include_stalloc) {
       continue;
     }
-    HotResult r = RunKind(kind, trace, iterations, repeats);
+    HotResult r = RunEntry(entry, trace, iterations, repeats);
     if (r.skipped) {
-      table.AddRow({AllocatorKindName(kind), "-", "-", "skipped", "-", "-"});
+      table.AddRow({r.allocator, "-", "-", "skipped", "-", "-"});
     } else if (r.oom) {
-      table.AddRow({AllocatorKindName(kind),
-                    StrFormat("%llu", static_cast<unsigned long long>(r.ops)), "-", "OOM", "-",
-                    "-"});
+      table.AddRow({r.allocator, StrFormat("%llu", static_cast<unsigned long long>(r.ops)), "-",
+                    "OOM", "-", "-"});
     } else {
-      table.AddRow({AllocatorKindName(kind),
-                    StrFormat("%llu", static_cast<unsigned long long>(r.ops)),
+      table.AddRow({r.allocator, StrFormat("%llu", static_cast<unsigned long long>(r.ops)),
                     StrFormat("%.2f", r.best_wall_seconds * 1e3),
                     StrFormat("%.2f", r.ops_per_sec / 1e6), FormatBytes(r.reserved_peak),
                     StrFormat("%.1f", r.memory_efficiency * 100.0)});
     }
-    run.results.push_back(r);
+    run.results.push_back(std::move(r));
   }
-  std::fputs(table.ToString().c_str(), report);
-  std::fprintf(report, "\n");
+  sink.Print(table);
   return run;
 }
 
-std::string ToJson(uint64_t events, int repeats, const std::vector<StreamRun>& runs) {
-  std::string out = "{\n";
-  out += StrFormat("  \"bench\": \"replay_hot\",\n  \"storm_events\": %llu,\n",
-                   static_cast<unsigned long long>(events));
-  out += StrFormat("  \"repeats\": %d,\n  \"streams\": [\n", repeats);
-  for (size_t s = 0; s < runs.size(); ++s) {
-    const StreamRun& run = runs[s];
-    out += StrFormat(
-        "    {\"stream\": \"%s\", \"trace_events\": %llu, \"iterations\": %d, \"results\": [\n",
-        run.stream.c_str(), static_cast<unsigned long long>(run.trace_events), run.iterations);
-    for (size_t i = 0; i < run.results.size(); ++i) {
-      const HotResult& r = run.results[i];
-      out += StrFormat(
-          "      {\"allocator\": \"%s\", \"skipped\": %s, \"oom\": %s, \"ops\": %llu, "
-          "\"best_wall_seconds\": %.6f, \"ops_per_sec\": %.0f, \"reserved_peak\": %llu, "
-          "\"memory_efficiency\": %.6f}%s\n",
-          AllocatorKindName(r.kind), r.skipped ? "true" : "false", r.oom ? "true" : "false",
-          static_cast<unsigned long long>(r.ops), r.best_wall_seconds, r.ops_per_sec,
-          static_cast<unsigned long long>(r.reserved_peak), r.memory_efficiency,
-          i + 1 < run.results.size() ? "," : "");
-    }
-    out += StrFormat("    ]}%s\n", s + 1 < runs.size() ? "," : "");
+Json StreamJson(const StreamRun& run) {
+  Json j = Json::Object();
+  j.Set("stream", run.stream);
+  j.Set("trace_events", run.trace_events);
+  j.Set("iterations", run.iterations);
+  Json results = Json::Array();
+  for (const HotResult& r : run.results) {
+    Json result = Json::Object();
+    result.Set("allocator", r.allocator);
+    result.Set("skipped", r.skipped);
+    result.Set("oom", r.oom);
+    result.Set("ops", r.ops);
+    result.Set("best_wall_seconds", r.best_wall_seconds);
+    result.Set("ops_per_sec", r.ops_per_sec);
+    result.Set("reserved_peak", r.reserved_peak);
+    result.Set("memory_efficiency", r.memory_efficiency);
+    results.Add(std::move(result));
   }
-  out += "  ]\n}\n";
-  return out;
+  j.Set("results", std::move(results));
+  return j;
 }
 
 }  // namespace
@@ -195,25 +188,28 @@ int main(int argc, char** argv) {
   uint64_t events = 50000;  // 2 ops per event -> the 100k-op storm baseline
   int repeats = 3;
   std::string json_path;
-  for (int i = 1; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "--events") && i + 1 < argc) {
-      events = std::strtoull(argv[++i], nullptr, 10);
-    } else if (!std::strcmp(argv[i], "--repeats") && i + 1 < argc) {
-      repeats = std::atoi(argv[++i]);
-    } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
-      json_path = argv[++i];
-    } else {
-      std::fprintf(stderr, "usage: bench_replay_hot [--events N] [--repeats N] [--json FILE]\n");
-      return 2;
-    }
+  FlagParser flags("bench_replay_hot",
+                   "Replay-engine ops/sec for every registered allocator kind.");
+  flags.Add("--events", &events, "N", "storm trace events (2 ops per event)");
+  flags.Add("--repeats", &repeats, "N", "fresh-allocator repetitions, best wall time kept");
+  flags.Add("--json", &json_path, "FILE", "machine-readable summary ('-' = stdout)");
+  if (!flags.Parse(argc, argv)) {
+    return 2;
   }
 
-  // With --json - the JSON owns stdout; the tables move to stderr so the output stays pipeable.
-  std::FILE* report = json_path == "-" ? stderr : stdout;
+  ReportSink sink("replay_hot", json_path);
+  sink.Meta("storm_events", events);
+  sink.Meta("repeats", repeats);
+  sink.Meta("capacity_bytes", kCapacity);
+  Json allocator_names = Json::Array();
+  for (const std::string& name : AllocatorRegistry::Global().Names()) {
+    allocator_names.Add(name);
+  }
+  sink.Meta("allocators", std::move(allocator_names));
 
   std::vector<StreamRun> runs;
   const Trace storm = BuildStormTrace(events, 42);
-  runs.push_back(RunStream("storm", storm, 1, repeats, /*include_stalloc=*/false, report));
+  runs.push_back(RunStream("storm", storm, 1, repeats, /*include_stalloc=*/false, sink));
 
   TrainConfig config;
   config.parallel.pp = 2;
@@ -224,23 +220,12 @@ int main(int argc, char** argv) {
   // ~10k ops per iteration: replay back-to-back until the stream matches the storm's length.
   const int iterations =
       std::max<int>(1, static_cast<int>(events / (train.size() > 0 ? train.size() : 1)));
-  runs.push_back(RunStream("train", train, iterations, repeats, /*include_stalloc=*/true,
-                           report));
+  runs.push_back(RunStream("train", train, iterations, repeats, /*include_stalloc=*/true, sink));
 
-  if (!json_path.empty()) {
-    const std::string json = ToJson(events, repeats, runs);
-    if (json_path == "-") {
-      std::fputs(json.c_str(), stdout);
-    } else {
-      std::FILE* f = std::fopen(json_path.c_str(), "w");
-      if (f == nullptr) {
-        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
-        return 1;
-      }
-      std::fputs(json.c_str(), f);
-      std::fclose(f);
-      std::printf("wrote %s\n", json_path.c_str());
-    }
+  Json streams = Json::Array();
+  for (const StreamRun& run : runs) {
+    streams.Add(StreamJson(run));
   }
-  return 0;
+  sink.Meta("streams", std::move(streams));
+  return sink.Finish();
 }

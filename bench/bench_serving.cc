@@ -1,5 +1,6 @@
 // Serving allocator comparison: every allocator kind over every servesim scenario preset —
-// the inference-serving counterpart of bench_fig08_allocators.
+// the inference-serving counterpart of bench_fig08_allocators, run through the unified
+// Session/ExperimentSpec API.
 //
 // The serving stream has none of training's spatio-temporal regularity, so the ordering the
 // paper establishes for training does not carry over: STAlloc's plan covers only the persistent
@@ -9,146 +10,81 @@
 //
 //   bench_serving [--model NAME] [--json FILE]
 
-#include <cstdint>
-#include <cstdio>
-#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "src/driver/serve_experiment.h"
+#include "src/api/report.h"
+#include "src/api/serializers.h"
+#include "src/api/session.h"
+#include "src/common/flags.h"
 #include "src/servesim/engine.h"
 #include "src/servesim/request_gen.h"
 
-namespace {
-
-using namespace stalloc;
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-    }
-    out += c;
-  }
-  return out;
-}
-
-struct ScenarioRun {
-  std::string scenario;
-  std::vector<std::pair<AllocatorKind, ServeExperimentResult>> results;
-};
-
-std::string ToJson(const std::string& model, const ServeOptions& opt,
-                   const std::vector<ScenarioRun>& runs) {
-  std::string out = "{\n";
-  out += StrFormat("  \"bench\": \"serving\",\n  \"model\": \"%s\",\n",
-                   JsonEscape(model).c_str());
-  out += StrFormat("  \"capacity_bytes\": %llu,\n  \"kv_budget_bytes\": %llu,\n",
-                   static_cast<unsigned long long>(opt.base.capacity_bytes),
-                   static_cast<unsigned long long>(opt.engine.kv_budget_bytes));
-  out += StrFormat("  \"run_seed\": %llu,\n  \"scenarios\": [\n",
-                   static_cast<unsigned long long>(opt.base.run_seed));
-  for (size_t s = 0; s < runs.size(); ++s) {
-    const ScenarioRun& run = runs[s];
-    out += StrFormat("    {\"scenario\": \"%s\", \"results\": [\n",
-                     JsonEscape(run.scenario).c_str());
-    for (size_t i = 0; i < run.results.size(); ++i) {
-      const auto& [kind, r] = run.results[i];
-      out += StrFormat(
-          "      {\"allocator\": \"%s\", \"oom\": %s, \"infeasible\": %s, "
-          "\"memory_efficiency\": %.6f, \"allocated_peak\": %llu, \"reserved_peak\": %llu, "
-          "\"fragmentation_bytes\": %llu, \"device_api_calls\": %llu, "
-          "\"device_api_cost_us\": %.1f, \"device_release_calls\": %llu, "
-          "\"preemptions\": %llu, \"tokens_admitted\": %llu, \"tokens_generated\": %llu, "
-          "\"peak_batch\": %d, \"trace_events\": %llu}%s\n",
-          AllocatorKindName(kind), r.replay.oom ? "true" : "false",
-          r.replay.infeasible ? "true" : "false", r.replay.memory_efficiency,
-          static_cast<unsigned long long>(r.replay.allocated_peak),
-          static_cast<unsigned long long>(r.replay.reserved_peak),
-          static_cast<unsigned long long>(r.replay.fragmentation_bytes),
-          static_cast<unsigned long long>(r.replay.device_api_calls),
-          r.replay.device_api_cost_us,
-          static_cast<unsigned long long>(r.replay.device_release_calls),
-          static_cast<unsigned long long>(r.serve.preemptions),
-          static_cast<unsigned long long>(r.serve.tokens_admitted),
-          static_cast<unsigned long long>(r.serve.tokens_generated), r.serve.peak_batch,
-          static_cast<unsigned long long>(r.trace_events),
-          i + 1 < run.results.size() ? "," : "");
-    }
-    out += StrFormat("    ]}%s\n", s + 1 < runs.size() ? "," : "");
-  }
-  out += "  ]\n}\n";
-  return out;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
+  using namespace stalloc;
+
   std::string model_name = "gpt2";
   std::string json_path;
-  for (int i = 1; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "--model") && i + 1 < argc) {
-      model_name = argv[++i];
-    } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
-      json_path = argv[++i];
-    } else {
-      std::fprintf(stderr, "usage: bench_serving [--model NAME] [--json FILE]\n");
-      return 2;
-    }
+  FlagParser flags("bench_serving", "Every allocator kind over every serving scenario preset.");
+  flags.Add("--model", &model_name, "NAME", "model preset (see stalloc_run --list-models)");
+  flags.Add("--json", &json_path, "FILE", "machine-readable summary ('-' = stdout)");
+  if (!flags.Parse(argc, argv)) {
+    return 2;
   }
 
+  ExperimentSpec spec;
+  spec.axis = WorkloadAxis::kServing;
+  spec.model = model_name;
+  spec.allocators = AllocatorRegistry::Global().Names();
+  spec.options.capacity_bytes = 16ull * GiB;
+  spec.engine.kv_budget_bytes = 4ull * GiB;
+
+  std::string error;
+  if (!Session::Validate(spec, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
   const ModelConfig model = ModelByName(model_name);
-  ServeOptions opt;
-  opt.base.capacity_bytes = 16ull * GiB;
-  opt.engine.kv_budget_bytes = 4ull * GiB;
 
-  // With --json - the JSON owns stdout; the tables move to stderr so the output stays pipeable.
-  std::FILE* report = json_path == "-" ? stderr : stdout;
+  ReportSink sink("serving", json_path);
+  // The bench sweeps every scenario; the per-scenario variant lives in scenarios[], so the
+  // root metadata must not pin the spec default.
+  Json spec_meta = SpecMetaJson(spec);
+  spec_meta.Set("variant", "all-scenarios");
+  sink.Meta("spec", std::move(spec_meta));
+  sink.Meta("kv_budget_bytes", spec.engine.kv_budget_bytes);
+  Json scenarios_json = Json::Array();
 
-  std::vector<ScenarioRun> runs;
+  Session session;
   for (const std::string& name : ScenarioNames()) {
-    const ServeScenario scenario = ScenarioByName(name);
-    std::fprintf(report, "Serving — %s scenario, %s, device=%s, KV budget=%s, KV block=%s\n\n",
-                 name.c_str(), model.name.c_str(), FormatBytes(opt.base.capacity_bytes).c_str(),
-                 FormatBytes(opt.engine.kv_budget_bytes).c_str(),
-                 FormatBytes(KvBlockBytes(model, opt.engine)).c_str());
+    spec.scenario = name;
+    sink.Printf("Serving — %s scenario, %s, device=%s, KV budget=%s, KV block=%s\n\n",
+                name.c_str(), model.name.c_str(),
+                FormatBytes(spec.options.capacity_bytes).c_str(),
+                FormatBytes(spec.engine.kv_budget_bytes).c_str(),
+                FormatBytes(KvBlockBytes(model, spec.engine)).c_str());
     TextTable table({"allocator", "E (%)", "Ma", "Mr", "frag", "API calls", "API cost (ms)",
                      "releases", "preempt", "peak batch"});
-    ScenarioRun run;
-    run.scenario = name;
-    for (AllocatorKind kind : AllAllocatorKinds()) {
-      ServeExperimentResult r = RunServeExperiment(model, scenario, kind, opt);
-      table.AddRow({AllocatorKindName(kind), EffCell(r.replay), FormatBytes(r.replay.allocated_peak),
-                    ReservedCell(r.replay), FormatBytes(r.replay.fragmentation_bytes),
-                    StrFormat("%llu", static_cast<unsigned long long>(r.replay.device_api_calls)),
-                    StrFormat("%.1f", r.replay.device_api_cost_us / 1000.0),
-                    StrFormat("%llu",
-                              static_cast<unsigned long long>(r.replay.device_release_calls)),
-                    StrFormat("%llu", static_cast<unsigned long long>(r.serve.preemptions)),
-                    StrFormat("%d", r.serve.peak_batch)});
-      run.results.emplace_back(kind, std::move(r));
+    Json results_json = Json::Array();
+    for (const RunRecord& r : session.Run(spec)) {
+      const ServeExperimentResult& serve = *r.serve;
+      table.AddRow({r.allocator, EffCell(serve.replay), FormatBytes(r.allocated_peak),
+                    ReservedCell(serve.replay), FormatBytes(r.fragmentation_bytes),
+                    StrFormat("%llu", static_cast<unsigned long long>(r.device_api_calls)),
+                    StrFormat("%.1f", r.device_api_cost_us / 1000.0),
+                    StrFormat("%llu", static_cast<unsigned long long>(r.device_release_calls)),
+                    StrFormat("%llu", static_cast<unsigned long long>(serve.serve.preemptions)),
+                    StrFormat("%d", serve.serve.peak_batch)});
+      results_json.Add(ToJson(r));
     }
-    std::fputs(table.ToString().c_str(), report);
-    std::fprintf(report, "\n");
-    runs.push_back(std::move(run));
+    sink.Print(table);
+    Json scenario_json = Json::Object();
+    scenario_json.Set("scenario", name);
+    scenario_json.Set("results", std::move(results_json));
+    scenarios_json.Add(std::move(scenario_json));
   }
-
-  if (!json_path.empty()) {
-    const std::string json = ToJson(model.name, opt, runs);
-    if (json_path == "-") {
-      std::fputs(json.c_str(), stdout);
-    } else {
-      std::FILE* f = std::fopen(json_path.c_str(), "w");
-      if (f == nullptr) {
-        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
-        return 1;
-      }
-      std::fputs(json.c_str(), f);
-      std::fclose(f);
-      std::printf("wrote %s\n", json_path.c_str());
-    }
-  }
-  return 0;
+  sink.Meta("scenarios", std::move(scenarios_json));
+  return sink.Finish();
 }

@@ -29,6 +29,17 @@ inline std::vector<int> BoundaryRanks(const ParallelConfig& parallel) {
   return {0, parallel.pp - 1};
 }
 
+// The single worst-outcome policy for per-rank aggregation: failures beat successes, then the
+// lower memory efficiency wins. Shared by RunWorstRank and the Session-based bench loops so the
+// probed feasibility and the measured cells can never apply different tie-breaking.
+inline bool WorseOutcome(bool candidate_failed, double candidate_efficiency, bool worst_failed,
+                         double worst_efficiency) {
+  if (candidate_failed != worst_failed) {
+    return candidate_failed;
+  }
+  return candidate_efficiency < worst_efficiency;
+}
+
 // Runs (model, config) under `kind` on every boundary rank and returns the worst outcome:
 // training OOMs if any rank OOMs, and the per-job memory efficiency is set by the worst GPU.
 inline ExperimentResult RunWorstRank(const ModelConfig& model, TrainConfig config,
@@ -39,10 +50,8 @@ inline ExperimentResult RunWorstRank(const ModelConfig& model, TrainConfig confi
     config.rank = rank;
     WorkloadBuilder wb(model, config);
     ExperimentResult r = RunExperiment(wb, kind, opt);
-    const bool r_failed = r.oom || r.infeasible;
-    const bool w_failed = worst.oom || worst.infeasible;
-    if (first || (r_failed && !w_failed) ||
-        (r_failed == w_failed && r.memory_efficiency < worst.memory_efficiency)) {
+    if (first || WorseOutcome(r.oom || r.infeasible, r.memory_efficiency,
+                              worst.oom || worst.infeasible, worst.memory_efficiency)) {
       worst = r;
     }
     first = false;

@@ -1,0 +1,132 @@
+#include "src/allocators/registry.h"
+
+#include <utility>
+
+#include "src/allocators/caching_allocator.h"
+#include "src/allocators/expandable_segments.h"
+#include "src/allocators/gmlake.h"
+#include "src/allocators/native_allocator.h"
+#include "src/allocators/paged_kv.h"
+#include "src/common/check.h"
+
+namespace stalloc {
+
+AllocatorRegistry::AllocatorRegistry() {
+  Register({"native", AllocatorKind::kNative, /*requires_plan=*/false,
+            [](SimDevice* device, const AllocatorOptions&) -> std::unique_ptr<Allocator> {
+              return std::make_unique<NativeAllocator>(device);
+            }});
+  Register({"torch-caching", AllocatorKind::kCaching, /*requires_plan=*/false,
+            [](SimDevice* device, const AllocatorOptions&) -> std::unique_ptr<Allocator> {
+              return std::make_unique<CachingAllocator>(device);
+            }});
+  Register({"torch-expandable", AllocatorKind::kExpandable, /*requires_plan=*/false,
+            [](SimDevice* device, const AllocatorOptions&) -> std::unique_ptr<Allocator> {
+              return std::make_unique<ExpandableSegmentsAllocator>(device);
+            }});
+  Register({"gmlake", AllocatorKind::kGMLake, /*requires_plan=*/false,
+            [](SimDevice* device, const AllocatorOptions& options) -> std::unique_ptr<Allocator> {
+              GMLakeConfig config;
+              if (options.gmlake_frag_limit != 0) {
+                config.frag_limit = options.gmlake_frag_limit;
+              }
+              return std::make_unique<GMLakeAllocator>(device, config);
+            }});
+  Register({"stalloc", AllocatorKind::kSTAlloc, /*requires_plan=*/true, nullptr});
+  Register({"stalloc-noreuse", AllocatorKind::kSTAllocNoReuse, /*requires_plan=*/true, nullptr});
+  Register({"paged-kv", AllocatorKind::kPagedKV, /*requires_plan=*/false,
+            [](SimDevice* device, const AllocatorOptions& options) -> std::unique_ptr<Allocator> {
+              PagedKVConfig config;
+              if (options.paged_block_bytes != 0) {
+                config.block_bytes = options.paged_block_bytes;
+              }
+              return std::make_unique<PagedKVAllocator>(device, config);
+            }});
+  // A new enum value not registered above must fail here, not be silently unlistable.
+  STALLOC_CHECK_EQ(entries_.size(), static_cast<size_t>(AllocatorKind::kCount),
+                   << "built-in registry out of sync with AllocatorKind");
+}
+
+AllocatorRegistry& AllocatorRegistry::Global() {
+  static AllocatorRegistry* registry = new AllocatorRegistry();
+  return *registry;
+}
+
+void AllocatorRegistry::Register(Entry entry) {
+  STALLOC_CHECK(!entry.name.empty(), << "allocator registered without a name");
+  STALLOC_CHECK(Find(entry.name) == nullptr,
+                << "duplicate allocator registration '" << entry.name << "'");
+  STALLOC_CHECK(entry.requires_plan == (entry.factory == nullptr),
+                << "allocator '" << entry.name
+                << "': exactly the plan-pipeline kinds have no factory");
+  entries_.push_back(std::move(entry));
+}
+
+const AllocatorRegistry::Entry* AllocatorRegistry::Find(std::string_view name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.name == name) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+const AllocatorRegistry::Entry* AllocatorRegistry::Find(AllocatorKind kind) const {
+  if (kind == AllocatorKind::kCount) {
+    return nullptr;  // the sentinel never resolves, even if external kinds carry it as their tag
+  }
+  for (const Entry& entry : entries_) {
+    if (entry.kind == kind) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Allocator> AllocatorRegistry::Create(std::string_view name, SimDevice* device,
+                                                     const AllocatorOptions& options) const {
+  const Entry* entry = Find(name);
+  if (entry == nullptr || entry->factory == nullptr) {
+    return nullptr;
+  }
+  return entry->factory(device, options);
+}
+
+std::vector<std::string> AllocatorRegistry::Names(bool include_plan_kinds) const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    if (include_plan_kinds || !entry.requires_plan) {
+      names.push_back(entry.name);
+    }
+  }
+  return names;
+}
+
+const char* AllocatorKindName(AllocatorKind kind) {
+  const AllocatorRegistry::Entry* entry = AllocatorRegistry::Global().Find(kind);
+  return entry == nullptr ? "?" : entry->name.c_str();
+}
+
+std::optional<AllocatorKind> ParseAllocatorKind(std::string_view name) {
+  const AllocatorRegistry::Entry* entry = AllocatorRegistry::Global().Find(name);
+  if (entry == nullptr || entry->kind == AllocatorKind::kCount) {
+    return std::nullopt;
+  }
+  return entry->kind;
+}
+
+std::vector<AllocatorKind> AllAllocatorKinds() {
+  // Derived from the registry (enum kinds only, registration = enum order), so the exhaustive
+  // listing has the same single source of truth as names and construction. The registry
+  // constructor's size check guarantees every enum value is registered.
+  std::vector<AllocatorKind> kinds;
+  for (const AllocatorRegistry::Entry& entry : AllocatorRegistry::Global().entries()) {
+    if (entry.kind != AllocatorKind::kCount) {
+      kinds.push_back(entry.kind);
+    }
+  }
+  return kinds;
+}
+
+}  // namespace stalloc

@@ -1,0 +1,214 @@
+#include "src/api/report.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace stalloc {
+
+Json& Json::Set(const std::string& key, Json value) {
+  STALLOC_CHECK(type_ == Type::kObject, << "Json::Set on a non-object");
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  object_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::Add(Json value) {
+  STALLOC_CHECK(type_ == Type::kArray, << "Json::Add on a non-array");
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+size_t Json::size() const {
+  switch (type_) {
+    case Type::kArray:
+      return array_.size();
+    case Type::kObject:
+      return object_.size();
+    default:
+      return 0;
+  }
+}
+
+std::string Json::Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  // %g can produce "inf"/"nan", which are not JSON; clamp to null.
+  for (const char* p = buf; *p != '\0'; ++p) {
+    if ((*p >= 'a' && *p <= 'z' && *p != 'e') || (*p >= 'A' && *p <= 'Z' && *p != 'E')) {
+      return "null";
+    }
+  }
+  return buf;
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  const std::string pad = indent > 0 ? std::string(static_cast<size_t>(indent) *
+                                                       static_cast<size_t>(depth + 1),
+                                                   ' ')
+                                     : std::string();
+  const std::string close_pad =
+      indent > 0 ? std::string(static_cast<size_t>(indent) * static_cast<size_t>(depth), ' ')
+                 : std::string();
+  const char* nl = indent > 0 ? "\n" : "";
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      break;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Type::kInt:
+      *out += std::to_string(int_);
+      break;
+    case Type::kUint:
+      *out += std::to_string(uint_);
+      break;
+    case Type::kDouble:
+      *out += FormatDouble(double_);
+      break;
+    case Type::kString:
+      *out += '"';
+      *out += Escape(string_);
+      *out += '"';
+      break;
+    case Type::kArray: {
+      if (array_.empty()) {
+        *out += "[]";
+        break;
+      }
+      *out += '[';
+      *out += nl;
+      for (size_t i = 0; i < array_.size(); ++i) {
+        *out += pad;
+        array_[i].DumpTo(out, indent, depth + 1);
+        if (i + 1 < array_.size()) {
+          *out += ',';
+          if (indent == 0) {
+            *out += ' ';
+          }
+        }
+        *out += nl;
+      }
+      *out += close_pad;
+      *out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        *out += "{}";
+        break;
+      }
+      *out += '{';
+      *out += nl;
+      for (size_t i = 0; i < object_.size(); ++i) {
+        *out += pad;
+        *out += '"';
+        *out += Escape(object_[i].first);
+        *out += "\": ";
+        object_[i].second.DumpTo(out, indent, depth + 1);
+        if (i + 1 < object_.size()) {
+          *out += ',';
+          if (indent == 0) {
+            *out += ' ';
+          }
+        }
+        *out += nl;
+      }
+      *out += close_pad;
+      *out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  out += '\n';
+  return out;
+}
+
+ReportSink::ReportSink(std::string name, std::string json_path)
+    : json_path_(std::move(json_path)), json_to_stdout_(json_path_ == "-") {
+  root_.Set("bench", std::move(name));
+  root_.Set("schema_version", kReportSchemaVersion);
+}
+
+void ReportSink::Print(const TextTable& table) {
+  std::fputs(table.ToString().c_str(), out());
+  std::fputc('\n', out());
+}
+
+void ReportSink::Printf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(out(), fmt, args);
+  va_end(args);
+}
+
+int ReportSink::Finish() {
+  if (!json_enabled()) {
+    return 0;
+  }
+  const std::string json = root_.Dump();
+  if (json_to_stdout_) {
+    std::fputs(json.c_str(), stdout);
+    return 0;
+  }
+  std::FILE* f = std::fopen(json_path_.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path_.c_str());
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path_.c_str());
+  return 0;
+}
+
+}  // namespace stalloc

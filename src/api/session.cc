@@ -1,0 +1,363 @@
+#include "src/api/session.h"
+
+#include <algorithm>
+#include <array>
+#include <utility>
+
+#include "src/cluster/scheduler.h"
+#include "src/common/check.h"
+#include "src/common/table.h"
+#include "src/servesim/request_gen.h"
+#include "src/trainsim/model_config.h"
+#include "src/trainsim/workload.h"
+
+namespace stalloc {
+
+const char* WorkloadAxisName(WorkloadAxis axis) {
+  switch (axis) {
+    case WorkloadAxis::kTrainRank:
+      return "rank";
+    case WorkloadAxis::kTrainJob:
+      return "job";
+    case WorkloadAxis::kServing:
+      return "serve";
+    case WorkloadAxis::kCluster:
+      return "cluster";
+    case WorkloadAxis::kCount:
+      break;
+  }
+  return "?";
+}
+
+std::optional<WorkloadAxis> ParseWorkloadAxis(std::string_view name) {
+  for (WorkloadAxis axis : AllWorkloadAxes()) {
+    if (name == WorkloadAxisName(axis)) {
+      return axis;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<WorkloadAxis> AllWorkloadAxes() {
+  constexpr std::array<WorkloadAxis, 4> kAxes = {WorkloadAxis::kTrainRank,
+                                                 WorkloadAxis::kTrainJob, WorkloadAxis::kServing,
+                                                 WorkloadAxis::kCluster};
+  static_assert(kAxes.size() == static_cast<size_t>(WorkloadAxis::kCount),
+                "AllWorkloadAxes() is out of sync with WorkloadAxis");
+  return {kAxes.begin(), kAxes.end()};
+}
+
+const char* RunStatusName(RunStatus status) {
+  switch (status) {
+    case RunStatus::kOk:
+      return "ok";
+    case RunStatus::kOom:
+      return "OOM";
+    case RunStatus::kInfeasible:
+      return "infeasible";
+  }
+  return "?";
+}
+
+TrainConfig ExperimentSpec::EffectiveTrain() const {
+  return config_tag.empty() ? train : ApplyConfigTag(train, config_tag);
+}
+
+std::string ExperimentSpec::Variant() const {
+  switch (axis) {
+    case WorkloadAxis::kTrainRank: {
+      const TrainConfig c = EffectiveTrain();
+      return StrFormat("%s pp%d mb%llu rank%d", c.opt.Tag().c_str(), c.parallel.pp,
+                       static_cast<unsigned long long>(c.micro_batch_size), c.rank);
+    }
+    case WorkloadAxis::kTrainJob: {
+      const TrainConfig c = EffectiveTrain();
+      return StrFormat("%s pp%d mb%llu", c.opt.Tag().c_str(), c.parallel.pp,
+                       static_cast<unsigned long long>(c.micro_batch_size));
+    }
+    case WorkloadAxis::kServing:
+      return scenario;
+    case WorkloadAxis::kCluster:
+      return StrFormat("%s %ddev", policy.c_str(), devices);
+    case WorkloadAxis::kCount:
+      break;
+  }
+  return "?";
+}
+
+std::string RunRecord::Summary() const {
+  if (train_rank.has_value()) {
+    return train_rank->Summary();
+  }
+  if (job.has_value()) {
+    return job->Summary();
+  }
+  if (serve.has_value()) {
+    return serve->Summary();
+  }
+  if (cluster.has_value()) {
+    return cluster->Summary();
+  }
+  return RunStatusName(status);
+}
+
+namespace {
+
+RunStatus StatusOf(const ExperimentResult& r) {
+  // Infeasible wins over oom, matching ExperimentResult::Summary precedence.
+  if (r.infeasible) {
+    return RunStatus::kInfeasible;
+  }
+  return r.oom ? RunStatus::kOom : RunStatus::kOk;
+}
+
+void FillFromExperiment(ExperimentResult r, RunRecord* rec) {
+  rec->status = StatusOf(r);
+  rec->allocated_peak = r.allocated_peak;
+  rec->reserved_peak = r.reserved_peak;
+  rec->memory_efficiency = r.memory_efficiency;
+  rec->fragmentation_bytes = r.fragmentation_bytes;
+  rec->device_api_calls = r.device_api_calls;
+  rec->device_api_cost_us = r.device_api_cost_us;
+  rec->device_release_calls = r.device_release_calls;
+  rec->oom_events = rec->status == RunStatus::kOom ? 1 : 0;
+  rec->train_rank = std::move(r);
+}
+
+void FillFromJob(JobResult r, RunRecord* rec) {
+  rec->status = r.infeasible ? RunStatus::kInfeasible
+                             : (r.oom ? RunStatus::kOom : RunStatus::kOk);
+  rec->reserved_peak = r.max_reserved;
+  rec->memory_efficiency = r.worst_efficiency;
+  // Every device_* counter is summed over ranks so the keys mean the same thing on every axis;
+  // the worst-rank thrash indicator stays available as the payload's max_release_calls.
+  for (const ExperimentResult& rank : r.ranks) {
+    rec->allocated_peak = std::max(rec->allocated_peak, rank.allocated_peak);
+    rec->fragmentation_bytes = std::max(rec->fragmentation_bytes, rank.fragmentation_bytes);
+    rec->device_api_calls += rank.device_api_calls;
+    rec->device_api_cost_us += rank.device_api_cost_us;
+    rec->device_release_calls += rank.device_release_calls;
+  }
+  rec->oom_events = rec->status == RunStatus::kOom ? 1 : 0;
+  rec->job = std::move(r);
+}
+
+void FillFromServe(ServeExperimentResult r, RunRecord* rec) {
+  rec->status = StatusOf(r.replay);
+  rec->allocated_peak = r.replay.allocated_peak;
+  rec->reserved_peak = r.replay.reserved_peak;
+  rec->memory_efficiency = r.replay.memory_efficiency;
+  rec->fragmentation_bytes = r.replay.fragmentation_bytes;
+  rec->device_api_calls = r.replay.device_api_calls;
+  rec->device_api_cost_us = r.replay.device_api_cost_us;
+  rec->device_release_calls = r.replay.device_release_calls;
+  rec->oom_events = rec->status == RunStatus::kOom ? 1 : 0;
+  rec->serve = std::move(r);
+}
+
+void FillFromCluster(ClusterResult r, RunRecord* rec) {
+  // A cluster day always completes: per-job OOMs are absorbed into requeues/rejections, which
+  // live in the payload (and oom_events below).
+  rec->status = RunStatus::kOk;
+  for (const DeviceMetrics& m : r.devices) {
+    rec->memory_efficiency = std::min(rec->memory_efficiency, m.memory_efficiency);
+    rec->reserved_peak = std::max(rec->reserved_peak, m.peak_used);
+    rec->device_api_calls += m.device_api_calls;
+    rec->device_api_cost_us += m.device_api_cost_us;
+  }
+  rec->oom_events = r.oom_events;
+  rec->slo_attainment = r.serve_slo_attainment;
+  rec->queue_wait_p99 = r.queue_wait_p99;
+  rec->cluster = std::move(r);
+}
+
+}  // namespace
+
+bool Session::Validate(const ExperimentSpec& spec, std::string* error) {
+  auto fail = [error](std::string message) {
+    if (error != nullptr) {
+      *error = std::move(message);
+    }
+    return false;
+  };
+  if (spec.axis == WorkloadAxis::kCount) {
+    return fail("invalid workload axis");
+  }
+  if (spec.repeats < 1) {
+    return fail("repeats must be >= 1");
+  }
+  if (spec.allocators.empty()) {
+    return fail("empty allocator set");
+  }
+  if (!IsKnownModelName(spec.model)) {
+    return fail("unknown model '" + spec.model + "' (see --list-models)");
+  }
+  const AllocatorRegistry& registry = AllocatorRegistry::Global();
+  for (const std::string& name : spec.allocators) {
+    const AllocatorRegistry::Entry* entry = registry.Find(name);
+    if (entry == nullptr) {
+      return fail("unknown allocator '" + name + "' (see --list-allocs)");
+    }
+    if (entry->kind == AllocatorKind::kCount) {
+      // The drivers dispatch on the enum; externally registered kinds without a tag are
+      // creatable via the registry but not yet runnable through Session.
+      return fail("allocator '" + name +
+                  "' carries no AllocatorKind tag; Session dispatch requires one");
+    }
+    if (spec.axis == WorkloadAxis::kCluster && entry->requires_plan) {
+      return fail("allocator '" + name +
+                  "' needs a per-job plan and cannot front a shared cluster device (it enters "
+                  "the cluster through the plan-aware scheduler)");
+    }
+  }
+  if (spec.axis == WorkloadAxis::kTrainRank || spec.axis == WorkloadAxis::kTrainJob) {
+    // Mirror TrainConfig::Check() so shape typos get a graceful error here instead of a
+    // CHECK abort inside the workload builder.
+    const ParallelConfig& p = spec.train.parallel;
+    if (p.tp < 1 || p.pp < 1 || p.dp < 1 || p.ep < 1 || p.vpp_chunks < 1) {
+      return fail("parallel degrees (tp/pp/dp/ep/vpp) must all be >= 1");
+    }
+    if (spec.train.micro_batch_size < 1 || spec.train.num_microbatches < 1) {
+      return fail("microbatch size and count must be >= 1");
+    }
+    if (spec.axis == WorkloadAxis::kTrainRank &&
+        (spec.train.rank < 0 || spec.train.rank >= p.pp)) {
+      return fail("rank " + std::to_string(spec.train.rank) + " out of range [0, pp)");
+    }
+  }
+  if (spec.axis == WorkloadAxis::kServing) {
+    const std::vector<std::string> scenarios = ScenarioNames();
+    if (std::find(scenarios.begin(), scenarios.end(), spec.scenario) == scenarios.end()) {
+      return fail("unknown serving scenario '" + spec.scenario + "' (see --list-scenarios)");
+    }
+  }
+  if (spec.axis == WorkloadAxis::kCluster) {
+    bool known_policy = false;
+    for (SchedulerPolicy policy : AllSchedulerPolicies()) {
+      known_policy |= spec.policy == SchedulerPolicyName(policy);
+    }
+    if (!known_policy) {
+      return fail("unknown scheduler policy '" + spec.policy + "' (see --list-policies)");
+    }
+    if (spec.devices < 1) {
+      return fail("cluster fleet needs at least one device");
+    }
+    if (spec.oom_retries < 0) {
+      return fail("oom_retries must be >= 0");
+    }
+  }
+  if (!spec.config_tag.empty()) {
+    bool known_tag = false;
+    for (const char* tag : {"N", "R", "V", "VR", "ZR", "ZOR"}) {
+      known_tag |= spec.config_tag == tag;
+    }
+    if (!known_tag) {
+      return fail("unknown config tag '" + spec.config_tag + "' (N|R|V|VR|ZR|ZOR)");
+    }
+  }
+  return true;
+}
+
+std::vector<RunRecord> Session::Run(const ExperimentSpec& spec) {
+  std::vector<RunRecord> out;
+  out.reserve(spec.allocators.size() * static_cast<size_t>(spec.repeats));
+  for (const std::string& allocator : spec.allocators) {
+    for (int repeat = 0; repeat < spec.repeats; ++repeat) {
+      out.push_back(RunOne(spec, allocator, repeat));
+    }
+  }
+  return out;
+}
+
+RunRecord Session::RunOne(const ExperimentSpec& spec, const std::string& allocator, int repeat) {
+  // Validate against the allocator actually run — it need not be in spec.allocators, and the
+  // per-allocator checks (known name, enum tag, plan-kind-on-cluster) must cover it.
+  ExperimentSpec checked = spec;
+  checked.allocators = {allocator};
+  std::string error;
+  STALLOC_CHECK(Validate(checked, &error), << "invalid spec: " << error);
+  const std::optional<AllocatorKind> kind = ParseAllocatorKind(allocator);
+  STALLOC_CHECK(kind.has_value(), << "unknown allocator '" << allocator << "'");
+
+  RunRecord rec;
+  rec.axis = spec.axis;
+  rec.allocator = allocator;
+  rec.model = spec.model;
+  rec.variant = spec.Variant();
+  rec.repeat = repeat;
+
+  ExperimentOptions options = spec.options;
+  options.run_seed += static_cast<uint64_t>(repeat);
+  rec.run_seed = options.run_seed;
+  rec.profile_seed = options.profile_seed;
+  rec.capacity_bytes = options.capacity_bytes;
+
+  switch (spec.axis) {
+    case WorkloadAxis::kTrainRank: {
+      WorkloadBuilder workload(ModelByName(spec.model), spec.EffectiveTrain());
+      FillFromExperiment(RunExperiment(workload, *kind, options), &rec);
+      break;
+    }
+    case WorkloadAxis::kTrainJob:
+      FillFromJob(RunJob(ModelByName(spec.model), spec.EffectiveTrain(), *kind, options), &rec);
+      break;
+    case WorkloadAxis::kServing: {
+      ServeScenario scenario = ScenarioByName(spec.scenario);
+      if (spec.serve_requests != 0) {
+        scenario.num_requests = spec.serve_requests;
+      }
+      ServeOptions serve_options;
+      serve_options.base = options;
+      serve_options.engine = spec.engine;
+      FillFromServe(RunServeExperiment(ModelByName(spec.model), scenario, *kind, serve_options),
+                    &rec);
+      break;
+    }
+    case WorkloadAxis::kCluster: {
+      // spec.model is the one model knob: it overrides the workload config's own field so the
+      // record's model identity and the generated jobs can never disagree.
+      ClusterWorkloadConfig workload = spec.cluster;
+      workload.model = spec.model;
+      return RunClusterJobs(spec, allocator, GenerateClusterWorkload(workload, options.run_seed),
+                            repeat);
+    }
+    case WorkloadAxis::kCount:
+      STALLOC_CHECK(false, << "invalid workload axis");
+  }
+  return rec;
+}
+
+RunRecord Session::RunClusterJobs(const ExperimentSpec& spec, const std::string& allocator,
+                                  const std::vector<ClusterJob>& jobs, int repeat) {
+  ExperimentSpec checked = spec;
+  checked.axis = WorkloadAxis::kCluster;  // explicit-jobs callers may leave the default axis
+  checked.allocators = {allocator};
+  std::string error;
+  STALLOC_CHECK(Validate(checked, &error), << "invalid spec: " << error);
+  const std::optional<AllocatorKind> kind = ParseAllocatorKind(allocator);
+  STALLOC_CHECK(kind.has_value(), << "unknown allocator '" << allocator << "'");
+
+  RunRecord rec;
+  rec.axis = WorkloadAxis::kCluster;
+  rec.allocator = allocator;
+  rec.model = spec.model;
+  rec.variant = spec.Variant();
+  rec.repeat = repeat;
+  rec.run_seed = spec.options.run_seed + static_cast<uint64_t>(repeat);
+  rec.profile_seed = spec.options.profile_seed;
+  rec.capacity_bytes = spec.options.capacity_bytes;
+
+  FleetConfig fleet;
+  fleet.device_capacities.assign(static_cast<size_t>(spec.devices),
+                                 spec.options.capacity_bytes);
+  fleet.allocator = *kind;
+  fleet.policy = SchedulerPolicyByName(spec.policy);
+  fleet.max_oom_retries = spec.oom_retries;
+  fleet.profile_seed = spec.options.profile_seed;
+  fleet.allocator_options = spec.options;  // only the AllocatorOptions overrides are read
+
+  FillFromCluster(RunCluster(fleet, jobs), &rec);
+  return rec;
+}
+
+}  // namespace stalloc

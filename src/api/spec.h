@@ -1,0 +1,137 @@
+// ExperimentSpec + RunRecord: the declarative front door of the whole evaluation tree.
+//
+// An ExperimentSpec describes any run the tree can execute — one training rank, a whole
+// pipeline job, a serving day, or a cluster day — as
+//     (workload variant) x (allocator set) x (capacity / seeds / overrides) x (repeats).
+// A Session (src/api/session.h) dispatches specs to the existing drivers (RunExperiment,
+// RunJob, RunServeExperiment, RunCluster) and wraps every outcome in a uniform RunRecord
+// envelope: a tagged status, the common Ma/Mr/efficiency/OOM/latency fields every consumer
+// actually reads, and the full driver result as a typed payload for the consumers that need
+// more. New workload axes plug in here instead of growing another bespoke driver + bench loop.
+
+#ifndef SRC_API_SPEC_H_
+#define SRC_API_SPEC_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/allocators/registry.h"
+#include "src/cluster/cluster_workload.h"
+#include "src/cluster/fleet.h"
+#include "src/driver/experiment.h"
+#include "src/driver/job.h"
+#include "src/driver/serve_experiment.h"
+#include "src/servesim/engine.h"
+#include "src/trainsim/train_config.h"
+
+namespace stalloc {
+
+enum class WorkloadAxis : uint8_t {
+  kTrainRank,  // one pipeline rank of one training iteration   -> RunExperiment
+  kTrainJob,   // every pipeline rank of a training job          -> RunJob
+  kServing,    // one continuous-batching serving day            -> RunServeExperiment
+  kCluster,    // a multi-GPU fleet day over a mixed job queue   -> RunCluster
+  kCount,      // sentinel — keeps AllWorkloadAxes() verifiably exhaustive
+};
+
+const char* WorkloadAxisName(WorkloadAxis axis);
+std::optional<WorkloadAxis> ParseWorkloadAxis(std::string_view name);
+std::vector<WorkloadAxis> AllWorkloadAxes();
+
+struct ExperimentSpec {
+  WorkloadAxis axis = WorkloadAxis::kTrainRank;
+  std::string model = "gpt2";  // preset name (ModelByName)
+
+  // --- workload variant ---
+  // Training shape (kTrainRank honours train.rank; kTrainJob runs every rank in [0, pp)).
+  TrainConfig train;
+  // Optional §9.2 shorthand ("N"/"R"/"V"/"VR"/"ZR"/"ZOR") applied over `train` via
+  // ApplyConfigTag; empty = use `train` exactly as given.
+  std::string config_tag;
+  // Serving shape (kServing).
+  std::string scenario = "chat";  // preset name (ScenarioByName)
+  EngineConfig engine;            // continuous-batching knobs (KV budget, batch, block size)
+  uint32_t serve_requests = 0;    // overrides the preset's num_requests (0 = keep preset)
+  // Cluster shape (kCluster). The job queue is generated from (cluster, run seed); `model`
+  // above overrides cluster.model so the spec has a single model knob.
+  ClusterWorkloadConfig cluster;
+  std::string policy = "plan-aware";  // scheduler policy name (SchedulerPolicyByName)
+  int devices = 4;                    // fleet size; every device gets options.capacity_bytes
+  int oom_retries = 1;                // requeues after a runtime OOM before rejecting
+
+  // --- allocator set: registry names, each run independently ---
+  std::vector<std::string> allocators = {"torch-caching"};
+
+  // --- capacity / seeds / per-allocator overrides ---
+  ExperimentOptions options;
+
+  // --- repeats: repeat r runs with run seed options.run_seed + r (profile seed fixed) ---
+  int repeats = 1;
+
+  // `config_tag` applied (when set) over `train`.
+  TrainConfig EffectiveTrain() const;
+
+  // Short human label of the workload variant: "VR pp2 mb4" / "chat" / "plan-aware 4dev".
+  std::string Variant() const;
+};
+
+enum class RunStatus : uint8_t {
+  kOk,
+  kOom,         // the replay hit an unrecoverable allocation failure
+  kInfeasible,  // theoretical demand exceeds capacity (native OOM)
+};
+
+const char* RunStatusName(RunStatus status);
+
+// The uniform result envelope of one (spec, allocator, repeat) run. The common fields are
+// filled for every axis (see the per-axis notes); exactly one payload optional is engaged.
+struct RunRecord {
+  // Identity: enough to reproduce the run.
+  WorkloadAxis axis = WorkloadAxis::kTrainRank;
+  std::string allocator;  // registry name
+  std::string model;
+  std::string variant;    // ExperimentSpec::Variant() at dispatch time
+  int repeat = 0;
+  uint64_t run_seed = 0;
+  uint64_t profile_seed = 0;
+  uint64_t capacity_bytes = 0;
+
+  RunStatus status = RunStatus::kOk;
+
+  // Common memory outcome. Axis notes:
+  //   kTrainRank / kServing — straight from ExperimentResult;
+  //   kTrainJob   — worst-rank semantics (max peaks / min efficiency), API counters summed;
+  //   kCluster    — a day always "completes" (job OOMs become rejections): efficiency is the
+  //                 worst device's day efficiency, reserved_peak the worst device's peak_used,
+  //                 allocated_peak/fragmentation are not aggregated (see the payload).
+  uint64_t allocated_peak = 0;     // Ma
+  uint64_t reserved_peak = 0;      // Mr
+  double memory_efficiency = 1.0;  // E = Ma / Mr
+  uint64_t fragmentation_bytes = 0;
+  uint64_t device_api_calls = 0;
+  double device_api_cost_us = 0;
+  uint64_t device_release_calls = 0;
+  uint64_t oom_events = 0;       // cluster: fleet-wide failed mallocs; others: 1 when kOom
+
+  // Latency / service outcome (axes that have one; -1 / 0 otherwise).
+  double slo_attainment = -1.0;  // cluster serving jobs
+  double queue_wait_p99 = 0;     // cluster admission queue
+
+  // Tagged payload — exactly one engaged, matching `axis`.
+  std::optional<ExperimentResult> train_rank;
+  std::optional<JobResult> job;
+  std::optional<ServeExperimentResult> serve;
+  std::optional<ClusterResult> cluster;
+
+  bool ok() const { return status == RunStatus::kOk; }
+
+  // One-line outcome, delegating to the payload's Summary().
+  std::string Summary() const;
+};
+
+}  // namespace stalloc
+
+#endif  // SRC_API_SPEC_H_

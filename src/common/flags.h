@@ -1,0 +1,322 @@
+// FlagParser: the one argv parser behind every bench and tool binary.
+//
+// Flags are declared once with a bound output variable and a help line; parsing, value
+// conversion (including byte sizes like "16G" and comma lists), unknown-flag rejection and the
+// usage text all come for free, so no binary hand-rolls an argv loop or a usage string again.
+//
+//   FlagParser flags("stalloc_run", "Execute an ExperimentSpec from flags.");
+//   flags.Add("--model", &model, "NAME", "model preset (see --list-models)");
+//   flags.AddBytes("--capacity", &capacity, "BYTES", "device capacity (suffixes K/M/G)");
+//   if (!flags.Parse(argc, argv)) return 2;
+
+#ifndef SRC_COMMON_FLAGS_H_
+#define SRC_COMMON_FLAGS_H_
+
+#include <cerrno>
+#include <climits>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace stalloc {
+
+class FlagParser {
+ public:
+  explicit FlagParser(std::string program, std::string description = "")
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  // --- value flags: "--name VALUE" ---
+
+  void Add(const char* name, std::string* out, const char* arg, const char* help) {
+    AddSpec(name, arg, help, [out](const char* v) {
+      *out = v;
+      return true;
+    });
+  }
+
+  void Add(const char* name, int* out, const char* arg, const char* help) {
+    AddSpec(name, arg, help, [out](const char* v) {
+      // Full range check: a value that does not fit an int must error, never truncate.
+      char* end = nullptr;
+      errno = 0;
+      const long long parsed = std::strtoll(v, &end, 10);
+      if (end == v || *end != '\0' || errno == ERANGE || parsed < INT_MIN || parsed > INT_MAX) {
+        return false;
+      }
+      *out = static_cast<int>(parsed);
+      return true;
+    });
+  }
+
+  void Add(const char* name, uint64_t* out, const char* arg, const char* help) {
+    AddSpec(name, arg, help, [out](const char* v) {
+      // Reject "-1" (strtoull would wrap it modulo 2^64) and overflow (ERANGE) explicitly.
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long long parsed = std::strtoull(v, &end, 10);
+      if (v[0] == '-' || end == v || *end != '\0' || errno == ERANGE) {
+        return false;
+      }
+      *out = parsed;
+      return true;
+    });
+  }
+
+  void Add(const char* name, uint32_t* out, const char* arg, const char* help) {
+    AddSpec(name, arg, help, [out](const char* v) {
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long long parsed = std::strtoull(v, &end, 10);
+      if (v[0] == '-' || end == v || *end != '\0' || errno == ERANGE || parsed > UINT32_MAX) {
+        return false;
+      }
+      *out = static_cast<uint32_t>(parsed);
+      return true;
+    });
+  }
+
+  void Add(const char* name, double* out, const char* arg, const char* help) {
+    AddSpec(name, arg, help, [out](const char* v) {
+      char* end = nullptr;
+      errno = 0;
+      const double parsed = std::strtod(v, &end);
+      if (end == v || *end != '\0' || errno == ERANGE) {
+        return false;
+      }
+      *out = parsed;
+      return true;
+    });
+  }
+
+  // Byte sizes with K/M/G suffixes ("16G", "512M", raw bytes).
+  void AddBytes(const char* name, uint64_t* out, const char* arg, const char* help) {
+    AddSpec(name, arg, help, [out](const char* v) {
+      const auto parsed = ParseByteSize(v);
+      if (!parsed.has_value()) {
+        return false;
+      }
+      *out = *parsed;
+      return true;
+    });
+  }
+
+  // Comma-separated byte-size list ("16G,16G,24G"); a single value yields a one-element list.
+  void AddBytesList(const char* name, std::vector<uint64_t>* out, const char* arg,
+                    const char* help) {
+    AddSpec(name, arg, help, [out](const char* v) {
+      std::vector<uint64_t> values;
+      for (const std::string& item : SplitComma(v)) {
+        const auto parsed = ParseByteSize(item.c_str());
+        if (item.empty() || !parsed.has_value()) {
+          return false;
+        }
+        values.push_back(*parsed);
+      }
+      *out = std::move(values);
+      return true;
+    });
+  }
+
+  // Comma-separated string list ("torch-caching,stalloc").
+  void AddList(const char* name, std::vector<std::string>* out, const char* arg,
+               const char* help) {
+    AddSpec(name, arg, help, [out](const char* v) {
+      std::vector<std::string> values = SplitComma(v);
+      for (const std::string& item : values) {
+        if (item.empty()) {
+          return false;
+        }
+      }
+      *out = std::move(values);
+      return true;
+    });
+  }
+
+  // Presence flag: "--name" (no value) sets *out = true.
+  void AddFlag(const char* name, bool* out, const char* help) {
+    Spec spec;
+    spec.name = name;
+    spec.help = help;
+    spec.takes_value = false;
+    spec.set = [out](const char*) {
+      *out = true;
+      return true;
+    };
+    specs_.push_back(std::move(spec));
+  }
+
+  // Positional argument, consumed in declaration order.
+  void AddPositional(std::string* out, const char* name, const char* help,
+                     bool required = true) {
+    positionals_.push_back({name, help, out, required, false});
+  }
+
+  // Parses argv. On error, prints the problem + usage to stderr and returns false (callers
+  // conventionally `return 2`). "--help" prints usage to stdout and exits 0.
+  bool Parse(int argc, char** argv) {
+    size_t next_positional = 0;
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
+        std::fputs(Usage().c_str(), stdout);
+        std::exit(0);
+      }
+      Spec* spec = FindSpec(arg);
+      if (spec != nullptr) {
+        const char* value = "";
+        if (spec->takes_value) {
+          if (i + 1 >= argc) {
+            return Fail(std::string("missing value for ") + arg);
+          }
+          value = argv[++i];
+        }
+        if (!spec->set(value)) {
+          return Fail(std::string("bad value '") + value + "' for " + arg);
+        }
+        spec->seen = true;
+        continue;
+      }
+      if (arg[0] == '-' && arg[1] != '\0') {
+        return Fail(std::string("unknown flag ") + arg);
+      }
+      if (next_positional >= positionals_.size()) {
+        return Fail(std::string("unexpected argument '") + arg + "'");
+      }
+      Positional& pos = positionals_[next_positional++];
+      *pos.out = arg;
+      pos.seen = true;
+    }
+    for (const Positional& pos : positionals_) {
+      if (pos.required && !pos.seen) {
+        return Fail("missing required argument " + pos.name);
+      }
+    }
+    return true;
+  }
+
+  // Whether the flag was supplied on the command line (exact name, e.g. "--seed").
+  bool Seen(const char* name) const {
+    for (const Spec& spec : specs_) {
+      if (spec.name == name) {
+        return spec.seen;
+      }
+    }
+    return false;
+  }
+
+  bool SeenAny(std::initializer_list<const char*> names) const {
+    for (const char* name : names) {
+      if (Seen(name)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::string Usage() const {
+    std::string out = "usage: " + program_;
+    for (const Positional& pos : positionals_) {
+      out += pos.required ? " " + pos.name : " [" + pos.name + "]";
+    }
+    if (!specs_.empty()) {
+      out += " [flags]";
+    }
+    out += "\n";
+    if (!description_.empty()) {
+      out += "  " + description_ + "\n";
+    }
+    size_t width = 0;
+    auto left = [](const Spec& spec) {
+      return spec.takes_value ? spec.name + " " + spec.arg : spec.name;
+    };
+    for (const Spec& spec : specs_) {
+      width = width > left(spec).size() ? width : left(spec).size();
+    }
+    for (const Positional& pos : positionals_) {
+      width = width > pos.name.size() ? width : pos.name.size();
+    }
+    for (const Positional& pos : positionals_) {
+      out += "  " + pos.name + std::string(width - pos.name.size() + 2, ' ') + pos.help + "\n";
+    }
+    for (const Spec& spec : specs_) {
+      const std::string l = left(spec);
+      out += "  " + l + std::string(width - l.size() + 2, ' ') + spec.help + "\n";
+    }
+    return out;
+  }
+
+ private:
+  struct Spec {
+    std::string name;
+    std::string arg;   // value placeholder for the usage line
+    std::string help;
+    bool takes_value = true;
+    std::function<bool(const char*)> set;
+    bool seen = false;
+  };
+
+  struct Positional {
+    std::string name;
+    std::string help;
+    std::string* out;
+    bool required;
+    bool seen;
+  };
+
+  // Splits on ',' preserving empty items (so item validators can reject "16G," and ",x").
+  static std::vector<std::string> SplitComma(const char* v) {
+    std::vector<std::string> items;
+    const std::string s(v);
+    size_t pos = 0;
+    while (true) {
+      const size_t comma = s.find(',', pos);
+      items.push_back(s.substr(pos, comma == std::string::npos ? comma : comma - pos));
+      if (comma == std::string::npos) {
+        return items;
+      }
+      pos = comma + 1;
+    }
+  }
+
+  void AddSpec(const char* name, const char* arg, const char* help,
+               std::function<bool(const char*)> set) {
+    Spec spec;
+    spec.name = name;
+    spec.arg = arg;
+    spec.help = help;
+    spec.takes_value = true;
+    spec.set = std::move(set);
+    specs_.push_back(std::move(spec));
+  }
+
+  Spec* FindSpec(const char* name) {
+    for (Spec& spec : specs_) {
+      if (spec.name == name) {
+        return &spec;
+      }
+    }
+    return nullptr;
+  }
+
+  bool Fail(const std::string& message) {
+    std::fprintf(stderr, "%s: %s\n%s", program_.c_str(), message.c_str(), Usage().c_str());
+    return false;
+  }
+
+  std::string program_;
+  std::string description_;
+  std::vector<Spec> specs_;
+  std::vector<Positional> positionals_;
+};
+
+}  // namespace stalloc
+
+#endif  // SRC_COMMON_FLAGS_H_

@@ -1,54 +1,15 @@
 #include "src/driver/experiment.h"
 
-#include <array>
 #include <memory>
 #include <string>
 #include <utility>
 
-#include "src/allocators/caching_allocator.h"
-#include "src/allocators/expandable_segments.h"
-#include "src/allocators/gmlake.h"
-#include "src/allocators/native_allocator.h"
-#include "src/allocators/paged_kv.h"
 #include "src/common/check.h"
 #include "src/common/table.h"
 #include "src/common/units.h"
 #include "src/core/profiler.h"
 
 namespace stalloc {
-
-const char* AllocatorKindName(AllocatorKind kind) {
-  switch (kind) {
-    case AllocatorKind::kNative:
-      return "native";
-    case AllocatorKind::kCaching:
-      return "torch-caching";
-    case AllocatorKind::kExpandable:
-      return "torch-expandable";
-    case AllocatorKind::kGMLake:
-      return "gmlake";
-    case AllocatorKind::kSTAlloc:
-      return "stalloc";
-    case AllocatorKind::kSTAllocNoReuse:
-      return "stalloc-noreuse";
-    case AllocatorKind::kPagedKV:
-      return "paged-kv";
-    case AllocatorKind::kCount:
-      break;
-  }
-  return "?";
-}
-
-std::vector<AllocatorKind> AllAllocatorKinds() {
-  constexpr std::array<AllocatorKind, 7> kKinds = {
-      AllocatorKind::kNative,  AllocatorKind::kCaching, AllocatorKind::kExpandable,
-      AllocatorKind::kGMLake,  AllocatorKind::kSTAlloc, AllocatorKind::kSTAllocNoReuse,
-      AllocatorKind::kPagedKV};
-  // A new enum value missing from the list above must fail to compile, not be silently skipped.
-  static_assert(kKinds.size() == static_cast<size_t>(AllocatorKind::kCount),
-                "AllAllocatorKinds() is out of sync with AllocatorKind");
-  return {kKinds.begin(), kKinds.end()};
-}
 
 std::string ExperimentResult::Summary() const {
   if (infeasible) {
@@ -65,33 +26,9 @@ std::string ExperimentResult::Summary() const {
 
 std::unique_ptr<Allocator> MakeBaselineAllocator(AllocatorKind kind, SimDevice* device,
                                                  const ExperimentOptions& options) {
-  switch (kind) {
-    case AllocatorKind::kNative:
-      return std::make_unique<NativeAllocator>(device);
-    case AllocatorKind::kCaching:
-      return std::make_unique<CachingAllocator>(device);
-    case AllocatorKind::kExpandable:
-      return std::make_unique<ExpandableSegmentsAllocator>(device);
-    case AllocatorKind::kGMLake: {
-      GMLakeConfig config;
-      if (options.gmlake_frag_limit != 0) {
-        config.frag_limit = options.gmlake_frag_limit;
-      }
-      return std::make_unique<GMLakeAllocator>(device, config);
-    }
-    case AllocatorKind::kPagedKV: {
-      PagedKVConfig config;
-      if (options.paged_block_bytes != 0) {
-        config.block_bytes = options.paged_block_bytes;
-      }
-      return std::make_unique<PagedKVAllocator>(device, config);
-    }
-    case AllocatorKind::kSTAlloc:
-    case AllocatorKind::kSTAllocNoReuse:
-    case AllocatorKind::kCount:
-      break;  // STAlloc needs the offline profile+plan pipeline
-  }
-  return nullptr;
+  // Thin compat shim: construction lives in the registry (nullptr for the STAlloc kinds, which
+  // need the offline profile+plan pipeline, and for the kCount sentinel).
+  return AllocatorRegistry::Global().Create(AllocatorKindName(kind), device, options);
 }
 
 std::unique_ptr<STAllocAllocator> MakeSTAllocFromProfile(const ProfileResult& profile,

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "src/allocators/registry.h"
 #include "src/core/planner.h"
 #include "src/core/profiler.h"
 #include "src/core/stalloc_allocator.h"
@@ -22,31 +23,16 @@
 
 namespace stalloc {
 
-enum class AllocatorKind : uint8_t {
-  kNative,        // direct cudaMalloc/cudaFree (profiling mode)
-  kCaching,       // PyTorch caching allocator
-  kExpandable,    // PyTorch expandable_segments
-  kGMLake,        // GMLake virtual-memory stitching
-  kSTAlloc,       // full STAlloc
-  kSTAllocNoReuse,  // STAlloc without dynamic reuse (Fig. 13 ablation)
-  kPagedKV,       // vLLM-style fixed-size block pool (serving-native baseline)
-  kCount,         // sentinel — keeps AllAllocatorKinds() verifiably exhaustive
-};
+// AllocatorKind, AllocatorKindName, ParseAllocatorKind and AllAllocatorKinds live in
+// src/allocators/registry.h — the registry is the single source of truth for allocator names
+// and construction; this header re-exports them for every existing include site.
 
-const char* AllocatorKindName(AllocatorKind kind);
-
-// Every kind, in enum order — keeps benches/tests in sync when kinds are added.
-std::vector<AllocatorKind> AllAllocatorKinds();
-
-struct ExperimentOptions {
+// The per-allocator construction overrides are inherited from AllocatorOptions, so an
+// ExperimentOptions value passes directly to AllocatorRegistry::Create.
+struct ExperimentOptions : AllocatorOptions {
   uint64_t capacity_bytes = 80ull * 1024 * 1024 * 1024;  // A800-80G default
   uint64_t profile_seed = 1001;
   uint64_t run_seed = 2002;
-  // GMLake stitching threshold override (0 = default 512 MiB).
-  uint64_t gmlake_frag_limit = 0;
-  // Paged-KV pool page size override (0 = PagedKVConfig default). Serving pipelines set this to
-  // the workload's KV block size so every cache allocation is a pool hit.
-  uint64_t paged_block_bytes = 0;
 };
 
 struct ExperimentResult {

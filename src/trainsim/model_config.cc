@@ -1,6 +1,7 @@
 #include "src/trainsim/model_config.h"
 
 #include <cstdint>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -145,34 +146,53 @@ ModelConfig Qwen15_MoE_A27B() {
   return m;
 }
 
-ModelConfig ModelByName(const std::string& name) {
-  if (name == "gpt2" || name == "gpt2-345m") {
-    return Gpt2_345M();
+namespace {
+
+// The one model-name table: canonical name, optional alias, builder. ModelByName,
+// IsKnownModelName and KnownModelNames all derive from it, so lookup, validation and listings
+// can never disagree.
+struct ModelEntry {
+  const char* name;   // canonical (tools' --list-models)
+  const char* alias;  // accepted shorthand / preset .name field (nullptr = none)
+  ModelConfig (*build)();
+};
+
+constexpr ModelEntry kModels[] = {
+    {"gpt2", "gpt2-345m", Gpt2_345M},
+    {"llama2-7b", "llama2", Llama2_7B},
+    {"qwen2.5-7b", nullptr, Qwen25_7B},
+    {"qwen2.5-14b", nullptr, Qwen25_14B},
+    {"qwen2.5-32b", nullptr, Qwen25_32B},
+    {"qwen2.5-72b", nullptr, Qwen25_72B},
+    {"qwen1.5-moe", "qwen1.5-moe-a2.7b", Qwen15_MoE_A27B},
+};
+
+const ModelEntry* FindModel(const std::string& name) {
+  for (const ModelEntry& entry : kModels) {
+    if (name == entry.name || (entry.alias != nullptr && name == entry.alias)) {
+      return &entry;
+    }
   }
-  if (name == "llama2-7b" || name == "llama2") {
-    return Llama2_7B();
-  }
-  if (name == "qwen2.5-7b") {
-    return Qwen25_7B();
-  }
-  if (name == "qwen2.5-14b") {
-    return Qwen25_14B();
-  }
-  if (name == "qwen2.5-32b") {
-    return Qwen25_32B();
-  }
-  if (name == "qwen2.5-72b") {
-    return Qwen25_72B();
-  }
-  if (name == "qwen1.5-moe" || name == "qwen1.5-moe-a2.7b") {
-    return Qwen15_MoE_A27B();
-  }
-  STALLOC_CHECK(false, << "unknown model: " << name);
+  return nullptr;
 }
 
+}  // namespace
+
+ModelConfig ModelByName(const std::string& name) {
+  const ModelEntry* entry = FindModel(name);
+  STALLOC_CHECK(entry != nullptr, << "unknown model: " << name);
+  return entry->build();
+}
+
+bool IsKnownModelName(const std::string& name) { return FindModel(name) != nullptr; }
+
 std::vector<std::string> KnownModelNames() {
-  return {"gpt2",       "llama2-7b",  "qwen2.5-7b", "qwen2.5-14b",
-          "qwen2.5-32b", "qwen2.5-72b", "qwen1.5-moe"};
+  std::vector<std::string> names;
+  names.reserve(std::size(kModels));
+  for (const ModelEntry& entry : kModels) {
+    names.emplace_back(entry.name);
+  }
+  return names;
 }
 
 }  // namespace stalloc

@@ -60,6 +60,10 @@ ModelConfig Qwen15_MoE_A27B();
 // Lookup by name ("gpt2", "llama2-7b", "qwen2.5-14b", "qwen1.5-moe", ...). Aborts on unknown.
 ModelConfig ModelByName(const std::string& name);
 
+// Whether ModelByName would accept `name` (canonical names and aliases) — the non-aborting
+// check validation layers use before dispatching.
+bool IsKnownModelName(const std::string& name);
+
 // Canonical names of all model presets, in ModelByName lookup order (tools' --list-models).
 std::vector<std::string> KnownModelNames();
 

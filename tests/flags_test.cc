@@ -1,0 +1,237 @@
+// FlagParser: value conversion, byte-size suffixes, lists, presence flags, positionals,
+// Seen() tracking and error rejection.
+
+#include "src/common/flags.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+
+namespace stalloc {
+namespace {
+
+// Builds a mutable argv from string literals.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    ptrs_.push_back(const_cast<char*>("test"));
+    for (std::string& s : storage_) {
+      ptrs_.push_back(s.data());
+    }
+  }
+  int argc() const { return static_cast<int>(ptrs_.size()); }
+  char** argv() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> ptrs_;
+};
+
+TEST(Flags, ParsesEveryValueKind) {
+  std::string name;
+  int count = 0;
+  uint64_t seed = 0;
+  uint32_t requests = 0;
+  double fraction = 0;
+  uint64_t capacity = 0;
+  bool verbose = false;
+
+  FlagParser flags("test");
+  flags.Add("--name", &name, "NAME", "");
+  flags.Add("--count", &count, "N", "");
+  flags.Add("--seed", &seed, "N", "");
+  flags.Add("--requests", &requests, "N", "");
+  flags.Add("--fraction", &fraction, "F", "");
+  flags.AddBytes("--capacity", &capacity, "BYTES", "");
+  flags.AddFlag("--verbose", &verbose, "");
+
+  Argv argv({"--name", "gpt2", "--count", "-3", "--seed", "42", "--requests", "7",
+             "--fraction", "0.25", "--capacity", "16G", "--verbose"});
+  ASSERT_TRUE(flags.Parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(name, "gpt2");
+  EXPECT_EQ(count, -3);
+  EXPECT_EQ(seed, 42u);
+  EXPECT_EQ(requests, 7u);
+  EXPECT_DOUBLE_EQ(fraction, 0.25);
+  EXPECT_EQ(capacity, 16ull * GiB);
+  EXPECT_TRUE(verbose);
+}
+
+TEST(Flags, DefaultsSurviveWhenNotSupplied) {
+  int count = 11;
+  bool verbose = false;
+  FlagParser flags("test");
+  flags.Add("--count", &count, "N", "");
+  flags.AddFlag("--verbose", &verbose, "");
+  Argv argv({});
+  ASSERT_TRUE(flags.Parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(count, 11);
+  EXPECT_FALSE(verbose);
+  EXPECT_FALSE(flags.Seen("--count"));
+}
+
+TEST(Flags, ByteListAndStringList) {
+  std::vector<uint64_t> capacities;
+  std::vector<std::string> allocs;
+  FlagParser flags("test");
+  flags.AddBytesList("--capacity", &capacities, "LIST", "");
+  flags.AddList("--alloc", &allocs, "LIST", "");
+  Argv argv({"--capacity", "16G,512M,1024", "--alloc", "torch-caching,stalloc"});
+  ASSERT_TRUE(flags.Parse(argv.argc(), argv.argv()));
+  ASSERT_EQ(capacities.size(), 3u);
+  EXPECT_EQ(capacities[0], 16ull * GiB);
+  EXPECT_EQ(capacities[1], 512ull * MiB);
+  EXPECT_EQ(capacities[2], 1024u);
+  ASSERT_EQ(allocs.size(), 2u);
+  EXPECT_EQ(allocs[0], "torch-caching");
+  EXPECT_EQ(allocs[1], "stalloc");
+}
+
+TEST(Flags, RejectsUnknownFlagsAndBadValues) {
+  int count = 0;
+  uint64_t capacity = 0;
+  FlagParser flags("test");
+  flags.Add("--count", &count, "N", "");
+  flags.AddBytes("--capacity", &capacity, "BYTES", "");
+
+  {
+    Argv argv({"--no-such-flag"});
+    EXPECT_FALSE(flags.Parse(argv.argc(), argv.argv()));
+  }
+  {
+    Argv argv({"--count", "twelve"});
+    EXPECT_FALSE(flags.Parse(argv.argc(), argv.argv()));
+  }
+  {
+    Argv argv({"--capacity", "16Q"});
+    EXPECT_FALSE(flags.Parse(argv.argc(), argv.argv()));
+  }
+  {
+    Argv argv({"--count"});  // missing value
+    EXPECT_FALSE(flags.Parse(argv.argc(), argv.argv()));
+  }
+  {
+    Argv argv({"--capacity", "16G,"});  // trailing comma in a scalar-bytes flag
+    EXPECT_FALSE(flags.Parse(argv.argc(), argv.argv()));
+  }
+}
+
+TEST(Flags, NumericFlagsRejectOutOfRangeInput) {
+  // Truncation is never acceptable: a value that does not fit the bound type must error.
+  int count = 0;
+  uint32_t requests = 0;
+  uint64_t events = 0;
+  FlagParser flags("test");
+  flags.Add("--count", &count, "N", "");
+  flags.Add("--requests", &requests, "N", "");
+  flags.Add("--events", &events, "N", "");
+  {
+    Argv argv({"--count", "4294967298"});  // 2^32 + 2 would truncate to 2
+    EXPECT_FALSE(flags.Parse(argv.argc(), argv.argv()));
+  }
+  {
+    Argv argv({"--requests", "4294967296"});  // 2^32 would wrap to 0
+    EXPECT_FALSE(flags.Parse(argv.argc(), argv.argv()));
+  }
+  {
+    Argv argv({"--events", "18446744073709551617"});  // 2^64 + 1 would saturate
+    EXPECT_FALSE(flags.Parse(argv.argc(), argv.argv()));
+  }
+  {
+    Argv argv({"--count", "2147483647"});  // INT_MAX parses fine
+    EXPECT_TRUE(flags.Parse(argv.argc(), argv.argv()));
+    EXPECT_EQ(count, 2147483647);
+  }
+}
+
+TEST(Flags, UnsignedFlagsRejectNegativeInput) {
+  // strtoull would wrap "-1" to 2^64-1; the parser must reject it instead.
+  uint64_t events = 0;
+  uint32_t requests = 0;
+  FlagParser flags("test");
+  flags.Add("--events", &events, "N", "");
+  flags.Add("--requests", &requests, "N", "");
+  {
+    Argv argv({"--events", "-1"});
+    EXPECT_FALSE(flags.Parse(argv.argc(), argv.argv()));
+  }
+  {
+    Argv argv({"--requests", "-5"});
+    EXPECT_FALSE(flags.Parse(argv.argc(), argv.argv()));
+  }
+}
+
+TEST(Flags, ListsRejectEmptyItems) {
+  std::vector<std::string> allocs;
+  std::vector<uint64_t> capacities;
+  FlagParser flags("test");
+  flags.AddList("--alloc", &allocs, "LIST", "");
+  flags.AddBytesList("--capacity", &capacities, "LIST", "");
+  {
+    Argv argv({"--alloc", "a,,b"});
+    EXPECT_FALSE(flags.Parse(argv.argc(), argv.argv()));
+  }
+  {
+    Argv argv({"--capacity", "16G,,1M"});
+    EXPECT_FALSE(flags.Parse(argv.argc(), argv.argv()));
+  }
+  {
+    Argv argv({"--capacity", "16G,"});
+    EXPECT_FALSE(flags.Parse(argv.argc(), argv.argv()));
+  }
+}
+
+TEST(Flags, PositionalsAndSeen) {
+  std::string trace;
+  std::string out;
+  FlagParser flags("test");
+  flags.AddPositional(&trace, "TRACE", "");
+  flags.Add("--out", &out, "FILE", "");
+
+  {
+    Argv argv({"trace.csv", "--out", "plan.csv"});
+    ASSERT_TRUE(flags.Parse(argv.argc(), argv.argv()));
+    EXPECT_EQ(trace, "trace.csv");
+    EXPECT_EQ(out, "plan.csv");
+    EXPECT_TRUE(flags.Seen("--out"));
+    EXPECT_TRUE(flags.SeenAny({"--out", "--missing"}));
+    EXPECT_FALSE(flags.SeenAny({"--missing"}));
+  }
+}
+
+TEST(Flags, MissingRequiredPositionalFails) {
+  std::string trace;
+  FlagParser flags("test");
+  flags.AddPositional(&trace, "TRACE", "");
+  Argv argv({});
+  EXPECT_FALSE(flags.Parse(argv.argc(), argv.argv()));
+}
+
+TEST(Flags, DashAloneIsAValueNotAFlag) {
+  std::string json;
+  FlagParser flags("test");
+  flags.Add("--json", &json, "FILE", "");
+  Argv argv({"--json", "-"});
+  ASSERT_TRUE(flags.Parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(json, "-");
+}
+
+TEST(Flags, UsageNamesEveryFlag) {
+  int count = 0;
+  std::string trace;
+  FlagParser flags("mytool", "Does things.");
+  flags.AddPositional(&trace, "TRACE", "input trace");
+  flags.Add("--count", &count, "N", "how many");
+  const std::string usage = flags.Usage();
+  EXPECT_NE(usage.find("usage: mytool TRACE [flags]"), std::string::npos);
+  EXPECT_NE(usage.find("Does things."), std::string::npos);
+  EXPECT_NE(usage.find("--count N"), std::string::npos);
+  EXPECT_NE(usage.find("how many"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stalloc

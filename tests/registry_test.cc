@@ -1,0 +1,157 @@
+// AllocatorRegistry: name round trips, unknown-name errors, per-kind override plumbing, and
+// exhaustiveness against AllAllocatorKinds().
+
+#include "src/allocators/registry.h"
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+#include "src/driver/experiment.h"
+#include "src/gpu/sim_device.h"
+
+namespace stalloc {
+namespace {
+
+TEST(RegistryTest, UnknownNameIsAnError) {
+  SimDevice device(1 * GiB);
+  EXPECT_EQ(AllocatorRegistry::Global().Find("no-such-allocator"), nullptr);
+  EXPECT_EQ(AllocatorRegistry::Global().Create("no-such-allocator", &device), nullptr);
+  EXPECT_EQ(ParseAllocatorKind("no-such-allocator"), std::nullopt);
+}
+
+TEST(RegistryTest, ExhaustiveAgainstAllAllocatorKinds) {
+  const std::vector<AllocatorKind> kinds = AllAllocatorKinds();
+  EXPECT_EQ(AllocatorRegistry::Global().size(), kinds.size());
+  EXPECT_EQ(AllocatorRegistry::Global().Names().size(), kinds.size());
+  // Every kind has a registry entry; the enum order matches registration order.
+  const std::vector<std::string> names = AllocatorRegistry::Global().Names();
+  for (size_t i = 0; i < kinds.size(); ++i) {
+    const AllocatorRegistry::Entry* entry = AllocatorRegistry::Global().Find(kinds[i]);
+    ASSERT_NE(entry, nullptr) << "kind " << static_cast<int>(kinds[i]);
+    EXPECT_EQ(entry->name, names[i]);
+  }
+  // Names are unique.
+  const std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size());
+}
+
+TEST(RegistryTest, KindNameRoundTrip) {
+  for (AllocatorKind kind : AllAllocatorKinds()) {
+    const char* name = AllocatorKindName(kind);
+    ASSERT_STRNE(name, "?");
+    const auto parsed = ParseAllocatorKind(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, kind) << name;
+  }
+  // The sentinel never resolves.
+  EXPECT_STREQ(AllocatorKindName(AllocatorKind::kCount), "?");
+}
+
+TEST(RegistryTest, PlanKindsHaveNoFactory) {
+  SimDevice device(1 * GiB);
+  for (const char* name : {"stalloc", "stalloc-noreuse"}) {
+    const AllocatorRegistry::Entry* entry = AllocatorRegistry::Global().Find(name);
+    ASSERT_NE(entry, nullptr) << name;
+    EXPECT_TRUE(entry->requires_plan) << name;
+    EXPECT_EQ(AllocatorRegistry::Global().Create(name, &device), nullptr) << name;
+  }
+  // The plan kinds disappear from the shared-device listing.
+  for (const std::string& name :
+       AllocatorRegistry::Global().Names(/*include_plan_kinds=*/false)) {
+    EXPECT_FALSE(AllocatorRegistry::Global().Find(name)->requires_plan) << name;
+  }
+  EXPECT_EQ(AllocatorRegistry::Global().Names(false).size(),
+            AllocatorRegistry::Global().Names(true).size() - 2);
+}
+
+TEST(RegistryTest, CreatedAllocatorsReportTheirOwnStats) {
+  for (const std::string& name :
+       AllocatorRegistry::Global().Names(/*include_plan_kinds=*/false)) {
+    SimDevice device(1 * GiB);
+    auto alloc = AllocatorRegistry::Global().Create(name, &device);
+    ASSERT_NE(alloc, nullptr) << name;
+    auto addr = alloc->Malloc(4096);
+    ASSERT_TRUE(addr.has_value()) << name;
+    EXPECT_EQ(alloc->stats().num_mallocs, 1u) << name;
+    EXPECT_TRUE(alloc->Free(*addr)) << name;
+  }
+}
+
+TEST(RegistryTest, PagedBlockOverridePlumbsThrough) {
+  // A 1-byte allocation makes the pool acquire one 64-block slab, so the page-size override is
+  // directly observable through ReservedBytes granularity (64 x block_bytes).
+  SimDevice device_default(4 * GiB);
+  auto pool_default = AllocatorRegistry::Global().Create("paged-kv", &device_default);
+  ASSERT_NE(pool_default, nullptr);
+  ASSERT_TRUE(pool_default->Malloc(1).has_value());
+  const uint64_t default_slab = pool_default->stats().reserved_peak;
+  EXPECT_EQ(default_slab, 64 * 2 * MiB);  // PagedKVConfig defaults
+
+  AllocatorOptions options;
+  options.paged_block_bytes = 4 * MiB;
+  SimDevice device_big(4 * GiB);
+  auto pool_big = AllocatorRegistry::Global().Create("paged-kv", &device_big, options);
+  ASSERT_NE(pool_big, nullptr);
+  ASSERT_TRUE(pool_big->Malloc(1).has_value());
+  EXPECT_EQ(pool_big->stats().reserved_peak, 64 * 4 * MiB);
+  EXPECT_NE(pool_big->stats().reserved_peak, default_slab);
+}
+
+TEST(RegistryTest, GmlakeFragLimitOverridePlumbsThrough) {
+  // The override only changes stitching behaviour under fragmentation pressure; constructing
+  // with it must at least succeed and behave as a functioning allocator.
+  AllocatorOptions options;
+  options.gmlake_frag_limit = 64 * MiB;
+  SimDevice device(1 * GiB);
+  auto alloc = AllocatorRegistry::Global().Create("gmlake", &device, options);
+  ASSERT_NE(alloc, nullptr);
+  auto addr = alloc->Malloc(1 * MiB);
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_TRUE(alloc->Free(*addr));
+}
+
+TEST(RegistryTest, MakeBaselineAllocatorDelegatesToRegistry) {
+  for (AllocatorKind kind : AllAllocatorKinds()) {
+    SimDevice device(1 * GiB);
+    ExperimentOptions options;
+    auto via_shim = MakeBaselineAllocator(kind, &device, options);
+    const AllocatorRegistry::Entry* entry = AllocatorRegistry::Global().Find(kind);
+    ASSERT_NE(entry, nullptr);
+    if (entry->requires_plan) {
+      EXPECT_EQ(via_shim, nullptr) << entry->name;
+    } else {
+      ASSERT_NE(via_shim, nullptr) << entry->name;
+    }
+  }
+}
+
+// Mutating registration runs on a locally constructed registry so the Global() singleton the
+// other tests pin stays untouched.
+TEST(RegistryTest, NewKindsRegisterInOnePlace) {
+  AllocatorRegistry registry;
+  const size_t builtins = registry.size();
+  registry.Register({"paged-kv-2m", AllocatorKind::kCount, /*requires_plan=*/false,
+                     [](SimDevice* device, const AllocatorOptions&) -> std::unique_ptr<Allocator> {
+                       SimDevice* d = device;
+                       AllocatorOptions opts;
+                       opts.paged_block_bytes = 2 * MiB;
+                       return AllocatorRegistry::Global().Create("paged-kv", d, opts);
+                     }});
+  EXPECT_EQ(registry.size(), builtins + 1);
+  SimDevice device(1 * GiB);
+  auto alloc = registry.Create("paged-kv-2m", &device);
+  ASSERT_NE(alloc, nullptr);
+  ASSERT_TRUE(alloc->Malloc(1).has_value());
+  EXPECT_EQ(alloc->stats().reserved_peak, 64 * 2 * MiB);
+  // Registered external kinds appear in listings but never alias an enum name.
+  EXPECT_EQ(registry.Names().back(), "paged-kv-2m");
+  EXPECT_EQ(registry.Find(AllocatorKind::kCount), nullptr);
+}
+
+}  // namespace
+}  // namespace stalloc

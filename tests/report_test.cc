@@ -1,0 +1,115 @@
+// Json + ReportSink: escaping, ordered emission, numeric formats, schema_version at every
+// root, and the file-writing path.
+
+#include "src/api/report.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace stalloc {
+namespace {
+
+TEST(Json, ScalarsAndOrderedObjects) {
+  Json j = Json::Object();
+  j.Set("b", 1);
+  j.Set("a", 2u);
+  j.Set("c", true);
+  j.Set("d", nullptr);
+  j.Set("e", "text");
+  j.Set("f", 1.5);
+  EXPECT_EQ(j.Dump(0), "{\"b\": 1, \"a\": 2, \"c\": true, \"d\": null, \"e\": \"text\", "
+                       "\"f\": 1.5}\n");
+}
+
+TEST(Json, RepeatedKeyOverwritesInPlace) {
+  Json j = Json::Object();
+  j.Set("a", 1);
+  j.Set("b", 2);
+  j.Set("a", 3);
+  EXPECT_EQ(j.Dump(0), "{\"a\": 3, \"b\": 2}\n");
+  EXPECT_EQ(j.size(), 2u);
+}
+
+TEST(Json, ArraysAndNesting) {
+  Json arr = Json::Array();
+  arr.Add(1);
+  arr.Add("two");
+  Json obj = Json::Object();
+  obj.Set("k", Json::Array());
+  arr.Add(std::move(obj));
+  EXPECT_EQ(arr.Dump(0), "[1, \"two\", {\"k\": []}]\n");
+  EXPECT_EQ(arr.size(), 3u);
+}
+
+TEST(Json, EscapesControlAndQuoteCharacters) {
+  Json j = Json::Object();
+  j.Set("s", "a\"b\\c\nd\te\x01");
+  EXPECT_EQ(j.Dump(0), "{\"s\": \"a\\\"b\\\\c\\nd\\te\\u0001\"}\n");
+}
+
+TEST(Json, LargeUnsignedSurvives) {
+  const uint64_t big = 0xFFFFFFFFFFFFFFFFull;
+  Json j = Json::Object();
+  j.Set("v", big);
+  EXPECT_EQ(j.Dump(0), "{\"v\": 18446744073709551615}\n");
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  Json j = Json::Object();
+  j.Set("v", 1.0 / 0.0);
+  EXPECT_EQ(j.Dump(0), "{\"v\": null}\n");
+}
+
+TEST(Json, IndentedDumpIsStable) {
+  Json j = Json::Object();
+  j.Set("a", 1);
+  Json arr = Json::Array();
+  arr.Add(2);
+  j.Set("b", std::move(arr));
+  EXPECT_EQ(j.Dump(2), "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}\n");
+}
+
+TEST(ReportSink, RootCarriesBenchAndSchemaVersion) {
+  ReportSink sink("mybench", "");
+  EXPECT_FALSE(sink.json_enabled());
+  sink.Meta("extra", 7);
+  EXPECT_EQ(sink.root().Dump(0),
+            "{\"bench\": \"mybench\", \"schema_version\": " +
+                std::to_string(kReportSchemaVersion) + ", \"extra\": 7}\n");
+}
+
+TEST(ReportSink, WritesJsonFile) {
+  const std::string path = ::testing::TempDir() + "report_test_out.json";
+  {
+    ReportSink sink("filetest", path);
+    ASSERT_TRUE(sink.json_enabled());
+    sink.Meta("value", 42);
+    EXPECT_EQ(sink.Finish(), 0);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[256] = {0};
+  const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  const std::string content(buf, n);
+  EXPECT_NE(content.find("\"bench\": \"filetest\""), std::string::npos);
+  EXPECT_NE(content.find("\"value\": 42"), std::string::npos);
+}
+
+TEST(ReportSink, UnwritablePathReturnsError) {
+  ReportSink sink("failtest", "/no/such/dir/out.json");
+  EXPECT_EQ(sink.Finish(), 1);
+}
+
+TEST(ReportSink, DashRoutesTablesToStderr) {
+  ReportSink sink("dashtest", "-");
+  EXPECT_EQ(sink.out(), stderr);
+  ReportSink plain("plaintest", "");
+  EXPECT_EQ(plain.out(), stdout);
+}
+
+}  // namespace
+}  // namespace stalloc

@@ -1,0 +1,320 @@
+// Session/ExperimentSpec: every spec axis must dispatch to the corresponding driver and
+// reproduce its outcome bit-for-bit on identical seeds — the guarantee that rebasing a bench
+// onto the API layer can never change its numbers.
+
+#include "src/api/session.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/api/spec.h"
+#include "src/cluster/cluster_workload.h"
+#include "src/cluster/fleet.h"
+#include "src/common/units.h"
+#include "src/driver/experiment.h"
+#include "src/driver/job.h"
+#include "src/driver/serve_experiment.h"
+#include "src/servesim/request_gen.h"
+#include "src/trainsim/model_config.h"
+#include "src/trainsim/workload.h"
+
+namespace stalloc {
+namespace {
+
+TrainConfig SmallTrain() {
+  TrainConfig c;
+  c.parallel.pp = 2;
+  c.num_microbatches = 4;
+  c.micro_batch_size = 2;
+  return c;
+}
+
+ExperimentOptions SmallOptions() {
+  ExperimentOptions opt;
+  opt.capacity_bytes = 16ull * GiB;
+  return opt;
+}
+
+void ExpectBitIdentical(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.oom, b.oom);
+  EXPECT_EQ(a.infeasible, b.infeasible);
+  EXPECT_EQ(a.allocated_peak, b.allocated_peak);
+  EXPECT_EQ(a.reserved_peak, b.reserved_peak);
+  EXPECT_EQ(a.memory_efficiency, b.memory_efficiency);  // bitwise: same replay, same division
+  EXPECT_EQ(a.fragmentation_bytes, b.fragmentation_bytes);
+  EXPECT_EQ(a.device_api_calls, b.device_api_calls);
+  EXPECT_EQ(a.device_release_calls, b.device_release_calls);
+  EXPECT_EQ(a.Summary(), b.Summary());
+}
+
+TEST(Session, TrainRankMatchesRunExperimentBitForBit) {
+  for (const char* alloc : {"torch-caching", "stalloc"}) {
+    ExperimentSpec spec;
+    spec.axis = WorkloadAxis::kTrainRank;
+    spec.model = "gpt2";
+    spec.train = SmallTrain();
+    spec.train.rank = 1;
+    spec.options = SmallOptions();
+
+    Session session;
+    RunRecord rec = session.RunOne(spec, alloc);
+
+    WorkloadBuilder workload(ModelByName("gpt2"), spec.train);
+    ExperimentResult direct = RunExperiment(workload, *ParseAllocatorKind(alloc), spec.options);
+
+    ASSERT_TRUE(rec.train_rank.has_value()) << alloc;
+    ExpectBitIdentical(*rec.train_rank, direct);
+    // The envelope's common fields mirror the payload exactly.
+    EXPECT_EQ(rec.allocated_peak, direct.allocated_peak) << alloc;
+    EXPECT_EQ(rec.reserved_peak, direct.reserved_peak) << alloc;
+    EXPECT_EQ(rec.memory_efficiency, direct.memory_efficiency) << alloc;
+    EXPECT_EQ(rec.status, RunStatus::kOk) << alloc;
+    EXPECT_EQ(rec.run_seed, spec.options.run_seed) << alloc;
+  }
+}
+
+TEST(Session, ConfigTagMatchesApplyConfigTag) {
+  ExperimentSpec spec;
+  spec.axis = WorkloadAxis::kTrainRank;
+  spec.model = "gpt2";
+  spec.train = SmallTrain();
+  spec.config_tag = "R";
+  spec.options = SmallOptions();
+
+  Session session;
+  RunRecord rec = session.RunOne(spec, "torch-caching");
+
+  WorkloadBuilder workload(ModelByName("gpt2"), ApplyConfigTag(SmallTrain(), "R"));
+  ExperimentResult direct = RunExperiment(workload, AllocatorKind::kCaching, spec.options);
+  ASSERT_TRUE(rec.train_rank.has_value());
+  ExpectBitIdentical(*rec.train_rank, direct);
+}
+
+TEST(Session, TrainJobMatchesRunJobBitForBit) {
+  ExperimentSpec spec;
+  spec.axis = WorkloadAxis::kTrainJob;
+  spec.model = "gpt2";
+  spec.train = SmallTrain();
+  spec.options = SmallOptions();
+
+  Session session;
+  RunRecord rec = session.RunOne(spec, "torch-caching");
+
+  JobResult direct = RunJob(ModelByName("gpt2"), spec.train, AllocatorKind::kCaching,
+                            spec.options);
+  ASSERT_TRUE(rec.job.has_value());
+  ASSERT_EQ(rec.job->ranks.size(), direct.ranks.size());
+  for (size_t i = 0; i < direct.ranks.size(); ++i) {
+    ExpectBitIdentical(rec.job->ranks[i], direct.ranks[i]);
+  }
+  EXPECT_EQ(rec.job->Summary(), direct.Summary());
+  EXPECT_EQ(rec.reserved_peak, direct.max_reserved);
+  EXPECT_EQ(rec.memory_efficiency, direct.worst_efficiency);
+}
+
+TEST(Session, ServingMatchesRunServeExperimentBitForBit) {
+  for (const char* alloc : {"paged-kv", "stalloc"}) {
+    ExperimentSpec spec;
+    spec.axis = WorkloadAxis::kServing;
+    spec.model = "gpt2";
+    spec.scenario = "chat";
+    spec.serve_requests = 24;
+    spec.options = SmallOptions();
+    spec.engine.kv_budget_bytes = 2ull * GiB;
+
+    Session session;
+    RunRecord rec = session.RunOne(spec, alloc);
+
+    ServeScenario scenario = ScenarioByName("chat");
+    scenario.num_requests = 24;
+    ServeOptions serve_options;
+    serve_options.base = spec.options;
+    serve_options.engine = spec.engine;
+    ServeExperimentResult direct = RunServeExperiment(ModelByName("gpt2"), scenario,
+                                                      *ParseAllocatorKind(alloc), serve_options);
+
+    ASSERT_TRUE(rec.serve.has_value()) << alloc;
+    ExpectBitIdentical(rec.serve->replay, direct.replay);
+    EXPECT_EQ(rec.serve->trace_events, direct.trace_events) << alloc;
+    EXPECT_EQ(rec.serve->serve.preemptions, direct.serve.preemptions) << alloc;
+    EXPECT_EQ(rec.serve->serve.tokens_generated, direct.serve.tokens_generated) << alloc;
+    EXPECT_EQ(rec.serve->Summary(), direct.Summary()) << alloc;
+  }
+}
+
+TEST(Session, ClusterMatchesRunClusterBitForBit) {
+  ExperimentSpec spec;
+  spec.axis = WorkloadAxis::kCluster;
+  spec.devices = 2;
+  spec.policy = "first-fit";
+  spec.options.capacity_bytes = 16ull * GiB;
+  spec.options.run_seed = 7;
+  spec.cluster.num_jobs = 4;
+  spec.cluster.serve_requests = 16;
+
+  Session session;
+  RunRecord rec = session.RunOne(spec, "torch-caching");
+
+  FleetConfig fleet;
+  fleet.device_capacities = {16ull * GiB, 16ull * GiB};
+  fleet.policy = SchedulerPolicy::kFirstFit;
+  fleet.allocator = AllocatorKind::kCaching;
+  const std::vector<ClusterJob> jobs = GenerateClusterWorkload(spec.cluster, 7);
+  ClusterResult direct = RunCluster(fleet, jobs);
+
+  ASSERT_TRUE(rec.cluster.has_value());
+  const ClusterResult& via = *rec.cluster;
+  EXPECT_EQ(via.num_jobs, direct.num_jobs);
+  EXPECT_EQ(via.completed, direct.completed);
+  EXPECT_EQ(via.rejected_upfront, direct.rejected_upfront);
+  EXPECT_EQ(via.rejected_oom, direct.rejected_oom);
+  EXPECT_EQ(via.oom_events, direct.oom_events);
+  EXPECT_EQ(via.requeues, direct.requeues);
+  EXPECT_EQ(via.makespan, direct.makespan);
+  EXPECT_EQ(via.queue_wait_p99, direct.queue_wait_p99);
+  EXPECT_EQ(via.fleet_avg_utilization, direct.fleet_avg_utilization);
+  EXPECT_EQ(via.serve_slo_attainment, direct.serve_slo_attainment);
+  ASSERT_EQ(via.devices.size(), direct.devices.size());
+  for (size_t d = 0; d < direct.devices.size(); ++d) {
+    EXPECT_EQ(via.devices[d].peak_used, direct.devices[d].peak_used);
+    EXPECT_EQ(via.devices[d].memory_efficiency, direct.devices[d].memory_efficiency);
+    EXPECT_EQ(via.devices[d].device_api_calls, direct.devices[d].device_api_calls);
+  }
+  EXPECT_EQ(via.Summary(), direct.Summary());
+  EXPECT_EQ(rec.oom_events, direct.oom_events);
+  EXPECT_EQ(rec.slo_attainment, direct.serve_slo_attainment);
+}
+
+TEST(Session, RepeatBumpsRunSeedOnly) {
+  ExperimentSpec spec;
+  spec.axis = WorkloadAxis::kTrainRank;
+  spec.model = "qwen1.5-moe";  // MoE: run-seed changes routed expert sizes, so seeds matter
+  spec.train = SmallTrain();
+  spec.train.parallel.ep = 4;
+  spec.options = SmallOptions();
+  spec.options.capacity_bytes = 32ull * GiB;
+
+  Session session;
+  RunRecord r1 = session.RunOne(spec, "torch-caching", /*repeat=*/1);
+  EXPECT_EQ(r1.run_seed, spec.options.run_seed + 1);
+  EXPECT_EQ(r1.profile_seed, spec.options.profile_seed);
+
+  ExperimentOptions bumped = spec.options;
+  bumped.run_seed += 1;
+  WorkloadBuilder workload(ModelByName("qwen1.5-moe"), spec.train);
+  ExperimentResult direct = RunExperiment(workload, AllocatorKind::kCaching, bumped);
+  ASSERT_TRUE(r1.train_rank.has_value());
+  ExpectBitIdentical(*r1.train_rank, direct);
+}
+
+TEST(Session, RunCoversAllocatorsTimesRepeats) {
+  ExperimentSpec spec;
+  spec.axis = WorkloadAxis::kTrainRank;
+  spec.model = "gpt2";
+  spec.train = SmallTrain();
+  spec.train.num_microbatches = 2;
+  spec.options = SmallOptions();
+  spec.allocators = {"torch-caching", "native"};
+  spec.repeats = 2;
+
+  Session session;
+  const std::vector<RunRecord> records = session.Run(spec);
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[0].allocator, "torch-caching");
+  EXPECT_EQ(records[0].repeat, 0);
+  EXPECT_EQ(records[1].allocator, "torch-caching");
+  EXPECT_EQ(records[1].repeat, 1);
+  EXPECT_EQ(records[2].allocator, "native");
+  EXPECT_EQ(records[3].run_seed, spec.options.run_seed + 1);
+}
+
+TEST(Session, ValidateRejectsBadSpecs) {
+  std::string error;
+  ExperimentSpec spec;
+  spec.allocators = {"no-such-allocator"};
+  EXPECT_FALSE(Session::Validate(spec, &error));
+  EXPECT_NE(error.find("no-such-allocator"), std::string::npos);
+
+  spec = ExperimentSpec{};
+  spec.model = "no-such-model";
+  EXPECT_FALSE(Session::Validate(spec, &error));
+
+  spec = ExperimentSpec{};
+  spec.axis = WorkloadAxis::kServing;
+  spec.scenario = "no-such-scenario";
+  EXPECT_FALSE(Session::Validate(spec, &error));
+
+  spec = ExperimentSpec{};
+  spec.axis = WorkloadAxis::kCluster;
+  spec.policy = "no-such-policy";
+  EXPECT_FALSE(Session::Validate(spec, &error));
+
+  // STAlloc cannot front a shared cluster device — the scheduler is its cluster entry point.
+  spec = ExperimentSpec{};
+  spec.axis = WorkloadAxis::kCluster;
+  spec.allocators = {"stalloc"};
+  EXPECT_FALSE(Session::Validate(spec, &error));
+  EXPECT_NE(error.find("plan"), std::string::npos);
+
+  // Training-shape typos must fail here, not CHECK-abort inside the workload builder.
+  spec = ExperimentSpec{};
+  spec.train.parallel.pp = 0;
+  EXPECT_FALSE(Session::Validate(spec, &error));
+
+  spec = ExperimentSpec{};
+  spec.train.num_microbatches = -1;
+  EXPECT_FALSE(Session::Validate(spec, &error));
+
+  spec = ExperimentSpec{};
+  spec.axis = WorkloadAxis::kTrainRank;
+  spec.train.rank = 5;  // pp defaults to 1
+  EXPECT_FALSE(Session::Validate(spec, &error));
+
+  spec = ExperimentSpec{};
+  spec.config_tag = "XX";
+  EXPECT_FALSE(Session::Validate(spec, &error));
+
+  spec = ExperimentSpec{};
+  spec.repeats = 0;
+  EXPECT_FALSE(Session::Validate(spec, &error));
+
+  // And the defaults are valid for every axis.
+  for (WorkloadAxis axis : AllWorkloadAxes()) {
+    spec = ExperimentSpec{};
+    spec.axis = axis;
+    EXPECT_TRUE(Session::Validate(spec, &error)) << WorkloadAxisName(axis) << ": " << error;
+  }
+}
+
+// Registers an extra kind into the Global() registry; declared after every test whose
+// expectations could observe it (none here enumerate the registry, but keep it late anyway).
+TEST(Session, ValidateRejectsKindlessExternalAllocators) {
+  AllocatorRegistry::Global().Register(
+      {"session-test-notag", AllocatorKind::kCount, /*requires_plan=*/false,
+       [](SimDevice* device, const AllocatorOptions& options) {
+         return AllocatorRegistry::Global().Create("torch-caching", device, options);
+       }});
+  std::string error;
+  ExperimentSpec spec;
+  spec.allocators = {"session-test-notag"};
+  // Creatable through the registry, but not runnable through Session dispatch — Validate must
+  // say so gracefully instead of RunOne aborting mid-run.
+  EXPECT_FALSE(Session::Validate(spec, &error));
+  EXPECT_NE(error.find("AllocatorKind"), std::string::npos);
+}
+
+TEST(Session, AxisNameRoundTrip) {
+  for (WorkloadAxis axis : AllWorkloadAxes()) {
+    const auto parsed = ParseWorkloadAxis(WorkloadAxisName(axis));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, axis);
+  }
+  EXPECT_EQ(ParseWorkloadAxis("no-such-axis"), std::nullopt);
+}
+
+}  // namespace
+}  // namespace stalloc

@@ -7,147 +7,96 @@
 //   stalloc_cluster --capacity 16G,16G,24G --policy best-fit --jobs 12 --seed 7
 //   stalloc_cluster --list-policies
 
-#include <cstdint>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/api/report.h"
+#include "src/api/serializers.h"
 #include "src/cluster/cluster_workload.h"
 #include "src/cluster/fleet.h"
 #include "src/cluster/scheduler.h"
+#include "src/common/flags.h"
 #include "src/common/table.h"
 #include "src/common/units.h"
 
-namespace {
-
-using namespace stalloc;
-
-const char* kUsage =
-    "usage: stalloc_cluster [--devices N] [--capacity BYTES[,BYTES...]] [--policy NAME]\n"
-    "                       [--alloc KIND] [--jobs N] [--seed N] [--train-frac F]\n"
-    "                       [--retries N] [--list-policies] [--list-allocs]\n"
-    "  capacity: suffixes K/M/G accepted; a comma list builds a heterogeneous fleet\n"
-    "  policy:   first-fit | best-fit | plan-aware\n"
-    "  alloc:    any kind from --list-allocs (STAlloc kinds need a per-job plan and are\n"
-    "            cluster *scheduling* policy, not a shared device allocator)\n";
-
-uint64_t ParseBytes(const char* s) {
-  const std::optional<uint64_t> v = ParseByteSize(s);
-  if (!v.has_value()) {
-    std::fprintf(stderr, "bad byte count '%s' (expected e.g. 16G, 512M)\n", s);
-    std::exit(2);
-  }
-  return *v;
-}
-
-std::vector<uint64_t> ParseCapacityList(const std::string& arg) {
-  std::vector<uint64_t> capacities;
-  size_t pos = 0;
-  while (pos <= arg.size()) {
-    const size_t comma = arg.find(',', pos);
-    const std::string item = arg.substr(pos, comma == std::string::npos ? comma : comma - pos);
-    if (item.empty()) {
-      std::fprintf(stderr, "empty capacity in list '%s'\n", arg.c_str());
-      std::exit(2);
-    }
-    capacities.push_back(ParseBytes(item.c_str()));
-    if (comma == std::string::npos) {
-      break;
-    }
-    pos = comma + 1;
-  }
-  return capacities;
-}
-
-AllocatorKind AllocatorKindByName(const std::string& name) {
-  for (AllocatorKind kind : ClusterAllocatorKinds()) {
-    if (name == AllocatorKindName(kind)) {
-      return kind;
-    }
-  }
-  std::fprintf(stderr, "unknown cluster allocator '%s' (see --list-allocs)\n", name.c_str());
-  std::exit(2);
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
+  using namespace stalloc;
+
   int num_devices = 4;
-  std::vector<uint64_t> capacities;
-  uint64_t capacity = 16 * GiB;
+  std::vector<uint64_t> capacities = {16 * GiB};
   std::string policy_name = "plan-aware";
   std::string alloc_name = "torch-caching";
+  std::string json_path;
   ClusterWorkloadConfig workload;
   workload.num_jobs = 10;
   int retries = 1;
   uint64_t seed = 42;
+  bool list_policies = false, list_allocs = false;
 
-  for (int i = 1; i < argc; ++i) {
-    auto next = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n%s", flag, kUsage);
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (!std::strcmp(argv[i], "--devices")) {
-      num_devices = std::atoi(next("--devices"));
-    } else if (!std::strcmp(argv[i], "--capacity")) {
-      const std::string arg = next("--capacity");
-      if (arg.find(',') != std::string::npos) {
-        capacities = ParseCapacityList(arg);
-      } else {
-        capacity = ParseBytes(arg.c_str());
-      }
-    } else if (!std::strcmp(argv[i], "--policy")) {
-      policy_name = next("--policy");
-    } else if (!std::strcmp(argv[i], "--alloc")) {
-      alloc_name = next("--alloc");
-    } else if (!std::strcmp(argv[i], "--jobs")) {
-      workload.num_jobs = std::atoi(next("--jobs"));
-    } else if (!std::strcmp(argv[i], "--seed")) {
-      seed = std::strtoull(next("--seed"), nullptr, 10);
-    } else if (!std::strcmp(argv[i], "--train-frac")) {
-      workload.train_fraction = std::atof(next("--train-frac"));
-    } else if (!std::strcmp(argv[i], "--retries")) {
-      retries = std::atoi(next("--retries"));
-    } else if (!std::strcmp(argv[i], "--list-policies")) {
-      for (SchedulerPolicy policy : AllSchedulerPolicies()) {
-        std::printf("%s\n", SchedulerPolicyName(policy));
-      }
-      return 0;
-    } else if (!std::strcmp(argv[i], "--list-allocs")) {
-      for (AllocatorKind kind : ClusterAllocatorKinds()) {
-        std::printf("%s\n", AllocatorKindName(kind));
-      }
-      return 0;
-    } else {
-      std::fprintf(stderr, "unknown flag %s\n%s", argv[i], kUsage);
-      return 2;
+  FlagParser flags("stalloc_cluster",
+                   "Replay a seeded mixed train+serve day over a simulated multi-GPU fleet.");
+  flags.Add("--devices", &num_devices, "N", "fleet size (ignored with a --capacity list)");
+  flags.AddBytesList("--capacity", &capacities, "BYTES[,BYTES...]",
+                     "per-device capacity; a comma list builds a heterogeneous fleet");
+  flags.Add("--policy", &policy_name, "NAME", "first-fit | best-fit | plan-aware");
+  flags.Add("--alloc", &alloc_name, "KIND",
+            "device allocator (see --list-allocs; STAlloc kinds need a per-job plan and enter "
+            "via the plan-aware scheduler, not as a shared device allocator)");
+  flags.Add("--jobs", &workload.num_jobs, "N", "workload job count");
+  flags.Add("--seed", &seed, "N", "workload seed");
+  flags.Add("--train-frac", &workload.train_fraction, "F", "fraction of training jobs");
+  flags.Add("--retries", &retries, "N", "requeues after a runtime OOM before rejecting");
+  flags.Add("--json", &json_path, "FILE", "machine-readable day report ('-' = stdout)");
+  flags.AddFlag("--list-policies", &list_policies, "list scheduler policies and exit");
+  flags.AddFlag("--list-allocs", &list_allocs, "list shared-device allocator kinds and exit");
+  if (!flags.Parse(argc, argv)) {
+    return 2;
+  }
+
+  if (list_policies) {
+    for (SchedulerPolicy policy : AllSchedulerPolicies()) {
+      std::printf("%s\n", SchedulerPolicyName(policy));
     }
+    return 0;
+  }
+  if (list_allocs) {
+    // Registry-driven: every kind that needs no per-job plan can front a shared device.
+    for (const std::string& name : AllocatorRegistry::Global().Names(/*include_plan_kinds=*/false)) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
   }
   if (num_devices < 1 || workload.num_jobs < 0 || retries < 0) {
-    std::fprintf(stderr, "%s", kUsage);
+    std::fprintf(stderr, "%s", flags.Usage().c_str());
+    return 2;
+  }
+  const AllocatorRegistry::Entry* alloc_entry = AllocatorRegistry::Global().Find(alloc_name);
+  if (alloc_entry == nullptr || alloc_entry->requires_plan) {
+    std::fprintf(stderr, "unknown cluster allocator '%s' (see --list-allocs)\n",
+                 alloc_name.c_str());
     return 2;
   }
 
   FleetConfig fleet;
+  // A comma list builds the fleet directly; a single value is replicated --devices times.
   fleet.device_capacities =
-      capacities.empty() ? std::vector<uint64_t>(static_cast<size_t>(num_devices), capacity)
-                         : capacities;
+      capacities.size() > 1
+          ? capacities
+          : std::vector<uint64_t>(static_cast<size_t>(num_devices), capacities.front());
   fleet.policy = SchedulerPolicyByName(policy_name);
-  fleet.allocator = AllocatorKindByName(alloc_name);
+  fleet.allocator = alloc_entry->kind;
   fleet.max_oom_retries = retries;
 
+  ReportSink sink("stalloc_cluster", json_path);
+
   const std::vector<ClusterJob> jobs = GenerateClusterWorkload(workload, seed);
-  std::printf("Fleet: %zu devices", fleet.device_capacities.size());
+  sink.Printf("Fleet: %zu devices", fleet.device_capacities.size());
   for (uint64_t c : fleet.device_capacities) {
-    std::printf(" [%s]", FormatBytes(c).c_str());
+    sink.Printf(" [%s]", FormatBytes(c).c_str());
   }
-  std::printf(", policy=%s, allocator=%s, %zu jobs (seed %llu)\n\n",
+  sink.Printf(", policy=%s, allocator=%s, %zu jobs (seed %llu)\n\n",
               SchedulerPolicyName(fleet.policy), AllocatorKindName(fleet.allocator), jobs.size(),
               static_cast<unsigned long long>(seed));
 
@@ -169,8 +118,7 @@ int main(int argc, char** argv) {
          devices.empty() ? "-" : devices,
          o.slo_attainment >= 0 ? StrFormat("%.2f", o.slo_attainment) : "-"});
   }
-  job_table.Print();
-  std::printf("\n");
+  sink.Print(job_table);
 
   TextTable dev_table({"device", "capacity", "peak used", "avg util (%)", "ext frag (%)",
                        "E (%)", "ranks", "ooms", "API calls"});
@@ -184,7 +132,17 @@ int main(int argc, char** argv) {
                       StrFormat("%llu", static_cast<unsigned long long>(m.oom_events)),
                       StrFormat("%llu", static_cast<unsigned long long>(m.device_api_calls))});
   }
-  dev_table.Print();
-  std::printf("\n%s\n", result.Summary().c_str());
-  return 0;
+  sink.Print(dev_table);
+  sink.Printf("%s\n", result.Summary().c_str());
+
+  sink.Meta("seed", seed);
+  sink.Meta("result", ToJson(result));
+  Json jobs_json = Json::Array();
+  for (size_t i = 0; i < result.jobs.size(); ++i) {
+    Json j = ToJson(result.jobs[i]);
+    j.Set("shape", jobs[i].Describe());
+    jobs_json.Add(std::move(j));
+  }
+  sink.Meta("job_outcomes", std::move(jobs_json));
+  return sink.Finish();
 }

@@ -2,63 +2,64 @@
 // the Static Allocation Plan and the Dynamic Reusable Space, reports statistics, and optionally
 // writes the plan to a CSV consumable by the runtime allocator.
 //
-//   stalloc_plan trace.csv [--out plan.csv] [--no-fusion] [--no-gap-insertion] [--no-greedy]
+//   stalloc_plan trace.csv [--out plan.csv] [--svg plan.svg] [--json stats.json]
+//                [--no-fusion] [--no-gap-insertion] [--no-greedy]
 
-#include <cstdio>
-#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/api/report.h"
+#include "src/api/serializers.h"
+#include "src/common/flags.h"
 #include "src/core/plan_io.h"
-#include "src/trace/timeline.h"
 #include "src/core/planner.h"
+#include "src/trace/timeline.h"
 #include "src/trace/trace_io.h"
 
 int main(int argc, char** argv) {
   using namespace stalloc;
 
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: stalloc_plan trace.csv [--out plan.csv] [--svg plan.svg]\n"
-                 "                    [--no-fusion] [--no-gap-insertion] [--no-greedy]\n");
-    return 2;
-  }
-  const std::string trace_path = argv[1];
+  std::string trace_path;
   std::string out;
   std::string svg;
+  std::string json_path;
+  bool no_fusion = false, no_gap_insertion = false, no_greedy = false;
   PlanSynthesizerConfig config;
-  for (int i = 2; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
-      out = argv[++i];
-    } else if (!std::strcmp(argv[i], "--svg") && i + 1 < argc) {
-      svg = argv[++i];
-    } else if (!std::strcmp(argv[i], "--no-fusion")) {
-      config.enable_fusion = false;
-    } else if (!std::strcmp(argv[i], "--no-gap-insertion")) {
-      config.enable_gap_insertion = false;
-    } else if (!std::strcmp(argv[i], "--no-greedy")) {
-      config.enable_greedy_refinement = false;
-    } else {
-      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
-      return 2;
-    }
+
+  FlagParser flags("stalloc_plan",
+                   "Synthesize the Static Allocation Plan from a profiled trace.");
+  flags.AddPositional(&trace_path, "TRACE", "profiled trace (.csv, or .bin for binary)");
+  flags.Add("--out", &out, "FILE", "write the synthesized plan CSV");
+  flags.Add("--svg", &svg, "FILE", "render the plan timeline to SVG");
+  flags.Add("--json", &json_path, "FILE", "machine-readable plan stats ('-' = stdout)");
+  flags.AddFlag("--no-fusion", &no_fusion, "disable phase-group fusion");
+  flags.AddFlag("--no-gap-insertion", &no_gap_insertion, "disable gap insertion");
+  flags.AddFlag("--no-greedy", &no_greedy, "disable greedy first-fit refinement");
+  if (!flags.Parse(argc, argv)) {
+    return 2;
   }
+  config.enable_fusion = !no_fusion;
+  config.enable_gap_insertion = !no_gap_insertion;
+  config.enable_greedy_refinement = !no_greedy;
+
+  ReportSink sink("stalloc_plan", json_path);
 
   const bool binary =
       trace_path.size() > 4 && trace_path.substr(trace_path.size() - 4) == ".bin";
   Trace trace = binary ? ReadTraceBinaryFile(trace_path) : ReadTraceCsvFile(trace_path);
-  std::printf("loaded %s: %zu events\n", trace_path.c_str(), trace.size());
+  sink.Printf("loaded %s: %zu events\n", trace_path.c_str(), trace.size());
   SynthesisResult result = SynthesizePlan(trace, config);
-  std::printf("%s", result.stats.ToString().c_str());
+  sink.Printf("%s", result.stats.ToString().c_str());
   if (result.stats.used_greedy_refinement) {
-    std::printf("(greedy first-fit refinement selected over the grouped plan)\n");
+    sink.Printf("(greedy first-fit refinement selected over the grouped plan)\n");
   }
   if (!out.empty()) {
     if (!WritePlanCsvFile(result.plan, result.dyn_space, out)) {
       std::fprintf(stderr, "cannot write %s\n", out.c_str());
       return 1;
     }
-    std::printf("plan written to %s (%zu decisions)\n", out.c_str(),
+    sink.Printf("plan written to %s (%zu decisions)\n", out.c_str(),
                 result.plan.decisions.size());
   }
   if (!svg.empty()) {
@@ -70,7 +71,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", svg.c_str());
       return 1;
     }
-    std::printf("SVG rendering written to %s\n", svg.c_str());
+    sink.Printf("SVG rendering written to %s\n", svg.c_str());
   }
-  return 0;
+
+  sink.Meta("trace", trace_path);
+  sink.Meta("trace_events", static_cast<uint64_t>(trace.size()));
+  sink.Meta("decisions", static_cast<uint64_t>(result.plan.decisions.size()));
+  sink.Meta("stats", ToJson(result.stats));
+  return sink.Finish();
 }

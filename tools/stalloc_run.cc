@@ -1,0 +1,237 @@
+// stalloc_run: the one front door — executes any ExperimentSpec straight from flags.
+//
+// Every run the tree can express is (axis x model x allocator set x capacity/seeds x repeats):
+//
+//   stalloc_run --axis rank --model gpt2 --config VR --pp 2 --mb 4 --alloc torch-caching,stalloc
+//   stalloc_run --axis job --model llama2-7b --config R --pp 2 --alloc stalloc --capacity 80G
+//   stalloc_run --axis serve --scenario chat --alloc paged-kv,stalloc --capacity 16G --json -
+//   stalloc_run --axis cluster --devices 4 --capacity 16G --policy plan-aware --jobs 10
+//   stalloc_run --list-allocs | --list-axes | --list-models | --list-scenarios | --list-policies
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/api/report.h"
+#include "src/api/serializers.h"
+#include "src/api/session.h"
+#include "src/api/spec.h"
+#include "src/common/flags.h"
+#include "src/common/table.h"
+#include "src/common/units.h"
+#include "src/servesim/request_gen.h"
+#include "src/trainsim/model_config.h"
+
+namespace {
+
+using namespace stalloc;
+
+std::string EffCell(const RunRecord& r) {
+  return r.ok() ? StrFormat("%.1f", r.memory_efficiency * 100.0) : RunStatusName(r.status);
+}
+
+// One row per record; the cluster axis reports fleet outcomes, the others memory outcomes.
+TextTable RecordTable(WorkloadAxis axis, const std::vector<RunRecord>& records) {
+  if (axis == WorkloadAxis::kCluster) {
+    TextTable table({"allocator", "rep", "completed", "rej up", "rej oom", "ooms", "worst E (%)",
+                     "peak used", "wait p99", "SLO"});
+    for (const RunRecord& r : records) {
+      const ClusterResult& c = *r.cluster;
+      table.AddRow({r.allocator, StrFormat("%d", r.repeat),
+                    StrFormat("%llu/%llu", static_cast<unsigned long long>(c.completed),
+                              static_cast<unsigned long long>(c.num_jobs)),
+                    StrFormat("%llu", static_cast<unsigned long long>(c.rejected_upfront)),
+                    StrFormat("%llu", static_cast<unsigned long long>(c.rejected_oom)),
+                    StrFormat("%llu", static_cast<unsigned long long>(r.oom_events)),
+                    StrFormat("%.1f", r.memory_efficiency * 100.0),
+                    FormatBytes(r.reserved_peak), StrFormat("%.0f", r.queue_wait_p99),
+                    StrFormat("%.2f", r.slo_attainment)});
+    }
+    return table;
+  }
+  TextTable table({"allocator", "rep", "status", "E (%)", "Ma", "Mr", "frag", "API calls",
+                   "releases"});
+  for (const RunRecord& r : records) {
+    table.AddRow({r.allocator, StrFormat("%d", r.repeat), RunStatusName(r.status), EffCell(r),
+                  r.ok() ? FormatBytes(r.allocated_peak) : "-",
+                  r.ok() ? FormatBytes(r.reserved_peak) : "-",
+                  r.ok() ? FormatBytes(r.fragmentation_bytes) : "-",
+                  StrFormat("%llu", static_cast<unsigned long long>(r.device_api_calls)),
+                  StrFormat("%llu", static_cast<unsigned long long>(r.device_release_calls))});
+  }
+  return table;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ExperimentSpec spec;
+  std::string axis_name = "rank";
+  std::string json_path;
+  std::vector<std::string> allocators;
+  uint64_t capacity = spec.options.capacity_bytes;
+  uint64_t kv_budget = spec.engine.kv_budget_bytes;
+  bool list_allocs = false, list_axes = false, list_models = false, list_scenarios = false,
+       list_policies = false;
+
+  FlagParser flags("stalloc_run",
+                   "Execute any ExperimentSpec — one training rank, a pipeline job, a serving "
+                   "day or a cluster day — from flags.");
+  flags.Add("--axis", &axis_name, "NAME", "workload axis: rank | job | serve | cluster");
+  flags.Add("--model", &spec.model, "NAME", "model preset (see --list-models)");
+  flags.AddList("--alloc", &allocators, "NAME[,NAME...]",
+                "allocator set (see --list-allocs); default torch-caching");
+  flags.AddBytes("--capacity", &capacity, "BYTES",
+                 "device capacity, suffixes K/M/G (cluster: per device)");
+  flags.Add("--run-seed", &spec.options.run_seed, "N", "run-trace seed (repeat r adds r)");
+  flags.Add("--profile-seed", &spec.options.profile_seed, "N", "STAlloc profiling seed");
+  flags.Add("--repeats", &spec.repeats, "N", "repeats per allocator; repeat r uses run-seed+r");
+  flags.AddBytes("--gmlake-frag-limit", &spec.options.gmlake_frag_limit, "BYTES",
+                 "GMLake stitching threshold override");
+  flags.AddBytes("--paged-block", &spec.options.paged_block_bytes, "BYTES",
+                 "paged-KV pool page size override");
+  // Training shape (rank/job axes).
+  flags.Add("--config", &spec.config_tag, "TAG", "optimization shorthand N|R|V|VR|ZR|ZOR");
+  flags.Add("--pp", &spec.train.parallel.pp, "N", "pipeline parallel degree");
+  flags.Add("--tp", &spec.train.parallel.tp, "N", "tensor parallel degree");
+  flags.Add("--dp", &spec.train.parallel.dp, "N", "data parallel degree");
+  flags.Add("--ep", &spec.train.parallel.ep, "N", "expert parallel degree");
+  flags.Add("--vpp", &spec.train.parallel.vpp_chunks, "N", "virtual-pipeline chunks");
+  flags.Add("--mb", &spec.train.micro_batch_size, "N", "microbatch size");
+  flags.Add("--microbatches", &spec.train.num_microbatches, "N", "microbatches per iteration");
+  flags.Add("--rank", &spec.train.rank, "N", "simulated pipeline rank (rank axis)");
+  // Serving shape.
+  flags.Add("--scenario", &spec.scenario, "NAME", "serving preset (see --list-scenarios)");
+  flags.Add("--requests", &spec.serve_requests, "N", "override the scenario's request count");
+  flags.AddBytes("--kv-budget", &kv_budget, "BYTES", "serving KV-cache budget");
+  flags.Add("--batch", &spec.engine.max_batch, "N", "serving max concurrent batch");
+  // Cluster shape.
+  flags.Add("--devices", &spec.devices, "N", "cluster fleet size");
+  flags.Add("--policy", &spec.policy, "NAME", "cluster scheduler (see --list-policies)");
+  flags.Add("--jobs", &spec.cluster.num_jobs, "N", "cluster workload job count");
+  flags.Add("--train-frac", &spec.cluster.train_fraction, "F",
+            "cluster fraction of training jobs");
+  flags.Add("--retries", &spec.oom_retries, "N", "cluster requeues after an OOM");
+  // Output + listings.
+  flags.Add("--json", &json_path, "FILE", "machine-readable report ('-' = stdout)");
+  flags.AddFlag("--list-allocs", &list_allocs, "list registered allocators and exit");
+  flags.AddFlag("--list-axes", &list_axes, "list workload axes and exit");
+  flags.AddFlag("--list-models", &list_models, "list model presets and exit");
+  flags.AddFlag("--list-scenarios", &list_scenarios, "list serving presets and exit");
+  flags.AddFlag("--list-policies", &list_policies, "list cluster scheduler policies and exit");
+  if (!flags.Parse(argc, argv)) {
+    return 2;
+  }
+
+  if (list_allocs) {
+    for (const std::string& name : AllocatorRegistry::Global().Names()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+  if (list_axes) {
+    for (WorkloadAxis axis : AllWorkloadAxes()) {
+      std::printf("%s\n", WorkloadAxisName(axis));
+    }
+    return 0;
+  }
+  if (list_models) {
+    for (const std::string& name : KnownModelNames()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+  if (list_scenarios) {
+    for (const std::string& name : ScenarioNames()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+  if (list_policies) {
+    for (SchedulerPolicy policy : AllSchedulerPolicies()) {
+      std::printf("%s\n", SchedulerPolicyName(policy));
+    }
+    return 0;
+  }
+
+  const auto axis = ParseWorkloadAxis(axis_name);
+  if (!axis.has_value()) {
+    std::fprintf(stderr, "unknown axis '%s' (see --list-axes)\n", axis_name.c_str());
+    return 2;
+  }
+  spec.axis = *axis;
+
+  // A shape flag for a different axis would be silently ignored — reject it instead, so a
+  // sweep over e.g. --mb on the serve axis cannot masquerade as a successful run.
+  const bool is_train = spec.axis == WorkloadAxis::kTrainRank ||
+                        spec.axis == WorkloadAxis::kTrainJob;
+  if (!is_train &&
+      flags.SeenAny({"--config", "--pp", "--tp", "--dp", "--ep", "--vpp", "--mb",
+                     "--microbatches", "--rank"})) {
+    std::fprintf(stderr, "training-shape flags only apply to --axis rank|job\n");
+    return 2;
+  }
+  if (spec.axis != WorkloadAxis::kServing &&
+      flags.SeenAny({"--scenario", "--requests", "--kv-budget", "--batch"})) {
+    std::fprintf(stderr, "serving-shape flags only apply to --axis serve\n");
+    return 2;
+  }
+  if (spec.axis != WorkloadAxis::kCluster &&
+      flags.SeenAny({"--devices", "--policy", "--jobs", "--train-frac", "--retries"})) {
+    std::fprintf(stderr, "cluster-shape flags only apply to --axis cluster\n");
+    return 2;
+  }
+  if (spec.axis == WorkloadAxis::kTrainJob && flags.Seen("--rank")) {
+    std::fprintf(stderr, "--rank only applies to --axis rank (a job runs every rank)\n");
+    return 2;
+  }
+  spec.options.capacity_bytes = capacity;
+  spec.engine.kv_budget_bytes = kv_budget;
+  if (!allocators.empty()) {
+    spec.allocators = allocators;
+  }
+  // `--config V` owns vpp_chunks unless the user pinned it explicitly (mirrors stalloc_trace_gen).
+  // The tag is validated up front: ApplyConfigTag CHECK-aborts on typos, Validate does not.
+  if (!spec.config_tag.empty() && flags.Seen("--vpp")) {
+    ExperimentSpec tag_probe = spec;
+    std::string tag_error;
+    if (!Session::Validate(tag_probe, &tag_error)) {
+      std::fprintf(stderr, "invalid spec: %s\n", tag_error.c_str());
+      return 2;
+    }
+    const int pinned = spec.train.parallel.vpp_chunks;
+    spec.train = ApplyConfigTag(spec.train, spec.config_tag);
+    spec.train.parallel.vpp_chunks = pinned;
+    spec.config_tag.clear();
+  }
+
+  std::string error;
+  if (!Session::Validate(spec, &error)) {
+    std::fprintf(stderr, "invalid spec: %s\n", error.c_str());
+    return 2;
+  }
+
+  ReportSink sink("stalloc_run", json_path);
+  sink.Meta("spec", SpecMetaJson(spec));
+
+  sink.Printf("stalloc_run — axis=%s model=%s variant=%s capacity=%s seeds=%llu/%llu\n\n",
+              WorkloadAxisName(spec.axis), spec.model.c_str(), spec.Variant().c_str(),
+              FormatBytes(spec.options.capacity_bytes).c_str(),
+              static_cast<unsigned long long>(spec.options.profile_seed),
+              static_cast<unsigned long long>(spec.options.run_seed));
+
+  Session session;
+  const std::vector<RunRecord> records = session.Run(spec);
+
+  sink.Print(RecordTable(spec.axis, records));
+  for (const RunRecord& r : records) {
+    sink.Printf("%s x%d: %s\n", r.allocator.c_str(), r.repeat, r.Summary().c_str());
+  }
+
+  Json results = Json::Array();
+  for (const RunRecord& r : records) {
+    results.Add(ToJson(r));
+  }
+  sink.Meta("results", std::move(results));
+  return sink.Finish();
+}

@@ -5,114 +5,20 @@
 //   stalloc_trace_gen --model gpt2 --serve chat --seed 7 --out serve.csv
 //   stalloc_trace_gen --list-models
 
-#include <cstdint>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <optional>
 #include <string>
+#include <utility>
 
+#include "src/api/report.h"
+#include "src/api/serializers.h"
+#include "src/common/flags.h"
 #include "src/common/table.h"
-#include "src/common/units.h"
 #include "src/servesim/engine.h"
 #include "src/servesim/request_gen.h"
 #include "src/trace/trace_io.h"
 #include "src/trace/trace_stats.h"
 #include "src/trainsim/model_config.h"
 #include "src/trainsim/workload.h"
-
-namespace {
-
-const char* kUsage =
-    "usage: stalloc_trace_gen [--model NAME] [--config TAG] [--pp N] [--tp N] [--dp N]\n"
-    "                         [--ep N] [--vpp N] [--mb N] [--microbatches N] [--rank N]\n"
-    "                         [--seed N] [--capacity BYTES] [--serve SCENARIO] [--out FILE]\n"
-    "                         [--json FILE] [--list-models]\n"
-    "  model: see --list-models\n"
-    "  config tag: N | R | V | VR | ZR | ZOR\n"
-    "  serve scenario: chat | rag-long | batch-offline (serving trace instead of training)\n"
-    "  capacity: accepts suffixes K/M/G (GiB), e.g. 80G; reports a feasibility verdict\n"
-    "  json: machine-readable trace stats + capacity verdict ('-' = stdout), for scripting\n"
-    "        cluster configs (mirrors bench_serving --json)\n";
-
-// Parses "80G" / "512M" / raw bytes. Malformed input is rejected — a typo must not silently
-// flip the feasibility verdict.
-uint64_t ParseBytes(const char* s) {
-  const std::optional<uint64_t> v = stalloc::ParseByteSize(s);
-  if (!v.has_value()) {
-    std::fprintf(stderr, "bad byte count '%s' (expected e.g. 80G, 512M, 1073741824)\n", s);
-    std::exit(2);
-  }
-  return *v;
-}
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-    }
-    out += c;
-  }
-  return out;
-}
-
-// Machine-readable stats + feasibility verdict, so fleet/cluster configurations can be scripted
-// off the profiled footprint without scraping the human-readable report.
-std::string StatsJson(const std::string& source, const std::string& model,
-                      const std::string& shape, uint64_t seed, const stalloc::TraceStats& stats,
-                      uint64_t capacity) {
-  using stalloc::PhaseKindName;
-  using stalloc::StrFormat;
-  std::string out = "{\n";
-  out += StrFormat("  \"tool\": \"stalloc_trace_gen\",\n  \"source\": \"%s\",\n",
-                   JsonEscape(source).c_str());
-  out += StrFormat("  \"model\": \"%s\",\n  \"shape\": \"%s\",\n  \"seed\": %llu,\n",
-                   JsonEscape(model).c_str(), JsonEscape(shape).c_str(),
-                   static_cast<unsigned long long>(seed));
-  out += StrFormat(
-      "  \"events\": %llu,\n  \"static_events\": %llu,\n  \"dynamic_events\": %llu,\n",
-      static_cast<unsigned long long>(stats.num_events),
-      static_cast<unsigned long long>(stats.num_static),
-      static_cast<unsigned long long>(stats.num_dynamic));
-  out += StrFormat("  \"peak_allocated\": %llu,\n  \"peak_time\": %llu,\n",
-                   static_cast<unsigned long long>(stats.peak_allocated),
-                   static_cast<unsigned long long>(stats.peak_time));
-  out += StrFormat("  \"distinct_sizes\": %llu,\n",
-                   static_cast<unsigned long long>(stats.distinct_sizes));
-  out += StrFormat(
-      "  \"lifespans\": {\"persistent\": %llu, \"scoped\": %llu, \"transient\": %llu,\n"
-      "                \"persistent_bytes\": %llu, \"scoped_bytes\": %llu, "
-      "\"transient_bytes\": %llu},\n",
-      static_cast<unsigned long long>(stats.persistent_count),
-      static_cast<unsigned long long>(stats.scoped_count),
-      static_cast<unsigned long long>(stats.transient_count),
-      static_cast<unsigned long long>(stats.persistent_bytes),
-      static_cast<unsigned long long>(stats.scoped_bytes),
-      static_cast<unsigned long long>(stats.transient_bytes));
-  out += "  \"phase_peaks\": [";
-  for (size_t i = 0; i < stats.phase_peaks.size(); ++i) {
-    const stalloc::PhasePeak& p = stats.phase_peaks[i];
-    out += StrFormat("%s{\"phase\": %d, \"kind\": \"%s\", \"start\": %llu, \"end\": %llu, "
-                     "\"peak_live\": %llu}",
-                     i == 0 ? "" : ", ", p.phase, PhaseKindName(p.kind),
-                     static_cast<unsigned long long>(p.start),
-                     static_cast<unsigned long long>(p.end),
-                     static_cast<unsigned long long>(p.peak_live));
-  }
-  out += "],\n";
-  if (capacity > 0) {
-    out += StrFormat("  \"capacity_bytes\": %llu,\n  \"feasible\": %s\n",
-                     static_cast<unsigned long long>(capacity),
-                     stats.peak_allocated <= capacity ? "true" : "false");
-  } else {
-    out += "  \"capacity_bytes\": null,\n  \"feasible\": null\n";
-  }
-  out += "}\n";
-  return out;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace stalloc;
@@ -129,83 +35,60 @@ int main(int argc, char** argv) {
   config.micro_batch_size = 8;
   uint64_t seed = 1;
   uint64_t capacity = 0;  // 0 = no feasibility report
-  bool training_flags_used = false;  // --serve and training-shape flags are mutually exclusive
+  bool list_models = false;
 
-  for (int i = 1; i < argc; ++i) {
-    auto next = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n%s", flag, kUsage);
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (!std::strcmp(argv[i], "--model")) {
-      model_name = next("--model");
-    } else if (!std::strcmp(argv[i], "--config")) {
-      tag = next("--config");
-      training_flags_used = true;
-    } else if (!std::strcmp(argv[i], "--pp")) {
-      config.parallel.pp = std::atoi(next("--pp"));
-      training_flags_used = true;
-    } else if (!std::strcmp(argv[i], "--tp")) {
-      config.parallel.tp = std::atoi(next("--tp"));
-      training_flags_used = true;
-    } else if (!std::strcmp(argv[i], "--dp")) {
-      config.parallel.dp = std::atoi(next("--dp"));
-      training_flags_used = true;
-    } else if (!std::strcmp(argv[i], "--ep")) {
-      config.parallel.ep = std::atoi(next("--ep"));
-      training_flags_used = true;
-    } else if (!std::strcmp(argv[i], "--vpp")) {
-      config.parallel.vpp_chunks = std::atoi(next("--vpp"));
-      training_flags_used = true;
-    } else if (!std::strcmp(argv[i], "--mb")) {
-      config.micro_batch_size = std::strtoull(next("--mb"), nullptr, 10);
-      training_flags_used = true;
-    } else if (!std::strcmp(argv[i], "--microbatches")) {
-      config.num_microbatches = std::atoi(next("--microbatches"));
-      training_flags_used = true;
-    } else if (!std::strcmp(argv[i], "--rank")) {
-      config.rank = std::atoi(next("--rank"));
-      training_flags_used = true;
-    } else if (!std::strcmp(argv[i], "--seed")) {
-      seed = std::strtoull(next("--seed"), nullptr, 10);
-    } else if (!std::strcmp(argv[i], "--capacity")) {
-      capacity = ParseBytes(next("--capacity"));
-    } else if (!std::strcmp(argv[i], "--serve")) {
-      serve_scenario = next("--serve");
-    } else if (!std::strcmp(argv[i], "--list-models")) {
-      for (const std::string& name : KnownModelNames()) {
-        std::printf("%s\n", name.c_str());
-      }
-      return 0;
-    } else if (!std::strcmp(argv[i], "--out")) {
-      out = next("--out");
-    } else if (!std::strcmp(argv[i], "--json")) {
-      json_path = next("--json");
-    } else {
-      std::fprintf(stderr, "unknown flag %s\n%s", argv[i], kUsage);
-      return 2;
-    }
-  }
-
-  if (!serve_scenario.empty() && training_flags_used) {
-    std::fprintf(stderr, "--serve generates a serving trace; training-shape flags "
-                         "(--config/--pp/--tp/--dp/--ep/--vpp/--mb/--microbatches/--rank) "
-                         "would be silently ignored\n%s", kUsage);
+  FlagParser flags("stalloc_trace_gen",
+                   "Generate one training iteration's (or serving day's) allocation trace.");
+  flags.Add("--model", &model_name, "NAME", "model preset (see --list-models)");
+  flags.Add("--config", &tag, "TAG", "optimization shorthand N|R|V|VR|ZR|ZOR");
+  flags.Add("--pp", &config.parallel.pp, "N", "pipeline parallel degree");
+  flags.Add("--tp", &config.parallel.tp, "N", "tensor parallel degree");
+  flags.Add("--dp", &config.parallel.dp, "N", "data parallel degree");
+  flags.Add("--ep", &config.parallel.ep, "N", "expert parallel degree");
+  flags.Add("--vpp", &config.parallel.vpp_chunks, "N", "virtual-pipeline chunks");
+  flags.Add("--mb", &config.micro_batch_size, "N", "microbatch size");
+  flags.Add("--microbatches", &config.num_microbatches, "N", "microbatches per iteration");
+  flags.Add("--rank", &config.rank, "N", "simulated pipeline rank");
+  flags.Add("--seed", &seed, "N", "trace seed (MoE routing / request arrivals)");
+  flags.AddBytes("--capacity", &capacity, "BYTES",
+                 "device capacity (suffixes K/M/G); reports a feasibility verdict");
+  flags.Add("--serve", &serve_scenario, "SCENARIO",
+            "serving trace instead of training: chat | rag-long | batch-offline");
+  flags.Add("--out", &out, "FILE", "trace output (.bin = binary, else CSV)");
+  flags.Add("--json", &json_path, "FILE",
+            "machine-readable trace stats + capacity verdict ('-' = stdout)");
+  flags.AddFlag("--list-models", &list_models, "list model presets and exit");
+  if (!flags.Parse(argc, argv)) {
     return 2;
   }
 
-  // With --json - the JSON owns stdout; the human-readable report moves to stderr so the
-  // advertised machine-readable mode stays pipeable.
-  std::FILE* report = json_path == "-" ? stderr : stdout;
+  if (list_models) {
+    for (const std::string& name : KnownModelNames()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+
+  // --serve and training-shape flags are mutually exclusive.
+  if (!serve_scenario.empty() &&
+      flags.SeenAny({"--config", "--pp", "--tp", "--dp", "--ep", "--vpp", "--mb",
+                     "--microbatches", "--rank"})) {
+    std::fprintf(stderr,
+                 "--serve generates a serving trace; training-shape flags "
+                 "(--config/--pp/--tp/--dp/--ep/--vpp/--mb/--microbatches/--rank) "
+                 "would be silently ignored\n%s",
+                 flags.Usage().c_str());
+    return 2;
+  }
+
+  ReportSink sink("stalloc_trace_gen", json_path);
 
   Trace trace;
   if (!serve_scenario.empty()) {
     ServeTraceResult serve =
         BuildServeTrace(ModelByName(model_name), ScenarioByName(serve_scenario), EngineConfig{},
                         seed);
-    std::fprintf(report, "%s\n", serve.stats.ToString().c_str());
+    sink.Printf("%s\n", serve.stats.ToString().c_str());
     trace = std::move(serve.trace);
   } else {
     const int saved_vpp = config.parallel.vpp_chunks;
@@ -224,36 +107,32 @@ int main(int argc, char** argv) {
     return 1;
   }
   TraceStats stats = ComputeStats(trace);
-  std::fprintf(report, "wrote %s: %zu events\n%s", out.c_str(), trace.size(),
-               stats.ToString().c_str());
+  sink.Printf("wrote %s: %zu events\n%s", out.c_str(), trace.size(), stats.ToString().c_str());
   if (capacity > 0) {
-    std::fprintf(report, "capacity check: peak %llu of %llu bytes — %s\n",
-                 static_cast<unsigned long long>(stats.peak_allocated),
-                 static_cast<unsigned long long>(capacity),
-                 stats.peak_allocated <= capacity ? "feasible" : "INFEASIBLE");
+    sink.Printf("capacity check: peak %llu of %llu bytes — %s\n",
+                static_cast<unsigned long long>(stats.peak_allocated),
+                static_cast<unsigned long long>(capacity),
+                stats.peak_allocated <= capacity ? "feasible" : "INFEASIBLE");
   }
-  if (!json_path.empty()) {
-    const bool serving = !serve_scenario.empty();
-    const std::string shape =
-        serving ? serve_scenario
-                : StrFormat("%s pp%d tp%d dp%d mb%llu x%d rank%d", tag.c_str(),
-                            config.parallel.pp, config.parallel.tp, config.parallel.dp,
-                            static_cast<unsigned long long>(config.micro_batch_size),
-                            config.num_microbatches, config.rank);
-    const std::string json = StatsJson(serving ? "serve" : "train", model_name, shape, seed,
-                                       stats, capacity);
-    if (json_path == "-") {
-      std::fputs(json.c_str(), stdout);
-    } else {
-      std::FILE* f = std::fopen(json_path.c_str(), "w");
-      if (f == nullptr) {
-        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
-        return 1;
-      }
-      std::fputs(json.c_str(), f);
-      std::fclose(f);
-      std::printf("wrote %s\n", json_path.c_str());
-    }
+
+  const bool serving = !serve_scenario.empty();
+  const std::string shape =
+      serving ? serve_scenario
+              : StrFormat("%s pp%d tp%d dp%d mb%llu x%d rank%d", tag.c_str(),
+                          config.parallel.pp, config.parallel.tp, config.parallel.dp,
+                          static_cast<unsigned long long>(config.micro_batch_size),
+                          config.num_microbatches, config.rank);
+  sink.Meta("source", serving ? "serve" : "train");
+  sink.Meta("model", model_name);
+  sink.Meta("shape", shape);
+  sink.Meta("seed", seed);
+  sink.Meta("stats", ToJson(stats));
+  if (capacity > 0) {
+    sink.Meta("capacity_bytes", capacity);
+    sink.Meta("feasible", stats.peak_allocated <= capacity);
+  } else {
+    sink.Meta("capacity_bytes", nullptr);
+    sink.Meta("feasible", nullptr);
   }
-  return 0;
+  return sink.Finish();
 }
