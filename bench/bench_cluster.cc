@@ -4,15 +4,20 @@
 // the device or never gets there, and the allocator decides how much of the fleet's capacity
 // fragmentation eats. Runs through the unified Session/ExperimentSpec API.
 //
-// Two scenarios run:
+// Three scenarios run:
 //   * mixed     — a day of interleaved training jobs and serving instances on 2- and 4-device
 //                 fleets, for every policy x allocator cell;
 //   * oversized — the admission acid test: a training job whose activation-heavy footprint
 //                 exceeds every device. first-fit admits it on the naive model-size estimate and
 //                 it OOMs at runtime; plan-aware predicts the reservation from the profiled
-//                 trace and rejects it up front (requeue-or-reject vs never-admit).
+//                 trace and rejects it up front (requeue-or-reject vs never-admit);
+//   * scale     — (opt-in via --scale-devices) one multi-day diurnal workload on a large fleet,
+//                 swept over --workers. Reports wall_seconds / throughput / speedup per worker
+//                 count and FAILS the bench if any digest diverges from the serial run — the
+//                 sharded fleet's bit-identity contract, enforced at bench scale.
 //
 //   bench_cluster [--seed N] [--jobs N] [--json FILE]   ("-" writes JSON to stdout)
+//                 [--scale-devices N] [--scale-jobs N] [--workers N,N,...]
 
 #include <algorithm>
 #include <cstdint>
@@ -135,6 +140,131 @@ Scenario RunOversized(Session& session, uint64_t seed) {
   return scenario;
 }
 
+// --- scale scenario: one big diurnal fleet, swept over worker counts ---
+
+// A multi-day arrival process: jobs spread over ~two diurnal periods with a strong day/night
+// wave and zero-gap ties allowed — the workload shape the sharded fleet exists for.
+ClusterWorkloadConfig ScaleWorkload(int jobs) {
+  ClusterWorkloadConfig config;
+  config.num_jobs = jobs;
+  config.train_fraction = 0.5;
+  config.mean_interarrival = std::max<uint64_t>(1, 2 * 86400 / std::max(jobs, 1));
+  config.min_interarrival = 0;
+  config.diurnal_amplitude = 0.8;
+  config.diurnal_period = 86400;
+  config.micro_batches = {1, 2};
+  config.num_microbatches = 2;
+  config.max_pp = 2;
+  config.min_iterations = 1;
+  config.max_iterations = 2;
+  config.serve_requests = 32;
+  config.kv_budget_bytes = 2 * GiB;
+  return config;
+}
+
+struct SweepPoint {
+  int workers = 0;
+  RunRecord record;
+  double speedup = 1.0;  // serial wall_seconds / this wall_seconds
+};
+
+struct ScaleScenario {
+  int devices = 0;
+  int jobs = 0;
+  uint64_t seed = 0;
+  std::vector<SweepPoint> sweep;
+  bool digests_agree = true;
+};
+
+ScaleScenario RunScale(Session& session, uint64_t seed, int devices, int jobs,
+                       const std::vector<int>& worker_counts) {
+  ScaleScenario scenario;
+  scenario.devices = devices;
+  scenario.jobs = jobs;
+  scenario.seed = seed;
+  const std::vector<ClusterJob> queue = GenerateClusterWorkload(ScaleWorkload(jobs), seed);
+
+  ExperimentSpec spec;
+  spec.axis = WorkloadAxis::kCluster;
+  spec.devices = devices;
+  spec.policy = "first-fit";
+  spec.oom_retries = 1;
+  spec.options.capacity_bytes = 16 * GiB;
+  spec.options.run_seed = seed;
+
+  for (int workers : worker_counts) {
+    SweepPoint point;
+    point.workers = workers;
+    spec.workers = workers;
+    point.record = session.RunClusterJobs(spec, "torch-caching", queue);
+    scenario.sweep.push_back(std::move(point));
+  }
+  if (!scenario.sweep.empty()) {
+    const ClusterResult& base = *scenario.sweep.front().record.cluster;
+    const std::string want = base.Digest();
+    for (SweepPoint& point : scenario.sweep) {
+      const ClusterResult& r = *point.record.cluster;
+      point.speedup = r.wall_seconds > 0 ? base.wall_seconds / r.wall_seconds : 1.0;
+      if (r.Digest() != want) {
+        scenario.digests_agree = false;
+      }
+    }
+  }
+  return scenario;
+}
+
+void PrintScale(const ScaleScenario& scenario, ReportSink& sink) {
+  sink.Printf("Cluster — scale scenario: %d devices, %d jobs over a diurnal multi-day queue "
+              "(seed %llu)\n\n",
+              scenario.devices, scenario.jobs,
+              static_cast<unsigned long long>(scenario.seed));
+  TextTable table({"workers", "wall (s)", "Mops/s", "speedup", "completed", "ooms", "digest"});
+  for (const SweepPoint& point : scenario.sweep) {
+    const ClusterResult& r = *point.record.cluster;
+    const double mops = r.wall_seconds > 0
+                            ? static_cast<double>(r.ops_replayed) / r.wall_seconds / 1e6
+                            : 0.0;
+    table.AddRow({point.workers <= 1 ? "serial" : StrFormat("%d", point.workers),
+                  StrFormat("%.3f", r.wall_seconds), StrFormat("%.2f", mops),
+                  StrFormat("%.2fx", point.speedup),
+                  StrFormat("%llu/%llu", static_cast<unsigned long long>(r.completed),
+                            static_cast<unsigned long long>(r.num_jobs)),
+                  StrFormat("%llu", static_cast<unsigned long long>(r.oom_events)),
+                  r.Digest()});
+  }
+  sink.Print(table);
+  sink.Printf("%s\n", scenario.digests_agree
+                          ? "digest parity: all worker counts bit-identical"
+                          : "DIGEST MISMATCH: parallel execution diverged from serial");
+}
+
+Json ScaleJson(const ScaleScenario& scenario) {
+  Json j = Json::Object();
+  j.Set("scenario", "scale");
+  j.Set("devices", scenario.devices);
+  j.Set("jobs", scenario.jobs);
+  j.Set("seed", scenario.seed);
+  j.Set("digests_agree", scenario.digests_agree);
+  Json sweep = Json::Array();
+  for (const SweepPoint& point : scenario.sweep) {
+    const ClusterResult& r = *point.record.cluster;
+    Json p = Json::Object();
+    p.Set("workers", point.workers);
+    p.Set("wall_seconds", r.wall_seconds);
+    p.Set("ops_per_sec",
+          r.wall_seconds > 0 ? static_cast<double>(r.ops_replayed) / r.wall_seconds : 0.0);
+    p.Set("speedup", point.speedup);
+    p.Set("ops_replayed", r.ops_replayed);
+    p.Set("completed", r.completed);
+    p.Set("rejected_oom", r.rejected_oom);
+    p.Set("oom_events", r.oom_events);
+    p.Set("digest", r.Digest());
+    sweep.Add(std::move(p));
+  }
+  j.Set("sweep", std::move(sweep));
+  return j;
+}
+
 void PrintScenario(const Scenario& scenario, ReportSink& sink) {
   sink.Printf("Cluster — %s scenario (seed %llu)\n\n", scenario.name.c_str(),
               static_cast<unsigned long long>(scenario.seed));
@@ -179,10 +309,19 @@ int main(int argc, char** argv) {
   std::string json_path;
   uint64_t seed = 42;
   int jobs = 0;
+  int scale_devices = 0;
+  int scale_jobs = 0;
+  std::vector<std::string> worker_list;
   FlagParser flags("bench_cluster",
                    "Scheduler policy x allocator x fleet size over a mixed train+serve day.");
   flags.Add("--seed", &seed, "N", "cluster workload seed");
   flags.Add("--jobs", &jobs, "N", "override the mixed day's job count (smaller = faster)");
+  flags.Add("--scale-devices", &scale_devices, "N",
+            "run the scale scenario on an N-device fleet (0 = skip)");
+  flags.Add("--scale-jobs", &scale_jobs, "N",
+            "scale scenario job count (default 3 jobs per 2 devices)");
+  flags.AddList("--workers", &worker_list, "N[,N...]",
+                "scale-scenario worker counts to sweep (default 0,4; 0 = serial)");
   flags.Add("--json", &json_path, "FILE", "machine-readable summary ('-' = stdout)");
   if (!flags.Parse(argc, argv)) {
     return 2;
@@ -193,6 +332,13 @@ int main(int argc, char** argv) {
       return 2;
     }
     g_mixed_jobs = jobs;
+  }
+  std::vector<int> worker_counts;
+  for (const std::string& w : worker_list) {
+    worker_counts.push_back(std::atoi(w.c_str()));
+  }
+  if (worker_counts.empty()) {
+    worker_counts = {0, 4};
   }
 
   Session session;
@@ -212,6 +358,16 @@ int main(int argc, char** argv) {
     PrintScenario(scenario, sink);
     scenarios_json.Add(ScenarioJson(scenario));
   }
+
+  bool digests_agree = true;
+  if (scale_devices > 0) {
+    const int n_jobs = scale_jobs > 0 ? scale_jobs : scale_devices * 3 / 2;
+    const ScaleScenario scale = RunScale(session, seed, scale_devices, n_jobs, worker_counts);
+    PrintScale(scale, sink);
+    scenarios_json.Add(ScaleJson(scale));
+    digests_agree = scale.digests_agree;
+  }
   sink.Meta("scenarios", std::move(scenarios_json));
-  return sink.Finish();
+  const int rc = sink.Finish();
+  return digests_agree ? rc : 1;
 }

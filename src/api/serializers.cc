@@ -73,6 +73,9 @@ Json ToJson(const ClusterResult& result) {
   j.Set("fleet_avg_utilization", result.fleet_avg_utilization);
   j.Set("serving_jobs", result.serving_jobs);
   j.Set("serve_slo_attainment", result.serve_slo_attainment);
+  j.Set("ops_replayed", result.ops_replayed);
+  j.Set("wall_seconds", result.wall_seconds);
+  j.Set("digest", result.Digest());
   Json devices = Json::Array();
   for (const DeviceMetrics& m : result.devices) {
     devices.Add(ToJson(m));

@@ -78,7 +78,8 @@ std::string ExperimentSpec::Variant() const {
     case WorkloadAxis::kServing:
       return scenario;
     case WorkloadAxis::kCluster:
-      return StrFormat("%s %ddev", policy.c_str(), devices);
+      return workers > 1 ? StrFormat("%s %ddev w%d", policy.c_str(), devices, workers)
+                         : StrFormat("%s %ddev", policy.c_str(), devices);
     case WorkloadAxis::kCount:
       break;
   }
@@ -245,6 +246,9 @@ bool Session::Validate(const ExperimentSpec& spec, std::string* error) {
     if (spec.oom_retries < 0) {
       return fail("oom_retries must be >= 0");
     }
+    if (spec.workers < 0) {
+      return fail("workers must be >= 0");
+    }
   }
   if (!spec.config_tag.empty()) {
     bool known_tag = false;
@@ -355,6 +359,7 @@ RunRecord Session::RunClusterJobs(const ExperimentSpec& spec, const std::string&
   fleet.max_oom_retries = spec.oom_retries;
   fleet.profile_seed = spec.options.profile_seed;
   fleet.allocator_options = spec.options;  // only the AllocatorOptions overrides are read
+  fleet.workers = spec.workers;
 
   FillFromCluster(RunCluster(fleet, jobs), &rec);
   return rec;

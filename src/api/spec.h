@@ -61,6 +61,8 @@ struct ExperimentSpec {
   std::string policy = "plan-aware";  // scheduler policy name (SchedulerPolicyByName)
   int devices = 4;                    // fleet size; every device gets options.capacity_bytes
   int oom_retries = 1;                // requeues after a runtime OOM before rejecting
+  int workers = 0;                    // parallel shard-stepping threads (0/1 = serial);
+                                      // results are bit-identical across worker counts
 
   // --- allocator set: registry names, each run independently ---
   std::vector<std::string> allocators = {"torch-caching"};

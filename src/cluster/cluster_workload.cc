@@ -1,5 +1,6 @@
 #include "src/cluster/cluster_workload.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <string>
@@ -14,12 +15,26 @@ namespace stalloc {
 
 namespace {
 
-// Exponential inter-arrival sample with the given mean, floored to >= 1 tick so submissions
-// stay strictly ordered events.
-uint64_t SampleInterarrival(Rng& rng, double mean) {
+// Exponential inter-arrival sample with the given mean, floored to `min_gap` ticks. A zero
+// floor permits same-tick submissions; the queue stays totally ordered by (submit_time, id).
+uint64_t SampleInterarrival(Rng& rng, double mean, uint64_t min_gap) {
   const double u = rng.NextDouble();
   const double gap = -mean * std::log(1.0 - u);
-  return gap < 1.0 ? 1 : static_cast<uint64_t>(gap);
+  const double floor_gap = static_cast<double>(min_gap);
+  return gap < floor_gap ? min_gap : static_cast<uint64_t>(gap);
+}
+
+// The instantaneous mean gap under diurnal modulation: base rate scaled by
+// 1 + A*sin(2*pi*t/P), clamped away from zero so the night trough stays finite.
+double DiurnalMeanAt(const ClusterWorkloadConfig& config, uint64_t t) {
+  if (config.diurnal_amplitude == 0 || config.diurnal_period == 0) {
+    return config.mean_interarrival;
+  }
+  const double phase = 2.0 * 3.14159265358979323846 * static_cast<double>(t) /
+                       static_cast<double>(config.diurnal_period);
+  const double rate_factor =
+      std::max(0.05, 1.0 + config.diurnal_amplitude * std::sin(phase));
+  return config.mean_interarrival / rate_factor;
 }
 
 template <typename T>
@@ -60,7 +75,7 @@ std::vector<ClusterJob> GenerateClusterWorkload(const ClusterWorkloadConfig& con
   jobs.reserve(static_cast<size_t>(config.num_jobs));
   uint64_t t = 0;
   for (int i = 0; i < config.num_jobs; ++i) {
-    t += SampleInterarrival(rng, config.mean_interarrival);
+    t += SampleInterarrival(rng, DiurnalMeanAt(config, t), config.min_interarrival);
     ClusterJob job;
     job.id = static_cast<uint64_t>(i);
     job.submit_time = t;

@@ -53,6 +53,14 @@ struct ClusterWorkloadConfig {
   int num_jobs = 12;
   double train_fraction = 0.5;       // probability a job is a training job
   double mean_interarrival = 1500;   // cluster ticks between submissions (exponential)
+  // Floor on sampled inter-arrival gaps. The default keeps submissions strictly ordered;
+  // 0 allows same-tick submissions — ties are then totally ordered by (submit_time, id).
+  uint64_t min_interarrival = 1;
+  // Diurnal arrival-rate modulation: rate(t) = base * (1 + amplitude * sin(2*pi*t/period)).
+  // amplitude 0 (or period 0) keeps the flat Poisson process. Multi-day serving workloads set
+  // period to one simulated day and run several periods.
+  double diurnal_amplitude = 0;
+  uint64_t diurnal_period = 0;
   std::string model = "gpt2";
 
   // Training shape ranges, sampled uniformly per job.

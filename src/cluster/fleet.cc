@@ -1,496 +1,16 @@
 #include "src/cluster/fleet.h"
 
-#include <algorithm>
 #include <cstdint>
-#include <deque>
-#include <limits>
-#include <memory>
-#include <optional>
+#include <cstring>
 #include <string>
-#include <utility>
+#include <tuple>
 #include <vector>
 
+#include "src/cluster/sharded_fleet.h"
 #include "src/common/check.h"
 #include "src/common/table.h"
-#include "src/common/units.h"
-#include "src/gpu/sim_device.h"
-#include "src/replay/replay_engine.h"
-#include "src/trainsim/model_config.h"
-#include "src/trainsim/workload.h"
 
 namespace stalloc {
-
-namespace {
-
-constexpr uint64_t kNever = std::numeric_limits<uint64_t>::max();
-
-struct DeviceState {
-  std::unique_ptr<SimDevice> device;
-  std::unique_ptr<Allocator> alloc;
-  uint64_t claimed = 0;  // sum of resident placements' admission estimates
-
-  // Utilization is integrated exactly (on every op); external fragmentation is sampled at
-  // scheduling events (arrival / completion / abort) and time-weighted between samples.
-  uint64_t last_util_time = 0;
-  double util_integral = 0;  // bytes * ticks
-  uint64_t last_frag_time = 0;
-  double frag_value = 0;
-  double frag_integral = 0;
-  double peak_frag = 0;
-  uint64_t peak_used = 0;
-  uint64_t placements = 0;
-};
-
-struct JobState {
-  const ClusterJob* spec = nullptr;
-  JobOutcome outcome;
-  ModelConfig model;
-  std::vector<Trace> traces;       // one per rank
-  std::vector<uint64_t> estimates; // per-rank admission estimate
-  ServeSimStats serve_stats;       // serving jobs only
-  int live_ranks = 0;
-};
-
-// Rank-placement bookkeeping, indexed by engine source id (source ids are dense and append-only;
-// every admission — including post-OOM re-admissions — adds fresh sources).
-struct SourceInfo {
-  size_t job = 0;
-  int rank = 0;
-  int device = 0;
-  uint64_t estimate = 0;
-};
-
-double Percentile(std::vector<double> values, double p) {
-  if (values.empty()) {
-    return 0;
-  }
-  std::sort(values.begin(), values.end());
-  const size_t rank = static_cast<size_t>(p * static_cast<double>(values.size() - 1) + 0.5);
-  return values[std::min(rank, values.size() - 1)];
-}
-
-class ClusterSim;
-
-// The fleet's replay observer: the shared requeue-or-reject OOM policy of the engine layer,
-// with re-admission routed through the cluster Scheduler instead of the default park-and-retry.
-class FleetObserver final : public OomPolicyObserver {
- public:
-  FleetObserver(ClusterSim* sim, int max_oom_retries)
-      : OomPolicyObserver(OomPolicy::kRequeue, max_oom_retries), sim_(sim) {}
-
-  void BeforeOp(ReplayEngine& engine, const ReplayOpView& op) override;
-  void AfterMalloc(ReplayEngine& engine, const ReplayOpView& op, uint64_t addr) override;
-  void AfterFree(ReplayEngine& engine, const ReplayOpView& op, uint64_t addr) override;
-  void OnSourceAborted(ReplayEngine& engine, size_t source, uint64_t now) override;
-  void OnSourceDone(ReplayEngine& engine, size_t source, uint64_t now) override;
-
- protected:
-  void RequeueTenant(ReplayEngine& engine, uint64_t tenant, uint64_t now) override;
-  void RejectTenant(ReplayEngine& engine, uint64_t tenant, uint64_t now) override;
-
- private:
-  ClusterSim* sim_;
-};
-
-class ClusterSim {
- public:
-  ClusterSim(const FleetConfig& config, const std::vector<ClusterJob>& specs)
-      : config_(config),
-        scheduler_(MakeScheduler(config.policy)),
-        observer_(this, config.max_oom_retries),
-        engine_(&observer_) {
-    STALLOC_CHECK(!config.device_capacities.empty(), << "fleet needs at least one device");
-    devices_.reserve(config.device_capacities.size());
-    for (uint64_t capacity : config.device_capacities) {
-      DeviceState d;
-      d.device = std::make_unique<SimDevice>(capacity);
-      d.alloc = MakeBaselineAllocator(config.allocator, d.device.get(),
-                                      config.allocator_options);
-      STALLOC_CHECK(d.alloc != nullptr,
-                    << "allocator kind '" << AllocatorKindName(config.allocator)
-                    << "' cannot front a shared fleet device (STAlloc kinds need a per-job "
-                       "plan; see ClusterAllocatorKinds())");
-      devices_.push_back(std::move(d));
-    }
-    jobs_.reserve(specs.size());
-    for (const ClusterJob& spec : specs) {
-      JobState job;
-      job.spec = &spec;
-      job.outcome.id = spec.id;
-      job.outcome.type = spec.type;
-      job.outcome.submit_time = spec.submit_time;
-      jobs_.push_back(std::move(job));
-    }
-  }
-
-  ClusterResult Run() {
-    size_t next_arrival = 0;
-    while (true) {
-      const uint64_t t_arr =
-          next_arrival < jobs_.size() ? jobs_[next_arrival].spec->submit_time : kNever;
-      const uint64_t t_op = engine_.NextOpTime();  // kNoPendingOp == kNever
-      if (t_arr == kNever && t_op == kNever) {
-        break;
-      }
-      if (t_arr <= t_op) {
-        now_ = t_arr;
-        while (next_arrival < jobs_.size() &&
-               jobs_[next_arrival].spec->submit_time == now_) {
-          Submit(next_arrival++);
-        }
-        SampleFrag();
-        SchedulePass();
-        continue;
-      }
-      engine_.Step();
-      now_ = std::max(now_, engine_.now());
-    }
-    // Whatever is still queued can no longer be unblocked: no running job, no future arrival.
-    for (size_t idx : queue_) {
-      jobs_[idx].outcome.status = JobStatus::kStarved;
-      jobs_[idx].outcome.finish_time = now_;
-    }
-    queue_.clear();
-    return Finalize();
-  }
-
- private:
-  friend class FleetObserver;
-
-  void AdvanceUtil(DeviceState& d) {
-    d.util_integral += static_cast<double>(d.device->physical_used()) *
-                       static_cast<double>(now_ - d.last_util_time);
-    d.last_util_time = now_;
-  }
-
-  static double CurrentFrag(const DeviceState& d) {
-    const uint64_t free_total = d.device->classic_free_total();
-    if (free_total == 0) {
-      return 0;
-    }
-    return 1.0 - static_cast<double>(d.device->classic_largest_free()) /
-                     static_cast<double>(free_total);
-  }
-
-  void SampleFrag() {
-    for (DeviceState& d : devices_) {
-      d.frag_integral += d.frag_value * static_cast<double>(now_ - d.last_frag_time);
-      d.frag_value = CurrentFrag(d);
-      d.peak_frag = std::max(d.peak_frag, d.frag_value);
-      d.last_frag_time = now_;
-    }
-  }
-
-  // Builds the job's traces and per-policy admission estimates; decides up-front rejection.
-  // Called once, at submission.
-  void Submit(size_t idx) {
-    JobState& job = jobs_[idx];
-    const ClusterJob& spec = *job.spec;
-    job.model = ModelByName(spec.model);
-    const bool plan_aware = config_.policy == SchedulerPolicy::kPlanAware;
-    if (spec.type == ClusterJobType::kTraining) {
-      TrainConfig per_rank = spec.train;
-      for (int rank = 0; rank < spec.train.parallel.pp; ++rank) {
-        per_rank.rank = rank;
-        WorkloadBuilder workload(job.model, per_rank);
-        job.traces.push_back(workload.Build(spec.seed));
-        job.estimates.push_back(plan_aware
-                                    ? PlanPredictedReservation(workload.Build(config_.profile_seed))
-                                    : NaiveTrainingEstimate(job.model, spec.train, rank));
-      }
-    } else {
-      ServeTraceResult run = BuildServeTrace(job.model, spec.scenario, spec.engine, spec.seed);
-      job.serve_stats = std::move(run.stats);
-      job.traces.push_back(std::move(run.trace));
-      if (plan_aware) {
-        ServeTraceResult profile =
-            BuildServeTrace(job.model, spec.scenario, spec.engine, config_.profile_seed);
-        job.estimates.push_back(PlanPredictedReservation(profile.trace));
-      } else {
-        job.estimates.push_back(NaiveServingEstimate(job.model, spec.engine));
-      }
-    }
-    job.outcome.estimate = *std::max_element(job.estimates.begin(), job.estimates.end());
-
-    uint64_t max_capacity = 0;
-    for (const DeviceState& d : devices_) {
-      max_capacity = std::max(max_capacity, d.device->capacity());
-    }
-    if (job.traces.size() > devices_.size() || job.outcome.estimate > max_capacity) {
-      job.outcome.status = JobStatus::kRejectedUpfront;
-      job.outcome.finish_time = now_;
-      return;
-    }
-    queue_.push_back(idx);
-  }
-
-  std::vector<DeviceView> BuildViews() const {
-    std::vector<DeviceView> views;
-    views.reserve(devices_.size());
-    for (size_t d = 0; d < devices_.size(); ++d) {
-      DeviceView v;
-      v.index = static_cast<int>(d);
-      v.capacity = devices_[d].device->capacity();
-      v.claimed = devices_[d].claimed;
-      v.physical_used = devices_[d].device->physical_used();
-      views.push_back(v);
-    }
-    return views;
-  }
-
-  // FCFS with backfill: scan the queue in order, admit every job that fits right now; restart
-  // after each admission because claims changed.
-  void SchedulePass() {
-    if (admitting_) {
-      return;  // a zero-op source completing inside Admit must not recurse into scheduling
-    }
-    bool progress = true;
-    while (progress) {
-      progress = false;
-      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-        JobState& job = jobs_[*it];
-        auto placed = scheduler_->Place(job.estimates, BuildViews());
-        if (placed.has_value()) {
-          Admit(*it, *placed);
-          queue_.erase(it);
-          progress = true;
-          break;
-        }
-      }
-    }
-  }
-
-  // Hands every rank of the job to the replay engine as one tenant gang — one source per rank,
-  // each feeding its device's shared allocator.
-  void Admit(size_t idx, const std::vector<int>& chosen) {
-    JobState& job = jobs_[idx];
-    ++job.outcome.attempts;
-    if (job.outcome.attempts == 1) {
-      job.outcome.admit_time = now_;
-      job.outcome.queue_wait = static_cast<double>(now_ - job.outcome.submit_time);
-    } else {
-      ++requeue_admissions_;
-    }
-    job.outcome.devices = chosen;
-    job.live_ranks = static_cast<int>(job.traces.size());
-    admitting_ = true;
-    for (size_t rank = 0; rank < job.traces.size(); ++rank) {
-      DeviceState& dev = devices_[static_cast<size_t>(chosen[rank])];
-      dev.claimed += job.estimates[rank];
-      ++dev.placements;
-
-      SourceInfo info;
-      info.job = idx;
-      info.rank = static_cast<int>(rank);
-      info.device = chosen[rank];
-      info.estimate = job.estimates[rank];
-      source_info_.push_back(info);
-
-      ReplaySource src;
-      src.trace = &job.traces[rank];
-      src.alloc = dev.alloc.get();
-      src.start = now_;
-      src.iterations = job.spec->type == ClusterJobType::kTraining ? job.spec->iterations : 1;
-      src.tenant = idx;
-      const size_t sid = engine_.AddSource(src);
-      STALLOC_CHECK_EQ(sid, source_info_.size() - 1);
-    }
-    admitting_ = false;
-  }
-
-  // A rank finished or was unwound: release its claim and record its peak.
-  void ReleaseRank(size_t source, uint64_t now) {
-    now_ = std::max(now_, now);
-    const SourceInfo& info = source_info_[source];
-    DeviceState& dev = devices_[static_cast<size_t>(info.device)];
-    AdvanceUtil(dev);
-    dev.claimed -= info.estimate;
-    JobState& job = jobs_[info.job];
-    job.outcome.actual_peak =
-        std::max(job.outcome.actual_peak, engine_.progress(source).peak_live_bytes);
-    --job.live_ranks;
-  }
-
-  void FinishRank(size_t source, uint64_t now) {
-    ReleaseRank(source, now);
-    JobState& job = jobs_[source_info_[source].job];
-    if (job.live_ranks == 0) {
-      job.outcome.status = JobStatus::kCompleted;
-      job.outcome.finish_time = now_;
-      if (job.spec->type == ClusterJobType::kServing) {
-        // Cluster queue wait delays every request of the instance: convert ticks to engine
-        // steps through the trace's own tick density and fold it into the latency model.
-        const double ticks_per_step =
-            job.serve_stats.engine_steps > 0
-                ? static_cast<double>(job.traces[0].end_time()) /
-                      static_cast<double>(job.serve_stats.engine_steps)
-                : 1.0;
-        ServeSloOptions slo;
-        slo.slack_factor = config_.slo_slack_factor;
-        slo.extra_latency_steps = job.outcome.queue_wait / ticks_per_step;
-        job.outcome.slo_attainment =
-            EstimateServeSlo(job.model, config_.gpu, job.serve_stats, slo).attainment;
-      }
-    }
-    if (!admitting_) {
-      SampleFrag();
-      SchedulePass();
-    }
-  }
-
-  void RequeueJob(size_t idx) {
-    JobState& job = jobs_[idx];
-    job.outcome.oom_count = observer_.oom_count(idx);
-    queue_.push_back(idx);
-    SampleFrag();
-    SchedulePass();
-  }
-
-  void RejectJob(size_t idx) {
-    JobState& job = jobs_[idx];
-    job.outcome.oom_count = observer_.oom_count(idx);
-    job.outcome.status = JobStatus::kRejectedOom;
-    job.outcome.finish_time = now_;
-    SampleFrag();
-    SchedulePass();
-  }
-
-  ClusterResult Finalize() {
-    for (DeviceState& d : devices_) {
-      AdvanceUtil(d);
-    }
-    SampleFrag();
-
-    ClusterResult result;
-    result.policy = config_.policy;
-    result.allocator = config_.allocator;
-    result.num_jobs = jobs_.size();
-    result.makespan = now_;
-    result.oom_events = engine_.result().oom_events;
-    result.requeues = requeue_admissions_;
-
-    double util_sum = 0;
-    double capacity_ticks = 0;
-    for (const DeviceState& d : devices_) {
-      DeviceMetrics m;
-      m.capacity = d.device->capacity();
-      m.peak_used = d.peak_used;
-      if (now_ > 0) {
-        m.avg_utilization = d.util_integral / (static_cast<double>(m.capacity) *
-                                               static_cast<double>(now_));
-        m.avg_external_frag = d.frag_integral / static_cast<double>(now_);
-      }
-      m.peak_external_frag = d.peak_frag;
-      m.placements = d.placements;
-      m.oom_events = d.alloc->stats().num_oom;
-      m.memory_efficiency = d.alloc->stats().MemoryEfficiency();
-      m.bytes_moved = d.alloc->stats().bytes_allocated_total;
-      m.device_api_calls = d.device->counters().TotalCalls();
-      m.device_api_cost_us = d.device->counters().total_cost_us;
-      util_sum += d.util_integral;
-      capacity_ticks += static_cast<double>(m.capacity) * static_cast<double>(now_);
-      result.devices.push_back(m);
-    }
-    result.fleet_avg_utilization = capacity_ticks > 0 ? util_sum / capacity_ticks : 0;
-
-    std::vector<double> waits;
-    double slo_sum = 0;
-    for (JobState& job : jobs_) {
-      const JobOutcome& o = job.outcome;
-      if (o.attempts > 0) {
-        ++result.admitted;
-        waits.push_back(o.queue_wait);
-      }
-      switch (o.status) {
-        case JobStatus::kCompleted:
-          ++result.completed;
-          break;
-        case JobStatus::kRejectedUpfront:
-          ++result.rejected_upfront;
-          break;
-        case JobStatus::kRejectedOom:
-          ++result.rejected_oom;
-          break;
-        case JobStatus::kStarved:
-          ++result.starved;
-          break;
-        case JobStatus::kQueued:
-          break;
-      }
-      if (o.type == ClusterJobType::kServing) {
-        ++result.serving_jobs;
-        // A serving instance that never ran served nobody: it attains 0 of its SLO.
-        slo_sum += o.status == JobStatus::kCompleted && o.slo_attainment >= 0
-                       ? o.slo_attainment
-                       : 0.0;
-      }
-      result.jobs.push_back(std::move(job.outcome));
-    }
-    result.queue_wait_p50 = Percentile(waits, 0.50);
-    result.queue_wait_p90 = Percentile(waits, 0.90);
-    result.queue_wait_p99 = Percentile(waits, 0.99);
-    result.serve_slo_attainment =
-        result.serving_jobs > 0 ? slo_sum / static_cast<double>(result.serving_jobs) : 1.0;
-    return result;
-  }
-
-  const FleetConfig& config_;
-  std::unique_ptr<Scheduler> scheduler_;
-  FleetObserver observer_;
-  ReplayEngine engine_;
-  std::vector<DeviceState> devices_;
-  std::vector<JobState> jobs_;
-  std::vector<SourceInfo> source_info_;  // indexed by engine source id
-  std::deque<size_t> queue_;             // indices into jobs_, FCFS order
-  uint64_t now_ = 0;
-  uint64_t requeue_admissions_ = 0;
-  bool admitting_ = false;
-};
-
-void FleetObserver::BeforeOp(ReplayEngine& engine, const ReplayOpView& op) {
-  sim_->now_ = std::max(sim_->now_, engine.now());
-  sim_->AdvanceUtil(sim_->devices_[static_cast<size_t>(sim_->source_info_[op.source].device)]);
-}
-
-void FleetObserver::AfterMalloc(ReplayEngine& engine, const ReplayOpView& op, uint64_t addr) {
-  (void)engine;
-  (void)addr;
-  DeviceState& dev = sim_->devices_[static_cast<size_t>(sim_->source_info_[op.source].device)];
-  dev.peak_used = std::max(dev.peak_used, dev.device->physical_used());
-}
-
-void FleetObserver::AfterFree(ReplayEngine& engine, const ReplayOpView& op, uint64_t addr) {
-  (void)engine;
-  (void)addr;
-  DeviceState& dev = sim_->devices_[static_cast<size_t>(sim_->source_info_[op.source].device)];
-  dev.peak_used = std::max(dev.peak_used, dev.device->physical_used());
-}
-
-void FleetObserver::OnSourceAborted(ReplayEngine& engine, size_t source, uint64_t now) {
-  (void)engine;
-  sim_->ReleaseRank(source, now);
-}
-
-void FleetObserver::OnSourceDone(ReplayEngine& engine, size_t source, uint64_t now) {
-  (void)engine;
-  sim_->FinishRank(source, now);
-}
-
-void FleetObserver::RequeueTenant(ReplayEngine& engine, uint64_t tenant, uint64_t now) {
-  (void)engine;
-  (void)now;
-  CountRequeue();
-  sim_->RequeueJob(static_cast<size_t>(tenant));
-}
-
-void FleetObserver::RejectTenant(ReplayEngine& engine, uint64_t tenant, uint64_t now) {
-  (void)engine;
-  (void)now;
-  CountRejected();
-  sim_->RejectJob(static_cast<size_t>(tenant));
-}
-
-}  // namespace
 
 std::vector<AllocatorKind> ClusterAllocatorKinds() {
   std::vector<AllocatorKind> kinds;
@@ -530,13 +50,105 @@ std::string ClusterResult::Summary() const {
       serve_slo_attainment, queue_wait_p50, queue_wait_p99);
 }
 
-ClusterResult RunCluster(const FleetConfig& config, const std::vector<ClusterJob>& jobs) {
-  for (size_t i = 1; i < jobs.size(); ++i) {
-    STALLOC_CHECK(jobs[i - 1].submit_time <= jobs[i].submit_time,
-                  << "cluster jobs must be sorted by submit_time");
+namespace {
+
+// FNV-1a 64-bit over a canonical field walk. Doubles are hashed by bit pattern, so the digest
+// detects any FP divergence, not just "visibly different" values.
+class ResultHasher {
+ public:
+  void Mix(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (v >> (8 * i)) & 0xffu;
+      hash_ *= 1099511628211ull;
+    }
   }
-  ClusterSim sim(config, jobs);
-  return sim.Run();
+  void MixDouble(double d) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(d), "double must be 64-bit");
+    std::memcpy(&bits, &d, sizeof(bits));
+    Mix(bits);
+  }
+  std::string Hex() const {
+    static const char* kDigits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 0; i < 16; ++i) {
+      out[static_cast<size_t>(i)] = kDigits[(hash_ >> (60 - 4 * i)) & 0xfu];
+    }
+    return out;
+  }
+
+ private:
+  uint64_t hash_ = 1469598103934665603ull;
+};
+
+}  // namespace
+
+std::string ClusterResult::Digest() const {
+  ResultHasher h;
+  h.Mix(static_cast<uint64_t>(policy));
+  h.Mix(static_cast<uint64_t>(allocator));
+  h.Mix(num_jobs);
+  h.Mix(admitted);
+  h.Mix(completed);
+  h.Mix(rejected_upfront);
+  h.Mix(rejected_oom);
+  h.Mix(starved);
+  h.Mix(oom_events);
+  h.Mix(requeues);
+  h.Mix(makespan);
+  h.MixDouble(queue_wait_p50);
+  h.MixDouble(queue_wait_p90);
+  h.MixDouble(queue_wait_p99);
+  h.MixDouble(fleet_avg_utilization);
+  h.Mix(serving_jobs);
+  h.MixDouble(serve_slo_attainment);
+  h.Mix(ops_replayed);
+  h.Mix(devices.size());
+  for (const DeviceMetrics& m : devices) {
+    h.Mix(m.capacity);
+    h.Mix(m.peak_used);
+    h.MixDouble(m.avg_utilization);
+    h.MixDouble(m.avg_external_frag);
+    h.MixDouble(m.peak_external_frag);
+    h.Mix(m.placements);
+    h.Mix(m.oom_events);
+    h.MixDouble(m.memory_efficiency);
+    h.Mix(m.bytes_moved);
+    h.Mix(m.device_api_calls);
+    h.MixDouble(m.device_api_cost_us);
+  }
+  h.Mix(jobs.size());
+  for (const JobOutcome& o : jobs) {
+    h.Mix(o.id);
+    h.Mix(static_cast<uint64_t>(o.type));
+    h.Mix(static_cast<uint64_t>(o.status));
+    h.Mix(o.submit_time);
+    h.Mix(o.admit_time);
+    h.Mix(o.finish_time);
+    h.Mix(static_cast<uint64_t>(o.attempts));
+    h.Mix(static_cast<uint64_t>(o.oom_count));
+    h.Mix(o.estimate);
+    h.Mix(o.actual_peak);
+    h.Mix(o.devices.size());
+    for (int d : o.devices) {
+      h.Mix(static_cast<uint64_t>(d));
+    }
+    h.MixDouble(o.queue_wait);
+    h.MixDouble(o.slo_attainment);
+  }
+  return h.Hex();
+}
+
+ClusterResult RunCluster(const FleetConfig& config, const std::vector<ClusterJob>& jobs) {
+  // Arrival order must be total so every execution mode sees the same queue: nondecreasing
+  // (submit_time, id). Jobs tying on both are processed in vector order, which is then the
+  // caller's explicit choice.
+  for (size_t i = 1; i < jobs.size(); ++i) {
+    STALLOC_CHECK(std::tie(jobs[i - 1].submit_time, jobs[i - 1].id) <=
+                      std::tie(jobs[i].submit_time, jobs[i].id),
+                  << "cluster jobs must be sorted by (submit_time, id)");
+  }
+  return RunShardedCluster(config, jobs);
 }
 
 }  // namespace stalloc

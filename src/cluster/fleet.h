@@ -5,12 +5,13 @@
 // so fragmentation accumulates across tenants exactly as it would on a real shared GPU. A
 // Scheduler (src/cluster/scheduler.h) admits jobs from a ClusterWorkload queue; each admitted
 // job becomes one tenant gang of the unified replay engine (src/replay/replay_engine.h) — one
-// source per pipeline rank, feeding its device's shared allocator — and the engine interleaves
-// every tenant's trace ops in global time order, so co-located jobs contend for the same
-// address space. OOM handling is the engine's shared requeue-or-reject policy observer: a
-// failed malloc unwinds the whole tenant (every rank's live blocks are freed, claims released),
-// and the fleet's scheduler re-admits it up to max_oom_retries times before rejecting — the
-// discipline of production schedulers.
+// source per pipeline rank, feeding its device's shared allocator — with co-located sources
+// interleaved in time order, so co-located jobs contend for the same address space. Execution
+// is windowed and shard-parallel (src/cluster/sharded_fleet.cc): devices are partitioned into
+// shards that replay independently between scheduler boundaries, and a failed malloc parks the
+// tenant until the next boundary, where it is unwound (every rank's live blocks freed, claims
+// released) and re-admitted up to max_oom_retries times before rejection — the discipline of
+// production schedulers. Results are bit-identical across worker counts and shardings.
 //
 // STAlloc itself cannot be the *device* allocator here: its static plan is synthesized per job
 // trace, not per device, and a shared pool across unrelated tenants has no plan to follow.
@@ -41,6 +42,14 @@ struct FleetConfig {
   double slo_slack_factor = 3.0;  // SLO bound = slack * ideal request latency
   // Per-allocator overrides (gmlake_frag_limit, paged_block_bytes); capacity/seeds unused.
   ExperimentOptions allocator_options;
+
+  // Parallel execution. Results are bit-identical for every workers/shards/assignment choice
+  // (see sharded_fleet.cc); these knobs only trade wall-clock time.
+  int workers = 0;  // threads stepping shards in parallel; <= 1 runs serially, same code path
+  int shards = 0;   // device shards; 0 = one shard per device, else devices round-robin
+  // Explicit device -> shard map (size must equal device_capacities); overrides `shards`.
+  // Mainly for the determinism stress tests.
+  std::vector<int> shard_assignment;
 };
 
 // Allocator kinds that can front a shared fleet device (every baseline kind; the STAlloc kinds
@@ -105,10 +114,16 @@ struct ClusterResult {
   double fleet_avg_utilization = 0;  // capacity-weighted mean of device utilizations
   uint64_t serving_jobs = 0;
   double serve_slo_attainment = 1.0;  // mean over serving jobs; rejected/starved count as 0
+  uint64_t ops_replayed = 0;          // trace ops executed fleet-wide
+  double wall_seconds = 0;            // host time inside RunCluster (excluded from Digest)
   std::vector<DeviceMetrics> devices;
   std::vector<JobOutcome> jobs;
 
   std::string Summary() const;
+  // FNV-1a over every behavioral field (doubles by bit pattern), excluding wall_seconds. Two
+  // runs produced the same digest iff the simulation behaved identically — the determinism
+  // tests compare serial vs parallel runs through this.
+  std::string Digest() const;
 };
 
 // Runs the whole day: admits, replays and aggregates `jobs` (sorted by submit_time) over the

@@ -1,0 +1,724 @@
+// Windowed, shard-parallel cluster simulation.
+//
+// Devices are partitioned into shards, each owning one ReplayEngine over the sources placed on
+// its devices. Simulated time is cut into windows whose boundaries are *precomputable* from
+// coordinator state alone: the next job arrival and the earliest possible source completion
+// (SourceEndTime is a pure function of the admission schedule). Inside a window every shard
+// replays its own ops with no shared state — OOMs park the failing source in place
+// (OomAction::kParkSource) and completions are buffered, never acted on. At the boundary the
+// coordinator drains every shard's event buffer, merges it in the total order
+// (time, job, kind, rank), and reacts single-threaded: unwinds OOMed tenants, requeues or
+// rejects them, records completions, admits arrivals, samples fragmentation and runs one
+// scheduling pass.
+//
+// Because window edges and the merged event order are independent of which thread stepped
+// which shard, the whole ClusterResult — every integral, percentile and per-job outcome — is
+// bit-identical across worker counts and shard assignments. Serial mode (workers <= 1) is the
+// same code path with the pool degenerating to an inline loop, so the determinism tests can
+// pin serial-vs-parallel equality byte for byte.
+//
+// The semantic difference against the old purely serial fleet: an OOM's unwind used to land
+// at the failing op's tick; here it lands at the next boundary, and other sources replay their
+// ops inside the window regardless. Both are self-consistent disciplines; this one is
+// parallelizable by construction.
+
+#include "src/cluster/sharded_fleet.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/stopwatch.h"
+#include "src/common/worker_pool.h"
+#include "src/gpu/sim_device.h"
+#include "src/replay/replay_engine.h"
+#include "src/trainsim/model_config.h"
+#include "src/trainsim/workload.h"
+
+namespace stalloc {
+
+namespace {
+
+constexpr uint64_t kNever = std::numeric_limits<uint64_t>::max();
+
+struct DeviceState {
+  std::unique_ptr<SimDevice> device;
+  std::unique_ptr<Allocator> alloc;
+  int shard = 0;
+  uint64_t claimed = 0;  // sum of resident placements' admission estimates
+
+  // Utilization is integrated exactly (on every op); external fragmentation is sampled at
+  // boundaries and time-weighted between samples. During a window only the owning shard
+  // touches these fields; at boundaries only the coordinator does.
+  uint64_t last_util_time = 0;
+  double util_integral = 0;  // bytes * ticks
+  uint64_t last_frag_time = 0;
+  double frag_value = 0;
+  double frag_integral = 0;
+  double peak_frag = 0;
+  uint64_t peak_used = 0;
+  uint64_t placements = 0;
+};
+
+struct JobState {
+  const ClusterJob* spec = nullptr;
+  JobOutcome outcome;
+  ModelConfig model;
+  std::vector<Trace> traces;        // one per rank
+  std::vector<uint64_t> estimates;  // per-rank admission estimate
+  ServeSimStats serve_stats;        // serving jobs only
+  int live_ranks = 0;
+};
+
+// Rank-placement bookkeeping, one entry per shard-local engine source id. Every admission —
+// including post-OOM re-admissions — appends fresh entries in lockstep with AddSource.
+struct SourceInfo {
+  size_t job = 0;
+  int rank = 0;
+  int device = 0;  // global device index
+  uint64_t estimate = 0;
+  bool released = false;  // claim returned (completion or unwind)
+};
+
+// Events crossing the shard -> coordinator seam. Kind values double as the merge tiebreak:
+// an OOM and a completion of the same job at the same tick must abort-first, or the job would
+// read as completed and unwound at once.
+enum : uint8_t { kOomEvent = 0, kDoneEvent = 1 };
+
+struct FleetEvent {
+  uint64_t time = 0;
+  uint64_t job = 0;  // index into jobs_
+  uint8_t kind = kOomEvent;
+  int rank = 0;
+  int shard = 0;
+  size_t local_source = 0;  // shard-local engine source id
+};
+
+// The total merge order. Deliberately free of shard-local values (source ids differ between
+// shard assignments): (time, job, kind, rank) is invariant to how devices were sharded, which
+// is what makes scheduler decisions shard-assignment-independent.
+bool EventBefore(const FleetEvent& a, const FleetEvent& b) {
+  return std::tie(a.time, a.job, a.kind, a.rank) < std::tie(b.time, b.job, b.kind, b.rank);
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) {
+    return 0;
+  }
+  std::sort(values.begin(), values.end());
+  const size_t rank = static_cast<size_t>(p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(rank, values.size() - 1)];
+}
+
+class ShardedClusterSim;
+
+// Per-shard replay observer. During windows it runs on the shard's worker thread and touches
+// only shard-owned state: the shard's devices' metric fields and the shard's event buffer.
+// OnSourceAborted additionally runs at boundaries (from the coordinator's AbortTenant), where
+// everything is single-threaded.
+class ShardObserver final : public ReplayObserver {
+ public:
+  ShardObserver(ShardedClusterSim* sim, int shard) : sim_(sim), shard_(shard) {}
+
+  void BeforeOp(ReplayEngine& engine, const ReplayOpView& op) override;
+  void AfterMalloc(ReplayEngine& engine, const ReplayOpView& op, uint64_t addr) override;
+  void AfterFree(ReplayEngine& engine, const ReplayOpView& op, uint64_t addr) override;
+  OomAction OnOom(ReplayEngine& engine, const ReplayOpView& op) override;
+  void OnSourceAborted(ReplayEngine& engine, size_t source, uint64_t now) override;
+  void OnSourceDone(ReplayEngine& engine, size_t source, uint64_t now) override;
+
+ private:
+  ShardedClusterSim* sim_;
+  int shard_;
+};
+
+struct Shard {
+  std::unique_ptr<ShardObserver> observer;
+  std::unique_ptr<ReplayEngine> engine;
+  std::vector<SourceInfo> sources;  // indexed by shard-local engine source id
+  std::vector<FleetEvent> events;   // buffered during the window, drained at boundaries
+};
+
+class ShardedClusterSim {
+ public:
+  ShardedClusterSim(const FleetConfig& config, const std::vector<ClusterJob>& specs)
+      : config_(config),
+        scheduler_(MakeScheduler(config.policy)),
+        pool_(config.workers) {
+    STALLOC_CHECK(!config.device_capacities.empty(), << "fleet needs at least one device");
+    const size_t num_devices = config.device_capacities.size();
+    const std::vector<int> assignment = ResolveShardAssignment(config, num_devices);
+    int num_shards = 0;
+    for (int s : assignment) {
+      num_shards = std::max(num_shards, s + 1);
+    }
+
+    devices_.reserve(num_devices);
+    for (size_t i = 0; i < num_devices; ++i) {
+      DeviceState d;
+      d.device = std::make_unique<SimDevice>(config.device_capacities[i]);
+      d.alloc =
+          MakeBaselineAllocator(config.allocator, d.device.get(), config.allocator_options);
+      STALLOC_CHECK(d.alloc != nullptr,
+                    << "allocator kind '" << AllocatorKindName(config.allocator)
+                    << "' cannot front a shared fleet device (STAlloc kinds need a per-job "
+                       "plan; see ClusterAllocatorKinds())");
+      d.shard = assignment[i];
+      max_capacity_ = std::max(max_capacity_, d.device->capacity());
+      devices_.push_back(std::move(d));
+    }
+
+    shards_.resize(static_cast<size_t>(num_shards));
+    for (int s = 0; s < num_shards; ++s) {
+      shards_[static_cast<size_t>(s)].observer = std::make_unique<ShardObserver>(this, s);
+      shards_[static_cast<size_t>(s)].engine =
+          std::make_unique<ReplayEngine>(shards_[static_cast<size_t>(s)].observer.get());
+    }
+
+    jobs_.reserve(specs.size());
+    for (const ClusterJob& spec : specs) {
+      JobState job;
+      job.spec = &spec;
+      job.outcome.id = spec.id;
+      job.outcome.type = spec.type;
+      job.outcome.submit_time = spec.submit_time;
+      jobs_.push_back(std::move(job));
+    }
+    oomed_now_.assign(jobs_.size(), 0);
+  }
+
+  ClusterResult Run() {
+    Stopwatch timer;
+    // Trace synthesis and admission estimates are pure per-job functions — the single biggest
+    // CPU cost at fleet scale — so they fan out over the same pool as the windows. The
+    // results are identical whether built here or lazily at submission.
+    pool_.ParallelFor(jobs_.size(), [this](size_t i) { BuildJobInputs(i); });
+
+    size_t next_arrival = 0;
+    while (true) {
+      const uint64_t t_arr =
+          next_arrival < jobs_.size() ? jobs_[next_arrival].spec->submit_time : kNever;
+      uint64_t t_end = kNever;
+      for (const Shard& sh : shards_) {
+        t_end = std::min(t_end, sh.engine->MinActiveEndTime());
+      }
+      if (t_arr == kNever && t_end == kNever) {
+        // Nothing arriving and nothing active; leftover events (every source parked on OOM)
+        // still need their boundary, which may re-admit and reactivate.
+        if (!AnyBufferedEvents()) {
+          break;
+        }
+        ProcessEvents(CollectEvents());
+        BoundaryScheduleLoop();
+        continue;
+      }
+      if (t_arr <= t_end) {
+        // Arrival boundary. Arrivals at tick t are processed before ops at tick t (the
+        // historical fleet ordering), so the window stops strictly below t_arr.
+        RunWindow(t_arr);
+        ProcessEvents(CollectEvents());
+        now_ = std::max(now_, t_arr);
+        while (next_arrival < jobs_.size() &&
+               jobs_[next_arrival].spec->submit_time == t_arr) {
+          Submit(next_arrival++);
+        }
+        BoundaryScheduleLoop();
+      } else {
+        // Completion boundary: the earliest active source end. The +1 lets its final ops (at
+        // exactly t_end) execute inside this window so the completion event is in the drain.
+        RunWindow(t_end + 1);
+        ProcessEvents(CollectEvents());
+        BoundaryScheduleLoop();
+      }
+    }
+    // Whatever is still queued can no longer be unblocked: no running job, no future arrival.
+    for (size_t idx : queue_) {
+      jobs_[idx].outcome.status = JobStatus::kStarved;
+      jobs_[idx].outcome.finish_time = now_;
+    }
+    queue_.clear();
+    return Finalize(timer);
+  }
+
+ private:
+  friend class ShardObserver;
+
+  static std::vector<int> ResolveShardAssignment(const FleetConfig& config, size_t num_devices) {
+    if (!config.shard_assignment.empty()) {
+      STALLOC_CHECK_EQ(config.shard_assignment.size(), num_devices,
+                       << "shard_assignment must name a shard per device");
+      for (int s : config.shard_assignment) {
+        STALLOC_CHECK_GE(s, 0);
+      }
+      return config.shard_assignment;
+    }
+    std::vector<int> assignment(num_devices);
+    if (config.shards > 0) {
+      const int shards = static_cast<int>(
+          std::min<size_t>(static_cast<size_t>(config.shards), num_devices));
+      for (size_t d = 0; d < num_devices; ++d) {
+        assignment[d] = static_cast<int>(d) % shards;
+      }
+    } else {
+      for (size_t d = 0; d < num_devices; ++d) {
+        assignment[d] = static_cast<int>(d);  // default: one shard per device
+      }
+    }
+    return assignment;
+  }
+
+  // --- window execution ---
+
+  void RunWindow(uint64_t horizon_excl) {
+    pool_.ParallelFor(shards_.size(), [this, horizon_excl](size_t s) {
+      shards_[s].engine->StepUntil(horizon_excl);
+    });
+  }
+
+  bool AnyBufferedEvents() const {
+    for (const Shard& sh : shards_) {
+      if (!sh.events.empty()) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<FleetEvent> CollectEvents() {
+    std::vector<FleetEvent> all;
+    for (Shard& sh : shards_) {
+      all.insert(all.end(), sh.events.begin(), sh.events.end());
+      sh.events.clear();
+    }
+    std::sort(all.begin(), all.end(), EventBefore);
+    return all;
+  }
+
+  // --- boundary processing (single-threaded) ---
+
+  // Drains the merged event stream: releases claims, records completions, unwinds OOMed
+  // tenants once each and decides requeue vs reject.
+  void ProcessEvents(std::vector<FleetEvent> events) {
+    if (events.empty()) {
+      return;
+    }
+    std::vector<std::pair<uint64_t, size_t>> oomed;  // (first OOM tick, job), merge order
+    for (const FleetEvent& e : events) {
+      now_ = std::max(now_, e.time);
+      Shard& sh = shards_[static_cast<size_t>(e.shard)];
+      if (e.kind == kOomEvent) {
+        if (oomed_now_[e.job] != 0) {
+          continue;  // the tenant was already unwound at this boundary
+        }
+        oomed_now_[e.job] = 1;
+        oomed.emplace_back(e.time, static_cast<size_t>(e.job));
+        AbortJob(static_cast<size_t>(e.job));
+      } else {
+        if (sh.sources[e.local_source].released) {
+          continue;  // already released by this boundary's unwind
+        }
+        FinishRank(sh, e.local_source);
+      }
+    }
+    for (const auto& [first_oom, idx] : oomed) {
+      oomed_now_[idx] = 0;
+      JobState& job = jobs_[idx];
+      ++job.outcome.oom_count;
+      if (job.outcome.oom_count > config_.max_oom_retries) {
+        job.outcome.status = JobStatus::kRejectedOom;
+        job.outcome.finish_time = first_oom;
+      } else {
+        queue_.push_back(idx);
+      }
+    }
+  }
+
+  // Samples fragmentation and runs scheduling passes until admissions stop generating events
+  // (zero-op sources complete synchronously inside Admit).
+  void BoundaryScheduleLoop() {
+    for (;;) {
+      SampleFrag();
+      SchedulePass();
+      std::vector<FleetEvent> events = CollectEvents();
+      if (events.empty()) {
+        break;
+      }
+      ProcessEvents(std::move(events));
+    }
+  }
+
+  // Unwinds every live (active or parked) source of the job, on every shard hosting one of its
+  // current ranks. The per-source claim release runs through OnSourceAborted -> ReleaseRank.
+  void AbortJob(size_t idx) {
+    std::vector<int> shard_ids;
+    for (int dev : jobs_[idx].outcome.devices) {
+      const int s = devices_[static_cast<size_t>(dev)].shard;
+      if (std::find(shard_ids.begin(), shard_ids.end(), s) == shard_ids.end()) {
+        shard_ids.push_back(s);
+      }
+    }
+    for (int s : shard_ids) {
+      shards_[static_cast<size_t>(s)].engine->AbortTenant(idx);
+    }
+  }
+
+  // --- shared metric plumbing ---
+
+  // Clamped utilization integration: windows advance devices past boundary event times, and
+  // the integrand (physical_used) is piecewise-constant, so an already-covered span is a no-op.
+  void AdvanceUtilTo(DeviceState& d, uint64_t t) {
+    if (t <= d.last_util_time) {
+      return;
+    }
+    d.util_integral += static_cast<double>(d.device->physical_used()) *
+                       static_cast<double>(t - d.last_util_time);
+    d.last_util_time = t;
+  }
+
+  static double CurrentFrag(const DeviceState& d) {
+    const uint64_t free_total = d.device->classic_free_total();
+    if (free_total == 0) {
+      return 0;
+    }
+    return 1.0 - static_cast<double>(d.device->classic_largest_free()) /
+                     static_cast<double>(free_total);
+  }
+
+  void SampleFrag() {
+    for (DeviceState& d : devices_) {
+      d.frag_integral += d.frag_value * static_cast<double>(now_ - d.last_frag_time);
+      d.frag_value = CurrentFrag(d);
+      d.peak_frag = std::max(d.peak_frag, d.frag_value);
+      d.last_frag_time = now_;
+    }
+  }
+
+  // --- job lifecycle ---
+
+  // Builds the job's traces and per-policy admission estimates. Pure per-job work, safe to run
+  // in parallel across jobs.
+  void BuildJobInputs(size_t idx) {
+    JobState& job = jobs_[idx];
+    const ClusterJob& spec = *job.spec;
+    job.model = ModelByName(spec.model);
+    const bool plan_aware = config_.policy == SchedulerPolicy::kPlanAware;
+    if (spec.type == ClusterJobType::kTraining) {
+      TrainConfig per_rank = spec.train;
+      for (int rank = 0; rank < spec.train.parallel.pp; ++rank) {
+        per_rank.rank = rank;
+        WorkloadBuilder workload(job.model, per_rank);
+        job.traces.push_back(workload.Build(spec.seed));
+        job.estimates.push_back(plan_aware
+                                    ? PlanPredictedReservation(workload.Build(config_.profile_seed))
+                                    : NaiveTrainingEstimate(job.model, spec.train, rank));
+      }
+    } else {
+      ServeTraceResult run = BuildServeTrace(job.model, spec.scenario, spec.engine, spec.seed);
+      job.serve_stats = std::move(run.stats);
+      job.traces.push_back(std::move(run.trace));
+      if (plan_aware) {
+        ServeTraceResult profile =
+            BuildServeTrace(job.model, spec.scenario, spec.engine, config_.profile_seed);
+        job.estimates.push_back(PlanPredictedReservation(profile.trace));
+      } else {
+        job.estimates.push_back(NaiveServingEstimate(job.model, spec.engine));
+      }
+    }
+    job.outcome.estimate = *std::max_element(job.estimates.begin(), job.estimates.end());
+  }
+
+  // Decides up-front rejection and enqueues. Called at the job's arrival boundary.
+  void Submit(size_t idx) {
+    JobState& job = jobs_[idx];
+    if (job.traces.size() > devices_.size() || job.outcome.estimate > max_capacity_) {
+      job.outcome.status = JobStatus::kRejectedUpfront;
+      job.outcome.finish_time = now_;
+      return;
+    }
+    queue_.push_back(idx);
+  }
+
+  std::vector<DeviceView> BuildViews() const {
+    std::vector<DeviceView> views;
+    views.reserve(devices_.size());
+    for (size_t d = 0; d < devices_.size(); ++d) {
+      DeviceView v;
+      v.index = static_cast<int>(d);
+      v.capacity = devices_[d].device->capacity();
+      v.claimed = devices_[d].claimed;
+      v.physical_used = devices_[d].device->physical_used();
+      views.push_back(v);
+    }
+    return views;
+  }
+
+  // FCFS with backfill: scan the queue in order, admit every job that fits right now; restart
+  // after each admission because claims changed. The view snapshot is loop-invariant within a
+  // scan (claims only move on admission, which restarts it), so it is built once per scan —
+  // at fleet scale rebuilding it per queued job dominated the whole run.
+  void SchedulePass() {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      const std::vector<DeviceView> views = BuildViews();
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        JobState& job = jobs_[*it];
+        auto placed = scheduler_->Place(job.estimates, views);
+        if (placed.has_value()) {
+          Admit(*it, *placed);
+          queue_.erase(it);
+          progress = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Hands every rank of the job to its device's shard engine as one tenant gang.
+  void Admit(size_t idx, const std::vector<int>& chosen) {
+    JobState& job = jobs_[idx];
+    ++job.outcome.attempts;
+    if (job.outcome.attempts == 1) {
+      job.outcome.admit_time = now_;
+      job.outcome.queue_wait = static_cast<double>(now_ - job.outcome.submit_time);
+    } else {
+      ++requeue_admissions_;
+    }
+    job.outcome.devices = chosen;
+    job.live_ranks = static_cast<int>(job.traces.size());
+    for (size_t rank = 0; rank < job.traces.size(); ++rank) {
+      DeviceState& dev = devices_[static_cast<size_t>(chosen[rank])];
+      dev.claimed += job.estimates[rank];
+      ++dev.placements;
+      Shard& sh = shards_[static_cast<size_t>(dev.shard)];
+
+      SourceInfo info;
+      info.job = idx;
+      info.rank = static_cast<int>(rank);
+      info.device = chosen[rank];
+      info.estimate = job.estimates[rank];
+      sh.sources.push_back(info);  // before AddSource: a zero-op source completes inside it
+
+      ReplaySource src;
+      src.trace = &job.traces[rank];
+      src.alloc = dev.alloc.get();
+      src.start = now_;
+      src.iterations = job.spec->type == ClusterJobType::kTraining ? job.spec->iterations : 1;
+      src.tenant = idx;
+      const size_t sid = sh.engine->AddSource(src);
+      STALLOC_CHECK_EQ(sid, sh.sources.size() - 1);
+    }
+  }
+
+  // A rank finished or was unwound: release its claim and record its peak.
+  void ReleaseRank(Shard& sh, size_t source, uint64_t t) {
+    SourceInfo& info = sh.sources[source];
+    STALLOC_CHECK(!info.released);
+    info.released = true;
+    DeviceState& dev = devices_[static_cast<size_t>(info.device)];
+    AdvanceUtilTo(dev, std::max(now_, t));
+    dev.claimed -= info.estimate;
+    JobState& job = jobs_[info.job];
+    job.outcome.actual_peak =
+        std::max(job.outcome.actual_peak, sh.engine->progress(source).peak_live_bytes);
+    --job.live_ranks;
+  }
+
+  void FinishRank(Shard& sh, size_t source) {
+    ReleaseRank(sh, source, now_);
+    const size_t idx = sh.sources[source].job;
+    JobState& job = jobs_[idx];
+    if (job.live_ranks > 0 || oomed_now_[idx] != 0) {
+      return;  // more ranks outstanding, or the tenant OOMed at this very boundary
+    }
+    job.outcome.status = JobStatus::kCompleted;
+    job.outcome.finish_time = now_;
+    if (job.spec->type == ClusterJobType::kServing) {
+      // Cluster queue wait delays every request of the instance: convert ticks to engine
+      // steps through the trace's own tick density and fold it into the latency model.
+      const double ticks_per_step =
+          job.serve_stats.engine_steps > 0
+              ? static_cast<double>(job.traces[0].end_time()) /
+                    static_cast<double>(job.serve_stats.engine_steps)
+              : 1.0;
+      ServeSloOptions slo;
+      slo.slack_factor = config_.slo_slack_factor;
+      slo.extra_latency_steps = job.outcome.queue_wait / ticks_per_step;
+      job.outcome.slo_attainment =
+          EstimateServeSlo(job.model, config_.gpu, job.serve_stats, slo).attainment;
+    }
+  }
+
+  ClusterResult Finalize(const Stopwatch& timer) {
+    for (const Shard& sh : shards_) {
+      now_ = std::max(now_, sh.engine->now());
+    }
+    for (DeviceState& d : devices_) {
+      AdvanceUtilTo(d, now_);
+    }
+    SampleFrag();
+
+    ClusterResult result;
+    result.policy = config_.policy;
+    result.allocator = config_.allocator;
+    result.num_jobs = jobs_.size();
+    result.makespan = now_;
+    result.requeues = requeue_admissions_;
+    for (const Shard& sh : shards_) {
+      result.oom_events += sh.engine->result().oom_events;
+      result.ops_replayed += sh.engine->result().ops_replayed;
+    }
+
+    double util_sum = 0;
+    double capacity_ticks = 0;
+    for (const DeviceState& d : devices_) {
+      DeviceMetrics m;
+      m.capacity = d.device->capacity();
+      m.peak_used = d.peak_used;
+      if (now_ > 0) {
+        m.avg_utilization = d.util_integral / (static_cast<double>(m.capacity) *
+                                               static_cast<double>(now_));
+        m.avg_external_frag = d.frag_integral / static_cast<double>(now_);
+      }
+      m.peak_external_frag = d.peak_frag;
+      m.placements = d.placements;
+      m.oom_events = d.alloc->stats().num_oom;
+      m.memory_efficiency = d.alloc->stats().MemoryEfficiency();
+      m.bytes_moved = d.alloc->stats().bytes_allocated_total;
+      m.device_api_calls = d.device->counters().TotalCalls();
+      m.device_api_cost_us = d.device->counters().total_cost_us;
+      util_sum += d.util_integral;
+      capacity_ticks += static_cast<double>(m.capacity) * static_cast<double>(now_);
+      result.devices.push_back(m);
+    }
+    result.fleet_avg_utilization = capacity_ticks > 0 ? util_sum / capacity_ticks : 0;
+
+    std::vector<double> waits;
+    double slo_sum = 0;
+    for (JobState& job : jobs_) {
+      const JobOutcome& o = job.outcome;
+      if (o.attempts > 0) {
+        ++result.admitted;
+        waits.push_back(o.queue_wait);
+      }
+      switch (o.status) {
+        case JobStatus::kCompleted:
+          ++result.completed;
+          break;
+        case JobStatus::kRejectedUpfront:
+          ++result.rejected_upfront;
+          break;
+        case JobStatus::kRejectedOom:
+          ++result.rejected_oom;
+          break;
+        case JobStatus::kStarved:
+          ++result.starved;
+          break;
+        case JobStatus::kQueued:
+          break;
+      }
+      if (o.type == ClusterJobType::kServing) {
+        ++result.serving_jobs;
+        // A serving instance that never ran served nobody: it attains 0 of its SLO.
+        slo_sum += o.status == JobStatus::kCompleted && o.slo_attainment >= 0
+                       ? o.slo_attainment
+                       : 0.0;
+      }
+      result.jobs.push_back(std::move(job.outcome));
+    }
+    result.queue_wait_p50 = Percentile(waits, 0.50);
+    result.queue_wait_p90 = Percentile(waits, 0.90);
+    result.queue_wait_p99 = Percentile(waits, 0.99);
+    result.serve_slo_attainment =
+        result.serving_jobs > 0 ? slo_sum / static_cast<double>(result.serving_jobs) : 1.0;
+    result.wall_seconds = timer.ElapsedSeconds();
+    return result;
+  }
+
+  const FleetConfig& config_;
+  std::unique_ptr<Scheduler> scheduler_;
+  WorkerPool pool_;
+  std::vector<DeviceState> devices_;
+  std::vector<Shard> shards_;
+  std::vector<JobState> jobs_;
+  std::deque<size_t> queue_;        // indices into jobs_, FCFS order
+  std::vector<char> oomed_now_;     // per-job "unwound at this boundary" marks
+  uint64_t max_capacity_ = 0;
+  uint64_t now_ = 0;
+  uint64_t requeue_admissions_ = 0;
+};
+
+void ShardObserver::BeforeOp(ReplayEngine& engine, const ReplayOpView& op) {
+  (void)engine;
+  Shard& sh = sim_->shards_[static_cast<size_t>(shard_)];
+  DeviceState& dev = sim_->devices_[static_cast<size_t>(sh.sources[op.source].device)];
+  sim_->AdvanceUtilTo(dev, op.time);
+}
+
+void ShardObserver::AfterMalloc(ReplayEngine& engine, const ReplayOpView& op, uint64_t addr) {
+  (void)engine;
+  (void)addr;
+  Shard& sh = sim_->shards_[static_cast<size_t>(shard_)];
+  DeviceState& dev = sim_->devices_[static_cast<size_t>(sh.sources[op.source].device)];
+  dev.peak_used = std::max(dev.peak_used, dev.device->physical_used());
+}
+
+void ShardObserver::AfterFree(ReplayEngine& engine, const ReplayOpView& op, uint64_t addr) {
+  (void)engine;
+  (void)addr;
+  Shard& sh = sim_->shards_[static_cast<size_t>(shard_)];
+  DeviceState& dev = sim_->devices_[static_cast<size_t>(sh.sources[op.source].device)];
+  dev.peak_used = std::max(dev.peak_used, dev.device->physical_used());
+}
+
+OomAction ShardObserver::OnOom(ReplayEngine& engine, const ReplayOpView& op) {
+  (void)engine;
+  Shard& sh = sim_->shards_[static_cast<size_t>(shard_)];
+  const SourceInfo& info = sh.sources[op.source];
+  FleetEvent e;
+  e.time = op.time;
+  e.job = info.job;
+  e.kind = kOomEvent;
+  e.rank = info.rank;
+  e.shard = shard_;
+  e.local_source = op.source;
+  sh.events.push_back(e);
+  return OomAction::kParkSource;  // the unwind decision belongs to the boundary
+}
+
+void ShardObserver::OnSourceDone(ReplayEngine& engine, size_t source, uint64_t now) {
+  (void)engine;
+  Shard& sh = sim_->shards_[static_cast<size_t>(shard_)];
+  const SourceInfo& info = sh.sources[source];
+  FleetEvent e;
+  e.time = now;
+  e.job = info.job;
+  e.kind = kDoneEvent;
+  e.rank = info.rank;
+  e.shard = shard_;
+  e.local_source = source;
+  sh.events.push_back(e);
+}
+
+void ShardObserver::OnSourceAborted(ReplayEngine& engine, size_t source, uint64_t now) {
+  (void)engine;
+  // Only reachable from the coordinator's AbortTenant at a boundary — single-threaded.
+  sim_->ReleaseRank(sim_->shards_[static_cast<size_t>(shard_)], source, now);
+}
+
+}  // namespace
+
+ClusterResult RunShardedCluster(const FleetConfig& config, const std::vector<ClusterJob>& jobs) {
+  ShardedClusterSim sim(config, jobs);
+  return sim.Run();
+}
+
+}  // namespace stalloc

@@ -1,0 +1,19 @@
+// The execution core behind RunCluster (src/cluster/fleet.h): a windowed, shard-parallel
+// cluster simulator whose results are bit-identical for every worker count and shard
+// assignment. See sharded_fleet.cc for the window/boundary discipline.
+
+#ifndef SRC_CLUSTER_SHARDED_FLEET_H_
+#define SRC_CLUSTER_SHARDED_FLEET_H_
+
+#include <vector>
+
+#include "src/cluster/fleet.h"
+
+namespace stalloc {
+
+// Implementation entry point; call RunCluster() instead (it validates the job queue first).
+ClusterResult RunShardedCluster(const FleetConfig& config, const std::vector<ClusterJob>& jobs);
+
+}  // namespace stalloc
+
+#endif  // SRC_CLUSTER_SHARDED_FLEET_H_

@@ -1,0 +1,84 @@
+#include "src/common/worker_pool.h"
+
+namespace stalloc {
+
+WorkerPool::WorkerPool(int workers) : workers_(workers < 1 ? 1 : workers) {
+  threads_.reserve(static_cast<size_t>(workers_ - 1));
+  for (int i = 1; i < workers_; ++i) {
+    threads_.emplace_back([this] { ThreadMain(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void WorkerPool::WorkOn() {
+  const std::function<void(size_t)>* fn = fn_;
+  const size_t n = batch_size_;
+  size_t done_here = 0;
+  for (;;) {
+    const size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) {
+      break;
+    }
+    (*fn)(i);
+    ++done_here;
+  }
+  if (done_here > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    completed_ += done_here;
+    if (completed_ == n) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::ThreadMain() {
+  uint64_t seen_batch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || batch_id_ != seen_batch; });
+      if (shutdown_) {
+        return;
+      }
+      seen_batch = batch_id_;
+    }
+    WorkOn();
+  }
+}
+
+void WorkerPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  if (workers_ == 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    batch_size_ = n;
+    completed_ = 0;
+    next_index_.store(0, std::memory_order_relaxed);
+    ++batch_id_;
+  }
+  work_cv_.notify_all();
+  WorkOn();  // the caller pulls indices too
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return completed_ == batch_size_; });
+  fn_ = nullptr;
+}
+
+}  // namespace stalloc

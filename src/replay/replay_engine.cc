@@ -72,17 +72,20 @@ void ReplayEngine::AbortTenant(uint64_t tenant) {
   STALLOC_CHECK(it != tenants_.end(), << "abort of unknown tenant " << tenant);
   for (size_t sid : it->second) {
     SourceState& s = sources_[sid];
-    if (!s.progress.active) {
+    if (!s.progress.active && !s.progress.parked) {
       continue;
     }
     if (observer_ != nullptr) {
       observer_->OnSourceAborted(*this, sid, now_);
     }
     UnwindSource(sid);
+    if (s.progress.active) {
+      --active_sources_;  // parked sources were already descheduled when they parked
+    }
     s.progress.active = false;
+    s.progress.parked = false;
     s.progress.aborted = true;
     ++s.epoch;  // invalidates any pending heap entry
-    --active_sources_;
   }
   if (observer_ != nullptr) {
     observer_->OnTenantAborted(*this, tenant, now_);
@@ -96,6 +99,8 @@ void ReplayEngine::RestartTenant(uint64_t tenant) {
     SourceState& s = sources_[sid];
     STALLOC_CHECK(!s.progress.active,
                   << "restart of tenant " << tenant << " with source " << sid << " still active");
+    STALLOC_CHECK(!s.progress.parked, << "restart of tenant " << tenant << " with source " << sid
+                                      << " parked; AbortTenant it first");
     STALLOC_CHECK_EQ(s.progress.live_bytes, 0u);
     if (s.TotalOps() == 0) {
       continue;
@@ -162,6 +167,14 @@ ReplayEngine::OpOutcome ReplayEngine::ApplyOp(size_t sid, const TraceOp& op) {
           return OpOutcome::kTenantAborted;
         case OomAction::kSkipOp:
           break;  // drop the op; the matching free will be skipped too
+        case OomAction::kParkSource: {
+          SourceState& sp = sources_[sid];  // re-fetch: OnOom may have added sources
+          sp.progress.active = false;
+          sp.progress.parked = true;
+          ++sp.epoch;  // the cursor stays put; the retry (if any) comes via RestartTenant
+          --active_sources_;
+          return OpOutcome::kSourceParked;
+        }
       }
     } else {
       SourceState& sr = sources_[sid];  // re-fetch: observer callbacks may add sources
@@ -212,6 +225,32 @@ void ReplayEngine::DropStaleHeapEntries() {
 uint64_t ReplayEngine::NextOpTime() {
   DropStaleHeapEntries();
   return heap_.empty() ? kNoPendingOp : std::get<0>(heap_.top());
+}
+
+void ReplayEngine::StepUntil(uint64_t horizon_excl) {
+  while (!run_aborted_ && NextOpTime() < horizon_excl) {
+    Step();
+  }
+}
+
+uint64_t ReplayEngine::SourceEndTime(size_t sid) const {
+  const SourceState& s = sources_[sid];
+  const size_t total = s.TotalOps();
+  if (total == 0) {
+    return s.spec.start;
+  }
+  const uint64_t last_iter = static_cast<uint64_t>((total - 1) / s.ops().size());
+  return s.spec.start + last_iter * s.period + s.ops().back().time;
+}
+
+uint64_t ReplayEngine::MinActiveEndTime() const {
+  uint64_t min_end = kNoPendingOp;
+  for (size_t sid = 0; sid < sources_.size(); ++sid) {
+    if (sources_[sid].progress.active) {
+      min_end = std::min(min_end, SourceEndTime(sid));
+    }
+  }
+  return min_end;
 }
 
 bool ReplayEngine::Step() {
@@ -275,12 +314,15 @@ const ReplayEngineResult& ReplayEngine::Run() {
   // them so a shared device stays balanced. These frees are cleanup, not replayed ops.
   for (size_t sid = 0; sid < sources_.size(); ++sid) {
     SourceState& s = sources_[sid];
-    if (s.progress.active) {
+    if (s.progress.active || s.progress.parked) {
       UnwindSource(sid);
+      if (s.progress.active) {
+        --active_sources_;
+      }
       s.progress.active = false;
+      s.progress.parked = false;
       s.progress.aborted = true;
       ++s.epoch;
-      --active_sources_;
     }
   }
   result_.end_time = now_;

@@ -47,6 +47,7 @@ struct ReplaySourceProgress {
   bool active = false;   // currently scheduled
   bool done = false;     // replayed every op of every iteration
   bool aborted = false;  // unwound by an OOM (possibly restarted later)
+  bool parked = false;   // OOMed and descheduled, live blocks still held (OomAction::kParkSource)
   uint64_t ops_replayed = 0;
   uint64_t num_mallocs = 0;      // attempted mallocs, including the failed one
   uint64_t num_frees = 0;        // successful replayed frees (unwinds not counted)
@@ -84,9 +85,12 @@ struct ReplayOpView {
 
 // What the engine does after a failed malloc.
 enum class OomAction : uint8_t {
-  kAbortRun,     // stop the whole engine (single-job replay: training would crash)
-  kAbortTenant,  // unwind every source of the failing tenant, keep the rest running
-  kSkipOp,       // count the failure, drop the op, keep going (lossy replay)
+  kAbortRun,      // stop the whole engine (single-job replay: training would crash)
+  kAbortTenant,   // unwind every source of the failing tenant, keep the rest running
+  kSkipOp,        // count the failure, drop the op, keep going (lossy replay)
+  kParkSource,    // deschedule the failing source, keep its live blocks: the unwind decision is
+                  // deferred to an external coordinator (sharded fleet boundaries). A parked
+                  // source is unwound by the next AbortTenant (or final Run() cleanup).
 };
 
 // Pluggable replay observer. All callbacks are optional; with no observer installed the engine
@@ -143,6 +147,18 @@ class ReplayEngine {
   uint64_t NextOpTime();
   static constexpr uint64_t kNoPendingOp = ~uint64_t{0};
 
+  // Processes every pending op with time strictly below `horizon_excl`. The windowed parallel
+  // fleet advances each shard's engine with this between scheduler decision points.
+  void StepUntil(uint64_t horizon_excl);
+
+  // Global tick of source `sid`'s final op under its current schedule (start of the last
+  // iteration plus the trace's last op offset); spec.start for empty sources. Only depends on
+  // AddSource/RestartTenant-time state, so it is precomputable before any op executes.
+  uint64_t SourceEndTime(size_t sid) const;
+  // Minimum SourceEndTime over active sources, or kNoPendingOp when none are active. An upper
+  // bound for the next source-completion event: windows bounded by it cannot miss one.
+  uint64_t MinActiveEndTime() const;
+
   bool HasPending() { return NextOpTime() != kNoPendingOp; }
   uint64_t now() const { return now_; }
 
@@ -178,7 +194,13 @@ class ReplayEngine {
   // entries of one source against its own current schedule.
   using HeapEntry = std::tuple<uint64_t, size_t, uint64_t>;
 
-  enum class OpOutcome : uint8_t { kContinue, kSourceDone, kTenantAborted, kRunAborted };
+  enum class OpOutcome : uint8_t {
+    kContinue,
+    kSourceDone,
+    kTenantAborted,
+    kSourceParked,
+    kRunAborted,
+  };
 
   // Applies `op` (the op at `sources_[sid].cursor`) and advances. The caller owns scheduling.
   OpOutcome ApplyOp(size_t sid, const TraceOp& op);

@@ -85,6 +85,70 @@ TEST(ClusterWorkload, FractionExtremesPinTheSpecies) {
   }
 }
 
+TEST(ClusterWorkload, MinInterarrivalZeroProducesTotallyOrderedTies) {
+  ClusterWorkloadConfig config = SmallConfig();
+  config.num_jobs = 64;
+  config.mean_interarrival = 1;
+  config.min_interarrival = 0;
+  const auto jobs = GenerateClusterWorkload(config, 13);
+  size_t ties = 0;
+  for (size_t i = 1; i < jobs.size(); ++i) {
+    // (submit_time, id) stays a strict total order even when ticks collide.
+    EXPECT_LE(jobs[i - 1].submit_time, jobs[i].submit_time);
+    EXPECT_LT(jobs[i - 1].id, jobs[i].id);
+    ties += jobs[i - 1].submit_time == jobs[i].submit_time;
+  }
+  EXPECT_GT(ties, 0u) << "a near-zero mean with min_interarrival=0 should collide ticks";
+
+  // The default floor of 1 tick keeps every submit time strictly increasing.
+  config.min_interarrival = 1;
+  const auto spaced = GenerateClusterWorkload(config, 13);
+  for (size_t i = 1; i < spaced.size(); ++i) {
+    EXPECT_LT(spaced[i - 1].submit_time, spaced[i].submit_time);
+  }
+}
+
+TEST(ClusterWorkload, DiurnalKnobsShapeArrivalsAndDefaultsStayFlat) {
+  ClusterWorkloadConfig flat = SmallConfig();
+  flat.num_jobs = 200;
+  flat.mean_interarrival = 300;
+
+  // amplitude=0 and period=0 are both the flat generator — byte-identical submit times.
+  ClusterWorkloadConfig zero_amp = flat;
+  zero_amp.diurnal_period = 86400;
+  ClusterWorkloadConfig zero_period = flat;
+  zero_period.diurnal_amplitude = 0.8;
+  const auto base = GenerateClusterWorkload(flat, 17);
+  const auto a = GenerateClusterWorkload(zero_amp, 17);
+  const auto b = GenerateClusterWorkload(zero_period, 17);
+  for (size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(a[i].submit_time, base[i].submit_time) << i;
+    EXPECT_EQ(b[i].submit_time, base[i].submit_time) << i;
+  }
+
+  // With a real diurnal wave the peak half-period must pack more arrivals than the trough. The
+  // first half of each day has rate >= base (sin >= 0), the second half rate <= base.
+  ClusterWorkloadConfig diurnal = flat;
+  diurnal.diurnal_amplitude = 0.9;
+  diurnal.diurnal_period = 40000;
+  const auto shaped = GenerateClusterWorkload(diurnal, 17);
+  size_t peak_half = 0, trough_half = 0;
+  for (const ClusterJob& job : shaped) {
+    (job.submit_time % diurnal.diurnal_period < diurnal.diurnal_period / 2 ? peak_half
+                                                                           : trough_half)++;
+  }
+  EXPECT_GT(peak_half, trough_half * 2)
+      << "peak half-days should dominate: " << peak_half << " vs " << trough_half;
+  // Still deterministic per seed and sorted.
+  const auto again = GenerateClusterWorkload(diurnal, 17);
+  for (size_t i = 0; i < shaped.size(); ++i) {
+    EXPECT_EQ(again[i].submit_time, shaped[i].submit_time);
+    if (i > 0) {
+      EXPECT_LE(shaped[i - 1].submit_time, shaped[i].submit_time);
+    }
+  }
+}
+
 TEST(ClusterWorkload, DescribeNamesTheShape) {
   ClusterWorkloadConfig config = SmallConfig();
   config.train_fraction = 1.0;

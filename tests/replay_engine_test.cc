@@ -491,6 +491,141 @@ TEST(ReplayEngine, ReplayTraceWrapperMatchesDirectEngineUse) {
   EXPECT_EQ(alloc_a.stats().reserved_peak, alloc_b.stats().reserved_peak);
 }
 
+// --- the sharded-fleet primitives: park-on-OOM, bounded stepping, precomputable end times ---
+
+TEST(ReplayEngine, ParkSourceHoldsLiveBlocksUntilAbortTenant) {
+  class ParkOnOom : public ReplayObserver {
+   public:
+    OomAction OnOom(ReplayEngine&, const ReplayOpView&) override {
+      ++ooms;
+      return OomAction::kParkSource;
+    }
+    int ooms = 0;
+  };
+  // Source 0 fills the device and then OOMs on a second huge block; source 1 keeps running.
+  const Trace big = MakeTrace({{700 * MiB, 0, 20}, {700 * MiB, 5, 20}});
+  const Trace small = MakeTrace({{1 * MiB, 0, 2}, {1 * MiB, 4, 8}});
+  SimDevice dev(1 * GiB);
+  NativeAllocator alloc(&dev);
+  SimDevice dev2(1 * GiB);
+  NativeAllocator alloc2(&dev2);
+  ParkOnOom obs;
+  ReplayEngine engine(&obs);
+  ReplaySource a;
+  a.trace = &big;
+  a.alloc = &alloc;
+  engine.AddSource(a);
+  ReplaySource b;
+  b.trace = &small;
+  b.alloc = &alloc2;
+  engine.AddSource(b);
+
+  // Step to the failing malloc at tick 5.
+  engine.StepUntil(6);
+  EXPECT_EQ(obs.ooms, 1);
+  // Parked: descheduled but NOT unwound — the first block is still live, the cursor parked on
+  // the failing op, and only source 1 counts as active.
+  EXPECT_TRUE(engine.progress(0).parked);
+  EXPECT_FALSE(engine.progress(0).active);
+  EXPECT_FALSE(engine.progress(0).done);
+  EXPECT_EQ(alloc.stats().allocated_current, 700 * MiB);
+  EXPECT_EQ(engine.active_sources(), 1u);
+  // The parked source contributes no pending op; the engine would drain source 1 and stop.
+  engine.StepUntil(ReplayEngine::kNoPendingOp);
+  EXPECT_FALSE(engine.HasPending());
+  EXPECT_EQ(alloc.stats().allocated_current, 700 * MiB);  // still held across the window
+
+  // The deferred unwind: AbortTenant frees the parked source's live blocks.
+  engine.AbortTenant(engine.source(0).tenant);
+  EXPECT_FALSE(engine.progress(0).parked);
+  EXPECT_EQ(alloc.stats().allocated_current, 0u);
+  // Unwind frees hit the allocator but are not replayed ops.
+  EXPECT_EQ(alloc.stats().num_frees, 1u);
+  EXPECT_EQ(engine.result().num_frees, 2u);  // only source 1's two replayed frees
+}
+
+TEST(ReplayEngine, RunCleanupUnwindsForgottenParkedSources) {
+  class ParkOnOom : public ReplayObserver {
+   public:
+    OomAction OnOom(ReplayEngine&, const ReplayOpView&) override {
+      return OomAction::kParkSource;
+    }
+  };
+  const Trace big = MakeTrace({{700 * MiB, 0, 20}, {700 * MiB, 5, 20}});
+  SimDevice dev(1 * GiB);
+  NativeAllocator alloc(&dev);
+  ParkOnOom obs;
+  ReplayEngine engine(&obs);
+  ReplaySource src;
+  src.trace = &big;
+  src.alloc = &alloc;
+  engine.AddSource(src);
+  engine.Run();  // a coordinator that never aborts: final cleanup must not leak the blocks
+  EXPECT_EQ(alloc.stats().allocated_current, 0u);
+  EXPECT_FALSE(engine.progress(0).parked);
+}
+
+TEST(ReplayEngine, StepUntilHonorsTheExclusiveHorizon) {
+  const Trace trace = MakeTrace({{1 * MiB, 0, 10}, {1 * MiB, 5, 10}, {1 * MiB, 7, 12}});
+  SimDevice dev(1 * GiB);
+  NativeAllocator alloc(&dev);
+  OpRecorder recorder;
+  ReplayEngine engine(&recorder);
+  ReplaySource src;
+  src.trace = &trace;
+  src.alloc = &alloc;
+  engine.AddSource(src);
+
+  engine.StepUntil(5);  // ops at tick 5 are OUTSIDE a horizon of 5
+  ASSERT_EQ(recorder.seen.size(), 1u);
+  EXPECT_EQ(recorder.seen[0].time, 0u);
+  EXPECT_EQ(engine.NextOpTime(), 5u);
+
+  engine.StepUntil(8);  // picks up ticks 5 and 7
+  ASSERT_EQ(recorder.seen.size(), 3u);
+  EXPECT_EQ(recorder.seen.back().time, 7u);
+
+  engine.StepUntil(ReplayEngine::kNoPendingOp);  // drains the rest
+  EXPECT_FALSE(engine.HasPending());
+  EXPECT_TRUE(engine.progress(0).done);
+  EXPECT_EQ(alloc.stats().allocated_current, 0u);
+}
+
+TEST(ReplayEngine, SourceEndTimePredictsTheFinalOpTick) {
+  const Trace trace = MakeTrace({{1 * MiB, 2, 9}, {2 * MiB, 4, 6}});
+  SimDevice dev(1 * GiB);
+  NativeAllocator alloc(&dev);
+  ReplayEngine engine(nullptr);
+  ReplaySource one;
+  one.trace = &trace;
+  one.alloc = &alloc;
+  one.start = 100;
+  engine.AddSource(one);
+  ReplaySource three = one;
+  three.start = 0;
+  three.iterations = 3;
+  three.period = 50;
+  engine.AddSource(three);
+
+  // Single iteration: start + last op offset. Three iterations: start of the last iteration
+  // plus the same offset.
+  EXPECT_EQ(engine.SourceEndTime(0), 100u + trace.end_time());
+  EXPECT_EQ(engine.SourceEndTime(1), 2u * 50u + trace.end_time());
+  EXPECT_EQ(engine.MinActiveEndTime(), engine.SourceEndTime(0));
+
+  // The prediction is exact: the engine's last replayed op lands on max SourceEndTime.
+  const uint64_t predicted_last =
+      std::max(engine.SourceEndTime(0), engine.SourceEndTime(1));
+  OpRecorder recorder;
+  ReplayEngine replay(&recorder);
+  replay.AddSource(one);
+  replay.AddSource(three);
+  replay.Run();
+  EXPECT_EQ(recorder.seen.back().time, predicted_last);
+  // Nothing active once drained.
+  EXPECT_EQ(replay.MinActiveEndTime(), ReplayEngine::kNoPendingOp);
+}
+
 TEST(ReplayEngine, OomPolicyNamesAreStable) {
   EXPECT_STREQ(OomPolicyName(OomPolicy::kAbort), "abort");
   EXPECT_STREQ(OomPolicyName(OomPolicy::kRequeue), "requeue");

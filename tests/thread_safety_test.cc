@@ -1,0 +1,184 @@
+// Thread-safety coverage for the sharded fleet's concurrency model. The invariant is
+// shard-confinement, not locking: each worker thread owns its shard's devices, allocators and
+// stats hooks outright between scheduler boundaries, so AllocatorBase's unguarded counters and
+// AllocatorStatsHook callbacks are safe exactly because no two threads ever touch the same
+// allocator. These tests drive that model hard — per-shard replay over a WorkerPool, full
+// RunCluster calls racing each other — and are the payload of the STALLOC_SANITIZE=thread CI
+// job: any cross-thread leak in the shard partitioning shows up as a TSan report here.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/allocators/caching_allocator.h"
+#include "src/cluster/cluster_workload.h"
+#include "src/cluster/fleet.h"
+#include "src/common/units.h"
+#include "src/common/worker_pool.h"
+#include "src/gpu/sim_device.h"
+#include "src/replay/replay_engine.h"
+#include "src/trace/trace.h"
+
+namespace stalloc {
+namespace {
+
+Trace MakeChurnTrace(int blocks, uint64_t size) {
+  Trace trace;
+  for (int i = 0; i < blocks; ++i) {
+    MemoryEvent e;
+    e.size = size + static_cast<uint64_t>(i % 7) * KiB;  // mixed sizes churn the cache
+    e.ts = static_cast<LogicalTime>(i);
+    e.te = static_cast<LogicalTime>(i + 3);
+    trace.AddEvent(e);
+  }
+  return trace;
+}
+
+// Counts hook callbacks and cross-checks them against AllocatorStats afterwards.
+class CountingHook final : public AllocatorStatsHook {
+ public:
+  void OnMalloc(uint64_t size, double, const AllocatorSnapshot&) override {
+    ++mallocs;
+    malloc_bytes += size;
+  }
+  void OnFree(uint64_t size, double, const AllocatorSnapshot&) override {
+    ++frees;
+    free_bytes += size;
+  }
+  void OnOom(uint64_t, const AllocatorSnapshot&) override { ++ooms; }
+
+  uint64_t mallocs = 0, frees = 0, ooms = 0;
+  uint64_t malloc_bytes = 0, free_bytes = 0;
+};
+
+// One shard's worth of state, owned by whichever pool thread picks it up.
+struct ShardFixture {
+  explicit ShardFixture(uint64_t capacity) : device(capacity), alloc(&device) {}
+  SimDevice device;
+  CachingAllocator alloc;
+  CountingHook hook;
+  Trace trace;
+  ReplayEngineResult result;
+};
+
+// The production access pattern: N shards replayed concurrently over a WorkerPool, each with a
+// stats hook installed. Everything is shard-local; stats and hook counters must come out exact.
+TEST(ThreadSafety, StatsAndHooksUnderConcurrentPerShardReplay) {
+  constexpr int kShards = 8;
+  constexpr int kBlocks = 400;
+  std::vector<std::unique_ptr<ShardFixture>> shards;
+  for (int s = 0; s < kShards; ++s) {
+    shards.push_back(std::make_unique<ShardFixture>(1 * GiB));
+    shards.back()->trace = MakeChurnTrace(kBlocks, (1 + s) * MiB);
+    shards.back()->alloc.SetStatsHook(&shards.back()->hook);
+  }
+
+  WorkerPool pool(4);
+  pool.ParallelFor(shards.size(), [&](size_t s) {
+    ShardFixture& shard = *shards[s];
+    ReplayEngine engine(nullptr);
+    ReplaySource src;
+    src.trace = &shard.trace;
+    src.alloc = &shard.alloc;
+    engine.AddSource(src);
+    shard.result = engine.Run();
+  });
+
+  for (int s = 0; s < kShards; ++s) {
+    const ShardFixture& shard = *shards[s];
+    const AllocatorStats& stats = shard.alloc.stats();
+    EXPECT_FALSE(shard.result.oom) << s;
+    EXPECT_EQ(stats.num_mallocs, static_cast<uint64_t>(kBlocks)) << s;
+    EXPECT_EQ(stats.num_frees, static_cast<uint64_t>(kBlocks)) << s;
+    EXPECT_EQ(stats.allocated_current, 0u) << s;
+    // The hook saw exactly what the stats counted — same thread, same shard, no races.
+    EXPECT_EQ(shard.hook.mallocs, stats.num_mallocs) << s;
+    EXPECT_EQ(shard.hook.frees, stats.num_frees) << s;
+    EXPECT_EQ(shard.hook.malloc_bytes, stats.bytes_allocated_total) << s;
+    EXPECT_EQ(shard.hook.free_bytes, stats.bytes_freed_total) << s;
+    EXPECT_GT(stats.malloc_latency_us, 0.0) << s;  // latency armed while the hook is installed
+  }
+}
+
+// OOM callbacks stay shard-confined too: every shard's allocator is driven into failure
+// concurrently and each hook must count only its own shard's failed mallocs.
+TEST(ThreadSafety, OomCallbacksStayShardConfined) {
+  constexpr int kShards = 6;
+  std::vector<std::unique_ptr<ShardFixture>> shards;
+  for (int s = 0; s < kShards; ++s) {
+    shards.push_back(std::make_unique<ShardFixture>(8 * MiB));  // far too small for the trace
+    shards.back()->trace = MakeChurnTrace(64, 1 * MiB);
+    shards.back()->alloc.SetStatsHook(&shards.back()->hook);
+  }
+  WorkerPool pool(3);
+  pool.ParallelFor(shards.size(), [&](size_t s) {
+    ShardFixture& shard = *shards[s];
+    ReplayEngine engine(nullptr);
+    ReplaySource src;
+    src.trace = &shard.trace;
+    src.alloc = &shard.alloc;
+    engine.AddSource(src);
+    shard.result = engine.Run();
+  });
+  for (int s = 0; s < kShards; ++s) {
+    EXPECT_TRUE(shards[s]->result.oom) << s;
+    EXPECT_EQ(shards[s]->hook.ooms, shards[s]->alloc.stats().num_oom) << s;
+    EXPECT_GT(shards[s]->hook.ooms, 0u) << s;
+  }
+}
+
+// WorkerPool reuse: back-to-back ParallelFor batches from one pool must not leak work between
+// generations. Each batch's indices are claimed exactly once.
+TEST(ThreadSafety, WorkerPoolBatchesAreExactlyOnce) {
+  WorkerPool pool(5);
+  for (int batch = 0; batch < 20; ++batch) {
+    const size_t n = 1 + static_cast<size_t>(batch * 7 % 41);
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0);
+    pool.ParallelFor(n, [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "batch " << batch << " index " << i;
+    }
+  }
+}
+
+// Whole sharded-cluster runs racing each other: RunCluster holds no global mutable state, so
+// concurrent invocations (each itself multi-threaded) must neither race nor diverge.
+TEST(ThreadSafety, ConcurrentRunClusterInvocationsAgree) {
+  ClusterWorkloadConfig wl;
+  wl.num_jobs = 5;
+  wl.train_fraction = 0.5;
+  wl.mean_interarrival = 600;
+  wl.micro_batches = {1, 2};
+  wl.num_microbatches = 2;
+  wl.max_pp = 2;
+  wl.min_iterations = 1;
+  wl.max_iterations = 1;
+  wl.serve_requests = 10;
+  wl.kv_budget_bytes = 1 * GiB;
+  const auto jobs = GenerateClusterWorkload(wl, 31);
+
+  FleetConfig fleet;
+  fleet.device_capacities = {16 * GiB, 16 * GiB};
+  fleet.policy = SchedulerPolicy::kFirstFit;
+  fleet.allocator = AllocatorKind::kCaching;
+  fleet.workers = 2;
+
+  constexpr int kRacers = 4;
+  std::vector<std::string> digests(kRacers);
+  std::vector<std::thread> racers;
+  for (int t = 0; t < kRacers; ++t) {
+    racers.emplace_back([&, t] { digests[t] = RunCluster(fleet, jobs).Digest(); });
+  }
+  for (std::thread& t : racers) t.join();
+  for (int t = 1; t < kRacers; ++t) {
+    EXPECT_EQ(digests[t], digests[0]) << t;
+  }
+}
+
+}  // namespace
+}  // namespace stalloc

@@ -112,6 +112,8 @@ int main(int argc, char** argv) {
   flags.Add("--train-frac", &spec.cluster.train_fraction, "F",
             "cluster fraction of training jobs");
   flags.Add("--retries", &spec.oom_retries, "N", "cluster requeues after an OOM");
+  flags.Add("--workers", &spec.workers, "N",
+            "cluster shard-stepping threads (bit-identical results; 0/1 = serial)");
   // Output + listings.
   flags.Add("--json", &json_path, "FILE", "machine-readable report ('-' = stdout)");
   flags.AddFlag("--list-allocs", &list_allocs, "list registered allocators and exit");
@@ -177,7 +179,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (spec.axis != WorkloadAxis::kCluster &&
-      flags.SeenAny({"--devices", "--policy", "--jobs", "--train-frac", "--retries"})) {
+      flags.SeenAny({"--devices", "--policy", "--jobs", "--train-frac", "--retries",
+                     "--workers"})) {
     std::fprintf(stderr, "cluster-shape flags only apply to --axis cluster\n");
     return 2;
   }
