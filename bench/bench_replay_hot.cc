@@ -52,6 +52,11 @@ struct HotResult {
   double ops_per_sec = 0;
   uint64_t reserved_peak = 0;
   double memory_efficiency = 1.0;
+  // Offline-stage wall clock of the plan-pipeline kinds (0 for the baseline allocators) —
+  // the same phase attribution RunRecord::phases carries, so the bench JSON can be compared
+  // against stalloc_run output key-for-key.
+  double profile_ms = 0;
+  double plan_ms = 0;
 };
 
 struct StreamRun {
@@ -92,11 +97,13 @@ HotResult RunEntry(const AllocatorRegistry::Entry& entry, const Trace& trace, in
   if (entry.requires_plan) {
     // Plan once (offline stage, not timed); each repeat replays against a fresh pool.
     ProfileResult profile = ProfileTrace(trace, kCapacity);
+    out.profile_ms = profile.wall_ms;
     if (!profile.feasible) {
       out.skipped = true;
       return out;
     }
     synthesis = SynthesizePlan(profile.trace);
+    out.plan_ms = synthesis.stats.synthesis_ms;
   }
 
   for (int rep = 0; rep < repeats; ++rep) {
@@ -176,6 +183,8 @@ Json StreamJson(const StreamRun& run) {
     result.Set("ops_per_sec", r.ops_per_sec);
     result.Set("reserved_peak", r.reserved_peak);
     result.Set("memory_efficiency", r.memory_efficiency);
+    result.Set("profile_ms", r.profile_ms);
+    result.Set("plan_ms", r.plan_ms);
     results.Add(std::move(result));
   }
   j.Set("results", std::move(results));

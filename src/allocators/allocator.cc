@@ -3,23 +3,39 @@
 #include <algorithm>
 #include <cstdint>
 #include <optional>
+#include <utility>
 
 #include "src/common/check.h"
 #include "src/common/stopwatch.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/telemetry.h"
+#include "src/telemetry/tracer.h"
 
 namespace stalloc {
 
+namespace {
+
+// Emit an "alloc occupancy" counter-track sample every 2^8 ops per allocator — frequent enough
+// to draw a usable occupancy curve in the trace viewer, sparse enough not to dominate the ring.
+constexpr uint64_t kCounterSampleMask = (1u << 8) - 1;
+
+}  // namespace
+
 std::optional<uint64_t> AllocatorBase::Malloc(uint64_t size, const RequestContext& ctx) {
-  // Latency measurement is armed only while a hook observes this allocator: two clock reads per
-  // op are measurable noise on the replay hot path and dead weight when nobody listens.
+  // Latency measurement is armed while anyone listens — a stats hook or process telemetry. Two
+  // clock reads per op are measurable noise on the replay hot path and dead weight otherwise.
   Stopwatch timer{Stopwatch::Unstarted{}};
-  const bool timed = hook_ != nullptr;
+  const bool telemetry_on = telemetry::Enabled();
+  const bool timed = hook_ != nullptr || telemetry_on;
   if (timed) {
     timer.Reset();
   }
   ++stats_.num_mallocs;
   if (size == 0) {
     ++stats_.num_oom;
+    if (telemetry_on) {
+      RecordTelemetryOom(size);
+    }
     if (hook_ != nullptr) {
       hook_->OnOom(size, Snapshot());
     }
@@ -29,6 +45,9 @@ std::optional<uint64_t> AllocatorBase::Malloc(uint64_t size, const RequestContex
   if (!addr.has_value()) {
     ++stats_.num_oom;
     NotePressure();
+    if (telemetry_on) {
+      RecordTelemetryOom(size);
+    }
     if (hook_ != nullptr) {
       hook_->OnOom(size, Snapshot());
     }
@@ -58,14 +77,20 @@ std::optional<uint64_t> AllocatorBase::Malloc(uint64_t size, const RequestContex
   if (timed) {
     const double us = timer.ElapsedSeconds() * 1e6;
     stats_.malloc_latency_us += us;
-    hook_->OnMalloc(size, us, Snapshot());
+    if (telemetry_on) {
+      RecordTelemetryOp(telemetry::FlightOp::Kind::kMalloc, size, us);
+    }
+    if (hook_ != nullptr) {
+      hook_->OnMalloc(size, us, Snapshot());
+    }
   }
   return addr;
 }
 
 bool AllocatorBase::Free(uint64_t addr) {
   Stopwatch timer{Stopwatch::Unstarted{}};
-  const bool timed = hook_ != nullptr;
+  const bool telemetry_on = telemetry::Enabled();
+  const bool timed = hook_ != nullptr || telemetry_on;
   if (timed) {
     timer.Reset();
   }
@@ -84,9 +109,107 @@ bool AllocatorBase::Free(uint64_t addr) {
   if (timed) {
     const double us = timer.ElapsedSeconds() * 1e6;
     stats_.free_latency_us += us;
-    hook_->OnFree(size, us, Snapshot());
+    if (telemetry_on) {
+      RecordTelemetryOp(telemetry::FlightOp::Kind::kFree, size, us);
+    }
+    if (hook_ != nullptr) {
+      hook_->OnFree(size, us, Snapshot());
+    }
   }
   return true;
+}
+
+void AllocatorBase::RecordTelemetryOp(telemetry::FlightOp::Kind kind, uint64_t size,
+                                      double latency_us) {
+  auto& registry = telemetry::MetricsRegistry::Global();
+  // Registry instruments are never deallocated, so caching the pointers is safe and skips the
+  // map lookup on every op after the first.
+  static telemetry::Histogram* malloc_hist = registry.GetHistogram("alloc.malloc_latency_us");
+  static telemetry::Histogram* free_hist = registry.GetHistogram("alloc.free_latency_us");
+  static telemetry::Counter* mallocs = registry.GetCounter("alloc.mallocs");
+  static telemetry::Counter* frees = registry.GetCounter("alloc.frees");
+  static telemetry::Counter* bytes_allocated = registry.GetCounter("alloc.bytes_allocated");
+  static telemetry::Counter* bytes_freed = registry.GetCounter("alloc.bytes_freed");
+
+  const uint64_t reserved = ReservedBytes();
+  if (kind == telemetry::FlightOp::Kind::kMalloc) {
+    malloc_hist->Record(latency_us);
+    mallocs->Add();
+    bytes_allocated->Add(size);
+  } else {
+    free_hist->Record(latency_us);
+    frees->Add();
+    bytes_freed->Add(size);
+  }
+
+  if (!flight_) {
+    flight_ = std::make_unique<telemetry::FlightRing>();
+  }
+  telemetry::FlightOp op;
+  op.kind = kind;
+  op.size = size;
+  op.op_index = stats_.num_mallocs + stats_.num_frees;
+  op.allocated_after = stats_.allocated_current;
+  op.reserved_after = reserved;
+  op.latency_us = latency_us;
+  flight_->Push(op);
+
+  const uint64_t op_count = stats_.num_mallocs + stats_.num_frees;
+  if ((op_count & kCounterSampleMask) == 0) {
+    auto& tracer = telemetry::Tracer::Global();
+    Json values = Json::Object();
+    values.Set("allocated", stats_.allocated_current);
+    values.Set("reserved", reserved);
+    tracer.ThreadTrack()->CounterEvent(std::string(name()) + " occupancy", telemetry::kCatAlloc,
+                                       tracer.NowUs(), std::move(values));
+  }
+}
+
+void AllocatorBase::RecordTelemetryOom(uint64_t size) {
+  auto& registry = telemetry::MetricsRegistry::Global();
+  static telemetry::Counter* ooms = registry.GetCounter("alloc.oom_events");
+  ooms->Add();
+
+  auto& tracer = telemetry::Tracer::Global();
+  const uint64_t now = tracer.NowUs();
+  const uint64_t reserved = ReservedBytes();
+
+  telemetry::OomReport report;
+  report.allocator = std::string(name());
+  report.ts_us = now;
+  report.failed_size = size;
+  report.allocated = stats_.allocated_current;
+  report.reserved = reserved;
+  report.num_mallocs = stats_.num_mallocs;
+  report.num_frees = stats_.num_frees;
+  report.num_oom = stats_.num_oom;
+  report.fragmentation =
+      reserved == 0 ? 0.0
+                    : 1.0 - static_cast<double>(stats_.allocated_current) /
+                                static_cast<double>(reserved);
+  // The OOM itself becomes the newest flight entry before the snapshot, so this report's
+  // recent-ops tail is the failure — and a later OOM's report shows this one too.
+  if (!flight_) {
+    flight_ = std::make_unique<telemetry::FlightRing>();
+  }
+  telemetry::FlightOp op;
+  op.kind = telemetry::FlightOp::Kind::kOom;
+  op.size = size;
+  op.op_index = stats_.num_mallocs + stats_.num_frees;
+  op.allocated_after = stats_.allocated_current;
+  op.reserved_after = reserved;
+  flight_->Push(op);
+  report.recent = flight_->Snapshot();
+
+  Json args = Json::Object();
+  args.Set("allocator", report.allocator);
+  args.Set("failed_size", size);
+  args.Set("allocated", report.allocated);
+  args.Set("reserved", reserved);
+  tracer.ThreadTrack()->Instant("OOM " + report.allocator, telemetry::kCatAlloc, now,
+                                std::move(args));
+
+  telemetry::FlightRecorder::Global().Report(std::move(report));
 }
 
 uint64_t AllocatorBase::LiveSize(uint64_t addr) const {

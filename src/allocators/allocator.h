@@ -12,10 +12,12 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 
+#include "src/telemetry/flight_recorder.h"
 #include "src/trace/event.h"
 
 namespace stalloc {
@@ -41,8 +43,9 @@ struct AllocatorStats {
   // re-implement counter code:
   uint64_t bytes_allocated_total = 0;  // cumulative requested bytes over successful mallocs
   uint64_t bytes_freed_total = 0;      // cumulative requested bytes returned via Free
-  // Host wall time spent inside Malloc/Free, accumulated only while a stats hook is installed
-  // (timing stays off the hot path otherwise).
+  // Host wall time spent inside Malloc/Free, accumulated while per-op timing is armed — i.e.
+  // while a stats hook is installed OR telemetry is enabled (timing stays off the hot path
+  // when nobody listens).
   double malloc_latency_us = 0;
   double free_latency_us = 0;
 
@@ -121,7 +124,10 @@ class AllocatorBase : public Allocator {
   const AllocatorStats& stats() const final { return stats_; }
 
   // Installs (or clears, with nullptr) the per-op instrumentation hook. At most one hook is
-  // active; per-op latency measurement is armed exactly while a hook is installed.
+  // active. The hook is one telemetry sink among several: per-op latency measurement is armed
+  // while a hook is installed OR process telemetry is enabled, and latency histograms flow
+  // into the telemetry MetricsRegistry either way, so `--metrics` output does not depend on
+  // whether a snapshot hook happens to be attached.
   void SetStatsHook(AllocatorStatsHook* hook) { hook_ = hook; }
   AllocatorStatsHook* stats_hook() const { return hook_; }
 
@@ -144,8 +150,15 @@ class AllocatorBase : public Allocator {
     return s;
   }
 
+  // Telemetry emission (all behind telemetry::Enabled(); see src/telemetry/). The flight ring
+  // records the last N ops for the OOM flight recorder; it is created lazily on the first
+  // telemetry-enabled op so disabled runs never pay for it.
+  void RecordTelemetryOp(telemetry::FlightOp::Kind kind, uint64_t size, double latency_us);
+  void RecordTelemetryOom(uint64_t size);
+
   AllocatorStats stats_;
   AllocatorStatsHook* hook_ = nullptr;
+  std::unique_ptr<telemetry::FlightRing> flight_;
   // addr -> requested size of live blocks, used for accounting and overlap detection.
   std::map<uint64_t, uint64_t> live_;
 };

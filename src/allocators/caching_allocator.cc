@@ -5,6 +5,9 @@
 #include <optional>
 
 #include "src/common/check.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/telemetry.h"
+#include "src/telemetry/tracer.h"
 
 namespace stalloc {
 
@@ -218,7 +221,22 @@ uint64_t CachingAllocator::ReleaseCachedSegments() {
   return released;
 }
 
-void CachingAllocator::EmptyCache() { ReleaseCachedSegments(); }
+void CachingAllocator::EmptyCache() {
+  const uint64_t released = ReleaseCachedSegments();
+  if (telemetry::Enabled()) {
+    static telemetry::Counter* empties =
+        telemetry::MetricsRegistry::Global().GetCounter("alloc.empty_cache_calls");
+    empties->Add();
+    static telemetry::Counter* bytes =
+        telemetry::MetricsRegistry::Global().GetCounter("alloc.empty_cache_bytes");
+    bytes->Add(released);
+    auto& tracer = telemetry::Tracer::Global();
+    Json args = Json::Object();
+    args.Set("released", released);
+    tracer.ThreadTrack()->Instant("empty_cache", telemetry::kCatAlloc, tracer.NowUs(),
+                                  std::move(args));
+  }
+}
 
 uint64_t CachingAllocator::cached_free_bytes() const {
   uint64_t total = 0;

@@ -9,6 +9,9 @@
 #include <vector>
 
 #include "src/common/check.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/telemetry.h"
+#include "src/telemetry/tracer.h"
 
 namespace stalloc {
 
@@ -218,6 +221,17 @@ std::optional<uint64_t> GMLakeAllocator::AllocByStitching(uint64_t rounded, Stre
     off += part.size;
   }
   ++num_stitches_;
+  if (telemetry::Enabled()) {
+    static telemetry::Counter* stitches =
+        telemetry::MetricsRegistry::Global().GetCounter("alloc.gmlake_stitches");
+    stitches->Add();
+    auto& tracer = telemetry::Tracer::Global();
+    Json args = Json::Object();
+    args.Set("size", total);
+    args.Set("parts", static_cast<unsigned long long>(parts.size()));
+    tracer.ThreadTrack()->Instant("gmlake stitch", telemetry::kCatAlloc, tracer.NowUs(),
+                                  std::move(args));
+  }
 
   Segment seg;
   seg.va = *va;

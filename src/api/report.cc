@@ -195,20 +195,24 @@ int ReportSink::Finish() {
   if (!json_enabled()) {
     return 0;
   }
-  const std::string json = root_.Dump();
-  if (json_to_stdout_) {
+  return WriteJsonFile(root_, json_path_) ? 0 : 1;
+}
+
+bool WriteJsonFile(const Json& value, const std::string& path) {
+  const std::string json = value.Dump();
+  if (path == "-") {
     std::fputs(json.c_str(), stdout);
-    return 0;
+    return true;
   }
-  std::FILE* f = std::fopen(json_path_.c_str(), "w");
+  std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", json_path_.c_str());
-    return 1;
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
   }
   std::fputs(json.c_str(), f);
   std::fclose(f);
-  std::printf("wrote %s\n", json_path_.c_str());
-  return 0;
+  std::printf("wrote %s\n", path.c_str());
+  return true;
 }
 
 }  // namespace stalloc

@@ -125,6 +125,11 @@ class ReportSink {
   Json root_ = Json::Object();
 };
 
+// Writes `value` (with a trailing newline) to `path` following the --json conventions above:
+// "-" sends it to stdout, anything else is a file path (confirmed with a "wrote PATH" line).
+// Returns false — with a message on stderr — when the file cannot be opened.
+bool WriteJsonFile(const Json& value, const std::string& path);
+
 }  // namespace stalloc
 
 #endif  // SRC_API_REPORT_H_

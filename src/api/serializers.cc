@@ -22,6 +22,42 @@ Json ToJson(const ExperimentResult& result) {
   return j;
 }
 
+Json ToJson(const PhaseTimings& phases) {
+  Json j = Json::Object();
+  j.Set("profile_ms", phases.profile_ms);
+  j.Set("plan_ms", phases.plan_ms);
+  j.Set("replay_ms", phases.replay_ms);
+  j.Set("report_ms", phases.report_ms);
+  j.Set("total_ms", phases.total_ms);
+  return j;
+}
+
+Json ToJson(const telemetry::OomReport& report) {
+  Json j = Json::Object();
+  j.Set("allocator", report.allocator);
+  j.Set("ts_us", report.ts_us);
+  j.Set("failed_size", report.failed_size);
+  j.Set("allocated", report.allocated);
+  j.Set("reserved", report.reserved);
+  j.Set("fragmentation", report.fragmentation);
+  j.Set("num_mallocs", report.num_mallocs);
+  j.Set("num_frees", report.num_frees);
+  j.Set("num_oom", report.num_oom);
+  Json recent = Json::Array();
+  for (const telemetry::FlightOp& op : report.recent) {
+    Json o = Json::Object();
+    o.Set("op", telemetry::FlightOpKindName(op.kind));
+    o.Set("size", op.size);
+    o.Set("op_index", op.op_index);
+    o.Set("allocated", op.allocated_after);
+    o.Set("reserved", op.reserved_after);
+    o.Set("latency_us", op.latency_us);
+    recent.Add(std::move(o));
+  }
+  j.Set("recent_ops", std::move(recent));
+  return j;
+}
+
 Json ToJson(const ServeSimStats& stats) {
   Json j = Json::Object();
   j.Set("num_requests", stats.num_requests);
@@ -176,6 +212,14 @@ Json ToJson(const RunRecord& record) {
   j.Set("device_api_cost_us", record.device_api_cost_us);
   j.Set("device_release_calls", record.device_release_calls);
   j.Set("oom_events", record.oom_events);
+  j.Set("phases", ToJson(record.phases));
+  if (!record.oom_flight.empty()) {
+    Json flight = Json::Array();
+    for (const telemetry::OomReport& report : record.oom_flight) {
+      flight.Add(ToJson(report));
+    }
+    j.Set("oom_flight", std::move(flight));
+  }
   if (record.serve.has_value()) {
     j.Set("serve", ToJson(record.serve->serve));
     j.Set("trace_events", record.serve->trace_events);

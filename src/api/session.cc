@@ -6,8 +6,12 @@
 
 #include "src/cluster/scheduler.h"
 #include "src/common/check.h"
+#include "src/common/stopwatch.h"
 #include "src/common/table.h"
 #include "src/servesim/request_gen.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/telemetry.h"
+#include "src/telemetry/tracer.h"
 #include "src/trainsim/model_config.h"
 #include "src/trainsim/workload.h"
 
@@ -112,8 +116,15 @@ RunStatus StatusOf(const ExperimentResult& r) {
   return r.oom ? RunStatus::kOom : RunStatus::kOk;
 }
 
+void FillPhases(const ExperimentResult& r, PhaseTimings* phases) {
+  phases->profile_ms += r.profile_wall_ms;
+  phases->plan_ms += r.plan_stats.synthesis_ms;
+  phases->replay_ms += r.replay_wall_ms;
+}
+
 void FillFromExperiment(ExperimentResult r, RunRecord* rec) {
   rec->status = StatusOf(r);
+  FillPhases(r, &rec->phases);
   rec->allocated_peak = r.allocated_peak;
   rec->reserved_peak = r.reserved_peak;
   rec->memory_efficiency = r.memory_efficiency;
@@ -133,6 +144,7 @@ void FillFromJob(JobResult r, RunRecord* rec) {
   // Every device_* counter is summed over ranks so the keys mean the same thing on every axis;
   // the worst-rank thrash indicator stays available as the payload's max_release_calls.
   for (const ExperimentResult& rank : r.ranks) {
+    FillPhases(rank, &rec->phases);
     rec->allocated_peak = std::max(rec->allocated_peak, rank.allocated_peak);
     rec->fragmentation_bytes = std::max(rec->fragmentation_bytes, rank.fragmentation_bytes);
     rec->device_api_calls += rank.device_api_calls;
@@ -145,6 +157,7 @@ void FillFromJob(JobResult r, RunRecord* rec) {
 
 void FillFromServe(ServeExperimentResult r, RunRecord* rec) {
   rec->status = StatusOf(r.replay);
+  FillPhases(r.replay, &rec->phases);
   rec->allocated_peak = r.replay.allocated_peak;
   rec->reserved_peak = r.replay.reserved_peak;
   rec->memory_efficiency = r.replay.memory_efficiency;
@@ -169,7 +182,27 @@ void FillFromCluster(ClusterResult r, RunRecord* rec) {
   rec->oom_events = r.oom_events;
   rec->slo_attainment = r.serve_slo_attainment;
   rec->queue_wait_p99 = r.queue_wait_p99;
+  // The whole fleet day is replay; admission-time plan synthesis is part of the day.
+  rec->phases.replay_ms = r.wall_seconds * 1e3;
   rec->cluster = std::move(r);
+}
+
+// Closes out a run: total/report residue timing, flight-recorder drain, session counters.
+void FinalizeRun(const Stopwatch& total, RunRecord* rec) {
+  rec->phases.total_ms = total.ElapsedMillis();
+  const double accounted =
+      rec->phases.profile_ms + rec->phases.plan_ms + rec->phases.replay_ms;
+  rec->phases.report_ms = std::max(0.0, rec->phases.total_ms - accounted);
+  if (telemetry::Enabled()) {
+    rec->oom_flight = telemetry::FlightRecorder::Global().Drain();
+    auto& registry = telemetry::MetricsRegistry::Global();
+    static telemetry::Counter* runs = registry.GetCounter("session.runs");
+    runs->Add();
+    if (rec->status != RunStatus::kOk) {
+      static telemetry::Counter* failed = registry.GetCounter("session.failed_runs");
+      failed->Add();
+    }
+  }
 }
 
 }  // namespace
@@ -283,6 +316,21 @@ RunRecord Session::RunOne(const ExperimentSpec& spec, const std::string& allocat
   const std::optional<AllocatorKind> kind = ParseAllocatorKind(allocator);
   STALLOC_CHECK(kind.has_value(), << "unknown allocator '" << allocator << "'");
 
+  if (spec.axis == WorkloadAxis::kCluster) {
+    // spec.model is the one model knob: it overrides the workload config's own field so the
+    // record's model identity and the generated jobs can never disagree. RunClusterJobs carries
+    // its own run span and phase timing.
+    ClusterWorkloadConfig workload = spec.cluster;
+    workload.model = spec.model;
+    const uint64_t seed = spec.options.run_seed + static_cast<uint64_t>(repeat);
+    return RunClusterJobs(spec, allocator, GenerateClusterWorkload(workload, seed), repeat);
+  }
+
+  Stopwatch total;
+  telemetry::ScopedSpan span(
+      telemetry::kCatSession,
+      StrFormat("run %s/%s", WorkloadAxisName(spec.axis), allocator.c_str()));
+
   RunRecord rec;
   rec.axis = spec.axis;
   rec.allocator = allocator;
@@ -317,17 +365,12 @@ RunRecord Session::RunOne(const ExperimentSpec& spec, const std::string& allocat
                     &rec);
       break;
     }
-    case WorkloadAxis::kCluster: {
-      // spec.model is the one model knob: it overrides the workload config's own field so the
-      // record's model identity and the generated jobs can never disagree.
-      ClusterWorkloadConfig workload = spec.cluster;
-      workload.model = spec.model;
-      return RunClusterJobs(spec, allocator, GenerateClusterWorkload(workload, options.run_seed),
-                            repeat);
-    }
+    case WorkloadAxis::kCluster:  // handled before the span above
     case WorkloadAxis::kCount:
       STALLOC_CHECK(false, << "invalid workload axis");
   }
+  FinalizeRun(total, &rec);
+  span.Arg("status", RunStatusName(rec.status));
   return rec;
 }
 
@@ -340,6 +383,10 @@ RunRecord Session::RunClusterJobs(const ExperimentSpec& spec, const std::string&
   STALLOC_CHECK(Validate(checked, &error), << "invalid spec: " << error);
   const std::optional<AllocatorKind> kind = ParseAllocatorKind(allocator);
   STALLOC_CHECK(kind.has_value(), << "unknown allocator '" << allocator << "'");
+
+  Stopwatch total;
+  telemetry::ScopedSpan span(telemetry::kCatSession,
+                             StrFormat("run cluster/%s", allocator.c_str()));
 
   RunRecord rec;
   rec.axis = WorkloadAxis::kCluster;
@@ -362,6 +409,9 @@ RunRecord Session::RunClusterJobs(const ExperimentSpec& spec, const std::string&
   fleet.workers = spec.workers;
 
   FillFromCluster(RunCluster(fleet, jobs), &rec);
+  FinalizeRun(total, &rec);
+  span.Arg("jobs", static_cast<unsigned long long>(jobs.size()));
+  span.Arg("status", RunStatusName(rec.status));
   return rec;
 }
 

@@ -25,6 +25,7 @@
 #include "src/driver/job.h"
 #include "src/driver/serve_experiment.h"
 #include "src/servesim/engine.h"
+#include "src/telemetry/flight_recorder.h"
 #include "src/trainsim/train_config.h"
 
 namespace stalloc {
@@ -88,6 +89,23 @@ enum class RunStatus : uint8_t {
 
 const char* RunStatusName(RunStatus status);
 
+// Per-phase wall-clock attribution of one run, sourced from the drivers' own phase timers
+// (the same quantities the telemetry spans record). All in host milliseconds. Axis notes:
+//   kTrainRank / kServing — profile/plan from the STAlloc offline stage (0 for baseline
+//                           allocators), replay from the replay engine;
+//   kTrainJob   — summed over ranks;
+//   kCluster    — the whole fleet day counts as replay; profile/plan stay 0 (admission-time
+//                 plan synthesis is part of the day).
+// report_ms is the residue (record assembly + everything not in the other phases), so the
+// parts always sum to total_ms.
+struct PhaseTimings {
+  double profile_ms = 0;
+  double plan_ms = 0;
+  double replay_ms = 0;
+  double report_ms = 0;
+  double total_ms = 0;
+};
+
 // The uniform result envelope of one (spec, allocator, repeat) run. The common fields are
 // filled for every axis (see the per-axis notes); exactly one payload optional is engaged.
 struct RunRecord {
@@ -121,6 +139,15 @@ struct RunRecord {
   // Latency / service outcome (axes that have one; -1 / 0 otherwise).
   double slo_attainment = -1.0;  // cluster serving jobs
   double queue_wait_p99 = 0;     // cluster admission queue
+
+  // Per-phase wall-clock timings of this run (always filled; see PhaseTimings).
+  PhaseTimings phases;
+
+  // OOM flight-recorder reports captured during this run (telemetry-enabled runs only): the
+  // last N allocator ops + fragmentation snapshot per failing allocator, drained from
+  // telemetry::FlightRecorder after the driver returns. Empty when telemetry is off or the
+  // run never OOMed.
+  std::vector<telemetry::OomReport> oom_flight;
 
   // Tagged payload — exactly one engaged, matching `axis`.
   std::optional<ExperimentResult> train_rank;

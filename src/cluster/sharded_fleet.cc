@@ -40,6 +40,9 @@
 #include "src/common/worker_pool.h"
 #include "src/gpu/sim_device.h"
 #include "src/replay/replay_engine.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/telemetry.h"
+#include "src/telemetry/tracer.h"
 #include "src/trainsim/model_config.h"
 #include "src/trainsim/workload.h"
 
@@ -197,6 +200,10 @@ class ShardedClusterSim {
 
   ClusterResult Run() {
     Stopwatch timer;
+    telemetry::ScopedSpan run_span(telemetry::kCatFleet, "cluster.run");
+    run_span.Arg("jobs", static_cast<unsigned long long>(jobs_.size()));
+    run_span.Arg("devices", static_cast<unsigned long long>(devices_.size()));
+    run_span.Arg("shards", static_cast<unsigned long long>(shards_.size()));
     // Trace synthesis and admission estimates are pure per-job functions — the single biggest
     // CPU cost at fleet scale — so they fan out over the same pool as the windows. The
     // results are identical whether built here or lazily at submission.
@@ -278,6 +285,31 @@ class ShardedClusterSim {
   // --- window execution ---
 
   void RunWindow(uint64_t horizon_excl) {
+    if (telemetry::Enabled()) {
+      static telemetry::Counter* windows =
+          telemetry::MetricsRegistry::Global().GetCounter("cluster.windows");
+      windows->Add();
+      // Each shard's window runs on whichever pool thread picked it up, so the span lands on
+      // that thread's track; shard identity travels in the name/args.
+      pool_.ParallelFor(shards_.size(), [this, horizon_excl](size_t s) {
+        auto& tracer = telemetry::Tracer::Global();
+        const uint64_t ops_before = shards_[s].engine->result().ops_replayed;
+        const uint64_t t0 = tracer.NowUs();
+        shards_[s].engine->StepUntil(horizon_excl);
+        const uint64_t ops = shards_[s].engine->result().ops_replayed - ops_before;
+        if (ops > 0) {
+          const uint64_t t1 = tracer.NowUs();
+          Json args = Json::Object();
+          args.Set("shard", static_cast<unsigned long long>(s));
+          args.Set("horizon", horizon_excl);
+          args.Set("ops", ops);
+          tracer.ThreadTrack()->Complete("shard " + std::to_string(s) + " window",
+                                         telemetry::kCatShard, t0, t1 > t0 ? t1 - t0 : 0,
+                                         std::move(args));
+        }
+      });
+      return;
+    }
     pool_.ParallelFor(shards_.size(), [this, horizon_excl](size_t s) {
       shards_[s].engine->StepUntil(horizon_excl);
     });
@@ -332,11 +364,25 @@ class ShardedClusterSim {
       oomed_now_[idx] = 0;
       JobState& job = jobs_[idx];
       ++job.outcome.oom_count;
-      if (job.outcome.oom_count > config_.max_oom_retries) {
+      const bool rejected = job.outcome.oom_count > config_.max_oom_retries;
+      if (rejected) {
         job.outcome.status = JobStatus::kRejectedOom;
         job.outcome.finish_time = first_oom;
       } else {
         queue_.push_back(idx);
+      }
+      if (telemetry::Enabled()) {
+        auto& registry = telemetry::MetricsRegistry::Global();
+        static telemetry::Counter* requeues = registry.GetCounter("scheduler.oom_requeues");
+        static telemetry::Counter* rejects = registry.GetCounter("scheduler.rejected_oom");
+        (rejected ? rejects : requeues)->Add();
+        auto& tracer = telemetry::Tracer::Global();
+        Json args = Json::Object();
+        args.Set("job", job.outcome.id);
+        args.Set("oom_count", job.outcome.oom_count);
+        args.Set("sim_time", first_oom);
+        tracer.ThreadTrack()->Instant(rejected ? "reject job (oom)" : "requeue job (oom)",
+                                      telemetry::kCatScheduler, tracer.NowUs(), std::move(args));
       }
     }
   }
@@ -441,6 +487,18 @@ class ShardedClusterSim {
     if (job.traces.size() > devices_.size() || job.outcome.estimate > max_capacity_) {
       job.outcome.status = JobStatus::kRejectedUpfront;
       job.outcome.finish_time = now_;
+      if (telemetry::Enabled()) {
+        static telemetry::Counter* rejects =
+            telemetry::MetricsRegistry::Global().GetCounter("scheduler.rejected_upfront");
+        rejects->Add();
+        auto& tracer = telemetry::Tracer::Global();
+        Json args = Json::Object();
+        args.Set("job", job.outcome.id);
+        args.Set("estimate", job.outcome.estimate);
+        args.Set("sim_time", now_);
+        tracer.ThreadTrack()->Instant("reject job (upfront)", telemetry::kCatScheduler,
+                                      tracer.NowUs(), std::move(args));
+      }
       return;
     }
     queue_.push_back(idx);
@@ -465,6 +523,15 @@ class ShardedClusterSim {
   // scan (claims only move on admission, which restarts it), so it is built once per scan —
   // at fleet scale rebuilding it per queued job dominated the whole run.
   void SchedulePass() {
+    // Boundary processing is single-threaded, so the pass span lands on the driving thread's
+    // track. Empty-queue passes are not traced — they would drown the decision windows.
+    const bool traced = telemetry::Enabled() && !queue_.empty();
+    const size_t queued_before = queue_.size();
+    uint64_t t0 = 0;
+    if (traced) {
+      t0 = telemetry::Tracer::Global().NowUs();
+    }
+    size_t admitted = 0;
     bool progress = true;
     while (progress) {
       progress = false;
@@ -476,9 +543,23 @@ class ShardedClusterSim {
           Admit(*it, *placed);
           queue_.erase(it);
           progress = true;
+          ++admitted;
           break;
         }
       }
+    }
+    if (traced) {
+      static telemetry::Counter* passes =
+          telemetry::MetricsRegistry::Global().GetCounter("scheduler.passes");
+      passes->Add();
+      auto& tracer = telemetry::Tracer::Global();
+      const uint64_t t1 = tracer.NowUs();
+      Json args = Json::Object();
+      args.Set("queued", static_cast<unsigned long long>(queued_before));
+      args.Set("admitted", static_cast<unsigned long long>(admitted));
+      args.Set("sim_time", now_);
+      tracer.ThreadTrack()->Complete("schedule pass", telemetry::kCatScheduler, t0,
+                                     t1 > t0 ? t1 - t0 : 0, std::move(args));
     }
   }
 
@@ -486,6 +567,19 @@ class ShardedClusterSim {
   void Admit(size_t idx, const std::vector<int>& chosen) {
     JobState& job = jobs_[idx];
     ++job.outcome.attempts;
+    if (telemetry::Enabled()) {
+      static telemetry::Counter* admissions =
+          telemetry::MetricsRegistry::Global().GetCounter("scheduler.admissions");
+      admissions->Add();
+      auto& tracer = telemetry::Tracer::Global();
+      Json args = Json::Object();
+      args.Set("job", job.outcome.id);
+      args.Set("ranks", static_cast<unsigned long long>(job.traces.size()));
+      args.Set("attempt", job.outcome.attempts);
+      args.Set("sim_time", now_);
+      tracer.ThreadTrack()->Instant("admit job", telemetry::kCatScheduler, tracer.NowUs(),
+                                    std::move(args));
+    }
     if (job.outcome.attempts == 1) {
       job.outcome.admit_time = now_;
       job.outcome.queue_wait = static_cast<double>(now_ - job.outcome.submit_time);

@@ -1,11 +1,23 @@
 #include "src/common/worker_pool.h"
 
+#include <string>
+
+#include "src/telemetry/telemetry.h"
+#include "src/telemetry/tracer.h"
+
 namespace stalloc {
 
 WorkerPool::WorkerPool(int workers) : workers_(workers < 1 ? 1 : workers) {
   threads_.reserve(static_cast<size_t>(workers_ - 1));
   for (int i = 1; i < workers_; ++i) {
-    threads_.emplace_back([this] { ThreadMain(); });
+    threads_.emplace_back([this, i] {
+      if (telemetry::Enabled()) {
+        // Name the track up front so exported traces label pool rows even if this thread's
+        // first event fires deep inside a shard window.
+        telemetry::Tracer::Global().SetThreadName("pool worker " + std::to_string(i));
+      }
+      ThreadMain();
+    });
   }
 }
 

@@ -7,6 +7,9 @@
 
 #include "src/common/check.h"
 #include "src/common/stopwatch.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/telemetry.h"
+#include "src/telemetry/tracer.h"
 
 namespace stalloc {
 
@@ -75,6 +78,7 @@ uint64_t LowestOffset(const std::vector<PlanDecision>& decisions,
 
 CompactionResult CompactPlan(const StaticPlan& plan, int max_rounds) {
   Stopwatch timer;
+  telemetry::ScopedSpan span(telemetry::kCatPlanner, "compact");
   CompactionResult result;
   result.plan = plan;
   result.initial_pool = plan.pool_size;
@@ -114,6 +118,18 @@ CompactionResult CompactPlan(const StaticPlan& plan, int max_rounds) {
   result.plan.pool_size = pool;
   result.plan.Validate();
   result.wall_ms = timer.ElapsedMillis();
+  if (telemetry::Enabled()) {
+    static telemetry::Counter* compactions =
+        telemetry::MetricsRegistry::Global().GetCounter("planner.compactions");
+    compactions->Add();
+    static telemetry::Counter* moves =
+        telemetry::MetricsRegistry::Global().GetCounter("planner.compaction_moves");
+    moves->Add(result.moves);
+    span.Arg("rounds", result.rounds);
+    span.Arg("moves", result.moves);
+    span.Arg("pool_before", result.initial_pool);
+    span.Arg("pool_after", pool);
+  }
   return result;
 }
 

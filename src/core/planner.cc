@@ -13,6 +13,9 @@
 #include "src/core/phase_group.h"
 #include "src/core/size_group.h"
 #include "src/interval/interval_set.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/telemetry.h"
+#include "src/telemetry/tracer.h"
 
 namespace stalloc {
 
@@ -94,6 +97,7 @@ std::string PlanStats::ToString() const {
 
 SynthesisResult SynthesizePlan(const Trace& trace, const PlanSynthesizerConfig& config) {
   Stopwatch timer;
+  telemetry::ScopedSpan span(telemetry::kCatPlanner, "plan");
   SynthesisResult result;
 
   // 1. Partition by dynamicity (§5: M_s and M_d).
@@ -179,6 +183,17 @@ SynthesisResult SynthesizePlan(const Trace& trace, const PlanSynthesizerConfig& 
     result.plan.Validate();
   }
   result.stats.synthesis_ms = timer.ElapsedMillis();
+  if (telemetry::Enabled()) {
+    static telemetry::Counter* plans =
+        telemetry::MetricsRegistry::Global().GetCounter("planner.plans_synthesized");
+    plans->Add();
+    static telemetry::Histogram* ms_hist = telemetry::MetricsRegistry::Global().GetHistogram(
+        "planner.synthesis_ms", {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000});
+    ms_hist->Record(result.stats.synthesis_ms);
+    span.Arg("static_events", result.stats.num_static_events);
+    span.Arg("dynamic_events", result.stats.num_dynamic_events);
+    span.Arg("pool_size", result.stats.pool_size);
+  }
   return result;
 }
 

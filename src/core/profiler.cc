@@ -6,6 +6,7 @@
 
 #include "src/allocators/native_allocator.h"
 #include "src/common/stopwatch.h"
+#include "src/telemetry/tracer.h"
 #include "src/trace/trace_stats.h"
 
 namespace stalloc {
@@ -21,6 +22,7 @@ ProfileResult ProfileWorkload(const WorkloadBuilder& workload, uint64_t capacity
 
 ProfileResult ProfileTrace(Trace trace, uint64_t capacity_bytes) {
   Stopwatch timer;
+  telemetry::ScopedSpan span(telemetry::kCatSession, "profile");
   ProfileResult result;
   result.trace = std::move(trace);
 
@@ -54,6 +56,8 @@ ProfileResult ProfileTrace(Trace trace, uint64_t capacity_bytes) {
   result.native_api_calls = device.counters().cuda_malloc + device.counters().cuda_free;
   result.native_api_cost_us = device.counters().total_cost_us;
   result.wall_ms = timer.ElapsedMillis();
+  span.Arg("ops", static_cast<unsigned long long>(result.trace.Ops().size()));
+  span.Arg("feasible", result.feasible);
   return result;
 }
 

@@ -66,6 +66,7 @@ void FinishExperimentResult(const ReplayResult& replay, const Allocator& active,
   result->device_api_calls = device.counters().TotalCalls();
   result->device_release_calls = device.counters().cuda_free + device.counters().mem_unmap +
                                  device.counters().mem_release;
+  result->replay_wall_ms = replay.replay_wall_seconds * 1e3;
   if (stalloc_alloc != nullptr) {
     result->breakdown = stalloc_alloc->breakdown();
   }

@@ -54,6 +54,9 @@ struct ExperimentResult {
   STAllocBreakdown breakdown;
   PlanStats plan_stats;
   double profile_wall_ms = 0;
+  // Host time inside the replay engine (every kind), so phase attribution
+  // (profile/plan/replay) is complete: plan time is plan_stats.synthesis_ms.
+  double replay_wall_ms = 0;
 
   std::string Summary() const;
 };

@@ -7,6 +7,9 @@
 
 #include "src/common/check.h"
 #include "src/common/stopwatch.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/telemetry.h"
+#include "src/telemetry/tracer.h"
 
 namespace stalloc {
 
@@ -87,6 +90,17 @@ void ReplayEngine::AbortTenant(uint64_t tenant) {
     s.progress.aborted = true;
     ++s.epoch;  // invalidates any pending heap entry
   }
+  if (telemetry::Enabled()) {
+    static telemetry::Counter* aborts =
+        telemetry::MetricsRegistry::Global().GetCounter("replay.tenant_aborts");
+    aborts->Add();
+    auto& tracer = telemetry::Tracer::Global();
+    Json args = Json::Object();
+    args.Set("tenant", tenant);
+    args.Set("sim_time", now_);
+    tracer.ThreadTrack()->Instant("abort tenant", telemetry::kCatReplay, tracer.NowUs(),
+                                  std::move(args));
+  }
   if (observer_ != nullptr) {
     observer_->OnTenantAborted(*this, tenant, now_);
   }
@@ -113,6 +127,17 @@ void ReplayEngine::RestartTenant(uint64_t tenant) {
     ++s.progress.restarts;
     ++active_sources_;
     Schedule(s, sid);
+  }
+  if (telemetry::Enabled()) {
+    static telemetry::Counter* restarts =
+        telemetry::MetricsRegistry::Global().GetCounter("replay.tenant_restarts");
+    restarts->Add();
+    auto& tracer = telemetry::Tracer::Global();
+    Json args = Json::Object();
+    args.Set("tenant", tenant);
+    args.Set("sim_time", now_);
+    tracer.ThreadTrack()->Instant("restart tenant", telemetry::kCatReplay, tracer.NowUs(),
+                                  std::move(args));
   }
 }
 
@@ -156,6 +181,19 @@ ReplayEngine::OpOutcome ReplayEngine::ApplyOp(size_t sid, const TraceOp& op) {
         result_.first_failed_event = e.id;
       }
       ++result_.oom_events;
+      if (telemetry::Enabled()) {
+        static telemetry::Counter* ooms =
+            telemetry::MetricsRegistry::Global().GetCounter("replay.oom_events");
+        ooms->Add();
+        auto& tracer = telemetry::Tracer::Global();
+        Json args = Json::Object();
+        args.Set("tenant", tenant);
+        args.Set("source", static_cast<unsigned long long>(sid));
+        args.Set("size", e.size);
+        args.Set("sim_time", now_);
+        tracer.ThreadTrack()->Instant("replay oom", telemetry::kCatReplay, tracer.NowUs(),
+                                      std::move(args));
+      }
       const OomAction action = observed ? observer_->OnOom(*this, view) : OomAction::kAbortRun;
       switch (action) {
         case OomAction::kAbortRun:
@@ -305,6 +343,8 @@ void ReplayEngine::RunSingleSourceFast() {
 
 const ReplayEngineResult& ReplayEngine::Run() {
   Stopwatch timer;
+  telemetry::ScopedSpan span(telemetry::kCatReplay, "replay.run");
+  span.Arg("sources", static_cast<unsigned long long>(sources_.size()));
   if (sources_.size() == 1) {
     RunSingleSourceFast();
   }
@@ -327,6 +367,13 @@ const ReplayEngineResult& ReplayEngine::Run() {
   }
   result_.end_time = now_;
   result_.wall_seconds += timer.ElapsedSeconds();
+  if (telemetry::Enabled()) {
+    static telemetry::Counter* ops =
+        telemetry::MetricsRegistry::Global().GetCounter("replay.ops_replayed");
+    ops->Add(result_.ops_replayed);
+    span.Arg("ops", result_.ops_replayed);
+    span.Arg("oom", result_.oom);
+  }
   return result_;
 }
 
@@ -374,6 +421,17 @@ void OomPolicyObserver::OnTenantAborted(ReplayEngine& engine, uint64_t tenant, u
     // Recompute-style preemption: the tenant's memory is gone, its work redone from scratch at
     // the current tick while the surviving tenants keep the freed space.
     ++preemptions_;
+    if (telemetry::Enabled()) {
+      static telemetry::Counter* preempts =
+          telemetry::MetricsRegistry::Global().GetCounter("replay.preemptions");
+      preempts->Add();
+      auto& tracer = telemetry::Tracer::Global();
+      Json args = Json::Object();
+      args.Set("tenant", tenant);
+      args.Set("sim_time", now);
+      tracer.ThreadTrack()->Instant("preempt tenant", telemetry::kCatReplay, tracer.NowUs(),
+                                    std::move(args));
+    }
     engine.RestartTenant(tenant);
     return;
   }
@@ -388,14 +446,28 @@ void OomPolicyObserver::RequeueTenant(ReplayEngine& engine, uint64_t tenant, uin
     return;
   }
   ++requeues_;
+  if (telemetry::Enabled()) {
+    static telemetry::Counter* requeues =
+        telemetry::MetricsRegistry::Global().GetCounter("replay.requeues");
+    requeues->Add();
+  }
   waiting_.push_back(tenant);
 }
 
 void OomPolicyObserver::RejectTenant(ReplayEngine& engine, uint64_t tenant, uint64_t now) {
   (void)engine;
-  (void)tenant;
-  (void)now;
   ++rejected_;
+  if (telemetry::Enabled()) {
+    static telemetry::Counter* rejects =
+        telemetry::MetricsRegistry::Global().GetCounter("replay.rejected_tenants");
+    rejects->Add();
+    auto& tracer = telemetry::Tracer::Global();
+    Json args = Json::Object();
+    args.Set("tenant", tenant);
+    args.Set("sim_time", now);
+    tracer.ThreadTrack()->Instant("reject tenant", telemetry::kCatReplay, tracer.NowUs(),
+                                  std::move(args));
+  }
 }
 
 void OomPolicyObserver::OnSourceDone(ReplayEngine& engine, size_t source, uint64_t now) {

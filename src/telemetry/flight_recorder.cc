@@ -1,0 +1,76 @@
+#include "src/telemetry/flight_recorder.h"
+
+#include <utility>
+
+namespace stalloc {
+namespace telemetry {
+
+const char* FlightOpKindName(FlightOp::Kind kind) {
+  switch (kind) {
+    case FlightOp::Kind::kMalloc:
+      return "malloc";
+    case FlightOp::Kind::kFree:
+      return "free";
+    case FlightOp::Kind::kOom:
+      return "oom";
+  }
+  return "?";
+}
+
+FlightRing::FlightRing(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.resize(capacity_);
+}
+
+void FlightRing::Push(const FlightOp& op) {
+  ring_[next_] = op;
+  next_ = (next_ + 1) % capacity_;
+  ++total_;
+}
+
+std::vector<FlightOp> FlightRing::Snapshot() const {
+  const size_t held = total_ < capacity_ ? static_cast<size_t>(total_) : capacity_;
+  const size_t start = total_ < capacity_ ? 0 : next_;
+  std::vector<FlightOp> out;
+  out.reserve(held);
+  for (size_t i = 0; i < held; ++i) out.push_back(ring_[(start + i) % capacity_]);
+  return out;
+}
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();  // leaked: lives for the process
+  return *recorder;
+}
+
+void FlightRecorder::Report(OomReport report) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (reports_.size() >= limit_) {
+    reports_.erase(reports_.begin());
+    ++evicted_;
+  }
+  reports_.push_back(std::move(report));
+}
+
+std::vector<OomReport> FlightRecorder::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<OomReport> out;
+  out.swap(reports_);
+  return out;
+}
+
+size_t FlightRecorder::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reports_.size();
+}
+
+uint64_t FlightRecorder::evicted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evicted_;
+}
+
+void FlightRecorder::SetLimit(size_t max_reports) {
+  std::lock_guard<std::mutex> lock(mu_);
+  limit_ = max_reports == 0 ? 1 : max_reports;
+}
+
+}  // namespace telemetry
+}  // namespace stalloc

@@ -1,0 +1,123 @@
+#include "src/telemetry/metrics.h"
+
+#include <cstring>
+#include <utility>
+
+namespace stalloc {
+namespace telemetry {
+
+namespace {
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double BitsDouble(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0, std::memory_order_relaxed);
+}
+
+void Histogram::Record(double v) {
+  size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t old = sum_bits_.load(std::memory_order_relaxed);
+  while (!sum_bits_.compare_exchange_weak(old, DoubleBits(BitsDouble(old) + v),
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::sum() const { return BitsDouble(sum_bits_.load(std::memory_order_relaxed)); }
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& DefaultLatencyBoundsUs() {
+  static const std::vector<double> kBounds = {0.1, 0.2, 0.5, 1,   2,   5,    10,
+                                              20,  50,  100, 200, 500, 1000, 5000};
+  return kBounds;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked: lives for the process
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(bounds);
+  return slot.get();
+}
+
+Json MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json root = Json::Object();
+  Json counters = Json::Object();
+  for (const auto& [name, c] : counters_) counters.Set(name, c->value());
+  root.Set("counters", std::move(counters));
+  Json gauges = Json::Object();
+  for (const auto& [name, g] : gauges_) gauges.Set(name, g->value());
+  root.Set("gauges", std::move(gauges));
+  Json histograms = Json::Object();
+  for (const auto& [name, h] : histograms_) {
+    Json hj = Json::Object();
+    hj.Set("count", h->count());
+    hj.Set("sum", h->sum());
+    Json buckets = Json::Array();
+    for (size_t i = 0; i <= h->bounds().size(); ++i) {
+      Json b = Json::Object();
+      if (i < h->bounds().size()) {
+        b.Set("le", h->bounds()[i]);
+      } else {
+        b.Set("le", "+Inf");
+      }
+      b.Set("count", h->BucketCount(i));
+      buckets.Add(std::move(b));
+    }
+    hj.Set("buckets", std::move(buckets));
+    histograms.Set(name, std::move(hj));
+  }
+  root.Set("histograms", std::move(histograms));
+  return root;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace telemetry
+}  // namespace stalloc

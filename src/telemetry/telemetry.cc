@@ -1,0 +1,13 @@
+#include "src/telemetry/telemetry.h"
+
+namespace stalloc {
+namespace telemetry {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+void SetEnabled(bool on) { internal::g_enabled.store(on, std::memory_order_relaxed); }
+
+}  // namespace telemetry
+}  // namespace stalloc

@@ -1,0 +1,48 @@
+// Telemetry master switch: the one guard every emission point in the tree checks.
+//
+// The layer is zero-cost when disabled, twice over:
+//   * compile time — building with -DSTALLOC_TELEMETRY=0 turns Enabled() into a constant
+//     false, so every `if (telemetry::Enabled()) { ... }` block is dead code the compiler
+//     deletes outright;
+//   * run time — the default build compiles the emission points in, but they all sit behind
+//     one relaxed atomic load that defaults to false. Nothing allocates, samples a clock or
+//     touches a registry until SetEnabled(true) (wired to `stalloc_run --trace/--metrics`).
+//
+// Telemetry observes the simulators, never steers them: with tracing on, every behavioral
+// output — ClusterResult::Digest(), placement decisions, replay outcomes — is bit-identical
+// to a run with tracing off (pinned by tests/telemetry_test.cc).
+
+#ifndef SRC_TELEMETRY_TELEMETRY_H_
+#define SRC_TELEMETRY_TELEMETRY_H_
+
+#include <atomic>
+
+// Compile-time gate: 1 (default) compiles the emission points in behind the runtime flag,
+// 0 removes them entirely (cmake -DSTALLOC_TELEMETRY=OFF).
+#ifndef STALLOC_TELEMETRY
+#define STALLOC_TELEMETRY 1
+#endif
+
+namespace stalloc {
+namespace telemetry {
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+}  // namespace internal
+
+inline bool Enabled() {
+#if STALLOC_TELEMETRY
+  return internal::g_enabled.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+// Flips the runtime switch. Typically called once at process start (tools/benches) or around
+// a scoped test; emission points pick it up on their next op.
+void SetEnabled(bool on);
+
+}  // namespace telemetry
+}  // namespace stalloc
+
+#endif  // SRC_TELEMETRY_TELEMETRY_H_

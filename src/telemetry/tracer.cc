@@ -1,0 +1,190 @@
+#include "src/telemetry/tracer.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace stalloc {
+namespace telemetry {
+
+TraceTrack::TraceTrack(int tid, std::string thread_name, size_t capacity)
+    : tid_(tid), thread_name_(std::move(thread_name)), capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.resize(capacity_);
+}
+
+void TraceTrack::Push(TraceEvent e) {
+  ring_[next_] = std::move(e);
+  next_ = (next_ + 1) % capacity_;
+  ++total_;
+}
+
+void TraceTrack::Complete(std::string name, const char* category, uint64_t ts_us,
+                          uint64_t dur_us, Json args) {
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kComplete;
+  e.name = std::move(name);
+  e.category = category;
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.args = std::move(args);
+  Push(std::move(e));
+}
+
+void TraceTrack::Instant(std::string name, const char* category, uint64_t ts_us, Json args) {
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kInstant;
+  e.name = std::move(name);
+  e.category = category;
+  e.ts_us = ts_us;
+  e.args = std::move(args);
+  Push(std::move(e));
+}
+
+void TraceTrack::CounterEvent(std::string name, const char* category, uint64_t ts_us,
+                              Json values) {
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kCounter;
+  e.name = std::move(name);
+  e.category = category;
+  e.ts_us = ts_us;
+  e.args = std::move(values);
+  Push(std::move(e));
+}
+
+std::vector<const TraceEvent*> TraceTrack::InOrder() const {
+  std::vector<const TraceEvent*> out;
+  const size_t held = size();
+  out.reserve(held);
+  // Oldest event sits at the write cursor once the ring has wrapped, at 0 before that.
+  const size_t start = total_ < capacity_ ? 0 : next_;
+  for (size_t i = 0; i < held; ++i) out.push_back(&ring_[(start + i) % capacity_]);
+  return out;
+}
+
+void TraceTrack::Clear() {
+  for (auto& e : ring_) e = TraceEvent{};
+  next_ = 0;
+  total_ = 0;
+}
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // leaked: lives for the process
+  return *tracer;
+}
+
+TraceTrack* Tracer::ThreadTrack() {
+  thread_local TraceTrack* track = nullptr;
+  if (track == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int tid = static_cast<int>(tracks_.size());
+    tracks_.emplace_back(new TraceTrack(
+        tid, tid == 0 ? "main" : "thread " + std::to_string(tid), capacity_));
+    track = tracks_.back().get();
+  }
+  return track;
+}
+
+void Tracer::SetThreadName(const std::string& name) {
+  TraceTrack* track = ThreadTrack();
+  std::lock_guard<std::mutex> lock(mu_);
+  track->thread_name_ = name;
+}
+
+uint64_t Tracer::NowUs() const {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now() - epoch_)
+                                   .count());
+}
+
+void Tracer::SetCapacity(size_t events_per_track) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = events_per_track == 0 ? 1 : events_per_track;
+}
+
+Json Tracer::ChromeTraceJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json events = Json::Array();
+  uint64_t dropped = 0;
+  for (const auto& track : tracks_) {
+    dropped += track->dropped();
+    if (track->size() == 0) continue;
+    // Thread-name metadata event, so trace viewers label the row.
+    Json meta = Json::Object();
+    meta.Set("name", "thread_name");
+    meta.Set("ph", "M");
+    meta.Set("pid", 0);
+    meta.Set("tid", track->tid());
+    Json meta_args = Json::Object();
+    meta_args.Set("name", track->thread_name());
+    meta.Set("args", std::move(meta_args));
+    events.Add(std::move(meta));
+    for (const TraceEvent* e : track->InOrder()) {
+      Json j = Json::Object();
+      j.Set("name", e->name);
+      j.Set("cat", e->category);
+      switch (e->phase) {
+        case TraceEvent::Phase::kComplete:
+          j.Set("ph", "X");
+          j.Set("ts", e->ts_us);
+          j.Set("dur", e->dur_us);
+          break;
+        case TraceEvent::Phase::kInstant:
+          j.Set("ph", "i");
+          j.Set("ts", e->ts_us);
+          j.Set("s", "t");  // thread-scoped instant
+          break;
+        case TraceEvent::Phase::kCounter:
+          j.Set("ph", "C");
+          j.Set("ts", e->ts_us);
+          break;
+      }
+      j.Set("pid", 0);
+      j.Set("tid", track->tid());
+      if (e->args.IsObject()) j.Set("args", e->args);
+      events.Add(std::move(j));
+    }
+  }
+  Json root = Json::Object();
+  root.Set("traceEvents", std::move(events));
+  root.Set("displayTimeUnit", "ms");
+  root.Set("droppedEvents", dropped);
+  return root;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& track : tracks_) track->Clear();
+}
+
+uint64_t Tracer::DroppedEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t dropped = 0;
+  for (const auto& track : tracks_) dropped += track->dropped();
+  return dropped;
+}
+
+void ScopedSpan::Arm(const char* category, std::string name, Json args) {
+  track_ = Tracer::Global().ThreadTrack();
+  category_ = category;
+  name_ = std::move(name);
+  args_ = std::move(args);
+  start_us_ = Tracer::Global().NowUs();
+}
+
+void ScopedSpan::Arg(const std::string& key, Json value) {
+  if (track_ == nullptr) return;
+  if (!args_.IsObject()) args_ = Json::Object();
+  args_.Set(key, std::move(value));
+}
+
+void ScopedSpan::Finish() {
+  if (track_ == nullptr) return;
+  const uint64_t now = Tracer::Global().NowUs();
+  track_->Complete(std::move(name_), category_, start_us_,
+                   now > start_us_ ? now - start_us_ : 0, std::move(args_));
+  track_ = nullptr;
+}
+
+}  // namespace telemetry
+}  // namespace stalloc

@@ -5,7 +5,9 @@ Compares a freshly produced bench JSON (e.g. /tmp/cluster.json from CI) against 
 baseline (e.g. BENCH_cluster.json). Two classes of keys:
 
   * volatile keys — wall-clock and derived throughput numbers (wall_seconds, ops_per_sec,
-    speedup, best_wall_seconds, *_latency_us, *_ms). These legitimately wobble run to run, so
+    speedup, best_wall_seconds, *_latency_us, *_ms — including the per-phase timing keys
+    profile_ms/plan_ms/replay_ms/report_ms/total_ms that RunRecord "phases" blocks and
+    bench_replay_hot results carry). These legitimately wobble run to run, so
     they are compared by relative threshold (default 20%), and only in the slow direction:
     a fresh run that is FASTER than the baseline never fails. Time-like keys whose baseline is
     below --min-seconds (default 0.5) are skipped entirely — sub-second cells are dominated by
@@ -26,12 +28,16 @@ import json
 import sys
 
 # Keys whose values measure host speed rather than simulator behavior. Matched by exact name
-# or suffix anywhere in the document.
-VOLATILE_KEYS = {"wall_seconds", "ops_per_sec", "speedup", "best_wall_seconds", "mops"}
+# or suffix anywhere in the document. The phase-timing keys (profile_ms, plan_ms, replay_ms,
+# report_ms, total_ms) are listed explicitly even though the _ms suffix already covers them:
+# they are wall-clock attribution, never behavioral, and must stay thresholded.
+VOLATILE_KEYS = {"wall_seconds", "ops_per_sec", "speedup", "best_wall_seconds", "mops",
+                 "profile_ms", "plan_ms", "replay_ms", "report_ms", "total_ms"}
 VOLATILE_SUFFIXES = ("_latency_us", "_ms", "_per_sec")
 
 # Throughput-like keys regress when the fresh value DROPS; time-like keys when it GROWS.
-TIME_LIKE = {"wall_seconds", "best_wall_seconds"}
+TIME_LIKE = {"wall_seconds", "best_wall_seconds",
+             "profile_ms", "plan_ms", "replay_ms", "report_ms", "total_ms"}
 TIME_LIKE_SUFFIXES = ("_latency_us", "_ms")
 
 

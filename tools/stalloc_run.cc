@@ -20,6 +20,9 @@
 #include "src/common/table.h"
 #include "src/common/units.h"
 #include "src/servesim/request_gen.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/telemetry.h"
+#include "src/telemetry/tracer.h"
 #include "src/trainsim/model_config.h"
 
 namespace {
@@ -68,6 +71,9 @@ int main(int argc, char** argv) {
   ExperimentSpec spec;
   std::string axis_name = "rank";
   std::string json_path;
+  std::string trace_path;
+  std::string metrics_path;
+  uint64_t trace_buffer = 0;
   std::vector<std::string> allocators;
   uint64_t capacity = spec.options.capacity_bytes;
   uint64_t kv_budget = spec.engine.kv_budget_bytes;
@@ -116,6 +122,12 @@ int main(int argc, char** argv) {
             "cluster shard-stepping threads (bit-identical results; 0/1 = serial)");
   // Output + listings.
   flags.Add("--json", &json_path, "FILE", "machine-readable report ('-' = stdout)");
+  flags.Add("--trace", &trace_path, "FILE",
+            "enable telemetry; write a Chrome-trace JSON of the run ('-' = stdout)");
+  flags.Add("--metrics", &metrics_path, "FILE",
+            "enable telemetry; write the metrics-registry snapshot ('-' = stdout)");
+  flags.Add("--trace-buffer", &trace_buffer, "N",
+            "per-thread trace ring capacity in events (default 65536; oldest dropped)");
   flags.AddFlag("--list-allocs", &list_allocs, "list registered allocators and exit");
   flags.AddFlag("--list-axes", &list_axes, "list workload axes and exit");
   flags.AddFlag("--list-models", &list_models, "list model presets and exit");
@@ -214,6 +226,19 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (flags.Seen("--trace-buffer") && trace_path.empty() && metrics_path.empty()) {
+    std::fprintf(stderr, "--trace-buffer only applies with --trace or --metrics\n");
+    return 2;
+  }
+
+  // Telemetry is off (and the hot paths untouched) unless an export target asks for it.
+  if (!trace_path.empty() || !metrics_path.empty()) {
+    if (trace_buffer > 0) {
+      telemetry::Tracer::Global().SetCapacity(static_cast<size_t>(trace_buffer));
+    }
+    telemetry::SetEnabled(true);
+  }
+
   ReportSink sink("stalloc_run", json_path);
   sink.Meta("spec", SpecMetaJson(spec));
 
@@ -236,5 +261,15 @@ int main(int argc, char** argv) {
     results.Add(ToJson(r));
   }
   sink.Meta("results", std::move(results));
-  return sink.Finish();
+  int rc = sink.Finish();
+  // Export after the Session has fully quiesced — the tracer requires no concurrent emitters.
+  if (!trace_path.empty() &&
+      !WriteJsonFile(telemetry::Tracer::Global().ChromeTraceJson(), trace_path)) {
+    rc = 1;
+  }
+  if (!metrics_path.empty() &&
+      !WriteJsonFile(telemetry::MetricsRegistry::Global().ToJson(), metrics_path)) {
+    rc = 1;
+  }
+  return rc;
 }
