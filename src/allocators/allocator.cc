@@ -74,6 +74,13 @@ std::optional<uint64_t> AllocatorBase::Malloc(uint64_t size, const RequestContex
   stats_.bytes_allocated_total += size;
   stats_.live_blocks = live_.size();
   NotePressure();
+  // Heap-map capture: one relaxed armed() load when telemetry is on but no heap map was
+  // requested; compiled out entirely when STALLOC_TELEMETRY is off (telemetry_on is constant
+  // false). Runs before the hook so a hook-driven abort still leaves the snapshot recorded.
+  if (telemetry_on &&
+      (heap_ != nullptr || telemetry::HeapMapRecorder::Global().armed())) {
+    MaybeHeapMapMalloc(*addr, ctx);
+  }
   if (timed) {
     const double us = timer.ElapsedSeconds() * 1e6;
     stats_.malloc_latency_us += us;
@@ -100,12 +107,23 @@ bool AllocatorBase::Free(uint64_t addr) {
   }
   ++stats_.num_frees;
   const uint64_t size = it->second;
+  // Exact high-water-mark capture: leaving a new global allocated peak for the first time,
+  // snapshot before the ledger shrinks so the frame holds the full peak-resident set. One
+  // relaxed armed() load when no heap map was requested; folded away when telemetry is off.
+  if (telemetry_on && !heap_suppressed_ &&
+      (heap_ != nullptr || telemetry::HeapMapRecorder::Global().armed()) &&
+      stats_.allocated_current == stats_.allocated_peak) {
+    MaybeHeapMapPeak();
+  }
   live_.erase(it);
   stats_.allocated_current -= size;
   stats_.bytes_freed_total += size;
   stats_.live_blocks = live_.size();
   DoFree(addr, size);
   NotePressure();
+  if (telemetry_on && heap_ != nullptr) {
+    MaybeHeapMapFree(addr);
+  }
   if (timed) {
     const double us = timer.ElapsedSeconds() * 1e6;
     stats_.free_latency_us += us;
@@ -210,6 +228,154 @@ void AllocatorBase::RecordTelemetryOom(uint64_t size) {
                                 std::move(args));
 
   telemetry::FlightRecorder::Global().Report(std::move(report));
+
+  // The address space at the instant of failure is the heap map's most valuable frame: it
+  // shows which blocks pinned the gaps that refused this request.
+  if (!heap_suppressed_ && telemetry::HeapMapRecorder::Global().armed() &&
+      EnsureHeapMapState()->config.on_oom) {
+    CaptureHeapSnapshot(telemetry::HeapTrigger::kOom, size);
+  }
+}
+
+void AllocatorBase::AppendHeapSegments(std::vector<telemetry::HeapSegment>* out) const {
+  for (const auto& [addr, size] : live_) {
+    telemetry::HeapSegment seg;
+    seg.base = addr;
+    seg.size = size;
+    seg.pool = "direct";
+    out->push_back(std::move(seg));
+  }
+}
+
+AllocatorBase::HeapMapState* AllocatorBase::EnsureHeapMapState() {
+  if (heap_ == nullptr) {
+    heap_ = std::make_unique<HeapMapState>();
+    heap_->config = telemetry::HeapMapRecorder::Global().config();
+  }
+  return heap_.get();
+}
+
+void AllocatorBase::MaybeHeapMapMalloc(uint64_t addr, const RequestContext& ctx) {
+  if (heap_suppressed_) {
+    return;  // the owning allocator's ledger covers this pool's blocks
+  }
+  HeapMapState* hs = EnsureHeapMapState();
+  HeapMapState::Tag& tag = hs->tags[addr];  // overwrites a stale tag on address reuse
+  tag.phase = ctx.phase;
+  tag.layer = ctx.layer;
+  tag.stream = ctx.stream;
+  tag.dyn = ctx.dyn;
+  tag.tenant = ctx.tenant;
+
+  // Trigger evaluation, at most one snapshot per op, in priority order. All inputs are
+  // allocator-local and deterministic on pinned seeds (no host time anywhere).
+  const telemetry::HeapMapConfig& cfg = hs->config;
+  bool fire = false;
+  telemetry::HeapTrigger trigger = telemetry::HeapTrigger::kManual;
+  if (cfg.on_phase_change && ctx.phase != kInvalidPhase && ctx.phase != hs->last_phase) {
+    // First tagged op establishes the baseline phase without snapshotting.
+    fire = hs->last_phase != kInvalidPhase;
+    trigger = telemetry::HeapTrigger::kPhaseChange;
+    hs->last_phase = ctx.phase;
+  }
+  if (!fire && cfg.on_peak) {
+    const uint64_t growth = static_cast<uint64_t>(
+        static_cast<double>(hs->last_peak) * cfg.peak_growth);
+    if (stats_.allocated_current >= hs->last_peak + std::max<uint64_t>(1, growth)) {
+      fire = true;
+      trigger = telemetry::HeapTrigger::kPeak;
+      hs->last_peak = stats_.allocated_current;
+    }
+  }
+  if (!fire && cfg.every_n_ops > 0 &&
+      (stats_.num_mallocs + stats_.num_frees) % cfg.every_n_ops == 0) {
+    fire = true;
+    trigger = telemetry::HeapTrigger::kEveryN;
+  }
+  if (fire) {
+    CaptureHeapSnapshot(trigger);
+  }
+}
+
+void AllocatorBase::MaybeHeapMapPeak() {
+  HeapMapState* hs = EnsureHeapMapState();
+  // Strictly-greater: a sawtooth that merely re-touches a known peak does not re-snapshot, so
+  // captures are bounded by the number of distinct global maxima (typically one or two per
+  // run). Ramp snapshots in MaybeHeapMapMalloc share this watermark: if one already fired at
+  // exactly the peak value, the frame exists and this is a no-op.
+  if (hs->config.on_peak && stats_.allocated_peak > hs->last_peak) {
+    hs->last_peak = stats_.allocated_peak;
+    CaptureHeapSnapshotImpl(telemetry::HeapTrigger::kPeak, 0, /*urgent=*/true);
+  }
+}
+
+void AllocatorBase::MaybeHeapMapFree(uint64_t addr) {
+  heap_->tags.erase(addr);
+  const telemetry::HeapMapConfig& cfg = heap_->config;
+  if (cfg.every_n_ops > 0 && (stats_.num_mallocs + stats_.num_frees) % cfg.every_n_ops == 0 &&
+      telemetry::HeapMapRecorder::Global().armed()) {
+    CaptureHeapSnapshot(telemetry::HeapTrigger::kEveryN);
+  }
+}
+
+void AllocatorBase::CaptureHeapSnapshot(telemetry::HeapTrigger trigger, uint64_t failed_size) {
+  CaptureHeapSnapshotImpl(trigger, failed_size,
+                          /*urgent=*/trigger == telemetry::HeapTrigger::kOom);
+}
+
+void AllocatorBase::CaptureHeapSnapshotImpl(telemetry::HeapTrigger trigger,
+                                            uint64_t failed_size, bool urgent) {
+  if (!telemetry::Enabled() || heap_suppressed_) {
+    return;
+  }
+  auto& recorder = telemetry::HeapMapRecorder::Global();
+  if (!recorder.armed()) {
+    return;
+  }
+  HeapMapState* hs = EnsureHeapMapState();
+  // Per-allocator cap: each allocator stops on its own counter, deterministically. Urgent
+  // frames (OOM, exact-peak) draw on a 2x reserve so phase/ramp snapshots cannot crowd out
+  // the frames OOM triage and fragmentation attribution depend on.
+  const uint64_t cap = hs->config.max_snapshots_per_allocator;
+  if (hs->taken >= (urgent ? 2 * cap : cap)) {
+    return;
+  }
+  ++hs->taken;
+
+  telemetry::HeapSnapshot snap;
+  snap.allocator = HeapLabel();
+  snap.trigger = trigger;
+  snap.seq = hs->next_seq++;
+  snap.op_index = stats_.num_mallocs + stats_.num_frees;
+  snap.allocated = stats_.allocated_current;
+  snap.reserved = ReservedBytes();
+  snap.num_oom = stats_.num_oom;
+  snap.failed_size = failed_size;
+
+  AppendHeapSegments(&snap.segments);
+  std::sort(snap.segments.begin(), snap.segments.end(),
+            [](const telemetry::HeapSegment& a, const telemetry::HeapSegment& b) {
+              return a.base < b.base;
+            });
+
+  snap.blocks.reserve(live_.size());
+  static const HeapMapState::Tag kUntagged;  // blocks allocated before the recorder was armed
+  for (const auto& [addr, size] : live_) {  // live_ iterates address-sorted
+    auto tag_it = hs->tags.find(addr);
+    const HeapMapState::Tag& tag = tag_it == hs->tags.end() ? kUntagged : tag_it->second;
+    telemetry::HeapBlock block;
+    block.addr = addr;
+    block.size = size;
+    block.phase = tag.phase;
+    block.layer = tag.layer;
+    block.stream = tag.stream;
+    block.dyn = tag.dyn;
+    block.tenant = tag.tenant;
+    snap.blocks.push_back(std::move(block));
+  }
+
+  telemetry::FinalizeHeapSnapshot(&snap);
+  recorder.Record(std::move(snap));
 }
 
 uint64_t AllocatorBase::LiveSize(uint64_t addr) const {

@@ -16,8 +16,10 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/telemetry/flight_recorder.h"
+#include "src/telemetry/heap_map.h"
 #include "src/trace/event.h"
 
 namespace stalloc {
@@ -29,6 +31,7 @@ struct RequestContext {
   PhaseId phase = kInvalidPhase;    // current computation phase
   LayerId layer = kInvalidLayer;    // current model layer (module)
   StreamId stream = kComputeStream; // issuing CUDA stream
+  uint64_t tenant = 0;              // owning job/request id (cluster replay; 0 = unattributed)
 };
 
 struct AllocatorStats {
@@ -112,6 +115,19 @@ class Allocator {
   virtual void EndIteration() {}
 
   virtual const AllocatorStats& stats() const = 0;
+
+  // Label under which this allocator's heap snapshots appear in RunRecord.heap_timeline.
+  // Defaults to name(); fleet drivers disambiguate devices with "<name>@devNNN".
+  void SetHeapLabel(std::string label) { heap_label_ = std::move(label); }
+  std::string HeapLabel() const { return heap_label_.empty() ? std::string(name()) : heap_label_; }
+
+  // Appends this allocator's reserved address ranges (address-sorted) for heap-map snapshots.
+  // The default treats every live block as its own "direct" reservation — exact for allocators
+  // without caching (native); pooling allocators override to report their real segments.
+  virtual void AppendHeapSegments(std::vector<telemetry::HeapSegment>* /*out*/) const {}
+
+ private:
+  std::string heap_label_;
 };
 
 // Base class with shared accounting + stomping detection. Concrete allocators implement DoMalloc
@@ -133,6 +149,22 @@ class AllocatorBase : public Allocator {
 
   // Live requested size for a given address (0 if unknown). For tests.
   uint64_t LiveSize(uint64_t addr) const;
+
+  // Default segment view: one "direct" reservation per live block. Exact for the native
+  // allocator; pooling allocators override with their real segments/slabs/pools.
+  void AppendHeapSegments(std::vector<telemetry::HeapSegment>* out) const override;
+
+  // Captures a heap-map snapshot of this allocator right now and hands it to the global
+  // HeapMapRecorder. No-op unless telemetry is enabled and the recorder is armed (and this
+  // allocator is not suppressed / over its per-allocator snapshot cap). `failed_size` is the
+  // request size for kOom snapshots.
+  void CaptureHeapSnapshot(telemetry::HeapTrigger trigger, uint64_t failed_size = 0);
+
+  // Excludes this allocator from snapshot capture. Owners of nested pools (STAlloc's caching
+  // fallback, GMLake's / expandable's small pool) call this on the inner allocator: the outer
+  // live_ ledger already covers every block the inner pool serves, so an inner snapshot would
+  // double-report; the outer AppendHeapSegments delegates to the inner pool for segments.
+  void SuppressHeapSnapshots() { heap_suppressed_ = true; }
 
  protected:
   virtual std::optional<uint64_t> DoMalloc(uint64_t size, const RequestContext& ctx) = 0;
@@ -156,9 +188,42 @@ class AllocatorBase : public Allocator {
   void RecordTelemetryOp(telemetry::FlightOp::Kind kind, uint64_t size, double latency_us);
   void RecordTelemetryOom(uint64_t size);
 
+  // Heap-map capture state: trigger bookkeeping plus the request-context tag for each live
+  // block (live_ itself stays a bare addr->size map — the hot path without heap mapping must
+  // not grow). Created lazily on the first op while the HeapMapRecorder is armed; the config
+  // is cached at creation, so arm the recorder before the run, not during it.
+  struct HeapMapState {
+    struct Tag {
+      PhaseId phase = kInvalidPhase;
+      LayerId layer = kInvalidLayer;
+      StreamId stream = kComputeStream;
+      bool dyn = false;
+      uint64_t tenant = 0;
+    };
+    telemetry::HeapMapConfig config;
+    std::map<uint64_t, Tag> tags;  // addr -> context at malloc time
+    uint64_t next_seq = 0;
+    uint64_t taken = 0;            // snapshots captured (per-allocator cap, deterministic)
+    PhaseId last_phase = kInvalidPhase;
+    uint64_t last_peak = 0;        // allocated bytes at the last kPeak snapshot
+  };
+  HeapMapState* EnsureHeapMapState();
+  void MaybeHeapMapMalloc(uint64_t addr, const RequestContext& ctx);
+  // Called from Free *before* the ledger mutates: the first Free descending from a new global
+  // allocated high-water mark snapshots the heap while the peak-resident set is fully live —
+  // the exact Ma frame, which growth-threshold ramp snapshots can only approximate.
+  void MaybeHeapMapPeak();
+  void MaybeHeapMapFree(uint64_t addr);
+  // `urgent` snapshots (OOM, exact-peak) draw on a 2x reserve above the per-allocator cap so
+  // ramp/phase snapshots cannot crowd out the two frames attribution depends on.
+  void CaptureHeapSnapshotImpl(telemetry::HeapTrigger trigger, uint64_t failed_size,
+                               bool urgent);
+
   AllocatorStats stats_;
   AllocatorStatsHook* hook_ = nullptr;
   std::unique_ptr<telemetry::FlightRing> flight_;
+  std::unique_ptr<HeapMapState> heap_;
+  bool heap_suppressed_ = false;
   // addr -> requested size of live blocks, used for accounting and overlap detection.
   std::map<uint64_t, uint64_t> live_;
 };

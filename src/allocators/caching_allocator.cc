@@ -248,4 +248,18 @@ uint64_t CachingAllocator::cached_free_bytes() const {
   return total;
 }
 
+void CachingAllocator::AppendHeapSegments(std::vector<telemetry::HeapSegment>* out) const {
+  for (const auto& seg : segments_) {
+    if (seg.released) {
+      continue;
+    }
+    telemetry::HeapSegment s;
+    s.base = seg.base;
+    s.size = seg.size;
+    s.stream = seg.stream;
+    s.pool = seg.small ? "small" : "large";
+    out->push_back(std::move(s));
+  }
+}
+
 }  // namespace stalloc

@@ -57,6 +57,7 @@ class CachingAllocator final : public AllocatorBase {
   std::string_view name() const override { return "torch-caching"; }
   uint64_t ReservedBytes() const override { return reserved_; }
   void EmptyCache() override;
+  void AppendHeapSegments(std::vector<telemetry::HeapSegment>* out) const override;
 
   // Introspection for tests.
   size_t num_segments() const { return segments_.size(); }

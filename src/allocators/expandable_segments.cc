@@ -16,6 +16,9 @@ ExpandableSegmentsAllocator::ExpandableSegmentsAllocator(SimDevice* device,
                                                          ExpandableSegmentsConfig config)
     : device_(device), config_(config) {
   small_pool_ = std::make_unique<CachingAllocator>(device);
+  // Our live_ ledger covers small-pool blocks; the inner pool contributes segments only (see
+  // AppendHeapSegments), never its own snapshots.
+  small_pool_->SuppressHeapSnapshots();
 }
 
 ExpandableSegmentsAllocator::~ExpandableSegmentsAllocator() {
@@ -260,6 +263,23 @@ void ExpandableSegmentsAllocator::EmptyCache() {
     TrimTail(seg);
   }
   config_.trim_threshold = saved;
+}
+
+void ExpandableSegmentsAllocator::AppendHeapSegments(
+    std::vector<telemetry::HeapSegment>* out) const {
+  // Only the mapped prefix of each stream's VA reservation is real reserved memory.
+  for (const auto& [stream, seg] : streams_) {
+    if (seg.mapped_end == 0) {
+      continue;
+    }
+    telemetry::HeapSegment s;
+    s.base = seg.va;
+    s.size = seg.mapped_end;
+    s.stream = stream;
+    s.pool = "expandable";
+    out->push_back(std::move(s));
+  }
+  small_pool_->AppendHeapSegments(out);
 }
 
 }  // namespace stalloc

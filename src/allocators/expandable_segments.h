@@ -49,6 +49,7 @@ class ExpandableSegmentsAllocator final : public AllocatorBase {
   std::string_view name() const override { return "torch-expandable"; }
   uint64_t ReservedBytes() const override;
   void EmptyCache() override;
+  void AppendHeapSegments(std::vector<telemetry::HeapSegment>* out) const override;
 
   // Introspection for tests: mapped bytes across all stream segments.
   uint64_t mapped_bytes() const;

@@ -18,6 +18,9 @@ namespace stalloc {
 GMLakeAllocator::GMLakeAllocator(SimDevice* device, GMLakeConfig config)
     : device_(device), config_(config) {
   small_pool_ = std::make_unique<CachingAllocator>(device);
+  // Our own live_ ledger already covers small-pool blocks (they enter through our Malloc), so
+  // the inner pool must not emit its own heap snapshots; we delegate to it for segments only.
+  small_pool_->SuppressHeapSnapshots();
 }
 
 GMLakeAllocator::~GMLakeAllocator() {
@@ -317,6 +320,21 @@ size_t GMLakeAllocator::num_segments() const {
     }
   }
   return n;
+}
+
+void GMLakeAllocator::AppendHeapSegments(std::vector<telemetry::HeapSegment>* out) const {
+  for (const auto& seg : segments_) {
+    if (seg.released) {
+      continue;
+    }
+    telemetry::HeapSegment s;
+    s.base = seg.va;
+    s.size = seg.size;
+    s.stream = seg.stream;
+    s.pool = seg.stitched ? "stitched" : "pblock";
+    out->push_back(std::move(s));
+  }
+  small_pool_->AppendHeapSegments(out);
 }
 
 }  // namespace stalloc

@@ -41,6 +41,7 @@ class GMLakeAllocator final : public AllocatorBase {
   std::string_view name() const override { return "gmlake"; }
   uint64_t ReservedBytes() const override;
   void EmptyCache() override;
+  void AppendHeapSegments(std::vector<telemetry::HeapSegment>* out) const override;
 
   // Introspection for tests / benches.
   uint64_t num_stitches() const { return num_stitches_; }

@@ -106,4 +106,21 @@ void PagedKVAllocator::EmptyCache() {
   }
 }
 
+void PagedKVAllocator::AppendHeapSegments(std::vector<telemetry::HeapSegment>* out) const {
+  for (const auto& [base, slab] : slabs_) {
+    telemetry::HeapSegment s;
+    s.base = base;
+    s.size = SlabBytes(slab.blocks);
+    s.pool = "slab";
+    out->push_back(std::move(s));
+  }
+  for (const auto& [addr, size] : passthrough_) {
+    telemetry::HeapSegment s;
+    s.base = addr;
+    s.size = AlignUp(size, SimDevice::kMallocAlign);
+    s.pool = "direct";
+    out->push_back(std::move(s));
+  }
+}
+
 }  // namespace stalloc

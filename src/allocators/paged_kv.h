@@ -46,6 +46,7 @@ class PagedKVAllocator final : public AllocatorBase {
   uint64_t ReservedBytes() const override { return reserved_; }
   // Releases fully-free slabs back to the device.
   void EmptyCache() override;
+  void AppendHeapSegments(std::vector<telemetry::HeapSegment>* out) const override;
 
   // Introspection for tests.
   size_t num_slabs() const { return slabs_.size(); }

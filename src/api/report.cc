@@ -1,7 +1,10 @@
 #include "src/api/report.h"
 
+#include <cerrno>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <utility>
 
 #include "src/common/check.h"
@@ -35,6 +38,375 @@ size_t Json::size() const {
     default:
       return 0;
   }
+}
+
+const Json* Json::Find(const std::string& key) const {
+  if (type_ != Type::kObject) {
+    return nullptr;
+  }
+  for (const auto& [k, v] : object_) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+const Json& Json::at(size_t i) const {
+  STALLOC_CHECK(type_ == Type::kArray && i < array_.size(),
+                << "Json::at(" << i << ") on " << (type_ == Type::kArray ? "short array"
+                                                                         : "non-array"));
+  return array_[i];
+}
+
+double Json::AsDouble(double fallback) const {
+  switch (type_) {
+    case Type::kInt:
+      return static_cast<double>(int_);
+    case Type::kUint:
+      return static_cast<double>(uint_);
+    case Type::kDouble:
+      return double_;
+    default:
+      return fallback;
+  }
+}
+
+int64_t Json::AsInt(int64_t fallback) const {
+  switch (type_) {
+    case Type::kInt:
+      return int_;
+    case Type::kUint:
+      return static_cast<int64_t>(uint_);
+    case Type::kDouble:
+      return static_cast<int64_t>(double_);
+    default:
+      return fallback;
+  }
+}
+
+uint64_t Json::AsUint(uint64_t fallback) const {
+  switch (type_) {
+    case Type::kInt:
+      return int_ < 0 ? fallback : static_cast<uint64_t>(int_);
+    case Type::kUint:
+      return uint_;
+    case Type::kDouble:
+      return double_ < 0 ? fallback : static_cast<uint64_t>(double_);
+    default:
+      return fallback;
+  }
+}
+
+bool Json::AsBool(bool fallback) const { return type_ == Type::kBool ? bool_ : fallback; }
+
+namespace {
+
+// Recursive-descent JSON reader over the document string. Depth-limited so a pathological
+// input cannot overflow the stack; numbers keep integer typing when they fit, matching what
+// the emitter produced.
+class JsonReader {
+ public:
+  JsonReader(const std::string& text, std::string* error) : text_(text), error_(error) {}
+
+  std::optional<Json> ReadDocument() {
+    SkipSpace();
+    std::optional<Json> v = ReadValue(0);
+    if (!v) {
+      return std::nullopt;
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after document");
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 96;
+
+  std::optional<Json> Fail(const std::string& what) {
+    if (error_ != nullptr) {
+      *error_ = what + " at byte " + std::to_string(pos_);
+    }
+    return std::nullopt;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+        break;
+      }
+      ++pos_;
+    }
+  }
+
+  bool Consume(const char* literal) {
+    const size_t n = std::strlen(literal);
+    if (text_.compare(pos_, n, literal) != 0) {
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  std::optional<Json> ReadValue(int depth) {
+    if (depth > kMaxDepth) {
+      return Fail("nesting deeper than " + std::to_string(kMaxDepth));
+    }
+    if (pos_ >= text_.size()) {
+      return Fail("unexpected end of document");
+    }
+    switch (text_[pos_]) {
+      case 'n':
+        return Consume("null") ? std::optional<Json>(Json(nullptr)) : Fail("bad literal");
+      case 't':
+        return Consume("true") ? std::optional<Json>(Json(true)) : Fail("bad literal");
+      case 'f':
+        return Consume("false") ? std::optional<Json>(Json(false)) : Fail("bad literal");
+      case '"':
+        return ReadString();
+      case '[':
+        return ReadArray(depth);
+      case '{':
+        return ReadObject(depth);
+      default:
+        return ReadNumber();
+    }
+  }
+
+  std::optional<Json> ReadString() {
+    std::string out;
+    ++pos_;  // opening quote
+    while (true) {
+      if (pos_ >= text_.size()) {
+        return Fail("unterminated string");
+      }
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Json(std::move(out));
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) {
+          return Fail("unterminated escape");
+        }
+        const char e = text_[++pos_];
+        ++pos_;
+        switch (e) {
+          case '"':
+          case '\\':
+          case '/':
+            out += e;
+            break;
+          case 'b':
+            out += '\b';
+            break;
+          case 'f':
+            out += '\f';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return Fail("truncated \\u escape");
+            }
+            unsigned value = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_ + static_cast<size_t>(i)];
+              value <<= 4;
+              if (h >= '0' && h <= '9') {
+                value |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                value |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                value |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Fail("bad \\u escape");
+              }
+            }
+            pos_ += 4;
+            // UTF-8 encode the code point (surrogate pairs are passed through individually —
+            // the emitter only writes \u00xx control escapes, so this covers round-trips).
+            if (value < 0x80) {
+              out += static_cast<char>(value);
+            } else if (value < 0x800) {
+              out += static_cast<char>(0xC0 | (value >> 6));
+              out += static_cast<char>(0x80 | (value & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (value >> 12));
+              out += static_cast<char>(0x80 | ((value >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (value & 0x3F));
+            }
+            break;
+          }
+          default:
+            return Fail("bad escape");
+        }
+        continue;
+      }
+      if (c < 0x20) {
+        return Fail("raw control character in string");
+      }
+      out += static_cast<char>(c);
+      ++pos_;
+    }
+  }
+
+  std::optional<Json> ReadNumber() {
+    const size_t start = pos_;
+    bool integral = true;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    const size_t int_start = pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (pos_ == int_start) {
+      return Fail("number has no digits");
+    }
+    if (pos_ - int_start > 1 && text_[int_start] == '0') {
+      return Fail("leading zero in number");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") {
+      return Fail("bad value");
+    }
+    errno = 0;
+    if (integral) {
+      if (token[0] == '-') {
+        char* end = nullptr;
+        const long long v = std::strtoll(token.c_str(), &end, 10);
+        if (errno == 0 && end == token.c_str() + token.size()) {
+          return Json(v);
+        }
+      } else {
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+        if (errno == 0 && end == token.c_str() + token.size()) {
+          return Json(v);
+        }
+      }
+      errno = 0;  // out-of-range integer: fall through to double
+    }
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return Fail("bad number '" + token + "'");
+    }
+    return Json(v);
+  }
+
+  std::optional<Json> ReadArray(int depth) {
+    Json out = Json::Array();
+    ++pos_;  // '['
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      SkipSpace();
+      std::optional<Json> v = ReadValue(depth + 1);
+      if (!v) {
+        return std::nullopt;
+      }
+      out.Add(std::move(*v));
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        return Fail("unterminated array");
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return out;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  std::optional<Json> ReadObject(int depth) {
+    Json out = Json::Object();
+    ++pos_;  // '{'
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      std::optional<Json> key = ReadString();
+      if (!key) {
+        return std::nullopt;
+      }
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Fail("expected ':'");
+      }
+      ++pos_;
+      SkipSpace();
+      std::optional<Json> v = ReadValue(depth + 1);
+      if (!v) {
+        return std::nullopt;
+      }
+      out.Set(key->AsString(), std::move(*v));
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        return Fail("unterminated object");
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return out;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Json> Json::Parse(const std::string& text, std::string* error) {
+  return JsonReader(text, error).ReadDocument();
 }
 
 std::string Json::Escape(const std::string& s) {

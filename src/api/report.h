@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -30,7 +31,8 @@ namespace stalloc {
 //       names) at the root, RunRecord-shaped result objects.
 inline constexpr int kReportSchemaVersion = 2;
 
-// A minimal ordered JSON value tree: enough for report emission, none of a parser's weight.
+// A minimal ordered JSON value tree: emission for every bench/tool, plus just enough parsing
+// and read access for the tools that consume those documents back (stalloc_diff, --heapmap).
 // Objects preserve insertion order so emitted documents are stable across runs.
 class Json {
  public:
@@ -70,7 +72,34 @@ class Json {
 
   bool IsObject() const { return type_ == Type::kObject; }
   bool IsArray() const { return type_ == Type::kArray; }
+  bool IsNull() const { return type_ == Type::kNull; }
+  bool IsBool() const { return type_ == Type::kBool; }
+  bool IsString() const { return type_ == Type::kString; }
+  bool IsNumber() const {
+    return type_ == Type::kInt || type_ == Type::kUint || type_ == Type::kDouble;
+  }
   size_t size() const;
+
+  // Object member lookup: the value for `key`, or nullptr when absent / not an object.
+  const Json* Find(const std::string& key) const;
+
+  // Array element access; aborts when out of range or not an array.
+  const Json& at(size_t i) const;
+
+  // Object iteration (empty on non-objects) — key order is document/insertion order.
+  const std::vector<std::pair<std::string, Json>>& items() const { return object_; }
+
+  // Value readers with a fallback on type mismatch. AsInt/AsUint saturate through the numeric
+  // types (a parsed 3.0 reads as 3); AsString never stringifies numbers.
+  double AsDouble(double fallback = 0) const;
+  int64_t AsInt(int64_t fallback = 0) const;
+  uint64_t AsUint(uint64_t fallback = 0) const;
+  bool AsBool(bool fallback = false) const;
+  const std::string& AsString() const { return string_; }
+
+  // Parses a JSON document. On failure returns nullopt and, when `error` is non-null, stores a
+  // message with the byte offset of the problem.
+  static std::optional<Json> Parse(const std::string& text, std::string* error = nullptr);
 
   // Serializes the tree; `indent` spaces per nesting level (0 = compact one-line output).
   std::string Dump(int indent = 2) const;

@@ -1,0 +1,272 @@
+#include "src/api/run_diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <tuple>
+#include <utility>
+
+namespace stalloc {
+
+namespace {
+
+// The scalar surface of a RunRecord worth explaining. Fixed allow-list rather than a blind
+// walk: identity fields (seeds, variant) and nested arrays are handled separately, and a new
+// record key should be an explicit decision to diff, not an accident.
+constexpr const char* kScalarKeys[] = {
+    "status",
+    "allocated_peak",
+    "reserved_peak",
+    "memory_efficiency",
+    "fragmentation_bytes",
+    "device_api_calls",
+    "device_api_cost_us",
+    "device_release_calls",
+    "oom_events",
+    "slo_attainment",
+    "queue_wait_p99",
+    "phases.profile_ms",
+    "phases.plan_ms",
+    "phases.replay_ms",
+    "phases.report_ms",
+    "phases.total_ms",
+};
+
+const Json* FindPath(const Json& record, const std::string& dotted) {
+  const Json* node = &record;
+  size_t start = 0;
+  while (true) {
+    const size_t dot = dotted.find('.', start);
+    const std::string key = dotted.substr(start, dot - start);
+    node = node->Find(key);
+    if (node == nullptr || dot == std::string::npos) {
+      return node;
+    }
+    start = dot + 1;
+  }
+}
+
+std::string RunLabel(const Json& record) {
+  const Json* allocator = record.Find("allocator");
+  const Json* variant = record.Find("variant");
+  std::string label = allocator != nullptr ? allocator->AsString() : "?";
+  if (variant != nullptr && !variant->AsString().empty()) {
+    label += "/" + variant->AsString();
+  }
+  return label;
+}
+
+void DiffScalars(const Json& a, const Json& b, std::vector<ScalarDelta>* out) {
+  for (const char* key : kScalarKeys) {
+    const Json* va = FindPath(a, key);
+    const Json* vb = FindPath(b, key);
+    if (va == nullptr && vb == nullptr) {
+      continue;
+    }
+    ScalarDelta delta;
+    delta.key = key;
+    if (va != nullptr && vb != nullptr && va->IsNumber() && vb->IsNumber()) {
+      delta.numeric = true;
+      delta.a_num = va->AsDouble();
+      delta.b_num = vb->AsDouble();
+      if (delta.a_num == delta.b_num) {
+        continue;
+      }
+    } else {
+      delta.a_text = va == nullptr ? "(absent)"
+                                   : va->IsString() ? va->AsString() : va->Dump(0);
+      delta.b_text = vb == nullptr ? "(absent)"
+                                   : vb->IsString() ? vb->AsString() : vb->Dump(0);
+      while (!delta.a_text.empty() && delta.a_text.back() == '\n') {
+        delta.a_text.pop_back();
+      }
+      while (!delta.b_text.empty() && delta.b_text.back() == '\n') {
+        delta.b_text.pop_back();
+      }
+      if (delta.a_text == delta.b_text) {
+        continue;
+      }
+    }
+    out->push_back(std::move(delta));
+  }
+}
+
+using AttrKey = std::tuple<std::string, int64_t, uint64_t>;
+
+std::map<AttrKey, double> AttributionOf(const Json& record) {
+  std::map<AttrKey, double> out;
+  const Json* rows = record.Find("frag_attribution");
+  if (rows == nullptr || !rows->IsArray()) {
+    return out;
+  }
+  for (size_t i = 0; i < rows->size(); ++i) {
+    const Json& row = rows->at(i);
+    const Json* group = row.Find("size_group");
+    const Json* phase = row.Find("phase");
+    const Json* tenant = row.Find("tenant");
+    const Json* bytes = row.Find("bytes");
+    out[AttrKey(group != nullptr ? group->AsString() : "?",
+                phase != nullptr ? phase->AsInt(-1) : -1,
+                tenant != nullptr ? tenant->AsUint() : 0)] +=
+        bytes != nullptr ? bytes->AsDouble() : 0;
+  }
+  return out;
+}
+
+void DiffAttribution(const Json& a, const Json& b, RunPairDiff* diff) {
+  const std::map<AttrKey, double> rows_a = AttributionOf(a);
+  std::map<AttrKey, double> rows_b = AttributionOf(b);
+  for (const auto& [key, bytes_a] : rows_a) {
+    auto it = rows_b.find(key);
+    const double bytes_b = it == rows_b.end() ? 0 : it->second;
+    if (it != rows_b.end()) {
+      rows_b.erase(it);
+    }
+    if (bytes_a == bytes_b) {
+      continue;
+    }
+    AttributionDelta d;
+    d.size_group = std::get<0>(key);
+    d.phase = std::get<1>(key);
+    d.tenant = std::get<2>(key);
+    d.a_bytes = bytes_a;
+    d.b_bytes = bytes_b;
+    diff->attribution.push_back(std::move(d));
+  }
+  for (const auto& [key, bytes_b] : rows_b) {  // classes only present in B
+    if (bytes_b == 0) {
+      continue;
+    }
+    AttributionDelta d;
+    d.size_group = std::get<0>(key);
+    d.phase = std::get<1>(key);
+    d.tenant = std::get<2>(key);
+    d.b_bytes = bytes_b;
+    diff->attribution.push_back(std::move(d));
+  }
+  std::stable_sort(diff->attribution.begin(), diff->attribution.end(),
+                   [](const AttributionDelta& x, const AttributionDelta& y) {
+                     return std::fabs(x.delta()) > std::fabs(y.delta());
+                   });
+  for (const AttributionDelta& d : diff->attribution) {
+    diff->explained += d.delta();
+  }
+}
+
+// Fields that pin a snapshot's identity for divergence detection. Block-level content is
+// covered transitively: different block layouts change free_bytes/num_gaps/allocated.
+std::string SnapshotFingerprintMismatch(const Json& sa, const Json& sb) {
+  static constexpr const char* kFields[] = {"allocator", "trigger",    "op_index", "allocated",
+                                            "reserved",  "free_bytes", "num_gaps"};
+  for (const char* field : kFields) {
+    const Json* va = sa.Find(field);
+    const Json* vb = sb.Find(field);
+    const std::string ta = va == nullptr ? "(absent)" : va->IsString() ? va->AsString()
+                                                                       : va->Dump(0);
+    const std::string tb = vb == nullptr ? "(absent)" : vb->IsString() ? vb->AsString()
+                                                                       : vb->Dump(0);
+    if (ta != tb) {
+      std::string msg = field;
+      msg += " ";
+      msg += ta;
+      msg += " vs ";
+      msg += tb;
+      while (msg.find('\n') != std::string::npos) {
+        msg.erase(msg.find('\n'), 1);
+      }
+      return msg;
+    }
+  }
+  return "";
+}
+
+void DiffTimeline(const Json& a, const Json& b, RunPairDiff* diff) {
+  const Json* ta = a.Find("heap_timeline");
+  const Json* tb = b.Find("heap_timeline");
+  const size_t na = ta != nullptr && ta->IsArray() ? ta->size() : 0;
+  const size_t nb = tb != nullptr && tb->IsArray() ? tb->size() : 0;
+  const size_t common = std::min(na, nb);
+  for (size_t i = 0; i < common; ++i) {
+    const std::string mismatch = SnapshotFingerprintMismatch(ta->at(i), tb->at(i));
+    if (!mismatch.empty()) {
+      diff->divergence = "snapshot " + std::to_string(i) + ": " + mismatch;
+      return;
+    }
+  }
+  if (na != nb) {
+    diff->divergence = "timeline_length " + std::to_string(na) + " vs " + std::to_string(nb);
+  }
+}
+
+}  // namespace
+
+bool ExtractRunRecords(const Json& root, std::vector<const Json*>* out, std::string* error) {
+  const Json* results = root.Find("results");
+  if (results == nullptr || !results->IsArray()) {
+    if (error != nullptr) {
+      *error = "document has no \"results\" array (not a stalloc_run/bench report?)";
+    }
+    return false;
+  }
+  for (size_t i = 0; i < results->size(); ++i) {
+    out->push_back(&results->at(i));
+  }
+  return true;
+}
+
+RunPairDiff DiffRunRecords(const Json& a, const Json& b) {
+  RunPairDiff diff;
+  diff.label_a = RunLabel(a);
+  diff.label_b = RunLabel(b);
+  DiffScalars(a, b, &diff.scalars);
+  DiffAttribution(a, b, &diff);
+  DiffTimeline(a, b, &diff);
+  const Json* fa = a.Find("fragmentation_bytes");
+  const Json* fb = b.Find("fragmentation_bytes");
+  diff.frag_delta = (fb != nullptr ? fb->AsDouble() : 0) - (fa != nullptr ? fa->AsDouble() : 0);
+  return diff;
+}
+
+Json ToJson(const RunPairDiff& diff) {
+  Json j = Json::Object();
+  j.Set("run_a", diff.label_a);
+  j.Set("run_b", diff.label_b);
+  j.Set("identical", diff.Empty());
+  Json scalars = Json::Array();
+  for (const ScalarDelta& d : diff.scalars) {
+    Json s = Json::Object();
+    s.Set("key", d.key);
+    if (d.numeric) {
+      s.Set("a", d.a_num);
+      s.Set("b", d.b_num);
+      s.Set("delta", d.b_num - d.a_num);
+      if (d.a_num != 0) {
+        s.Set("delta_pct", 100.0 * (d.b_num - d.a_num) / d.a_num);
+      }
+    } else {
+      s.Set("a", d.a_text);
+      s.Set("b", d.b_text);
+    }
+    scalars.Add(std::move(s));
+  }
+  j.Set("scalars", std::move(scalars));
+  Json attribution = Json::Array();
+  for (const AttributionDelta& d : diff.attribution) {
+    Json row = Json::Object();
+    row.Set("size_group", d.size_group);
+    row.Set("phase", d.phase);
+    row.Set("tenant", d.tenant);
+    row.Set("a_bytes", d.a_bytes);
+    row.Set("b_bytes", d.b_bytes);
+    row.Set("delta_bytes", d.delta());
+    attribution.Add(std::move(row));
+  }
+  j.Set("attribution_deltas", std::move(attribution));
+  j.Set("first_divergence", diff.divergence);
+  j.Set("frag_delta_bytes", diff.frag_delta);
+  j.Set("explained_bytes", diff.explained);
+  j.Set("coverage", diff.coverage());
+  return j;
+}
+
+}  // namespace stalloc

@@ -1,0 +1,70 @@
+// Run-pair diffing: the library behind `tools/stalloc_diff`. Takes two RunRecord JSON objects
+// (as written by stalloc_run / the benches into their "results" arrays) and produces a
+// structured explanation of how the runs differ: scalar metric deltas (Ma/Mr/E/latency/
+// per-phase wall clock), fragmentation-attribution table deltas, the first heap-timeline
+// divergence, and how much of the external-fragmentation delta the attribution rows explain.
+//
+// Operates on parsed Json rather than RunRecord structs so it can diff documents from any
+// build of the tree (including committed BENCH_*.json baselines from earlier PRs).
+
+#ifndef SRC_API_RUN_DIFF_H_
+#define SRC_API_RUN_DIFF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/api/report.h"
+
+namespace stalloc {
+
+// One scalar metric that differs between the runs. Numeric metrics carry values in a_num /
+// b_num; non-numeric ones (e.g. "status") carry display text only.
+struct ScalarDelta {
+  std::string key;   // dotted path within the record, e.g. "phases.replay_ms"
+  bool numeric = false;
+  double a_num = 0;
+  double b_num = 0;
+  std::string a_text;
+  std::string b_text;
+};
+
+// One (size group, phase, tenant) attribution class whose pinned-gap bytes changed.
+struct AttributionDelta {
+  std::string size_group;
+  int64_t phase = -1;
+  uint64_t tenant = 0;
+  double a_bytes = 0;
+  double b_bytes = 0;
+  double delta() const { return b_bytes - a_bytes; }
+};
+
+struct RunPairDiff {
+  std::string label_a;
+  std::string label_b;
+  std::vector<ScalarDelta> scalars;          // only keys that differ
+  std::vector<AttributionDelta> attribution;  // only classes whose bytes differ, |delta| desc
+  // First heap-timeline divergence, human-readable ("" when the timelines match — including
+  // when both runs carry no timeline at all).
+  std::string divergence;
+  // External-fragmentation delta (B − A, bytes) and how much of it the attribution deltas
+  // explain. The worst snapshot's gap total is ≥ Mr − Ma by construction, so on a pair where
+  // one side planned fragmentation away, coverage ≥ 1 is expected.
+  double frag_delta = 0;
+  double explained = 0;
+  double coverage() const { return frag_delta == 0 ? 1.0 : explained / frag_delta; }
+  bool Empty() const { return scalars.empty() && attribution.empty() && divergence.empty(); }
+};
+
+// Pulls pointers to the RunRecord objects out of a stalloc_run/bench report document (the
+// root's "results" array). Returns false with a message when the document has no such array.
+bool ExtractRunRecords(const Json& root, std::vector<const Json*>* out, std::string* error);
+
+// Diffs two RunRecord JSON objects.
+RunPairDiff DiffRunRecords(const Json& a, const Json& b);
+
+Json ToJson(const RunPairDiff& diff);
+
+}  // namespace stalloc
+
+#endif  // SRC_API_RUN_DIFF_H_

@@ -58,6 +58,62 @@ Json ToJson(const telemetry::OomReport& report) {
   return j;
 }
 
+Json ToJson(const telemetry::FragAttributionRow& row) {
+  Json j = Json::Object();
+  j.Set("size_group", row.size_group);
+  j.Set("phase", row.phase);
+  j.Set("tenant", row.tenant);
+  j.Set("bytes", row.bytes);
+  j.Set("gaps", row.gaps);
+  return j;
+}
+
+Json ToJson(const telemetry::HeapSnapshot& snapshot) {
+  Json j = Json::Object();
+  j.Set("allocator", snapshot.allocator);
+  j.Set("trigger", telemetry::HeapTriggerName(snapshot.trigger));
+  j.Set("seq", snapshot.seq);
+  j.Set("op_index", snapshot.op_index);
+  j.Set("allocated", snapshot.allocated);
+  j.Set("reserved", snapshot.reserved);
+  j.Set("num_oom", snapshot.num_oom);
+  if (snapshot.failed_size > 0) {
+    j.Set("failed_size", snapshot.failed_size);
+  }
+  j.Set("free_bytes", snapshot.free_bytes);
+  j.Set("largest_gap", snapshot.largest_gap);
+  j.Set("num_gaps", snapshot.num_gaps);
+  Json segments = Json::Array();
+  for (const telemetry::HeapSegment& seg : snapshot.segments) {
+    Json s = Json::Object();
+    s.Set("base", seg.base);
+    s.Set("size", seg.size);
+    s.Set("stream", seg.stream);
+    s.Set("pool", seg.pool);
+    segments.Add(std::move(s));
+  }
+  j.Set("segments", std::move(segments));
+  Json blocks = Json::Array();
+  for (const telemetry::HeapBlock& block : snapshot.blocks) {
+    Json b = Json::Object();
+    b.Set("addr", block.addr);
+    b.Set("size", block.size);
+    b.Set("phase", block.phase);
+    b.Set("layer", block.layer);
+    b.Set("stream", block.stream);
+    b.Set("dyn", block.dyn);
+    b.Set("tenant", block.tenant);
+    blocks.Add(std::move(b));
+  }
+  j.Set("blocks", std::move(blocks));
+  Json attribution = Json::Array();
+  for (const telemetry::FragAttributionRow& row : snapshot.attribution) {
+    attribution.Add(ToJson(row));
+  }
+  j.Set("attribution", std::move(attribution));
+  return j;
+}
+
 Json ToJson(const ServeSimStats& stats) {
   Json j = Json::Object();
   j.Set("num_requests", stats.num_requests);
@@ -219,6 +275,18 @@ Json ToJson(const RunRecord& record) {
       flight.Add(ToJson(report));
     }
     j.Set("oom_flight", std::move(flight));
+  }
+  if (!record.heap_timeline.empty()) {
+    Json timeline = Json::Array();
+    for (const telemetry::HeapSnapshot& snapshot : record.heap_timeline) {
+      timeline.Add(ToJson(snapshot));
+    }
+    j.Set("heap_timeline", std::move(timeline));
+    Json attribution = Json::Array();
+    for (const telemetry::FragAttributionRow& row : record.frag_attribution) {
+      attribution.Add(ToJson(row));
+    }
+    j.Set("frag_attribution", std::move(attribution));
   }
   if (record.serve.has_value()) {
     j.Set("serve", ToJson(record.serve->serve));

@@ -19,6 +19,8 @@ Json ToJson(const RunRecord& record);
 Json ToJson(const ExperimentResult& result);
 Json ToJson(const PhaseTimings& phases);
 Json ToJson(const telemetry::OomReport& report);  // flight-recorder post-mortem block
+Json ToJson(const telemetry::HeapSnapshot& snapshot);       // heap-map address-space frame
+Json ToJson(const telemetry::FragAttributionRow& row);      // frag-attribution table row
 Json ToJson(const ServeSimStats& stats);
 Json ToJson(const DeviceMetrics& metrics);
 Json ToJson(const ClusterResult& result);   // includes per-device metrics, not per-job outcomes

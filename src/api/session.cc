@@ -195,6 +195,12 @@ void FinalizeRun(const Stopwatch& total, RunRecord* rec) {
   rec->phases.report_ms = std::max(0.0, rec->phases.total_ms - accounted);
   if (telemetry::Enabled()) {
     rec->oom_flight = telemetry::FlightRecorder::Global().Drain();
+    auto& heapmap = telemetry::HeapMapRecorder::Global();
+    if (heapmap.armed()) {
+      // Per-run drain: allocators live per run, so everything pending belongs to this record.
+      rec->heap_timeline = heapmap.Drain();
+      rec->frag_attribution = telemetry::RunAttribution(rec->heap_timeline, rec->allocator);
+    }
     auto& registry = telemetry::MetricsRegistry::Global();
     static telemetry::Counter* runs = registry.GetCounter("session.runs");
     runs->Add();

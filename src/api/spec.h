@@ -26,6 +26,7 @@
 #include "src/driver/serve_experiment.h"
 #include "src/servesim/engine.h"
 #include "src/telemetry/flight_recorder.h"
+#include "src/telemetry/heap_map.h"
 #include "src/trainsim/train_config.h"
 
 namespace stalloc {
@@ -148,6 +149,13 @@ struct RunRecord {
   // telemetry::FlightRecorder after the driver returns. Empty when telemetry is off or the
   // run never OOMed.
   std::vector<telemetry::OomReport> oom_flight;
+
+  // Heap-map timeline of this run (telemetry-enabled runs with the HeapMapRecorder armed,
+  // i.e. stalloc_run --heapmap): address-space snapshots per allocator sorted by
+  // (allocator label, seq), plus the per-run fragmentation-attribution rollup computed from
+  // each allocator's worst snapshot. Empty otherwise.
+  std::vector<telemetry::HeapSnapshot> heap_timeline;
+  std::vector<telemetry::FragAttributionRow> frag_attribution;
 
   // Tagged payload — exactly one engaged, matching `axis`.
   std::optional<ExperimentResult> train_rank;

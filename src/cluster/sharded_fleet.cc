@@ -174,6 +174,11 @@ class ShardedClusterSim {
                     << "allocator kind '" << AllocatorKindName(config.allocator)
                     << "' cannot front a shared fleet device (STAlloc kinds need a per-job "
                        "plan; see ClusterAllocatorKinds())");
+      // Per-device heap-map label. Set here — the single construction point for serial and
+      // sharded runs alike — so the label set is identical across worker counts and the
+      // drained heap timeline stays bit-identical.
+      d.alloc->SetHeapLabel(std::string(d.alloc->name()) +
+                            StrFormat("@dev%03zu", i));
       d.shard = assignment[i];
       max_capacity_ = std::max(max_capacity_, d.device->capacity());
       devices_.push_back(std::move(d));

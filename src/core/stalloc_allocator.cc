@@ -18,6 +18,9 @@ STAllocAllocator::STAllocAllocator(SimDevice* device, StaticPlan plan,
       dyn_space_(std::move(dyn_space)),
       config_(config) {
   fallback_ = std::make_unique<CachingAllocator>(device);
+  // Fallback-served blocks are already in our own live_ ledger; the fallback contributes its
+  // segments to our heap snapshots (AppendHeapSegments) but must not snapshot independently.
+  fallback_->SuppressHeapSnapshots();
   used_.assign(plan_.decisions.size(), false);
 }
 
@@ -158,6 +161,17 @@ void STAllocAllocator::DoFree(uint64_t addr, uint64_t size) {
     return;
   }
   STALLOC_CHECK(fallback_->Free(addr), << "stalloc: free of unknown address " << addr);
+}
+
+void STAllocAllocator::AppendHeapSegments(std::vector<telemetry::HeapSegment>* out) const {
+  if (pool_base_ != 0) {
+    telemetry::HeapSegment s;
+    s.base = pool_base_;
+    s.size = plan_.pool_size;
+    s.pool = "static-pool";
+    out->push_back(std::move(s));
+  }
+  fallback_->AppendHeapSegments(out);
 }
 
 }  // namespace stalloc

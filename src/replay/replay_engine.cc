@@ -174,7 +174,9 @@ ReplayEngine::OpOutcome ReplayEngine::ApplyOp(size_t sid, const TraceOp& op) {
   if (op.kind == TraceOp::Kind::kMalloc) {
     ++sources_[sid].progress.num_mallocs;
     ++result_.num_mallocs;
-    const auto addr = alloc->Malloc(e.size, ContextOf(e));
+    RequestContext ctx = ContextOf(e);
+    ctx.tenant = tenant;  // owning job/request, for heap-map frag attribution
+    const auto addr = alloc->Malloc(e.size, ctx);
     if (!addr.has_value()) {
       if (!result_.oom) {
         result_.oom = true;

@@ -1,0 +1,402 @@
+#include "src/telemetry/heap_map.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace stalloc {
+namespace telemetry {
+
+const char* HeapTriggerName(HeapTrigger trigger) {
+  switch (trigger) {
+    case HeapTrigger::kPhaseChange:
+      return "phase";
+    case HeapTrigger::kPeak:
+      return "peak";
+    case HeapTrigger::kOom:
+      return "oom";
+    case HeapTrigger::kEveryN:
+      return "every-n";
+    case HeapTrigger::kManual:
+      return "manual";
+  }
+  return "?";
+}
+
+std::string SizeGroupLabel(uint64_t size) {
+  static constexpr struct {
+    uint64_t limit;
+    const char* label;
+  } kBuckets[] = {
+      {64ull << 10, "<64K"},          {256ull << 10, "64K-256K"}, {1ull << 20, "256K-1M"},
+      {4ull << 20, "1M-4M"},          {16ull << 20, "4M-16M"},    {64ull << 20, "16M-64M"},
+      {256ull << 20, "64M-256M"},     {1ull << 30, "256M-1G"},
+  };
+  for (const auto& b : kBuckets) {
+    if (size < b.limit) {
+      return b.label;
+    }
+  }
+  return ">=1G";
+}
+
+HeapMapRecorder& HeapMapRecorder::Global() {
+  static HeapMapRecorder* recorder = new HeapMapRecorder();
+  return *recorder;
+}
+
+void HeapMapRecorder::Arm(const HeapMapConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  config_ = config;
+  snapshots_.clear();
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void HeapMapRecorder::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+HeapMapConfig HeapMapRecorder::config() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return config_;
+}
+
+void HeapMapRecorder::Record(HeapSnapshot snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshots_.push_back(std::move(snapshot));
+}
+
+std::vector<HeapSnapshot> HeapMapRecorder::Drain() {
+  std::vector<HeapSnapshot> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.swap(snapshots_);
+  }
+  std::stable_sort(out.begin(), out.end(), [](const HeapSnapshot& a, const HeapSnapshot& b) {
+    if (a.allocator != b.allocator) {
+      return a.allocator < b.allocator;
+    }
+    return a.seq < b.seq;
+  });
+  return out;
+}
+
+size_t HeapMapRecorder::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshots_.size();
+}
+
+namespace {
+
+// Attribution accumulator keyed by (size group, phase, tenant); std::map for deterministic
+// row order independent of gap-walk order.
+using AttributionKey = std::tuple<std::string, PhaseId, uint64_t>;
+using AttributionMap = std::map<AttributionKey, FragAttributionRow>;
+
+void Charge(AttributionMap* acc, const std::string& group, PhaseId phase, uint64_t tenant,
+            uint64_t bytes) {
+  FragAttributionRow& row = (*acc)[AttributionKey(group, phase, tenant)];
+  if (row.size_group.empty()) {
+    row.size_group = group;
+    row.phase = phase;
+    row.tenant = tenant;
+  }
+  row.bytes += bytes;
+  row.gaps += 1;
+}
+
+void ChargeBlock(AttributionMap* acc, const HeapBlock& block, uint64_t bytes) {
+  Charge(acc, SizeGroupLabel(block.size), block.phase, block.tenant, bytes);
+}
+
+std::vector<FragAttributionRow> SortedRows(AttributionMap acc) {
+  std::vector<FragAttributionRow> rows;
+  rows.reserve(acc.size());
+  for (auto& [key, row] : acc) {
+    rows.push_back(std::move(row));
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const FragAttributionRow& a, const FragAttributionRow& b) {
+                     return a.bytes > b.bytes;  // stable: map order breaks byte ties
+                   });
+  return rows;
+}
+
+}  // namespace
+
+void FinalizeHeapSnapshot(HeapSnapshot* snapshot) {
+  snapshot->free_bytes = 0;
+  snapshot->largest_gap = 0;
+  snapshot->num_gaps = 0;
+  snapshot->attribution.clear();
+
+  AttributionMap acc;
+  auto note_gap = [&](uint64_t bytes, const HeapBlock* left, const HeapBlock* right) {
+    if (bytes == 0) {
+      return;
+    }
+    snapshot->free_bytes += bytes;
+    snapshot->largest_gap = std::max(snapshot->largest_gap, bytes);
+    snapshot->num_gaps += 1;
+    if (left != nullptr && right != nullptr) {
+      // Interior gap: each neighbour pins one side; split (rounding to the left block so the
+      // charged total stays exactly `bytes`).
+      const uint64_t right_share = bytes / 2;
+      ChargeBlock(&acc, *left, bytes - right_share);
+      if (right_share > 0) {
+        ChargeBlock(&acc, *right, right_share);
+      }
+    } else if (left != nullptr) {
+      ChargeBlock(&acc, *left, bytes);
+    } else if (right != nullptr) {
+      ChargeBlock(&acc, *right, bytes);
+    } else {
+      // A reserved segment with no live block at all: held space, pinned by nothing.
+      Charge(&acc, "idle", kInvalidPhase, 0, bytes);
+    }
+  };
+
+  // Both vectors are address-sorted; walk them in one pass. Blocks outside every segment
+  // (e.g. a pool that reports no segments) contribute no gap and are skipped.
+  size_t bi = 0;
+  for (const HeapSegment& seg : snapshot->segments) {
+    const uint64_t seg_end = seg.base + seg.size;
+    while (bi < snapshot->blocks.size() && snapshot->blocks[bi].addr < seg.base) {
+      ++bi;
+    }
+    uint64_t cursor = seg.base;
+    const HeapBlock* prev = nullptr;
+    while (bi < snapshot->blocks.size() && snapshot->blocks[bi].addr < seg_end) {
+      const HeapBlock& block = snapshot->blocks[bi];
+      if (block.addr > cursor) {
+        note_gap(block.addr - cursor, prev, &block);
+      }
+      cursor = std::min(seg_end, std::max(cursor, block.addr + block.size));
+      prev = &block;
+      ++bi;
+    }
+    if (cursor < seg_end) {
+      note_gap(seg_end - cursor, prev, nullptr);
+    }
+  }
+
+  snapshot->attribution = SortedRows(std::move(acc));
+}
+
+std::vector<FragAttributionRow> RunAttribution(const std::vector<HeapSnapshot>& timeline,
+                                               const std::string& prefer) {
+  auto matches = [&prefer](const std::string& label) {
+    if (label == prefer) {
+      return true;
+    }
+    // Fleet devices label their allocator "<name>@devNNN".
+    return label.size() > prefer.size() + 1 && label.compare(0, prefer.size(), prefer) == 0 &&
+           label[prefer.size()] == '@';
+  };
+  bool any_match = false;
+  if (!prefer.empty()) {
+    for (const HeapSnapshot& s : timeline) {
+      if (matches(s.allocator)) {
+        any_match = true;
+        break;
+      }
+    }
+  }
+
+  // Peak snapshot (max allocated, then max reserved, earliest seq on ties) per allocator
+  // label: the frame closest to the Ma high-water mark, where in-segment free space IS the
+  // run's external fragmentation Mr - Ma. Max free_bytes would instead favor a freshly
+  // reserved, still-empty pool (a static plan right after reservation), which explains
+  // nothing about fragmentation at peak pressure. The timeline from Drain() is
+  // (label, seq)-sorted, so strict ">" keeps the first of equals.
+  std::map<std::string, const HeapSnapshot*> worst;
+  for (const HeapSnapshot& s : timeline) {
+    if (any_match && !matches(s.allocator)) {
+      continue;
+    }
+    const HeapSnapshot*& slot = worst[s.allocator];
+    if (slot == nullptr || s.allocated > slot->allocated ||
+        (s.allocated == slot->allocated && s.reserved > slot->reserved)) {
+      slot = &s;
+    }
+  }
+
+  AttributionMap acc;
+  for (const auto& [label, snap] : worst) {
+    for (const FragAttributionRow& row : snap->attribution) {
+      FragAttributionRow& merged = acc[AttributionKey(row.size_group, row.phase, row.tenant)];
+      if (merged.size_group.empty()) {
+        merged.size_group = row.size_group;
+        merged.phase = row.phase;
+        merged.tenant = row.tenant;
+      }
+      merged.bytes += row.bytes;
+      merged.gaps += row.gaps;
+    }
+  }
+  return SortedRows(std::move(acc));
+}
+
+std::string HeapTimelineHtml(const std::string& title, const Json& payload) {
+  std::string data = payload.Dump(0);
+  if (!data.empty() && data.back() == '\n') {
+    data.pop_back();
+  }
+  // "</script>" inside a string value would end the inline block early; "<\/" is identical
+  // JSON after unescaping.
+  std::string safe;
+  safe.reserve(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (data[i] == '<' && i + 1 < data.size() && data[i + 1] == '/') {
+      safe += "<\\/";
+      ++i;
+    } else {
+      safe += data[i];
+    }
+  }
+
+  std::string html;
+  html += R"HTML(<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>)HTML";
+  html += Json::Escape(title);
+  html += R"HTML(</title>
+<style>
+  body { font: 13px/1.45 system-ui, sans-serif; margin: 16px; background: #11151a; color: #d8dee6; }
+  h1 { font-size: 16px; margin: 0 0 10px; }
+  select, input[type=range] { vertical-align: middle; }
+  select { background: #1c232b; color: inherit; border: 1px solid #3a4654; padding: 2px 6px; }
+  #bar { margin: 10px 0; }
+  #meta { color: #9fb0c3; margin: 6px 0; white-space: pre; }
+  canvas { background: #0a0d10; border: 1px solid #3a4654; display: block; width: 100%; }
+  table { border-collapse: collapse; margin-top: 12px; }
+  th, td { border: 1px solid #3a4654; padding: 3px 10px; text-align: right; }
+  th:first-child, td:first-child { text-align: left; }
+  #legend span { display: inline-block; margin-right: 14px; }
+  #legend i { display: inline-block; width: 10px; height: 10px; margin-right: 4px; border-radius: 2px; }
+</style>
+</head>
+<body>
+<h1 id="title"></h1>
+<div id="bar">
+  run <select id="run"></select>
+  &nbsp; snapshot <input id="snap" type="range" min="0" max="0" value="0" style="width: 340px">
+  <span id="snaplabel"></span>
+</div>
+<div id="meta"></div>
+<canvas id="heap" height="100"></canvas>
+<div id="legend"></div>
+<table id="attr"><thead><tr>
+  <th>size group</th><th>phase</th><th>tenant</th><th>pinned bytes</th><th>gaps</th>
+</tr></thead><tbody></tbody></table>
+<script id="data" type="application/json">)HTML";
+  html += safe;
+  html += R"HTML(</script>
+<script>
+"use strict";
+const DATA = JSON.parse(document.getElementById("data").textContent);
+const runSel = document.getElementById("run");
+const snapSel = document.getElementById("snap");
+const canvas = document.getElementById("heap");
+const PHASE_COLORS = ["#4f9cf0","#58c470","#e0b050","#d06868","#9a7fe8","#52bdbd","#cf7fb8","#8aa15c"];
+
+document.getElementById("title").textContent = DATA.title || "heap timeline";
+(DATA.runs || []).forEach((r, i) => {
+  const opt = document.createElement("option");
+  opt.value = i;
+  opt.textContent = (r.allocator || "run") + (r.variant ? " / " + r.variant : "") +
+      " (" + (r.heap_timeline || []).length + " snapshots)";
+  runSel.appendChild(opt);
+});
+
+function bytes(n) {
+  if (n >= 1 << 30) return (n / (1 << 30)).toFixed(2) + " GiB";
+  if (n >= 1 << 20) return (n / (1 << 20)).toFixed(1) + " MiB";
+  if (n >= 1 << 10) return (n / (1 << 10)).toFixed(1) + " KiB";
+  return n + " B";
+}
+function phaseColor(p) {
+  return p < 0 ? "#6d7a88" : PHASE_COLORS[p % PHASE_COLORS.length];
+}
+
+function draw() {
+  const run = (DATA.runs || [])[runSel.value | 0];
+  const timeline = run ? run.heap_timeline || [] : [];
+  snapSel.max = Math.max(0, timeline.length - 1);
+  if ((snapSel.value | 0) > snapSel.max) snapSel.value = snapSel.max;
+  const s = timeline[snapSel.value | 0];
+  const meta = document.getElementById("meta");
+  const tbody = document.querySelector("#attr tbody");
+  tbody.textContent = "";
+  if (!s) { meta.textContent = "no snapshots in this run"; return; }
+
+  document.getElementById("snaplabel").textContent =
+      "#" + s.seq + " [" + s.trigger + "] op " + s.op_index;
+  meta.textContent =
+      "allocator " + s.allocator + "   allocated " + bytes(s.allocated) +
+      "   reserved " + bytes(s.reserved) +
+      "\nfree-in-segments " + bytes(s.free_bytes) + " across " + s.num_gaps +
+      " gaps (largest " + bytes(s.largest_gap) + ")" +
+      (s.failed_size ? "\nOOM: failed request of " + bytes(s.failed_size) : "");
+
+  // One lane per segment, address-proportional within the lane.
+  const segs = s.segments || [], blocks = s.blocks || [];
+  const lane = 26, gap = 8, left = 4, right = 4;
+  canvas.height = Math.max(lane, segs.length * (lane + gap));
+  canvas.width = canvas.clientWidth * (window.devicePixelRatio || 1);
+  const ctx = canvas.getContext("2d");
+  ctx.scale(window.devicePixelRatio || 1, 1);
+  const w = canvas.clientWidth - left - right;
+  segs.forEach((seg, i) => {
+    const y = i * (lane + gap);
+    const scale = seg.size > 0 ? w / seg.size : 0;
+    ctx.fillStyle = "#1a2530";
+    ctx.fillRect(left, y, w, lane);
+    blocks.forEach(b => {
+      if (b.addr < seg.base || b.addr >= seg.base + seg.size) return;
+      const x = left + (b.addr - seg.base) * scale;
+      ctx.fillStyle = phaseColor(b.phase);
+      ctx.fillRect(x, y, Math.max(1, b.size * scale), lane);
+    });
+    ctx.fillStyle = "#9fb0c3";
+    ctx.font = "10px system-ui";
+    ctx.fillText(seg.pool + " " + bytes(seg.size), left + 2, y + lane + 8);
+  });
+
+  const phases = [...new Set(blocks.map(b => b.phase))].sort((a, b) => a - b);
+  document.getElementById("legend").innerHTML = phases.map(p =>
+      '<span><i style="background:' + phaseColor(p) + '"></i>phase ' +
+      (p < 0 ? "untagged" : p) + "</span>").join("") +
+      '<span><i style="background:#1a2530"></i>free gap</span>';
+
+  (s.attribution || []).forEach(row => {
+    const tr = document.createElement("tr");
+    [row.size_group, row.phase < 0 ? "-" : row.phase, row.tenant,
+     bytes(row.bytes), row.gaps].forEach(v => {
+      const td = document.createElement("td");
+      td.textContent = v;
+      tr.appendChild(td);
+    });
+    tbody.appendChild(tr);
+  });
+}
+
+runSel.addEventListener("change", () => { snapSel.value = 0; draw(); });
+snapSel.addEventListener("input", draw);
+window.addEventListener("resize", draw);
+draw();
+</script>
+</body>
+</html>
+)HTML";
+  return html;
+}
+
+}  // namespace telemetry
+}  // namespace stalloc

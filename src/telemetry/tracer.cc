@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/telemetry/metrics.h"
+
 namespace stalloc {
 namespace telemetry {
 
@@ -162,6 +164,24 @@ uint64_t Tracer::DroppedEvents() const {
   uint64_t dropped = 0;
   for (const auto& track : tracks_) dropped += track->dropped();
   return dropped;
+}
+
+void Tracer::PublishMetrics() const {
+  auto& registry = MetricsRegistry::Global();
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t dropped = 0;
+  for (const auto& track : tracks_) {
+    dropped += track->dropped();
+    const std::string label =
+        track->thread_name().empty() ? "tid" + std::to_string(track->tid())
+                                     : track->thread_name();
+    registry.GetGauge("trace.ring_used." + label)
+        ->Set(static_cast<int64_t>(track->size()));
+    registry.GetGauge("trace.ring_dropped." + label)
+        ->Set(static_cast<int64_t>(track->dropped()));
+  }
+  registry.GetGauge("trace.dropped_events")->Set(static_cast<int64_t>(dropped));
+  registry.GetGauge("trace.tracks")->Set(static_cast<int64_t>(tracks_.size()));
 }
 
 void ScopedSpan::Arm(const char* category, std::string name, Json args) {

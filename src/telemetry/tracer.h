@@ -120,6 +120,13 @@ class Tracer {
   // Sum of dropped() across tracks.
   uint64_t DroppedEvents() const;
 
+  // Publishes the tracer's own health into the MetricsRegistry as gauges: total dropped
+  // events ("trace.dropped_events"), track count ("trace.tracks"), and per-track ring
+  // occupancy and drops ("trace.ring_used.<thread>", "trace.ring_dropped.<thread>") — so
+  // trace truncation is visible in --metrics output, not only in the trace file itself.
+  // Same quiesce requirement as ChromeTraceJson(): call after emitters have stopped.
+  void PublishMetrics() const;
+
  private:
   Tracer();
 

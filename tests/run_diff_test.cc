@@ -1,0 +1,191 @@
+// Tests for run explainability: the Json recursive-descent parser added for stalloc_diff
+// (round-trips, integer preservation, malformed-input errors) and the run_diff library
+// (record extraction, identical-run diffs, scalar/attribution deltas, and the headline
+// contract: on a caching-vs-stalloc pair the attribution deltas explain at least 90% of the
+// external-fragmentation delta).
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/api/report.h"
+#include "src/api/run_diff.h"
+#include "src/api/serializers.h"
+#include "src/api/session.h"
+#include "src/api/spec.h"
+#include "src/telemetry/heap_map.h"
+#include "src/telemetry/telemetry.h"
+
+namespace stalloc {
+namespace {
+
+// === Json::Parse ===
+
+TEST(JsonParseTest, RoundTripsTypedValues) {
+  const std::string text =
+      "{\"s\": \"a\\\"b\\\\c\\n\", \"i\": -42, \"u\": 18000000000, \"d\": 1.5, "
+      "\"t\": true, \"f\": false, \"n\": null, \"arr\": [1, [2, 3], {\"k\": \"v\"}]}";
+  std::string error;
+  std::optional<Json> doc = Json::Parse(text, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->Find("s")->AsString(), "a\"b\\c\n");
+  EXPECT_EQ(doc->Find("i")->AsInt(), -42);
+  EXPECT_EQ(doc->Find("u")->AsUint(), 18000000000ull);  // > 2^32, integer-preserved
+  EXPECT_DOUBLE_EQ(doc->Find("d")->AsDouble(), 1.5);
+  EXPECT_TRUE(doc->Find("t")->AsBool(false));
+  EXPECT_FALSE(doc->Find("f")->AsBool(true));
+  EXPECT_TRUE(doc->Find("n")->IsNull());
+  const Json* arr = doc->Find("arr");
+  ASSERT_TRUE(arr != nullptr && arr->IsArray());
+  EXPECT_EQ(arr->at(1).at(0).AsInt(), 2);
+  EXPECT_EQ(arr->at(2).Find("k")->AsString(), "v");
+
+  // Emit -> parse -> emit is a fixed point (insertion order is preserved both ways).
+  const std::string emitted = doc->Dump(0);
+  std::optional<Json> again = Json::Parse(emitted, &error);
+  ASSERT_TRUE(again.has_value()) << error;
+  EXPECT_EQ(again->Dump(0), emitted);
+}
+
+TEST(JsonParseTest, LargeIntegersSurviveExactly) {
+  // A digest-sized uint64 must not round-trip through a double.
+  std::string error;
+  std::optional<Json> doc = Json::Parse("{\"addr\": 9007199254740995}", &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->Find("addr")->AsUint(), 9007199254740995ull);  // 2^53 + 3: doubles can't
+}
+
+TEST(JsonParseTest, RejectsMalformedDocuments) {
+  for (const char* bad : {"", "{", "{\"a\": }", "[1, 2", "{\"a\": 1} trailing", "nul",
+                          "\"unterminated", "{\"a\" 1}", "[01]", "{\"bad\\escape\": 1}"}) {
+    std::string error;
+    EXPECT_FALSE(Json::Parse(bad, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+  // The error message localizes the failure.
+  std::string error;
+  EXPECT_FALSE(Json::Parse("{\"a\": 1, \"b\": ?}", &error).has_value());
+  EXPECT_NE(error.find("at byte"), std::string::npos);
+}
+
+TEST(JsonParseTest, UnicodeEscapesDecodeToUtf8) {
+  std::string error;
+  std::optional<Json> doc = Json::Parse("{\"s\": \"\\u00e9\\u4e2d\"}", &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->Find("s")->AsString(), "\xc3\xa9\xe4\xb8\xad");  // é + 中
+}
+
+// === ExtractRunRecords ===
+
+TEST(RunDiffTest, ExtractRejectsForeignDocuments) {
+  std::vector<const Json*> records;
+  std::string error;
+  std::optional<Json> no_results = Json::Parse("{\"schema_version\": 2}");
+  ASSERT_TRUE(no_results.has_value());
+  EXPECT_FALSE(ExtractRunRecords(*no_results, &records, &error));
+  EXPECT_NE(error.find("results"), std::string::npos);
+
+  std::optional<Json> wrong_type = Json::Parse("{\"results\": 7}");
+  ASSERT_TRUE(wrong_type.has_value());
+  EXPECT_FALSE(ExtractRunRecords(*wrong_type, &records, &error));
+
+  std::optional<Json> good = Json::Parse("{\"results\": [{\"allocator\": \"x\"}]}");
+  ASSERT_TRUE(good.has_value());
+  EXPECT_TRUE(ExtractRunRecords(*good, &records, &error));
+  ASSERT_EQ(records.size(), 1u);
+}
+
+// === DiffRunRecords ===
+
+TEST(RunDiffTest, IdenticalRecordsDiffEmpty) {
+  std::optional<Json> rec = Json::Parse(
+      "{\"allocator\": \"torch-caching\", \"status\": \"ok\", \"allocated_peak\": 100, "
+      "\"reserved_peak\": 120, \"fragmentation_bytes\": 20}");
+  ASSERT_TRUE(rec.has_value());
+  const RunPairDiff diff = DiffRunRecords(*rec, *rec);
+  EXPECT_TRUE(diff.Empty());
+  EXPECT_EQ(diff.frag_delta, 0);
+  EXPECT_DOUBLE_EQ(diff.coverage(), 1.0);  // nothing to explain counts as fully explained
+  const std::string dump = ToJson(diff).Dump(0);
+  EXPECT_NE(dump.find("\"identical\": true"), std::string::npos);
+}
+
+TEST(RunDiffTest, ScalarAndStatusDeltasSurface) {
+  std::optional<Json> a = Json::Parse(
+      "{\"allocator\": \"torch-caching\", \"status\": \"ok\", \"reserved_peak\": 200, "
+      "\"fragmentation_bytes\": 50}");
+  std::optional<Json> b = Json::Parse(
+      "{\"allocator\": \"torch-caching\", \"status\": \"oom\", \"reserved_peak\": 260, "
+      "\"fragmentation_bytes\": 80}");
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  const RunPairDiff diff = DiffRunRecords(*a, *b);
+  EXPECT_FALSE(diff.Empty());
+  bool saw_status = false, saw_reserved = false;
+  for (const ScalarDelta& d : diff.scalars) {
+    if (d.key == "status") {
+      saw_status = true;
+      EXPECT_FALSE(d.numeric);
+      EXPECT_EQ(d.a_text, "ok");
+      EXPECT_EQ(d.b_text, "oom");
+    }
+    if (d.key == "reserved_peak") {
+      saw_reserved = true;
+      EXPECT_EQ(d.b_num - d.a_num, 60.0);
+    }
+  }
+  EXPECT_TRUE(saw_status);
+  EXPECT_TRUE(saw_reserved);
+  EXPECT_EQ(diff.frag_delta, 30.0);
+}
+
+#if STALLOC_TELEMETRY
+
+// The headline acceptance contract, end to end through real runs: diff a caching run against
+// a stalloc run on the same rank workload; the Mr delta must show stalloc reserving less, and
+// the frag-attribution deltas must explain >= 90% of the external-fragmentation delta by
+// named size-group/phase rows.
+TEST(RunDiffTest, CachingVsStallocCoverageAtLeastNinetyPercent) {
+  telemetry::SetEnabled(true);
+  ExperimentSpec spec;
+  spec.axis = WorkloadAxis::kTrainRank;
+  spec.model = "gpt2";
+  spec.config_tag = "VR";
+
+  Session session;
+  auto run = [&](const char* alloc) {
+    telemetry::HeapMapRecorder::Global().Arm(telemetry::HeapMapConfig{});
+    RunRecord rec = session.RunOne(spec, alloc);
+    telemetry::HeapMapRecorder::Global().Disarm();
+    EXPECT_TRUE(rec.ok()) << alloc;
+    EXPECT_FALSE(rec.heap_timeline.empty()) << alloc;
+    EXPECT_FALSE(rec.frag_attribution.empty()) << alloc;
+    return ToJson(rec);
+  };
+  const Json a = run("torch-caching");
+  const Json b = run("stalloc");
+  telemetry::SetEnabled(false);
+
+  const RunPairDiff diff = DiffRunRecords(a, b);
+  // STAlloc's static plan reserves less than the caching allocator on this workload...
+  double mr_delta = 0;
+  for (const ScalarDelta& d : diff.scalars) {
+    if (d.key == "reserved_peak") mr_delta = d.b_num - d.a_num;
+  }
+  EXPECT_LT(mr_delta, 0.0);
+  // ...and the attribution deltas name where the reclaimed fragmentation lived.
+  EXPECT_LT(diff.frag_delta, 0.0);
+  EXPECT_GE(diff.coverage(), 0.9) << "attribution explains " << diff.explained << " of "
+                                  << diff.frag_delta;
+  bool named_group = false;
+  for (const AttributionDelta& d : diff.attribution) {
+    if (d.delta() != 0 && d.size_group != "idle" && !d.size_group.empty()) named_group = true;
+  }
+  EXPECT_TRUE(named_group);
+}
+
+#endif  // STALLOC_TELEMETRY
+
+}  // namespace
+}  // namespace stalloc

@@ -49,7 +49,7 @@ def is_time_like(key):
     return key in TIME_LIKE or key.endswith(TIME_LIKE_SUFFIXES)
 
 
-def compare(base, fresh, threshold, min_seconds, path, errors):
+def compare(base, fresh, threshold, min_seconds, path, errors, deltas):
     if isinstance(base, dict) and isinstance(fresh, dict):
         for key in sorted(set(base) | set(fresh)):
             sub = f"{path}.{key}" if path else key
@@ -59,15 +59,15 @@ def compare(base, fresh, threshold, min_seconds, path, errors):
                 errors.append(f"{sub}: missing from fresh run")
             elif is_volatile(key):
                 compare_volatile(key, base[key], fresh[key], threshold, min_seconds, sub,
-                                 errors, siblings=base)
+                                 errors, deltas, siblings=base)
             else:
-                compare(base[key], fresh[key], threshold, min_seconds, sub, errors)
+                compare(base[key], fresh[key], threshold, min_seconds, sub, errors, deltas)
     elif isinstance(base, list) and isinstance(fresh, list):
         if len(base) != len(fresh):
             errors.append(f"{path}: length {len(base)} -> {len(fresh)}")
             return
         for i, (b, f) in enumerate(zip(base, fresh)):
-            compare(b, f, threshold, min_seconds, f"{path}[{i}]", errors)
+            compare(b, f, threshold, min_seconds, f"{path}[{i}]", errors, deltas)
     elif base != fresh:
         errors.append(f"{path}: {base!r} -> {fresh!r}")
 
@@ -77,11 +77,14 @@ def time_floor(key, min_seconds):
                           else 1e3 if key.endswith("_ms") else 1.0)
 
 
-def compare_volatile(key, base, fresh, threshold, min_seconds, path, errors, siblings=None):
+def compare_volatile(key, base, fresh, threshold, min_seconds, path, errors, deltas,
+                     siblings=None):
     if not isinstance(base, (int, float)) or not isinstance(fresh, (int, float)):
         if base != fresh:
             errors.append(f"{path}: {base!r} -> {fresh!r}")
         return
+    if base > 0:
+        deltas.append((path, base, fresh, (fresh - base) / base))
     if base <= 0:  # nothing to regress against (e.g. sub-resolution wall time)
         return
     if is_time_like(key):
@@ -127,7 +130,17 @@ def main():
         fresh = json.load(f)
 
     errors = []
-    compare(base, fresh, args.threshold, args.min_seconds, "", errors)
+    deltas = []
+    compare(base, fresh, args.threshold, args.min_seconds, "", errors, deltas)
+    # Per-key delta table on every run (pass or fail): the trend is the point of keeping
+    # trajectory files, not just the breach. Enforcement above is unchanged — skipped
+    # sub-floor cells still show here, they just cannot fail the run.
+    if deltas:
+        width = max(len(p) for p, *_ in deltas)
+        print(f"bench_check: volatile key deltas ({args.baseline} -> {args.fresh}):")
+        print(f"  {'key'.ljust(width)}  {'baseline':>12}  {'fresh':>12}  {'delta':>8}")
+        for p, b, f, pct in deltas:
+            print(f"  {p.ljust(width)}  {b:>12g}  {f:>12g}  {pct:>+8.1%}")
     if errors:
         print(f"bench_check: {args.fresh} regressed against {args.baseline}:")
         for e in errors:

@@ -1,0 +1,203 @@
+// stalloc_diff: explain how two runs differ. Takes two report JSONs produced by stalloc_run
+// (or any ReportSink binary whose root carries a "results" array of RunRecords) and prints the
+// scalar metric deltas (Ma/Mr/E, device API traffic, per-phase wall clock), the
+// fragmentation-attribution table deltas, and the first heap-timeline divergence — with
+// --json for the machine-readable version of the same explanation.
+//
+//   stalloc_run --alloc torch-caching --json A.json --heapmap a.html
+//   stalloc_run --alloc stalloc       --json B.json --heapmap b.html
+//   stalloc_diff A.json B.json
+//
+// Pairing: with one record per file, they are diffed directly; equal record counts pair
+// positionally (record i vs record i); --select-a/--select-b pick one record by allocator
+// name. Exit status: 0 on success (diff may be empty or non-empty), 2 on unreadable /
+// malformed / schema-mismatched input.
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/api/report.h"
+#include "src/api/run_diff.h"
+#include "src/common/flags.h"
+#include "src/common/table.h"
+
+namespace {
+
+using namespace stalloc;
+
+std::optional<Json> LoadReport(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "stalloc_diff: cannot read %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::string text;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+  std::string error;
+  std::optional<Json> doc = Json::Parse(text, &error);
+  if (!doc.has_value()) {
+    std::fprintf(stderr, "stalloc_diff: %s is not valid JSON: %s\n", path.c_str(),
+                 error.c_str());
+    return std::nullopt;
+  }
+  const Json* version = doc->Find("schema_version");
+  if (version == nullptr || version->AsInt(-1) != kReportSchemaVersion) {
+    std::fprintf(stderr,
+                 "stalloc_diff: %s has schema_version %lld, this build understands %d\n",
+                 path.c_str(), version == nullptr ? -1LL
+                                                  : static_cast<long long>(version->AsInt(-1)),
+                 kReportSchemaVersion);
+    return std::nullopt;
+  }
+  return doc;
+}
+
+const Json* SelectRecord(const std::vector<const Json*>& records, const std::string& name,
+                         const std::string& path) {
+  for (const Json* record : records) {
+    const Json* allocator = record->Find("allocator");
+    if (allocator != nullptr && allocator->AsString() == name) {
+      return record;
+    }
+  }
+  std::fprintf(stderr, "stalloc_diff: no record with allocator '%s' in %s\n", name.c_str(),
+               path.c_str());
+  return nullptr;
+}
+
+std::string Num(double v) {
+  if (v == static_cast<long long>(v) && v > -1e15 && v < 1e15) {
+    return StrFormat("%lld", static_cast<long long>(v));
+  }
+  return StrFormat("%.4g", v);
+}
+
+void PrintDiff(const RunPairDiff& diff) {
+  std::printf("stalloc_diff — A=%s  B=%s\n\n", diff.label_a.c_str(), diff.label_b.c_str());
+  if (diff.Empty()) {
+    std::printf("runs are identical on every compared key\n");
+    return;
+  }
+  if (!diff.scalars.empty()) {
+    TextTable table({"metric", "A", "B", "delta", "delta %"});
+    for (const ScalarDelta& d : diff.scalars) {
+      if (d.numeric) {
+        const double delta = d.b_num - d.a_num;
+        table.AddRow({d.key, Num(d.a_num), Num(d.b_num), Num(delta),
+                      d.a_num != 0 ? StrFormat("%+.1f%%", 100.0 * delta / d.a_num) : "-"});
+      } else {
+        table.AddRow({d.key, d.a_text, d.b_text, "-", "-"});
+      }
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  if (!diff.attribution.empty()) {
+    std::printf("fragmentation attribution deltas (gap bytes pinned, by block class):\n");
+    TextTable table({"size group", "phase", "tenant", "A bytes", "B bytes", "delta"});
+    for (const AttributionDelta& d : diff.attribution) {
+      table.AddRow({d.size_group, d.phase < 0 ? "-" : StrFormat("%lld", (long long)d.phase),
+                    StrFormat("%llu", (unsigned long long)d.tenant), Num(d.a_bytes),
+                    Num(d.b_bytes), Num(d.delta())});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  if (!diff.divergence.empty()) {
+    std::printf("first heap-timeline divergence: %s\n", diff.divergence.c_str());
+  }
+  if (diff.frag_delta != 0) {
+    std::printf("external-fragmentation delta %s bytes; attribution explains %s (%.0f%%)\n",
+                Num(diff.frag_delta).c_str(), Num(diff.explained).c_str(),
+                100.0 * diff.coverage());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path_a, path_b, select_a, select_b, json_path;
+  FlagParser flags("stalloc_diff",
+                   "Explain how two stalloc_run report JSONs differ: metric deltas, "
+                   "fragmentation-attribution deltas, first heap-timeline divergence.");
+  flags.AddPositional(&path_a, "A.json", "baseline report");
+  flags.AddPositional(&path_b, "B.json", "report under comparison");
+  flags.Add("--select-a", &select_a, "NAME", "pick the record with this allocator from A");
+  flags.Add("--select-b", &select_b, "NAME", "pick the record with this allocator from B");
+  flags.Add("--json", &json_path, "FILE", "machine-readable diff ('-' = stdout)");
+  if (!flags.Parse(argc, argv)) {
+    return 2;
+  }
+
+  std::optional<Json> doc_a = LoadReport(path_a);
+  std::optional<Json> doc_b = LoadReport(path_b);
+  if (!doc_a.has_value() || !doc_b.has_value()) {
+    return 2;
+  }
+
+  std::vector<const Json*> records_a, records_b;
+  std::string error;
+  if (!ExtractRunRecords(*doc_a, &records_a, &error)) {
+    std::fprintf(stderr, "stalloc_diff: %s: %s\n", path_a.c_str(), error.c_str());
+    return 2;
+  }
+  if (!ExtractRunRecords(*doc_b, &records_b, &error)) {
+    std::fprintf(stderr, "stalloc_diff: %s: %s\n", path_b.c_str(), error.c_str());
+    return 2;
+  }
+  if (records_a.empty() || records_b.empty()) {
+    std::fprintf(stderr, "stalloc_diff: empty \"results\" array\n");
+    return 2;
+  }
+
+  std::vector<std::pair<const Json*, const Json*>> pairs;
+  if (!select_a.empty() || !select_b.empty()) {
+    const Json* a = select_a.empty() ? records_a.front()
+                                     : SelectRecord(records_a, select_a, path_a);
+    const Json* b = select_b.empty() ? records_b.front()
+                                     : SelectRecord(records_b, select_b, path_b);
+    if (a == nullptr || b == nullptr) {
+      return 2;
+    }
+    pairs.emplace_back(a, b);
+  } else if (records_a.size() == records_b.size()) {
+    for (size_t i = 0; i < records_a.size(); ++i) {
+      pairs.emplace_back(records_a[i], records_b[i]);
+    }
+  } else {
+    std::fprintf(stderr,
+                 "stalloc_diff: %zu records vs %zu — use --select-a/--select-b to pick a "
+                 "pair\n",
+                 records_a.size(), records_b.size());
+    return 2;
+  }
+
+  Json out = Json::Object();
+  out.Set("bench", "stalloc_diff");
+  out.Set("schema_version", kReportSchemaVersion);
+  out.Set("file_a", path_a);
+  out.Set("file_b", path_b);
+  Json diffs = Json::Array();
+  bool first = true;
+  for (const auto& [a, b] : pairs) {
+    const RunPairDiff diff = DiffRunRecords(*a, *b);
+    if (!first) {
+      std::printf("\n");
+    }
+    first = false;
+    PrintDiff(diff);
+    diffs.Add(ToJson(diff));
+  }
+  out.Set("diffs", std::move(diffs));
+  if (!json_path.empty() && !WriteJsonFile(out, json_path)) {
+    return 1;
+  }
+  return 0;
+}

@@ -74,6 +74,8 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
   uint64_t trace_buffer = 0;
+  std::string heapmap_path;
+  uint64_t heapmap_every = 0;
   std::vector<std::string> allocators;
   uint64_t capacity = spec.options.capacity_bytes;
   uint64_t kv_budget = spec.engine.kv_budget_bytes;
@@ -128,6 +130,11 @@ int main(int argc, char** argv) {
             "enable telemetry; write the metrics-registry snapshot ('-' = stdout)");
   flags.Add("--trace-buffer", &trace_buffer, "N",
             "per-thread trace ring capacity in events (default 65536; oldest dropped)");
+  flags.Add("--heapmap", &heapmap_path, "FILE",
+            "enable telemetry; record heap snapshots and write a self-contained HTML "
+            "heap-timeline viewer (snapshots also land in --json as heap_timeline)");
+  flags.Add("--heapmap-every", &heapmap_every, "N",
+            "also snapshot every N allocator ops (default: phase/peak/OOM triggers only)");
   flags.AddFlag("--list-allocs", &list_allocs, "list registered allocators and exit");
   flags.AddFlag("--list-axes", &list_axes, "list workload axes and exit");
   flags.AddFlag("--list-models", &list_models, "list model presets and exit");
@@ -230,13 +237,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--trace-buffer only applies with --trace or --metrics\n");
     return 2;
   }
+  if (flags.Seen("--heapmap-every") && heapmap_path.empty()) {
+    std::fprintf(stderr, "--heapmap-every only applies with --heapmap\n");
+    return 2;
+  }
 
   // Telemetry is off (and the hot paths untouched) unless an export target asks for it.
-  if (!trace_path.empty() || !metrics_path.empty()) {
+  if (!trace_path.empty() || !metrics_path.empty() || !heapmap_path.empty()) {
     if (trace_buffer > 0) {
       telemetry::Tracer::Global().SetCapacity(static_cast<size_t>(trace_buffer));
     }
     telemetry::SetEnabled(true);
+  }
+  if (!heapmap_path.empty()) {
+    telemetry::HeapMapConfig heap_config;
+    heap_config.every_n_ops = heapmap_every;
+    telemetry::HeapMapRecorder::Global().Arm(heap_config);
   }
 
   ReportSink sink("stalloc_run", json_path);
@@ -267,9 +283,42 @@ int main(int argc, char** argv) {
       !WriteJsonFile(telemetry::Tracer::Global().ChromeTraceJson(), trace_path)) {
     rc = 1;
   }
-  if (!metrics_path.empty() &&
-      !WriteJsonFile(telemetry::MetricsRegistry::Global().ToJson(), metrics_path)) {
-    rc = 1;
+  if (!metrics_path.empty()) {
+    // Fold the tracer's own health (dropped events, ring occupancy) into the snapshot so
+    // trace truncation is visible without opening the trace file.
+    telemetry::Tracer::Global().PublishMetrics();
+    if (!WriteJsonFile(telemetry::MetricsRegistry::Global().ToJson(), metrics_path)) {
+      rc = 1;
+    }
+  }
+  if (!heapmap_path.empty()) {
+    Json payload = Json::Object();
+    payload.Set("title", "stalloc_run " + spec.Variant());
+    Json runs = Json::Array();
+    for (const RunRecord& r : records) {
+      Json run = Json::Object();
+      run.Set("allocator", r.allocator);
+      run.Set("variant", r.variant);
+      run.Set("repeat", r.repeat);
+      Json timeline = Json::Array();
+      for (const telemetry::HeapSnapshot& snapshot : r.heap_timeline) {
+        timeline.Add(ToJson(snapshot));
+      }
+      run.Set("heap_timeline", std::move(timeline));
+      runs.Add(std::move(run));
+    }
+    payload.Set("runs", std::move(runs));
+    const std::string html =
+        telemetry::HeapTimelineHtml("stalloc_run " + spec.Variant(), payload);
+    std::FILE* f = std::fopen(heapmap_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", heapmap_path.c_str());
+      rc = 1;
+    } else {
+      std::fputs(html.c_str(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", heapmap_path.c_str());
+    }
   }
   return rc;
 }
