@@ -2,21 +2,32 @@
 // core (src/replay/) for every registered allocator — the perf baseline that gates any further
 // work on the free-space hot paths.
 //
-// Two op streams, ~100k ops each:
-//   * storm — a synthetic cache storm: ~1.5k concurrently-live blocks drawn from a few dozen
-//     recurring sizes (the size-distribution shape of §2.3, Fig. 3), freed in random order. This
-//     keeps the caching-style free lists deep, which is exactly the path the size-bucketed
-//     BestFitIndex replaced the flat ordered-set search on. The storm has no phase structure, so
-//     the plan-pipeline (STAlloc) kinds sit this one out.
+// Sections:
+//   * replay_1m — the million-op headline: a 1M-op storm generated straight to an mmap-streamed
+//     columnar v2 file (stalloc_trace_gen's format), replayed through torch-caching twice — once
+//     from the mmap'd TraceView (zero materialization) and once from the materialized owned
+//     Trace. Reports wall time, placement digests (must match bit-for-bit), and the peak-RSS
+//     cost of each mode. Runs FIRST: VmHWM is monotone, so the view phase must set its
+//     high-water mark before the owned copy exists.
+//   * storm — a synthetic cache storm, ~100k ops by default: ~1.5k concurrently-live blocks
+//     drawn from a few dozen recurring sizes (the size-distribution shape of §2.3, Fig. 3),
+//     freed in random order. This keeps the caching-style free lists deep, which is exactly the
+//     path the size-bucketed BestFitIndex replaced the flat ordered-set search on. The storm has
+//     no phase structure, so the plan-pipeline (STAlloc) kinds sit this one out.
 //   * train — the gpt2 1F1B iteration replayed back-to-back until ~100k ops, for every
 //     registered kind (STAlloc plans come from the usual profile-seed pipeline).
+//   * file — optional (--trace FILE): replay a trace from disk; columnar v2 files replay
+//     straight from the mmap'd view, csv/bin traces are read and replayed owned.
 //
 // Timing wraps the whole ReplayTrace call (engine + driver bookkeeping), best of --repeats
 // fresh-allocator runs — directly comparable across revisions of the replay/allocator stack.
 // Allocators are constructed by registry name, so a newly registered kind shows up here with no
 // bench change.
 //
-//   bench_replay_hot [--events N] [--repeats N] [--json FILE]   ("-" = JSON to stdout)
+//   bench_replay_hot [--events N | --ops N] [--repeats N] [--trace FILE] [--json FILE]
+//   ("-" = JSON to stdout)
+
+#include <unistd.h>
 
 #include <algorithm>
 #include <cstdint>
@@ -34,14 +45,18 @@
 #include "src/driver/experiment.h"
 #include "src/driver/replay.h"
 #include "src/gpu/sim_device.h"
+#include "src/replay/replay_engine.h"
 #include "src/trace/synthetic.h"
 #include "src/trace/trace.h"
+#include "src/trace/trace_io.h"
+#include "src/trace/trace_v2.h"
 
 namespace {
 
 using namespace stalloc;
 
 constexpr uint64_t kCapacity = 64ull * GiB;
+constexpr uint64_t kMillionOps = 1000000;
 
 struct HotResult {
   std::string allocator;
@@ -66,13 +81,15 @@ struct StreamRun {
   std::vector<HotResult> results;
 };
 
-// One timed pass: `iterations` back-to-back ReplayTrace calls into `alloc` (caches persist
-// across iterations, as in training). Returns false on OOM.
-bool TimedReplay(const Trace& trace, Allocator* alloc, int iterations, HotResult* out) {
+// One timed pass over either source: `iterations` back-to-back ReplayTrace calls into `alloc`
+// (caches persist across iterations, as in training). Exactly one of trace/view is non-null;
+// decisions are bit-identical either way. Returns false on OOM.
+bool TimedReplay(const Trace* trace, const TraceView* view, Allocator* alloc, int iterations,
+                 HotResult* out) {
   Stopwatch timer;
   uint64_t ops = 0;
   for (int i = 0; i < iterations; ++i) {
-    ReplayResult r = ReplayTrace(trace, alloc);
+    ReplayResult r = view != nullptr ? ReplayTrace(*view, alloc) : ReplayTrace(*trace, alloc);
     ops += r.num_mallocs + r.num_frees;
     if (r.oom) {
       out->oom = true;
@@ -88,15 +105,17 @@ bool TimedReplay(const Trace& trace, Allocator* alloc, int iterations, HotResult
   return true;
 }
 
-HotResult RunEntry(const AllocatorRegistry::Entry& entry, const Trace& trace, int iterations,
-                   int repeats) {
+HotResult RunEntry(const AllocatorRegistry::Entry& entry, const Trace* trace,
+                   const TraceView* view, int iterations, int repeats) {
   HotResult out;
   out.allocator = entry.name;
 
   SynthesisResult synthesis;
   if (entry.requires_plan) {
-    // Plan once (offline stage, not timed); each repeat replays against a fresh pool.
-    ProfileResult profile = ProfileTrace(trace, kCapacity);
+    // Plan once (offline stage, not timed); each repeat replays against a fresh pool. The
+    // planner needs a materialized trace — the replay itself still runs from the view.
+    ProfileResult profile =
+        view != nullptr ? ProfileTrace(view->Materialize(), kCapacity) : ProfileTrace(*trace, kCapacity);
     out.profile_ms = profile.wall_ms;
     if (!profile.feasible) {
       out.skipped = true;
@@ -122,7 +141,7 @@ HotResult RunEntry(const AllocatorRegistry::Entry& entry, const Trace& trace, in
     } else {
       alloc = AllocatorRegistry::Global().Create(entry.name, &device);
     }
-    if (!TimedReplay(trace, alloc.get(), iterations, &out)) {
+    if (!TimedReplay(trace, view, alloc.get(), iterations, &out)) {
       return out;
     }
     out.reserved_peak = alloc->stats().reserved_peak;
@@ -133,23 +152,24 @@ HotResult RunEntry(const AllocatorRegistry::Entry& entry, const Trace& trace, in
   return out;
 }
 
-StreamRun RunStream(const std::string& name, const Trace& trace, int iterations, int repeats,
-                    bool include_stalloc, ReportSink& sink) {
+StreamRun RunStream(const std::string& name, const Trace* trace, const TraceView* view,
+                    int iterations, int repeats, bool include_stalloc, ReportSink& sink) {
   StreamRun run;
   run.stream = name;
-  run.trace_events = trace.size();
+  run.trace_events = view != nullptr ? view->num_events() : trace->size();
   run.iterations = iterations;
 
-  sink.Printf("Replay hot path — %s stream: %llu events x %d iterations = %llu ops\n\n",
-              name.c_str(), static_cast<unsigned long long>(trace.size()), iterations,
-              static_cast<unsigned long long>(trace.size() * 2 * iterations));
+  sink.Printf("Replay hot path — %s stream: %llu events x %d iterations = %llu ops%s\n\n",
+              name.c_str(), static_cast<unsigned long long>(run.trace_events), iterations,
+              static_cast<unsigned long long>(run.trace_events * 2 * iterations),
+              view != nullptr ? " (mmap'd v2 view)" : "");
   TextTable table({"allocator", "ops", "best wall (ms)", "Mops/s", "Mr", "E (%)"});
   for (const std::string& alloc_name : AllocatorRegistry::Global().Names()) {
     const AllocatorRegistry::Entry& entry = *AllocatorRegistry::Global().Find(alloc_name);
     if (entry.requires_plan && !include_stalloc) {
       continue;
     }
-    HotResult r = RunEntry(entry, trace, iterations, repeats);
+    HotResult r = RunEntry(entry, trace, view, iterations, repeats);
     if (r.skipped) {
       table.AddRow({r.allocator, "-", "-", "skipped", "-", "-"});
     } else if (r.oom) {
@@ -191,19 +211,138 @@ Json StreamJson(const StreamRun& run) {
   return j;
 }
 
+// One digest pass: fresh torch-caching pool, placements folded into an FNV-1a digest. The
+// owned and view digests must be equal — this is the bit-identical-decisions contract of the
+// columnar replay path, enforced on every bench run (and by tests/trace_view_test on CI).
+uint64_t DigestRun(const Trace* trace, const TraceView* view) {
+  SimDevice device(kCapacity);
+  std::unique_ptr<Allocator> alloc = AllocatorRegistry::Global().Create("torch-caching", &device);
+  PlacementDigestObserver obs;
+  if (view != nullptr) {
+    ReplayTrace(*view, alloc.get(), &obs);
+  } else {
+    ReplayTrace(*trace, alloc.get(), &obs);
+  }
+  return obs.digest();
+}
+
+// Best-of-`repeats` wall time for a single torch-caching replay of the 1M-op stream.
+double BestWall(const Trace* trace, const TraceView* view, int repeats, bool* oom) {
+  HotResult scratch;
+  for (int rep = 0; rep < repeats; ++rep) {
+    SimDevice device(kCapacity);
+    std::unique_ptr<Allocator> alloc =
+        AllocatorRegistry::Global().Create("torch-caching", &device);
+    if (!TimedReplay(trace, view, alloc.get(), 1, &scratch)) {
+      *oom = true;
+      return 0;
+    }
+  }
+  return scratch.best_wall_seconds;
+}
+
+// The million-op headline section. Must run before any other stream: PeakRssBytes (VmHWM) is
+// monotone, so the low-footprint view phase has to set its mark before the owned Trace is
+// materialized.
+bool RunMillionOps(int repeats, ReportSink& sink, Json* out) {
+  const std::string path =
+      StrFormat("/tmp/stalloc_replay_1m_%d.v2", static_cast<int>(::getpid()));
+  SyntheticSpec spec;
+  spec.mix = SyntheticMix::kStorm;
+  spec.num_ops = kMillionOps;
+  spec.seed = 42;
+  if (!GenerateSyntheticV2File(spec, path)) {
+    sink.Printf("replay_1m: cannot write %s\n", path.c_str());
+    return false;
+  }
+  TraceView view;
+  TraceIoError err;
+  if (!view.Open(path, &err)) {
+    sink.Printf("replay_1m: cannot open %s: %s\n", path.c_str(), err.message.c_str());
+    ::unlink(path.c_str());
+    return false;
+  }
+
+  bool oom = false;
+  const uint64_t view_digest = DigestRun(nullptr, &view);
+  const double view_wall = BestWall(nullptr, &view, repeats, &oom);
+  const uint64_t view_peak_rss = PeakRssBytes();
+
+  const Trace owned = view.Materialize();
+  const uint64_t owned_digest = DigestRun(&owned, nullptr);
+  const double owned_wall = BestWall(&owned, nullptr, repeats, &oom);
+  const uint64_t owned_peak_rss = PeakRssBytes();
+
+  const uint64_t file_bytes = view.file_bytes();
+  view.Close();
+  ::unlink(path.c_str());
+  if (oom) {
+    sink.Printf("replay_1m: OOM on the 1M-op storm (capacity %s)\n",
+                FormatBytes(kCapacity).c_str());
+    return false;
+  }
+
+  const uint64_t ops = view_digest == owned_digest ? kMillionOps : 0;
+  const double speedup = view_wall > 0 ? owned_wall / view_wall : 0;
+  sink.Printf(
+      "Replay hot path — replay_1m: %llu-op storm (seed 42) through torch-caching, v2 file "
+      "%s\n\n",
+      static_cast<unsigned long long>(kMillionOps), FormatBytes(file_bytes).c_str());
+  TextTable table({"source", "best wall (ms)", "Mops/s", "digest", "peak RSS"});
+  table.AddRow({"mmap'd view", StrFormat("%.2f", view_wall * 1e3),
+                StrFormat("%.2f", view_wall > 0 ? kMillionOps / view_wall / 1e6 : 0),
+                StrFormat("%016llx", static_cast<unsigned long long>(view_digest)),
+                FormatBytes(view_peak_rss)});
+  table.AddRow({"owned trace", StrFormat("%.2f", owned_wall * 1e3),
+                StrFormat("%.2f", owned_wall > 0 ? kMillionOps / owned_wall / 1e6 : 0),
+                StrFormat("%016llx", static_cast<unsigned long long>(owned_digest)),
+                FormatBytes(owned_peak_rss)});
+  sink.Print(table);
+  sink.Printf("  digests %s, view speedup over owned %.2fx\n\n",
+              view_digest == owned_digest ? "match" : "MISMATCH", speedup);
+
+  Json j = Json::Object();
+  j.Set("ops", kMillionOps);
+  j.Set("allocator", "torch-caching");
+  j.Set("trace_file_bytes", file_bytes);
+  j.Set("digest", StrFormat("%016llx", static_cast<unsigned long long>(view_digest)));
+  j.Set("digest_match", view_digest == owned_digest);
+  Json view_j = Json::Object();
+  view_j.Set("best_wall_seconds", view_wall);
+  view_j.Set("ops_per_sec", view_wall > 0 ? kMillionOps / view_wall : 0);
+  view_j.Set("peak_rss_bytes", view_peak_rss);
+  j.Set("view", std::move(view_j));
+  Json owned_j = Json::Object();
+  owned_j.Set("best_wall_seconds", owned_wall);
+  owned_j.Set("ops_per_sec", owned_wall > 0 ? kMillionOps / owned_wall : 0);
+  owned_j.Set("peak_rss_bytes", owned_peak_rss);
+  j.Set("owned", std::move(owned_j));
+  j.Set("speedup", speedup);
+  *out = std::move(j);
+  return view_digest == owned_digest && ops == kMillionOps;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   uint64_t events = 50000;  // 2 ops per event -> the 100k-op storm baseline
+  uint64_t opt_ops = 0;
   int repeats = 3;
   std::string json_path;
+  std::string trace_path;
   FlagParser flags("bench_replay_hot",
                    "Replay-engine ops/sec for every registered allocator kind.");
   flags.Add("--events", &events, "N", "storm trace events (2 ops per event)");
+  flags.Add("--ops", &opt_ops, "N", "storm trace size in ops (overrides --events)");
   flags.Add("--repeats", &repeats, "N", "fresh-allocator repetitions, best wall time kept");
+  flags.Add("--trace", &trace_path, "FILE",
+            "also replay this trace file (v2 replays from the mmap'd view)");
   flags.Add("--json", &json_path, "FILE", "machine-readable summary ('-' = stdout)");
   if (!flags.Parse(argc, argv)) {
     return 2;
+  }
+  if (opt_ops > 0) {
+    events = opt_ops / 2 > 0 ? opt_ops / 2 : 1;
   }
 
   ReportSink sink("replay_hot", json_path);
@@ -216,9 +355,15 @@ int main(int argc, char** argv) {
   }
   sink.Meta("allocators", std::move(allocator_names));
 
+  // Million-op section first — see RunMillionOps on why the order matters for the RSS keys.
+  Json replay_1m;
+  const bool digests_ok = RunMillionOps(repeats, sink, &replay_1m);
+  sink.Meta("replay_1m", std::move(replay_1m));
+
   std::vector<StreamRun> runs;
   const Trace storm = BuildStormTrace(events, 42);
-  runs.push_back(RunStream("storm", storm, 1, repeats, /*include_stalloc=*/false, sink));
+  runs.push_back(
+      RunStream("storm", &storm, nullptr, 1, repeats, /*include_stalloc=*/false, sink));
 
   TrainConfig config;
   config.parallel.pp = 2;
@@ -229,12 +374,41 @@ int main(int argc, char** argv) {
   // ~10k ops per iteration: replay back-to-back until the stream matches the storm's length.
   const int iterations =
       std::max<int>(1, static_cast<int>(events / (train.size() > 0 ? train.size() : 1)));
-  runs.push_back(RunStream("train", train, iterations, repeats, /*include_stalloc=*/true, sink));
+  runs.push_back(
+      RunStream("train", &train, nullptr, iterations, repeats, /*include_stalloc=*/true, sink));
+
+  // Optional on-disk trace: the v2 path exercises exactly what stalloc_run --trace-file does.
+  Trace file_trace;
+  TraceView file_view;
+  if (!trace_path.empty()) {
+    bool use_view = false;
+    TraceIoError err;
+    if (IsTraceV2File(trace_path)) {
+      if (!file_view.Open(trace_path, &err)) {
+        fprintf(stderr, "bench_replay_hot: cannot read %s: %s\n", trace_path.c_str(),
+                err.message.c_str());
+        return 2;
+      }
+      use_view = true;
+    } else if (!ReadTraceAnyFile(trace_path, &file_trace, &err)) {
+      fprintf(stderr, "bench_replay_hot: cannot read %s: %s\n", trace_path.c_str(),
+              err.message.c_str());
+      return 2;
+    }
+    const bool has_phases =
+        use_view ? !file_view.phases().empty() : !file_trace.phases().empty();
+    runs.push_back(RunStream("file", use_view ? nullptr : &file_trace,
+                             use_view ? &file_view : nullptr, 1, repeats,
+                             /*include_stalloc=*/has_phases, sink));
+  }
 
   Json streams = Json::Array();
   for (const StreamRun& run : runs) {
     streams.Add(StreamJson(run));
   }
   sink.Meta("streams", std::move(streams));
-  return sink.Finish();
+  const int sink_status = sink.Finish();
+  // A digest mismatch between the owned and mmap'd replay paths is a correctness failure, not
+  // a perf number — fail the bench loudly so CI catches it.
+  return digests_ok ? sink_status : 1;
 }

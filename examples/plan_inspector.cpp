@@ -38,7 +38,12 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("trace written to %s (%zu events)\n", csv_path.c_str(), trace.size());
-  Trace imported = ReadTraceCsvFile(csv_path);
+  Trace imported;
+  TraceIoError err;
+  if (!ReadTraceCsvFile(csv_path, &imported, &err)) {
+    std::printf("cannot read %s: %s\n", csv_path.c_str(), err.ToString().c_str());
+    return 2;
+  }
 
   TraceStats stats = ComputeStats(imported);
   std::printf("\n%s\n", stats.ToString().c_str());

@@ -35,8 +35,15 @@ class BestFitIndex {
   // A free block of `size` bytes at `addr`. (size, addr) pairs must be unique.
   void Insert(uint64_t size, uint64_t addr) {
     Bucket& b = BucketFor(size);
-    // Descending order keeps the best (lowest) address at the back. Same-size blocks are
-    // typically freed high-to-low or reused immediately, so the binary search usually resolves
+    // Descending order keeps the best (lowest) address at the back. The common case is a block
+    // freed straight back after a PopBestFit took the bucket's minimum — its address is below
+    // everything still in the bucket, so it belongs at the tail with no search at all.
+    if (b.empty() || addr < b.back()) {
+      b.push_back(addr);
+      ++count_;
+      return;
+    }
+    // Same-size blocks are typically freed high-to-low, so the binary search usually resolves
     // to one end of a short vector.
     auto it = std::upper_bound(b.begin(), b.end(), addr, std::greater<uint64_t>());
     // In descending order every element at/after `it` is < addr; a duplicate would sit just
@@ -101,10 +108,21 @@ class BestFitIndex {
  private:
   using Bucket = std::vector<uint64_t>;  // addresses, sorted descending (best fit at back)
 
-  // Index of the first size >= `size` in the flat sorted size array.
+  // Index of the first size >= `size` in the flat sorted size array. The same few dozen sizes
+  // recur for the whole run, so an exact-match position cache short-circuits most searches.
+  // The cache is self-validating: sizes_ is sorted and unique, so whenever
+  // sizes_[hot_pos_] == size holds, hot_pos_ IS the lower bound — even after insertions have
+  // shifted positions since the cache was written.
   size_t LowerBound(uint64_t size) const {
-    return static_cast<size_t>(std::lower_bound(sizes_.begin(), sizes_.end(), size) -
-                               sizes_.begin());
+    if (hot_pos_ < sizes_.size() && sizes_[hot_pos_] == size) {
+      return hot_pos_;
+    }
+    const size_t pos = static_cast<size_t>(
+        std::lower_bound(sizes_.begin(), sizes_.end(), size) - sizes_.begin());
+    if (pos < sizes_.size() && sizes_[pos] == size) {
+      hot_pos_ = pos;
+    }
+    return pos;
   }
 
   Bucket& BucketFor(uint64_t size) {
@@ -121,6 +139,7 @@ class BestFitIndex {
   std::vector<uint64_t> sizes_;  // sorted ascending; parallel to buckets_
   std::vector<Bucket> buckets_;
   size_t count_ = 0;
+  mutable size_t hot_pos_ = 0;  // last exact-match LowerBound hit (see LowerBound)
 };
 
 }  // namespace stalloc

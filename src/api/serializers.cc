@@ -319,6 +319,9 @@ Json SpecMetaJson(const ExperimentSpec& spec) {
     allocators.Add(name);
   }
   j.Set("allocators", std::move(allocators));
+  if (!spec.trace_file.empty()) {
+    j.Set("trace_file", spec.trace_file);
+  }
   j.Set("capacity_bytes", spec.options.capacity_bytes);
   j.Set("profile_seed", spec.options.profile_seed);
   j.Set("run_seed", spec.options.run_seed);

@@ -70,6 +70,11 @@ TrainConfig ExperimentSpec::EffectiveTrain() const {
 std::string ExperimentSpec::Variant() const {
   switch (axis) {
     case WorkloadAxis::kTrainRank: {
+      if (!trace_file.empty()) {
+        const size_t slash = trace_file.find_last_of('/');
+        return "trace:" + (slash == std::string::npos ? trace_file
+                                                      : trace_file.substr(slash + 1));
+      }
       const TrainConfig c = EffectiveTrain();
       return StrFormat("%s pp%d mb%llu rank%d", c.opt.Tag().c_str(), c.parallel.pp,
                        static_cast<unsigned long long>(c.micro_batch_size), c.rank);
@@ -289,6 +294,9 @@ bool Session::Validate(const ExperimentSpec& spec, std::string* error) {
       return fail("workers must be >= 0");
     }
   }
+  if (!spec.trace_file.empty() && spec.axis != WorkloadAxis::kTrainRank) {
+    return fail("trace-file replay is only supported on the rank axis");
+  }
   if (!spec.config_tag.empty()) {
     bool known_tag = false;
     for (const char* tag : {"N", "R", "V", "VR", "ZR", "ZOR"}) {
@@ -352,6 +360,17 @@ RunRecord Session::RunOne(const ExperimentSpec& spec, const std::string& allocat
 
   switch (spec.axis) {
     case WorkloadAxis::kTrainRank: {
+      if (replay_view_ != nullptr) {
+        FillFromExperiment(RunTraceReplay(*replay_view_, *kind, options), &rec);
+        break;
+      }
+      if (replay_trace_ != nullptr) {
+        FillFromExperiment(RunTraceReplay(*replay_trace_, *kind, options), &rec);
+        break;
+      }
+      STALLOC_CHECK(spec.trace_file.empty(),
+                    << "spec.trace_file is set but no trace was preloaded; tools must open the "
+                       "file and call SetReplayTrace before running");
       WorkloadBuilder workload(ModelByName(spec.model), spec.EffectiveTrain());
       FillFromExperiment(RunExperiment(workload, *kind, options), &rec);
       break;
@@ -378,6 +397,16 @@ RunRecord Session::RunOne(const ExperimentSpec& spec, const std::string& allocat
   FinalizeRun(total, &rec);
   span.Arg("status", RunStatusName(rec.status));
   return rec;
+}
+
+void Session::SetReplayTrace(const Trace* trace) {
+  replay_trace_ = trace;
+  replay_view_ = nullptr;
+}
+
+void Session::SetReplayTrace(const TraceView* view) {
+  replay_view_ = view;
+  replay_trace_ = nullptr;
 }
 
 RunRecord Session::RunClusterJobs(const ExperimentSpec& spec, const std::string& allocator,

@@ -13,6 +13,8 @@
 
 #include "src/api/spec.h"
 #include "src/cluster/cluster_workload.h"
+#include "src/trace/trace.h"
+#include "src/trace/trace_v2.h"
 
 namespace stalloc {
 
@@ -36,6 +38,17 @@ class Session {
   // provides the fleet shape (devices, capacity, policy, retries, allocator overrides).
   RunRecord RunClusterJobs(const ExperimentSpec& spec, const std::string& allocator,
                            const std::vector<ClusterJob>& jobs, int repeat = 0);
+
+  // Preloads a replay trace for kTrainRank specs: subsequent rank-axis runs replay it through
+  // RunTraceReplay instead of building the simulated workload. The session borrows the
+  // trace/view — it must outlive every run. Pass nullptr to clear; setting one form clears the
+  // other. The view form replays straight from the mmap'd columnar file.
+  void SetReplayTrace(const Trace* trace);
+  void SetReplayTrace(const TraceView* view);
+
+ private:
+  const Trace* replay_trace_ = nullptr;
+  const TraceView* replay_view_ = nullptr;
 };
 
 }  // namespace stalloc

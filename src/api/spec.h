@@ -57,6 +57,12 @@ struct ExperimentSpec {
   std::string scenario = "chat";  // preset name (ScenarioByName)
   EngineConfig engine;            // continuous-batching knobs (KV budget, batch, block size)
   uint32_t serve_requests = 0;    // overrides the preset's num_requests (0 = keep preset)
+  // Replay an externally captured trace file instead of the simulated workload (kTrainRank
+  // only; any trace format, including mmap-streamed columnar v2). The session never reads the
+  // file itself — tools open/validate it (and exit 2 on a bad trace) and hand the loaded
+  // trace or view to Session::SetReplayTrace; this field is the recorded run identity and the
+  // CLI knob behind it.
+  std::string trace_file;
   // Cluster shape (kCluster). The job queue is generated from (cluster, run seed); `model`
   // above overrides cluster.model so the spec has a single model knob.
   ClusterWorkloadConfig cluster;

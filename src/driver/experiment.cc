@@ -75,6 +75,53 @@ void FinishExperimentResult(const ReplayResult& replay, const Allocator& active,
   }
 }
 
+namespace {
+
+ExperimentResult RunTraceReplayImpl(const Trace* trace, const TraceView* view,
+                                    AllocatorKind kind, const ExperimentOptions& options) {
+  ExperimentResult result;
+  result.kind = kind;
+  SimDevice device(options.capacity_bytes);
+
+  std::unique_ptr<Allocator> alloc;
+  std::unique_ptr<STAllocAllocator> stalloc_alloc;
+  if (kind == AllocatorKind::kSTAlloc || kind == AllocatorKind::kSTAllocNoReuse) {
+    // The trace is its own profile. Lifespan classification (and therefore the whole plan)
+    // keys on phase structure; a phaseless op stream cannot be planned.
+    Trace materialized = view != nullptr ? view->Materialize() : *trace;
+    if (materialized.phases().empty()) {
+      result.infeasible = true;
+      return result;
+    }
+    ProfileResult profile = ProfileTrace(std::move(materialized), options.capacity_bytes);
+    stalloc_alloc = MakeSTAllocFromProfile(profile, kind, &device, &result);
+    if (stalloc_alloc == nullptr) {
+      return result;
+    }
+  } else {
+    alloc = MakeBaselineAllocator(kind, &device, options);
+  }
+
+  Allocator* active = stalloc_alloc ? stalloc_alloc.get() : alloc.get();
+  STALLOC_CHECK(active != nullptr, << "no allocator for kind " << AllocatorKindName(kind));
+  ReplayResult replay =
+      view != nullptr ? ReplayTrace(*view, active) : ReplayTrace(*trace, active);
+  FinishExperimentResult(replay, *active, device, stalloc_alloc.get(), &result);
+  return result;
+}
+
+}  // namespace
+
+ExperimentResult RunTraceReplay(const Trace& trace, AllocatorKind kind,
+                                const ExperimentOptions& options) {
+  return RunTraceReplayImpl(&trace, nullptr, kind, options);
+}
+
+ExperimentResult RunTraceReplay(const TraceView& view, AllocatorKind kind,
+                                const ExperimentOptions& options) {
+  return RunTraceReplayImpl(nullptr, &view, kind, options);
+}
+
 ExperimentResult RunExperiment(const WorkloadBuilder& workload, AllocatorKind kind,
                                const ExperimentOptions& options) {
   ExperimentResult result;

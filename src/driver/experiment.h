@@ -65,6 +65,19 @@ struct ExperimentResult {
 ExperimentResult RunExperiment(const WorkloadBuilder& workload, AllocatorKind kind,
                                const ExperimentOptions& options = ExperimentOptions{});
 
+// Replays an externally captured trace (profiled from a real job, converted, or synthesized at
+// million-op scale) through one allocator. Baseline kinds replay the trace directly; the plan
+// kinds treat the trace as its own profile — ProfileTrace for the feasibility verdict, plan
+// synthesis, then replay — so the run is the self-plan upper bound. Traces with no phase
+// structure cannot be planned and come back infeasible for the plan kinds.
+//
+// The TraceView overload replays straight from the mmap'd columnar file; only the plan kinds
+// materialize (for synthesis), and the replay itself still runs off the view.
+ExperimentResult RunTraceReplay(const Trace& trace, AllocatorKind kind,
+                                const ExperimentOptions& options = ExperimentOptions{});
+ExperimentResult RunTraceReplay(const TraceView& view, AllocatorKind kind,
+                                const ExperimentOptions& options = ExperimentOptions{});
+
 // Constructs a baseline (non-STAlloc) allocator of `kind` over `device`, honouring the
 // per-allocator overrides in `options`. Returns nullptr for the STAlloc kinds, which need the
 // offline profile+plan pipeline. Shared by the training and serving experiment drivers.

@@ -19,11 +19,11 @@ std::string ReplayResult::ToString() const {
                    FormatBytes(reserved_peak).c_str(), memory_efficiency * 100.0);
 }
 
-ReplayResult ReplayTrace(const Trace& trace, Allocator* alloc, ReplayObserver* observer) {
+namespace {
+
+ReplayResult RunOneSource(const ReplaySource& source, Allocator* alloc,
+                          ReplayObserver* observer) {
   ReplayEngine engine(observer);
-  ReplaySource source;
-  source.trace = &trace;
-  source.alloc = alloc;
   engine.AddSource(source);
   const ReplayEngineResult& run = engine.Run();
 
@@ -40,6 +40,22 @@ ReplayResult ReplayTrace(const Trace& trace, Allocator* alloc, ReplayObserver* o
   result.replay_wall_seconds = run.wall_seconds;
   result.replay_ops_per_sec = run.OpsPerSec();
   return result;
+}
+
+}  // namespace
+
+ReplayResult ReplayTrace(const Trace& trace, Allocator* alloc, ReplayObserver* observer) {
+  ReplaySource source;
+  source.trace = &trace;
+  source.alloc = alloc;
+  return RunOneSource(source, alloc, observer);
+}
+
+ReplayResult ReplayTrace(const TraceView& view, Allocator* alloc, ReplayObserver* observer) {
+  ReplaySource source;
+  source.view = &view;
+  source.alloc = alloc;
+  return RunOneSource(source, alloc, observer);
 }
 
 }  // namespace stalloc

@@ -14,6 +14,7 @@
 #include "src/allocators/allocator.h"
 #include "src/replay/replay_engine.h"
 #include "src/trace/trace.h"
+#include "src/trace/trace_v2.h"
 
 namespace stalloc {
 
@@ -36,6 +37,11 @@ struct ReplayResult {
 // the allocator can be reused. `observer` (optional) taps the op stream; the default abort
 // policy applies when it is null.
 ReplayResult ReplayTrace(const Trace& trace, Allocator* alloc,
+                         ReplayObserver* observer = nullptr);
+
+// Same contract, replaying straight from an mmap'd columnar v2 view — no materialization, no
+// per-op heap allocation. Decisions are bit-identical to replaying the materialized trace.
+ReplayResult ReplayTrace(const TraceView& view, Allocator* alloc,
                          ReplayObserver* observer = nullptr);
 
 }  // namespace stalloc

@@ -13,26 +13,17 @@
 
 namespace stalloc {
 
-namespace {
-RequestContext ContextOf(const MemoryEvent& e) {
-  RequestContext ctx;
-  ctx.dyn = e.dyn;
-  ctx.phase = e.ps;
-  ctx.layer = e.ls;
-  ctx.stream = e.stream;
-  return ctx;
-}
-}  // namespace
-
 size_t ReplayEngine::AddSource(const ReplaySource& source) {
-  STALLOC_CHECK(source.trace != nullptr && source.alloc != nullptr,
-                << "replay source needs a trace and an allocator");
+  STALLOC_CHECK((source.trace != nullptr) != (source.view != nullptr),
+                << "replay source needs exactly one of trace/view");
+  STALLOC_CHECK(source.alloc != nullptr, << "replay source needs an allocator");
   STALLOC_CHECK_GE(source.iterations, 0);
   SourceState s;
   s.spec = source;
-  s.ops_ptr = &source.trace->Ops();
-  s.period = source.period != 0 ? source.period : source.trace->end_time();
-  s.addr_of.assign(source.trace->size(), kNoAddr);
+  s.tc = source.trace != nullptr ? TraceCursor(*source.trace) : TraceCursor(*source.view);
+  s.period = source.period != 0 ? source.period : s.tc.end_time();
+  s.iter_base = source.start;
+  s.addr_of.assign(s.tc.num_events(), kNoAddr);
   const size_t id = sources_.size();
   sources_.push_back(std::move(s));
   tenants_[source.tenant].push_back(id);
@@ -120,7 +111,9 @@ void ReplayEngine::RestartTenant(uint64_t tenant) {
       continue;
     }
     s.cursor = 0;
+    s.pos = 0;
     s.spec.start = now_;
+    s.iter_base = now_;
     ++s.epoch;
     s.progress.active = true;
     s.progress.done = false;
@@ -152,35 +145,45 @@ void ReplayEngine::FinishSource(size_t sid) {
   }
 }
 
-ReplayEngine::OpOutcome ReplayEngine::ApplyOp(size_t sid, const TraceOp& op) {
+ReplayEngine::OpOutcome ReplayEngine::ApplyOp(size_t sid, uint64_t op_idx) {
   // Observer callbacks (BeforeOp, OnOom, After*) may AddSource and reallocate sources_:
-  // capture the stable spec values up front and re-fetch sources_[sid] after every callback.
+  // capture the stable spec values (and the cursor, whose pointers live in the trace/view, not
+  // in sources_) up front and re-fetch sources_[sid] after every callback.
   Allocator* const alloc = sources_[sid].spec.alloc;
   const uint64_t tenant = sources_[sid].spec.tenant;
-  const MemoryEvent& e = sources_[sid].spec.trace->event(op.event_id);
+  const TraceCursor tc = sources_[sid].tc;
+  const bool is_free = tc.OpIsFree(op_idx);
+  const uint64_t eid = tc.OpEventId(op_idx);
 
   ReplayOpView view;
+  MemoryEvent gathered;  // observer-visible event; only materialized when someone listens
   const bool observed = observer_ != nullptr;
   if (observed) {
+    gathered = tc.Event(eid);
     view.source = sid;
     view.tenant = tenant;
     view.time = now_;
-    view.kind = op.kind;
-    view.event = &e;
+    view.kind = is_free ? TraceOp::Kind::kFree : TraceOp::Kind::kMalloc;
+    view.event = &gathered;
     view.alloc = alloc;
     observer_->BeforeOp(*this, view);
   }
 
-  if (op.kind == TraceOp::Kind::kMalloc) {
+  if (!is_free) {
     ++sources_[sid].progress.num_mallocs;
     ++result_.num_mallocs;
-    RequestContext ctx = ContextOf(e);
+    const uint64_t size = tc.EventSize(eid);
+    RequestContext ctx;
+    ctx.dyn = tc.EventDyn(eid);
+    ctx.phase = tc.EventPs(eid);
+    ctx.layer = tc.EventLs(eid);
+    ctx.stream = tc.EventStream(eid);
     ctx.tenant = tenant;  // owning job/request, for heap-map frag attribution
-    const auto addr = alloc->Malloc(e.size, ctx);
+    const auto addr = alloc->Malloc(size, ctx);
     if (!addr.has_value()) {
       if (!result_.oom) {
         result_.oom = true;
-        result_.first_failed_event = e.id;
+        result_.first_failed_event = eid;
       }
       ++result_.oom_events;
       if (telemetry::Enabled()) {
@@ -191,7 +194,7 @@ ReplayEngine::OpOutcome ReplayEngine::ApplyOp(size_t sid, const TraceOp& op) {
         Json args = Json::Object();
         args.Set("tenant", tenant);
         args.Set("source", static_cast<unsigned long long>(sid));
-        args.Set("size", e.size);
+        args.Set("size", size);
         args.Set("sim_time", now_);
         tracer.ThreadTrack()->Instant("replay oom", telemetry::kCatReplay, tracer.NowUs(),
                                       std::move(args));
@@ -218,8 +221,8 @@ ReplayEngine::OpOutcome ReplayEngine::ApplyOp(size_t sid, const TraceOp& op) {
       }
     } else {
       SourceState& sr = sources_[sid];  // re-fetch: observer callbacks may add sources
-      sr.addr_of[e.id] = *addr;
-      sr.progress.live_bytes += e.size;
+      sr.addr_of[eid] = *addr;
+      sr.progress.live_bytes += size;
       sr.progress.peak_live_bytes = std::max(sr.progress.peak_live_bytes, sr.progress.live_bytes);
       if (observed) {
         observer_->AfterMalloc(*this, view, *addr);
@@ -227,11 +230,11 @@ ReplayEngine::OpOutcome ReplayEngine::ApplyOp(size_t sid, const TraceOp& op) {
     }
   } else {
     SourceState& sr = sources_[sid];
-    const uint64_t addr = sr.addr_of[e.id];
+    const uint64_t addr = sr.addr_of[eid];
     if (addr != kNoAddr) {
       sr.spec.alloc->Free(addr);
-      sr.addr_of[e.id] = kNoAddr;
-      sr.progress.live_bytes -= e.size;
+      sr.addr_of[eid] = kNoAddr;
+      sr.progress.live_bytes -= tc.EventSize(eid);
       ++sr.progress.num_frees;
       ++result_.num_frees;
       if (observed) {
@@ -244,6 +247,11 @@ ReplayEngine::OpOutcome ReplayEngine::ApplyOp(size_t sid, const TraceOp& op) {
   ++sa.progress.ops_replayed;
   ++result_.ops_replayed;
   ++sa.cursor;
+  ++sa.pos;
+  if (sa.pos == sa.tc.num_ops()) {  // iteration boundary: wrap without dividing
+    sa.pos = 0;
+    sa.iter_base += sa.period;
+  }
   if (sa.cursor >= sa.TotalOps()) {
     FinishSource(sid);
     return OpOutcome::kSourceDone;
@@ -279,8 +287,9 @@ uint64_t ReplayEngine::SourceEndTime(size_t sid) const {
   if (total == 0) {
     return s.spec.start;
   }
-  const uint64_t last_iter = static_cast<uint64_t>((total - 1) / s.ops().size());
-  return s.spec.start + last_iter * s.period + s.ops().back().time;
+  const uint64_t n = s.tc.num_ops();
+  const uint64_t last_iter = static_cast<uint64_t>((total - 1) / n);
+  return s.spec.start + last_iter * s.period + s.tc.OpTime(n - 1);
 }
 
 uint64_t ReplayEngine::MinActiveEndTime() const {
@@ -301,8 +310,7 @@ bool ReplayEngine::Step() {
   const auto [time, sid, epoch] = heap_.top();
   heap_.pop();
   now_ = std::max(now_, time);
-  SourceState& s = sources_[sid];
-  const OpOutcome outcome = ApplyOp(sid, s.ops()[s.cursor % s.ops().size()]);
+  const OpOutcome outcome = ApplyOp(sid, sources_[sid].pos);
   if (outcome == OpOutcome::kContinue) {
     Schedule(sources_[sid], sid);
   }
@@ -326,12 +334,11 @@ void ReplayEngine::RunSingleSourceFast() {
     if (!s.progress.active) {
       return;
     }
-    // Ops within one iteration are time-sorted, so the clock only moves forward; the division
-    // in the generic NextOpTime() is skipped for the common single-iteration replay.
-    const size_t n = s.ops().size();
-    const TraceOp& op = s.cursor < n ? s.ops()[s.cursor] : s.ops()[s.cursor % n];
-    now_ = std::max(now_, s.cursor < n ? s.spec.start + op.time : s.NextOpTime());
-    const OpOutcome outcome = ApplyOp(sid, op);
+    // Ops within one iteration are time-sorted and pos/iter_base advance incrementally, so the
+    // clock only moves forward and the loop is free of divisions and heap traffic.
+    const uint64_t t = s.iter_base + s.tc.OpTime(s.pos);
+    now_ = std::max(now_, t);
+    const OpOutcome outcome = ApplyOp(sid, s.pos);
     if (outcome != OpOutcome::kContinue) {
       return;
     }
@@ -521,6 +528,32 @@ void TimelineObserver::OnSourceAborted(ReplayEngine& engine, size_t source, uint
   }
   live_bytes_ -= unwound;
   samples_.push_back(Sample{now, live_bytes_});
+}
+
+// --- PlacementDigestObserver ---
+
+void PlacementDigestObserver::Mix(uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    digest_ = (digest_ ^ ((value >> shift) & 0xff)) * 1099511628211ull;  // FNV-1a prime
+  }
+}
+
+void PlacementDigestObserver::AfterMalloc(ReplayEngine& engine, const ReplayOpView& op,
+                                          uint64_t addr) {
+  (void)engine;
+  Mix(0x4d);  // 'M'
+  Mix(op.event->id);
+  Mix(addr);
+  Mix(op.event->size);
+}
+
+void PlacementDigestObserver::AfterFree(ReplayEngine& engine, const ReplayOpView& op,
+                                        uint64_t addr) {
+  (void)engine;
+  Mix(0x46);  // 'F'
+  Mix(op.event->id);
+  Mix(addr);
+  Mix(op.event->size);
 }
 
 }  // namespace stalloc

@@ -25,20 +25,25 @@
 
 #include "src/allocators/allocator.h"
 #include "src/trace/trace.h"
+#include "src/trace/trace_v2.h"
 
 namespace stalloc {
 
 class ReplayEngine;
 
-// One op stream feeding the engine: `trace` replayed `iterations` times back-to-back into
-// `alloc`, offset to global tick `start`. Sources sharing a `tenant` id form one gang (e.g. the
-// pipeline ranks of a training job): an OOM-triggered unwind covers the whole tenant.
+// One op stream feeding the engine: a trace replayed `iterations` times back-to-back into
+// `alloc`, offset to global tick `start`. The trace arrives either owned (`trace`) or as an
+// mmap'd columnar v2 view (`view`) — exactly one must be set; the engine replays both through
+// the same TraceCursor interface with bit-identical decisions. Sources sharing a `tenant` id
+// form one gang (e.g. the pipeline ranks of a training job): an OOM-triggered unwind covers
+// the whole tenant.
 struct ReplaySource {
   const Trace* trace = nullptr;
+  const TraceView* view = nullptr;
   Allocator* alloc = nullptr;
   uint64_t start = 0;     // global tick of the source's local time 0
   int iterations = 1;     // back-to-back replays of the trace
-  uint64_t period = 0;    // tick distance between iterations; 0 = trace->end_time()
+  uint64_t period = 0;    // tick distance between iterations; 0 = the trace's end_time()
   uint64_t tenant = 0;    // gang id for OOM unwinding (defaults to one tenant per AddSource)
 };
 
@@ -73,7 +78,9 @@ struct ReplayEngineResult {
   }
 };
 
-// The view of one op handed to observers.
+// The view of one op handed to observers. `event` is only valid for the duration of the
+// callback: for mmap'd (TraceView) sources it points at an event gathered from the columns
+// into engine-owned storage that the next op overwrites. Copy it if you keep it.
 struct ReplayOpView {
   size_t source = 0;
   uint64_t tenant = 0;
@@ -121,7 +128,13 @@ class ReplayObserver {
 
 class ReplayEngine {
  public:
-  explicit ReplayEngine(ReplayObserver* observer = nullptr) : observer_(observer) {}
+  explicit ReplayEngine(ReplayObserver* observer = nullptr) : observer_(observer) {
+    // The scheduling heap holds at most one entry per active source; reserving a handful of
+    // slots up front keeps AddSource/Schedule allocation-free for every common fleet size.
+    std::vector<HeapEntry> storage;
+    storage.reserve(64);
+    heap_ = HeapQueue(std::greater<HeapEntry>(), std::move(storage));
+  }
 
   // Registers a source and schedules its first op. May be called mid-run from observer
   // callbacks (e.g. a scheduler admitting a queued job). Returns the dense source id.
@@ -172,21 +185,22 @@ class ReplayEngine {
  private:
   struct SourceState {
     ReplaySource spec;
-    const std::vector<TraceOp>* ops_ptr = nullptr;  // the trace's cached op stream
+    TraceCursor tc;            // unified op/event accessor (owned Trace or mmap'd TraceView)
     uint64_t period = 0;
-    size_t cursor = 0;         // next op, in [0, ops.size() * iterations]
+    size_t cursor = 0;         // next op, in [0, num_ops * iterations]
+    // cursor decomposed incrementally so the hot path never divides:
+    // pos == cursor % num_ops, iter_base == spec.start + (cursor / num_ops) * period.
+    uint64_t pos = 0;
+    uint64_t iter_base = 0;
     uint64_t epoch = 0;        // bumped on abort/restart; stale heap entries carry old epochs
     std::vector<uint64_t> addr_of;  // event id -> live address (kNoAddr when not live)
     ReplaySourceProgress progress;
 
-    const std::vector<TraceOp>& ops() const { return *ops_ptr; }
     size_t TotalOps() const {
-      return ops().size() * static_cast<size_t>(spec.iterations > 0 ? spec.iterations : 0);
+      return static_cast<size_t>(tc.num_ops()) *
+             static_cast<size_t>(spec.iterations > 0 ? spec.iterations : 0);
     }
-    uint64_t NextOpTime() const {
-      const size_t n = ops().size();
-      return spec.start + static_cast<uint64_t>(cursor / n) * period + ops()[cursor % n].time;
-    }
+    uint64_t NextOpTime() const { return iter_base + tc.OpTime(pos); }
   };
 
   static constexpr uint64_t kNoAddr = ~uint64_t{0};
@@ -202,8 +216,9 @@ class ReplayEngine {
     kRunAborted,
   };
 
-  // Applies `op` (the op at `sources_[sid].cursor`) and advances. The caller owns scheduling.
-  OpOutcome ApplyOp(size_t sid, const TraceOp& op);
+  // Applies the op at in-trace index `op_idx` (== sources_[sid].pos) and advances. The caller
+  // owns scheduling.
+  OpOutcome ApplyOp(size_t sid, uint64_t op_idx);
   void FinishSource(size_t sid);
   void UnwindSource(size_t sid);  // frees live blocks; does not fire observer callbacks
   void Schedule(SourceState& s, size_t sid) {
@@ -212,10 +227,13 @@ class ReplayEngine {
   void DropStaleHeapEntries();
   void RunSingleSourceFast();
 
+  using HeapQueue =
+      std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>>;
+
   ReplayObserver* observer_ = nullptr;
   std::vector<SourceState> sources_;
   std::map<uint64_t, std::vector<size_t>> tenants_;  // tenant id -> source ids
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>> heap_;
+  HeapQueue heap_;
   uint64_t now_ = 0;
   size_t active_sources_ = 0;
   bool run_aborted_ = false;
@@ -304,6 +322,24 @@ class TimelineObserver : public ReplayObserver {
   uint64_t ops_seen_ = 0;
   uint64_t live_bytes_ = 0;
   std::vector<Sample> samples_;
+};
+
+// Placement-digest observer: folds every placement decision — (op kind, event id, device
+// address, size) — into an FNV-1a hash. Two replays produce the same digest iff the allocator
+// made bit-identical decisions, which is the parity contract between the owned-Trace and
+// mmap'd-TraceView paths (and the pinned-seed goldens in tests/bench). OOM outcomes are not
+// mixed in here; compare ReplayEngineResult for those.
+class PlacementDigestObserver : public ReplayObserver {
+ public:
+  void AfterMalloc(ReplayEngine& engine, const ReplayOpView& op, uint64_t addr) override;
+  void AfterFree(ReplayEngine& engine, const ReplayOpView& op, uint64_t addr) override;
+
+  uint64_t digest() const { return digest_; }
+
+ private:
+  void Mix(uint64_t value);
+
+  uint64_t digest_ = 14695981039346656037ull;  // FNV-1a 64-bit offset basis
 };
 
 }  // namespace stalloc

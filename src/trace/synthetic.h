@@ -1,10 +1,21 @@
-// Synthetic adversarial traces for benches and tests — op streams with none of the training
-// workload's phase structure, built to stress the allocators' free-space hot paths directly.
+// Synthetic adversarial traces for benches and tests — op streams built to stress the
+// allocators' hot paths at scales the profiled workloads don't reach (millions of ops).
+//
+// Two families live here:
+//   * BuildStormTrace — the original cache-storm generator, kept byte-stable (recorded perf
+//     baselines and pinned-placement tests depend on its exact output).
+//   * SyntheticSpec mixes — parameterized by total op count, emitted through one shared
+//     generator core with two back ends: BuildSyntheticTrace materializes an owned Trace,
+//     GenerateSyntheticV2File streams straight to a columnar v2 file through
+//     TraceV2StreamWriter without ever holding the events in memory. Both back ends consume
+//     the identical op sequence, so converting the owned trace with WriteTraceV2File yields a
+//     byte-identical file — the property the round-trip tests pin.
 
 #ifndef SRC_TRACE_SYNTHETIC_H_
 #define SRC_TRACE_SYNTHETIC_H_
 
 #include <cstdint>
+#include <string>
 
 #include "src/trace/trace.h"
 
@@ -18,6 +29,33 @@ namespace stalloc {
 // The generator must stay byte-stable across revisions: recorded perf baselines and the
 // pinned-placement regression tests are only comparable on identical traces.
 Trace BuildStormTrace(uint64_t num_events, uint64_t seed);
+
+// Workload mixes for the parameterized generator.
+enum class SyntheticMix : uint8_t {
+  kStorm,     // cache storm: random-order frees, deep free lists, no phase structure
+  kTraining,  // iteration-shaped: persistent weights, LIFO activations per microbatch,
+              // fwd/bwd/optimizer phases, per-microbatch layers with dynamic events
+  kServing,   // inference-shaped: bursty KV-block sequences per request, freed en masse
+              // when the request completes, multi-stream
+};
+
+const char* SyntheticMixName(SyntheticMix mix);
+// Accepts the names printed by SyntheticMixName ("storm", "train", "serve").
+bool ParseSyntheticMix(const std::string& name, SyntheticMix* out);
+
+struct SyntheticSpec {
+  SyntheticMix mix = SyntheticMix::kStorm;
+  uint64_t num_ops = 0;  // total malloc+free ops; floored to even, minimum 2
+  uint64_t seed = 1;     // 0 is remapped to 1 (xorshift state must be nonzero)
+};
+
+// Materializes the spec's op stream as an owned Trace. One op per tick, strictly increasing
+// time, every event closed — the emitted trace always passes Valid().
+Trace BuildSyntheticTrace(const SyntheticSpec& spec);
+
+// Streams the identical op sequence directly to a v2 file; peak memory is O(live events), not
+// O(num_ops). Returns false on I/O failure.
+bool GenerateSyntheticV2File(const SyntheticSpec& spec, const std::string& path);
 
 }  // namespace stalloc
 

@@ -129,24 +129,51 @@ const std::vector<TraceOp>& Trace::Ops() const {
 }
 
 void Trace::Validate() const {
+  std::string error;
+  STALLOC_CHECK(Valid(&error), << error);
+}
+
+bool Trace::Valid(std::string* error) const {
+  auto fail = [error](std::string msg) {
+    if (error != nullptr) {
+      *error = std::move(msg);
+    }
+    return false;
+  };
   for (size_t i = 0; i < events_.size(); ++i) {
     const auto& e = events_[i];
-    STALLOC_CHECK_EQ(e.id, i, << "event ids must be dense");
-    STALLOC_CHECK(e.ts < e.te);
-    STALLOC_CHECK(e.size > 0, << "zero-size event " << i);
-    if (e.ps != kInvalidPhase) {
-      STALLOC_CHECK_LT(static_cast<size_t>(e.ps), phases_.size());
+    if (e.id != i) {
+      return fail("event ids must be dense (event " + std::to_string(i) + " has id " +
+                  std::to_string(e.id) + ")");
     }
-    if (e.pe != kInvalidPhase) {
-      STALLOC_CHECK_LT(static_cast<size_t>(e.pe), phases_.size());
+    if (e.ts >= e.te) {
+      return fail("event " + std::to_string(i) + " has non-positive lifespan (ts=" +
+                  std::to_string(e.ts) + " te=" + std::to_string(e.te) + ")");
+    }
+    if (e.size == 0) {
+      return fail("zero-size event " + std::to_string(i));
+    }
+    if (e.ps != kInvalidPhase &&
+        (e.ps < 0 || static_cast<size_t>(e.ps) >= phases_.size())) {
+      return fail("event " + std::to_string(i) + " references invalid phase ps=" +
+                  std::to_string(e.ps));
+    }
+    if (e.pe != kInvalidPhase &&
+        (e.pe < 0 || static_cast<size_t>(e.pe) >= phases_.size())) {
+      return fail("event " + std::to_string(i) + " references invalid phase pe=" +
+                  std::to_string(e.pe));
     }
     if (e.dyn) {
-      STALLOC_CHECK(e.ls != kInvalidLayer && e.le != kInvalidLayer,
-                    << "dynamic event " << i << " missing layer ids");
-      STALLOC_CHECK_LT(static_cast<size_t>(e.ls), layers_.size());
-      STALLOC_CHECK_LT(static_cast<size_t>(e.le), layers_.size());
+      if (e.ls == kInvalidLayer || e.le == kInvalidLayer) {
+        return fail("dynamic event " + std::to_string(i) + " missing layer ids");
+      }
+      if (e.ls < 0 || static_cast<size_t>(e.ls) >= layers_.size() || e.le < 0 ||
+          static_cast<size_t>(e.le) >= layers_.size()) {
+        return fail("dynamic event " + std::to_string(i) + " references invalid layer");
+      }
     }
   }
+  return true;
 }
 
 }  // namespace stalloc

@@ -66,6 +66,9 @@ class Trace {
 
   // Checks internal consistency (ts < te, phases valid, ids dense); aborts on violation.
   void Validate() const;
+  // Non-aborting variant for data read from disk: returns false and fills `error` (may be null)
+  // with the first violation instead of crashing the process on untrusted input.
+  bool Valid(std::string* error) const;
 
  private:
   std::string name_;

@@ -1,14 +1,18 @@
 #include "src/trace/trace_io.h"
 
+#include <cerrno>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "src/common/check.h"
+#include "src/trace/trace_v2.h"
 
 namespace stalloc {
 
@@ -27,6 +31,44 @@ std::vector<std::string> SplitCsvLine(const std::string& line) {
   }
   fields.push_back(cur);
   return fields;
+}
+
+void SetError(TraceIoError* err, std::string message, uint64_t byte_offset) {
+  if (err != nullptr) {
+    err->message = std::move(message);
+    err->byte_offset = byte_offset;
+  }
+}
+
+// Safe numeric parsing: the std::sto* family throws on garbage, which turns a malformed trace
+// row into an uncaught exception. These accept the whole field or nothing.
+bool ParseU64(const std::string& s, uint64_t* out) {
+  if (s.empty()) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size() || s[0] == '-') {
+    return false;
+  }
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+bool ParseI32(const std::string& s, int32_t* out) {
+  if (s.empty()) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size() ||
+      v < std::numeric_limits<int32_t>::min() || v > std::numeric_limits<int32_t>::max()) {
+    return false;
+  }
+  *out = static_cast<int32_t>(v);
+  return true;
 }
 
 }  // namespace
@@ -60,68 +102,97 @@ bool WriteTraceCsvFile(const Trace& trace, const std::string& path) {
   return static_cast<bool>(os);
 }
 
-Trace ReadTraceCsv(std::istream& is) {
-  Trace trace;
+bool ReadTraceCsv(std::istream& is, Trace* out, TraceIoError* err) {
+  *out = Trace();
   std::string line;
   bool header_seen = false;
+  uint64_t offset = 0;       // byte offset of the start of the current line
+  uint64_t next_offset = 0;  // byte offset just past the current line
   while (std::getline(is, line)) {
+    offset = next_offset;
+    next_offset += line.size() + 1;
     if (line.empty()) {
       continue;
     }
     if (line[0] == '#') {
-      auto fields = SplitCsvLine(line.substr(2));
+      auto fields = SplitCsvLine(line.size() >= 2 ? line.substr(2) : std::string());
       if (fields.empty()) {
         continue;
       }
       if (fields[0] == "name" && fields.size() >= 2) {
-        trace.set_name(fields[1]);
-      } else if (fields[0] == "phase" && fields.size() >= 7) {
+        out->set_name(fields[1]);
+      } else if (fields[0] == "phase") {
         PhaseInfo p;
-        p.kind = static_cast<PhaseKind>(std::stoi(fields[2]));
-        p.microbatch = std::stoi(fields[3]);
-        p.chunk = std::stoi(fields[4]);
-        p.start = std::stoull(fields[5]);
-        p.end = std::stoull(fields[6]);
-        trace.AddPhase(p);
-      } else if (fields[0] == "layer" && fields.size() >= 5) {
+        int32_t kind = 0;
+        if (fields.size() < 7 || !ParseI32(fields[2], &kind) ||
+            !ParseI32(fields[3], &p.microbatch) || !ParseI32(fields[4], &p.chunk) ||
+            !ParseU64(fields[5], &p.start) || !ParseU64(fields[6], &p.end)) {
+          SetError(err, "malformed phase row: " + line, offset);
+          return false;
+        }
+        p.kind = static_cast<PhaseKind>(kind);
+        out->AddPhase(p);
+      } else if (fields[0] == "layer") {
         LayerInfo l;
+        if (fields.size() < 5 || !ParseU64(fields[3], &l.start) ||
+            !ParseU64(fields[4], &l.end)) {
+          SetError(err, "malformed layer row: " + line, offset);
+          return false;
+        }
         l.name = fields[2];
-        l.start = std::stoull(fields[3]);
-        l.end = std::stoull(fields[4]);
-        trace.AddLayer(l);
+        out->AddLayer(std::move(l));
       }
       continue;
     }
     if (!header_seen) {
       // Column header row.
       header_seen = true;
-      STALLOC_CHECK(line.rfind("id,", 0) == 0, << "unexpected trace CSV header: " << line);
+      if (line.rfind("id,", 0) != 0) {
+        SetError(err, "unexpected trace CSV header: " + line, offset);
+        return false;
+      }
       continue;
     }
     auto fields = SplitCsvLine(line);
-    STALLOC_CHECK_GE(fields.size(), 9u, << "short trace CSV row: " << line);
     MemoryEvent e;
-    e.size = std::stoull(fields[1]);
-    e.ts = std::stoull(fields[2]);
-    e.te = std::stoull(fields[3]);
-    e.ps = std::stoi(fields[4]);
-    e.pe = std::stoi(fields[5]);
-    e.dyn = std::stoi(fields[6]) != 0;
-    e.ls = std::stoi(fields[7]);
-    e.le = std::stoi(fields[8]);
-    if (fields.size() >= 10) {
-      e.stream = static_cast<StreamId>(std::stoi(fields[9]));
+    int32_t dyn = 0;
+    if (fields.size() < 9 || !ParseU64(fields[1], &e.size) || !ParseU64(fields[2], &e.ts) ||
+        !ParseU64(fields[3], &e.te) || !ParseI32(fields[4], &e.ps) ||
+        !ParseI32(fields[5], &e.pe) || !ParseI32(fields[6], &dyn) ||
+        !ParseI32(fields[7], &e.ls) || !ParseI32(fields[8], &e.le)) {
+      SetError(err, "malformed trace CSV row: " + line, offset);
+      return false;
     }
-    trace.AddEvent(e);
+    e.dyn = dyn != 0;
+    if (fields.size() >= 10) {
+      int32_t stream = 0;
+      if (!ParseI32(fields[9], &stream) || stream < 0 || stream > 255) {
+        SetError(err, "malformed stream field in row: " + line, offset);
+        return false;
+      }
+      e.stream = static_cast<StreamId>(stream);
+    }
+    if (e.ts >= e.te) {  // AddEvent CHECK-aborts on this; reject gracefully instead
+      SetError(err, "event with non-positive lifespan in row: " + line, offset);
+      return false;
+    }
+    out->AddEvent(e);
   }
-  trace.Validate();
-  return trace;
+  std::string validation;
+  if (!out->Valid(&validation)) {
+    SetError(err, "invalid trace: " + validation, next_offset);
+    return false;
+  }
+  return true;
 }
 
-Trace ReadTraceCsvFile(const std::string& path) {
+bool ReadTraceCsvFile(const std::string& path, Trace* out, TraceIoError* err) {
   std::ifstream is(path);
-  STALLOC_CHECK(static_cast<bool>(is), << "cannot open trace file " << path);
-  return ReadTraceCsv(is);
+  if (!is) {
+    SetError(err, "cannot open trace file " + path, 0);
+    return false;
+  }
+  return ReadTraceCsv(is, out, err);
 }
 
 namespace {
@@ -134,27 +205,67 @@ void Put(std::ostream& os, T value) {
   os.write(reinterpret_cast<const char*>(&value), sizeof(value));
 }
 
-template <typename T>
-T Get(std::istream& is) {
-  T value{};
-  is.read(reinterpret_cast<char*>(&value), sizeof(value));
-  STALLOC_CHECK(static_cast<bool>(is), << "truncated binary trace");
-  return value;
-}
-
 void PutString(std::ostream& os, const std::string& s) {
   Put<uint32_t>(os, static_cast<uint32_t>(s.size()));
   os.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
 
-std::string GetString(std::istream& is) {
-  const uint32_t n = Get<uint32_t>(is);
-  STALLOC_CHECK_LE(n, 1u << 20, << "implausible string length in binary trace");
-  std::string s(n, '\0');
-  is.read(s.data(), n);
-  STALLOC_CHECK(static_cast<bool>(is), << "truncated binary trace");
-  return s;
-}
+// Offset-tracking binary reader: every failed Get reports how far into the stream the
+// truncation or corruption sits.
+class BinReader {
+ public:
+  explicit BinReader(std::istream& is) : is_(is) {}
+
+  uint64_t offset() const { return offset_; }
+  bool failed() const { return failed_; }
+  const std::string& error() const { return error_; }
+
+  template <typename T>
+  bool Get(T* value) {
+    if (failed_) {
+      return false;
+    }
+    is_.read(reinterpret_cast<char*>(value), sizeof(T));
+    if (!is_) {
+      return Fail("truncated binary trace");
+    }
+    offset_ += sizeof(T);
+    return true;
+  }
+
+  bool GetString(std::string* s) {
+    uint32_t n = 0;
+    if (!Get(&n)) {
+      return false;
+    }
+    if (n > (1u << 20)) {
+      return Fail("implausible string length in binary trace");
+    }
+    s->assign(n, '\0');
+    if (n > 0) {
+      is_.read(s->data(), n);
+      if (!is_) {
+        return Fail("truncated binary trace");
+      }
+    }
+    offset_ += n;
+    return true;
+  }
+
+  bool Fail(std::string message) {
+    if (!failed_) {
+      failed_ = true;
+      error_ = std::move(message);
+    }
+    return false;
+  }
+
+ private:
+  std::istream& is_;
+  uint64_t offset_ = 0;
+  bool failed_ = false;
+  std::string error_;
+};
 
 }  // namespace
 
@@ -200,56 +311,117 @@ bool WriteTraceBinaryFile(const Trace& trace, const std::string& path) {
   return static_cast<bool>(os);
 }
 
-Trace ReadTraceBinary(std::istream& is) {
+bool ReadTraceBinary(std::istream& is, Trace* out, TraceIoError* err) {
+  *out = Trace();
+  BinReader r(is);
   char magic[4];
   is.read(magic, sizeof(magic));
-  STALLOC_CHECK(static_cast<bool>(is) && std::memcmp(magic, kBinaryMagic, 4) == 0,
-                << "not a binary stalloc trace");
-  const uint32_t version = Get<uint32_t>(is);
-  STALLOC_CHECK_EQ(version, kBinaryVersion, << "unsupported binary trace version");
-  Trace trace;
-  trace.set_name(GetString(is));
+  if (!is || std::memcmp(magic, kBinaryMagic, 4) != 0) {
+    SetError(err, "not a binary stalloc trace", 0);
+    return false;
+  }
+  uint32_t version = 0;
+  if (!r.Get(&version)) {
+    SetError(err, r.error(), sizeof(magic) + r.offset());
+    return false;
+  }
+  if (version != kBinaryVersion) {
+    SetError(err, "unsupported binary trace version " + std::to_string(version),
+             sizeof(magic));
+    return false;
+  }
+  // All offsets below are relative to the reader, which starts after the magic.
+  auto fail = [&](const std::string& message) {
+    SetError(err, message, sizeof(magic) + r.offset());
+    return false;
+  };
 
-  const uint32_t num_phases = Get<uint32_t>(is);
+  std::string name;
+  if (!r.GetString(&name)) {
+    return fail(r.error());
+  }
+  out->set_name(std::move(name));
+
+  uint32_t num_phases = 0;
+  if (!r.Get(&num_phases)) {
+    return fail(r.error());
+  }
   for (uint32_t i = 0; i < num_phases; ++i) {
     PhaseInfo p;
-    p.kind = static_cast<PhaseKind>(Get<uint8_t>(is));
-    p.microbatch = Get<int32_t>(is);
-    p.chunk = Get<int32_t>(is);
-    p.start = Get<uint64_t>(is);
-    p.end = Get<uint64_t>(is);
-    trace.AddPhase(p);
+    uint8_t kind = 0;
+    if (!r.Get(&kind) || !r.Get(&p.microbatch) || !r.Get(&p.chunk) || !r.Get(&p.start) ||
+        !r.Get(&p.end)) {
+      return fail(r.error());
+    }
+    p.kind = static_cast<PhaseKind>(kind);
+    out->AddPhase(p);
   }
-  const uint32_t num_layers = Get<uint32_t>(is);
+  uint32_t num_layers = 0;
+  if (!r.Get(&num_layers)) {
+    return fail(r.error());
+  }
   for (uint32_t i = 0; i < num_layers; ++i) {
     LayerInfo l;
-    l.name = GetString(is);
-    l.start = Get<uint64_t>(is);
-    l.end = Get<uint64_t>(is);
-    trace.AddLayer(std::move(l));
+    if (!r.GetString(&l.name) || !r.Get(&l.start) || !r.Get(&l.end)) {
+      return fail(r.error());
+    }
+    out->AddLayer(std::move(l));
   }
-  const uint64_t num_events = Get<uint64_t>(is);
+  uint64_t num_events = 0;
+  if (!r.Get(&num_events)) {
+    return fail(r.error());
+  }
   for (uint64_t i = 0; i < num_events; ++i) {
     MemoryEvent e;
-    e.size = Get<uint64_t>(is);
-    e.ts = Get<uint64_t>(is);
-    e.te = Get<uint64_t>(is);
-    e.ps = Get<int32_t>(is);
-    e.pe = Get<int32_t>(is);
-    e.dyn = Get<uint8_t>(is) != 0;
-    e.ls = Get<int32_t>(is);
-    e.le = Get<int32_t>(is);
-    e.stream = Get<uint8_t>(is);
-    trace.AddEvent(e);
+    uint8_t dyn = 0;
+    if (!r.Get(&e.size) || !r.Get(&e.ts) || !r.Get(&e.te) || !r.Get(&e.ps) || !r.Get(&e.pe) ||
+        !r.Get(&dyn) || !r.Get(&e.ls) || !r.Get(&e.le) || !r.Get(&e.stream)) {
+      return fail(r.error());
+    }
+    e.dyn = dyn != 0;
+    if (e.ts >= e.te) {
+      return fail("event " + std::to_string(i) + " has non-positive lifespan");
+    }
+    out->AddEvent(e);
   }
-  trace.Validate();
-  return trace;
+  std::string validation;
+  if (!out->Valid(&validation)) {
+    return fail("invalid trace: " + validation);
+  }
+  return true;
 }
 
-Trace ReadTraceBinaryFile(const std::string& path) {
+bool ReadTraceBinaryFile(const std::string& path, Trace* out, TraceIoError* err) {
   std::ifstream is(path, std::ios::binary);
-  STALLOC_CHECK(static_cast<bool>(is), << "cannot open trace file " << path);
-  return ReadTraceBinary(is);
+  if (!is) {
+    SetError(err, "cannot open trace file " + path, 0);
+    return false;
+  }
+  return ReadTraceBinary(is, out, err);
+}
+
+bool ReadTraceAnyFile(const std::string& path, Trace* out, TraceIoError* err) {
+  char magic[4] = {0, 0, 0, 0};
+  {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+      SetError(err, "cannot open trace file " + path, 0);
+      return false;
+    }
+    is.read(magic, sizeof(magic));  // short files fall through to the CSV branch
+  }
+  if (std::memcmp(magic, kTraceV2Magic, 4) == 0) {
+    TraceView view;
+    if (!view.Open(path, err)) {
+      return false;
+    }
+    *out = view.Materialize();
+    return true;
+  }
+  if (std::memcmp(magic, kBinaryMagic, 4) == 0) {
+    return ReadTraceBinaryFile(path, out, err);
+  }
+  return ReadTraceCsvFile(path, out, err);
 }
 
 }  // namespace stalloc

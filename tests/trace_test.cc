@@ -137,7 +137,9 @@ TEST(TraceIo, CsvRoundtrip) {
   Trace t = MakeSimpleTrace();
   std::stringstream ss;
   WriteTraceCsv(t, ss);
-  Trace back = ReadTraceCsv(ss);
+  Trace back;
+  TraceIoError err;
+  ASSERT_TRUE(ReadTraceCsv(ss, &back, &err)) << err.ToString();
   ASSERT_EQ(back.size(), t.size());
   EXPECT_EQ(back.name(), t.name());
   EXPECT_EQ(back.phases().size(), t.phases().size());
@@ -163,7 +165,9 @@ TEST(TraceIo, BinaryRoundtrip) {
   Trace t = MakeSimpleTrace();
   std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
   WriteTraceBinary(t, ss);
-  Trace back = ReadTraceBinary(ss);
+  Trace back;
+  TraceIoError err;
+  ASSERT_TRUE(ReadTraceBinary(ss, &back, &err)) << err.ToString();
   ASSERT_EQ(back.size(), t.size());
   EXPECT_EQ(back.name(), t.name());
   ASSERT_EQ(back.phases().size(), t.phases().size());
@@ -188,7 +192,10 @@ TEST(TraceIo, BinaryRoundtrip) {
 TEST(TraceIo, BinaryRejectsGarbage) {
   std::stringstream ss;
   ss << "definitely not a trace";
-  EXPECT_DEATH(ReadTraceBinary(ss), "not a binary stalloc trace");
+  Trace back;
+  TraceIoError err;
+  EXPECT_FALSE(ReadTraceBinary(ss, &back, &err));
+  EXPECT_EQ(err.message, "not a binary stalloc trace");
 }
 
 TEST(TraceIo, BinaryRoundtripAtScale) {
@@ -205,7 +212,9 @@ TEST(TraceIo, BinaryRoundtripAtScale) {
   }
   std::stringstream bin(std::ios::in | std::ios::out | std::ios::binary);
   WriteTraceBinary(t, bin);
-  Trace back = ReadTraceBinary(bin);
+  Trace back;
+  TraceIoError err;
+  ASSERT_TRUE(ReadTraceBinary(bin, &back, &err)) << err.ToString();
   ASSERT_EQ(back.size(), t.size());
   EXPECT_EQ(back.event(3999).size, t.event(3999).size);
   // Fixed-width encoding: exactly 42 bytes per event after the header sections.

@@ -33,12 +33,15 @@ import sys
 # they are wall-clock attribution, never behavioral, and must stay thresholded.
 VOLATILE_KEYS = {"wall_seconds", "ops_per_sec", "speedup", "best_wall_seconds", "mops",
                  "profile_ms", "plan_ms", "replay_ms", "report_ms", "total_ms"}
-VOLATILE_SUFFIXES = ("_latency_us", "_ms", "_per_sec")
+# *_rss_bytes keys (peak process RSS sampled around a bench phase) depend on the host's page
+# accounting and prior allocator behavior, not just the simulator — thresholded, grow-is-worse,
+# with an absolute floor (see time_floor) so tiny-footprint cells cannot fail on noise.
+VOLATILE_SUFFIXES = ("_latency_us", "_ms", "_per_sec", "_rss_bytes")
 
 # Throughput-like keys regress when the fresh value DROPS; time-like keys when it GROWS.
 TIME_LIKE = {"wall_seconds", "best_wall_seconds",
              "profile_ms", "plan_ms", "replay_ms", "report_ms", "total_ms"}
-TIME_LIKE_SUFFIXES = ("_latency_us", "_ms")
+TIME_LIKE_SUFFIXES = ("_latency_us", "_ms", "_rss_bytes")
 
 
 def is_volatile(key):
@@ -73,6 +76,8 @@ def compare(base, fresh, threshold, min_seconds, path, errors, deltas):
 
 
 def time_floor(key, min_seconds):
+    if key.endswith("_rss_bytes"):  # absolute floor: sub-32MiB footprints are all noise
+        return 32 * 1024 * 1024
     return min_seconds * (1e6 if key.endswith("_latency_us")
                           else 1e3 if key.endswith("_ms") else 1.0)
 

@@ -29,7 +29,8 @@ int main(int argc, char** argv) {
 
   FlagParser flags("stalloc_plan",
                    "Synthesize the Static Allocation Plan from a profiled trace.");
-  flags.AddPositional(&trace_path, "TRACE", "profiled trace (.csv, or .bin for binary)");
+  flags.AddPositional(&trace_path, "TRACE", "profiled trace (CSV, binary v1 or columnar v2; "
+                                            "format auto-detected)");
   flags.Add("--out", &out, "FILE", "write the synthesized plan CSV");
   flags.Add("--svg", &svg, "FILE", "render the plan timeline to SVG");
   flags.Add("--json", &json_path, "FILE", "machine-readable plan stats ('-' = stdout)");
@@ -45,9 +46,13 @@ int main(int argc, char** argv) {
 
   ReportSink sink("stalloc_plan", json_path);
 
-  const bool binary =
-      trace_path.size() > 4 && trace_path.substr(trace_path.size() - 4) == ".bin";
-  Trace trace = binary ? ReadTraceBinaryFile(trace_path) : ReadTraceCsvFile(trace_path);
+  Trace trace;
+  TraceIoError trace_err;
+  if (!ReadTraceAnyFile(trace_path, &trace, &trace_err)) {
+    std::fprintf(stderr, "stalloc_plan: cannot read %s: %s\n", trace_path.c_str(),
+                 trace_err.ToString().c_str());
+    return 2;
+  }
   sink.Printf("loaded %s: %zu events\n", trace_path.c_str(), trace.size());
   SynthesisResult result = SynthesizePlan(trace, config);
   sink.Printf("%s", result.stats.ToString().c_str());

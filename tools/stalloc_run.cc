@@ -23,6 +23,8 @@
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/telemetry.h"
 #include "src/telemetry/tracer.h"
+#include "src/trace/trace_io.h"
+#include "src/trace/trace_v2.h"
 #include "src/trainsim/model_config.h"
 
 namespace {
@@ -108,6 +110,9 @@ int main(int argc, char** argv) {
   flags.Add("--mb", &spec.train.micro_batch_size, "N", "microbatch size");
   flags.Add("--microbatches", &spec.train.num_microbatches, "N", "microbatches per iteration");
   flags.Add("--rank", &spec.train.rank, "N", "simulated pipeline rank (rank axis)");
+  flags.Add("--trace-file", &spec.trace_file, "FILE",
+            "replay this trace file instead of the simulated workload (rank axis only; CSV, "
+            "binary v1 or columnar v2 — v2 replays straight from the mmap'd file)");
   // Serving shape.
   flags.Add("--scenario", &spec.scenario, "NAME", "serving preset (see --list-scenarios)");
   flags.Add("--requests", &spec.serve_requests, "N", "override the scenario's request count");
@@ -192,6 +197,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "training-shape flags only apply to --axis rank|job\n");
     return 2;
   }
+  if (!spec.trace_file.empty() &&
+      flags.SeenAny({"--model", "--config", "--pp", "--tp", "--dp", "--ep", "--vpp", "--mb",
+                     "--microbatches", "--rank"})) {
+    std::fprintf(stderr,
+                 "--trace-file replays the file as-is; workload-shape flags "
+                 "(--model/--config/--pp/...) would be silently ignored\n");
+    return 2;
+  }
   if (spec.axis != WorkloadAxis::kServing &&
       flags.SeenAny({"--scenario", "--requests", "--kv-budget", "--batch"})) {
     std::fprintf(stderr, "serving-shape flags only apply to --axis serve\n");
@@ -255,6 +268,31 @@ int main(int argc, char** argv) {
     telemetry::HeapMapRecorder::Global().Arm(heap_config);
   }
 
+  // Load the replay trace before any run: a bad file is a usage error (exit 2, with the
+  // parser's byte offset), not a crashed run. Columnar v2 stays mmap'd — the session replays
+  // straight from the view, never materializing the events.
+  Trace replay_trace;
+  TraceView replay_view;
+  Session session;
+  if (!spec.trace_file.empty()) {
+    TraceIoError trace_err;
+    if (IsTraceV2File(spec.trace_file)) {
+      if (!replay_view.Open(spec.trace_file, &trace_err)) {
+        std::fprintf(stderr, "stalloc_run: cannot read %s: %s\n", spec.trace_file.c_str(),
+                     trace_err.ToString().c_str());
+        return 2;
+      }
+      session.SetReplayTrace(&replay_view);
+    } else {
+      if (!ReadTraceAnyFile(spec.trace_file, &replay_trace, &trace_err)) {
+        std::fprintf(stderr, "stalloc_run: cannot read %s: %s\n", spec.trace_file.c_str(),
+                     trace_err.ToString().c_str());
+        return 2;
+      }
+      session.SetReplayTrace(&replay_trace);
+    }
+  }
+
   ReportSink sink("stalloc_run", json_path);
   sink.Meta("spec", SpecMetaJson(spec));
 
@@ -264,7 +302,6 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(spec.options.profile_seed),
               static_cast<unsigned long long>(spec.options.run_seed));
 
-  Session session;
   const std::vector<RunRecord> records = session.Run(spec);
 
   sink.Print(RecordTable(spec.axis, records));

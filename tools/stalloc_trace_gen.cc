@@ -3,7 +3,12 @@
 //
 //   stalloc_trace_gen --model gpt2 --config VR --pp 2 --tp 1 --dp 4 --mb 8 --out trace.csv
 //   stalloc_trace_gen --model gpt2 --serve chat --seed 7 --out serve.csv
+//   stalloc_trace_gen --ops 1000000 --mix storm --out-format v2 --out storm.stc
 //   stalloc_trace_gen --list-models
+//
+// --ops switches to the deterministic synthetic generator (storm / train / serve mixes) and,
+// with --out-format v2, streams the trace straight to the columnar file — million-op traces
+// never materialize in memory.
 
 #include <cstdio>
 #include <string>
@@ -15,8 +20,10 @@
 #include "src/common/table.h"
 #include "src/servesim/engine.h"
 #include "src/servesim/request_gen.h"
+#include "src/trace/synthetic.h"
 #include "src/trace/trace_io.h"
 #include "src/trace/trace_stats.h"
+#include "src/trace/trace_v2.h"
 #include "src/trainsim/model_config.h"
 #include "src/trainsim/workload.h"
 
@@ -35,6 +42,9 @@ int main(int argc, char** argv) {
   config.micro_batch_size = 8;
   uint64_t seed = 1;
   uint64_t capacity = 0;  // 0 = no feasibility report
+  uint64_t ops = 0;
+  std::string mix_name = "storm";
+  std::string out_format;
   bool list_models = false;
 
   FlagParser flags("stalloc_trace_gen",
@@ -54,7 +64,12 @@ int main(int argc, char** argv) {
                  "device capacity (suffixes K/M/G); reports a feasibility verdict");
   flags.Add("--serve", &serve_scenario, "SCENARIO",
             "serving trace instead of training: chat | rag-long | batch-offline");
-  flags.Add("--out", &out, "FILE", "trace output (.bin = binary, else CSV)");
+  flags.Add("--ops", &ops, "N",
+            "synthetic trace with N malloc/free ops instead of a simulated workload");
+  flags.Add("--mix", &mix_name, "NAME", "synthetic mix: storm | train | serve");
+  flags.Add("--out", &out, "FILE", "trace output (.bin = binary v1, else CSV)");
+  flags.Add("--out-format", &out_format, "FMT",
+            "csv | bin | v2 (columnar, mmap-replayable); default by extension");
   flags.Add("--json", &json_path, "FILE",
             "machine-readable trace stats + capacity verdict ('-' = stdout)");
   flags.AddFlag("--list-models", &list_models, "list model presets and exit");
@@ -67,6 +82,34 @@ int main(int argc, char** argv) {
       std::printf("%s\n", name.c_str());
     }
     return 0;
+  }
+
+  if (flags.Seen("--mix") && !flags.Seen("--ops")) {
+    std::fprintf(stderr, "--mix only applies with --ops\n%s", flags.Usage().c_str());
+    return 2;
+  }
+  if (ops > 0 &&
+      (!serve_scenario.empty() ||
+       flags.SeenAny({"--model", "--config", "--pp", "--tp", "--dp", "--ep", "--vpp", "--mb",
+                      "--microbatches", "--rank"}))) {
+    std::fprintf(stderr,
+                 "--ops generates a synthetic trace; --serve and workload-shape flags "
+                 "would be silently ignored\n%s",
+                 flags.Usage().c_str());
+    return 2;
+  }
+  SyntheticMix mix = SyntheticMix::kStorm;
+  if (!ParseSyntheticMix(mix_name, &mix)) {
+    std::fprintf(stderr, "unknown mix '%s' (storm | train | serve)\n", mix_name.c_str());
+    return 2;
+  }
+  std::string format = out_format;
+  if (format.empty()) {
+    format = out.size() > 4 && out.substr(out.size() - 4) == ".bin" ? "bin" : "csv";
+  }
+  if (format != "csv" && format != "bin" && format != "v2") {
+    std::fprintf(stderr, "unknown --out-format '%s' (csv | bin | v2)\n", format.c_str());
+    return 2;
   }
 
   // --serve and training-shape flags are mutually exclusive.
@@ -83,8 +126,39 @@ int main(int argc, char** argv) {
 
   ReportSink sink("stalloc_trace_gen", json_path);
 
+  // Million-op synthetic traces stream straight to the columnar file: the generator's memory
+  // stays O(live events), so this path scales far past what a materialized Trace can hold.
+  if (ops > 0 && format == "v2") {
+    SyntheticSpec synth{mix, ops, seed};
+    if (!GenerateSyntheticV2File(synth, out)) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 1;
+    }
+    TraceView view;
+    TraceIoError verify_err;
+    if (!view.Open(out, &verify_err)) {
+      std::fprintf(stderr, "generated trace failed validation: %s\n",
+                   verify_err.ToString().c_str());
+      return 1;
+    }
+    sink.Printf("wrote %s: %llu events (%llu ops), %llu bytes, end_time %llu\n", out.c_str(),
+                static_cast<unsigned long long>(view.num_events()),
+                static_cast<unsigned long long>(view.num_ops()),
+                static_cast<unsigned long long>(view.file_bytes()),
+                static_cast<unsigned long long>(view.end_time()));
+    sink.Meta("source", "synthetic");
+    sink.Meta("mix", SyntheticMixName(mix));
+    sink.Meta("seed", seed);
+    sink.Meta("ops", view.num_ops());
+    sink.Meta("events", view.num_events());
+    sink.Meta("file_bytes", view.file_bytes());
+    return sink.Finish();
+  }
+
   Trace trace;
-  if (!serve_scenario.empty()) {
+  if (ops > 0) {
+    trace = BuildSyntheticTrace(SyntheticSpec{mix, ops, seed});
+  } else if (!serve_scenario.empty()) {
     ServeTraceResult serve =
         BuildServeTrace(ModelByName(model_name), ScenarioByName(serve_scenario), EngineConfig{},
                         seed);
@@ -99,9 +173,9 @@ int main(int argc, char** argv) {
     WorkloadBuilder workload(ModelByName(model_name), config);
     trace = workload.Build(seed);
   }
-  // Binary when the extension says so, CSV otherwise.
-  const bool binary = out.size() > 4 && out.substr(out.size() - 4) == ".bin";
-  const bool ok = binary ? WriteTraceBinaryFile(trace, out) : WriteTraceCsvFile(trace, out);
+  const bool ok = format == "v2"    ? WriteTraceV2File(trace, out)
+                  : format == "bin" ? WriteTraceBinaryFile(trace, out)
+                                    : WriteTraceCsvFile(trace, out);
   if (!ok) {
     std::fprintf(stderr, "cannot write %s\n", out.c_str());
     return 1;
@@ -117,12 +191,14 @@ int main(int argc, char** argv) {
 
   const bool serving = !serve_scenario.empty();
   const std::string shape =
-      serving ? serve_scenario
-              : StrFormat("%s pp%d tp%d dp%d mb%llu x%d rank%d", tag.c_str(),
-                          config.parallel.pp, config.parallel.tp, config.parallel.dp,
-                          static_cast<unsigned long long>(config.micro_batch_size),
-                          config.num_microbatches, config.rank);
-  sink.Meta("source", serving ? "serve" : "train");
+      ops > 0   ? StrFormat("%s x%llu ops", SyntheticMixName(mix),
+                            static_cast<unsigned long long>(ops))
+      : serving ? serve_scenario
+                : StrFormat("%s pp%d tp%d dp%d mb%llu x%d rank%d", tag.c_str(),
+                            config.parallel.pp, config.parallel.tp, config.parallel.dp,
+                            static_cast<unsigned long long>(config.micro_batch_size),
+                            config.num_microbatches, config.rank);
+  sink.Meta("source", ops > 0 ? "synthetic" : (serving ? "serve" : "train"));
   sink.Meta("model", model_name);
   sink.Meta("shape", shape);
   sink.Meta("seed", seed);
