@@ -108,7 +108,7 @@ int main(int argc, char** argv) {
     sink.Printf("Fig. 8 %s — memory efficiency (%%), 8xA800, microbatch=%llu\n\n", setup.title,
                 static_cast<unsigned long long>(mb));
     Json configs_json = Json::Array();
-    TextTable table({"config", "Torch", "GMLake", "Torch ES", "STAlloc"});
+    TextTable table({"config", "Torch", "GMLake", "Torch ES", "VMM", "STAlloc"});
     for (const char* tag : {"N", "R", "V", "VR", "ZR", "ZOR"}) {
       ExperimentSpec spec;
       spec.axis = WorkloadAxis::kTrainRank;

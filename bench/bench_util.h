@@ -130,10 +130,11 @@ inline std::string ReservedCell(const ExperimentResult& r) {
 }
 
 // The allocator line-up of Fig. 8 (our caching allocator stands in for both Torch 2.0 and 2.3;
-// the paper's two versions differ only marginally on these workloads).
+// the paper's two versions differ only marginally on these workloads), extended with the VMM
+// remap allocator — the in-tree upper bound on what handle-level defragmentation buys.
 inline std::vector<AllocatorKind> PaperAllocators() {
   return {AllocatorKind::kCaching, AllocatorKind::kGMLake, AllocatorKind::kExpandable,
-          AllocatorKind::kSTAlloc};
+          AllocatorKind::kVmm, AllocatorKind::kSTAlloc};
 }
 
 }  // namespace stalloc

@@ -161,9 +161,10 @@ class AllocatorBase : public Allocator {
   void CaptureHeapSnapshot(telemetry::HeapTrigger trigger, uint64_t failed_size = 0);
 
   // Excludes this allocator from snapshot capture. Owners of nested pools (STAlloc's caching
-  // fallback, GMLake's / expandable's small pool) call this on the inner allocator: the outer
-  // live_ ledger already covers every block the inner pool serves, so an inner snapshot would
-  // double-report; the outer AppendHeapSegments delegates to the inner pool for segments.
+  // fallback, GMLake's / expandable's / vmm's small pool) call this on the inner allocator: the
+  // outer live_ ledger already covers every block the inner pool serves, so an inner snapshot
+  // would double-report; the outer AppendHeapSegments delegates to the inner pool for segments
+  // (the VMM additionally reports its own contiguous mapped-page runs as segments).
   void SuppressHeapSnapshots() { heap_suppressed_ = true; }
 
  protected:

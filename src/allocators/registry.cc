@@ -1,5 +1,6 @@
 #include "src/allocators/registry.h"
 
+#include <string>
 #include <utility>
 
 #include "src/allocators/caching_allocator.h"
@@ -8,6 +9,9 @@
 #include "src/allocators/native_allocator.h"
 #include "src/allocators/paged_kv.h"
 #include "src/common/check.h"
+#include "src/common/units.h"
+#include "src/gpu/sim_device.h"
+#include "src/vmm/vmm_allocator.h"
 
 namespace stalloc {
 
@@ -31,7 +35,8 @@ AllocatorRegistry::AllocatorRegistry() {
                 config.frag_limit = options.gmlake_frag_limit;
               }
               return std::make_unique<GMLakeAllocator>(device, config);
-            }});
+            },
+            "gmlake.frag_limit=<bytes>"});
   Register({"stalloc", AllocatorKind::kSTAlloc, /*requires_plan=*/true, nullptr});
   Register({"stalloc-noreuse", AllocatorKind::kSTAllocNoReuse, /*requires_plan=*/true, nullptr});
   Register({"paged-kv", AllocatorKind::kPagedKV, /*requires_plan=*/false,
@@ -41,7 +46,17 @@ AllocatorRegistry::AllocatorRegistry() {
                 config.block_bytes = options.paged_block_bytes;
               }
               return std::make_unique<PagedKVAllocator>(device, config);
-            }});
+            },
+            "paged.block_bytes=<bytes>"});
+  Register({"vmm", AllocatorKind::kVmm, /*requires_plan=*/false,
+            [](SimDevice* device, const AllocatorOptions& options) -> std::unique_ptr<Allocator> {
+              VmmConfig config;
+              if (options.vmm_granularity != 0) {
+                config.granularity = options.vmm_granularity;
+              }
+              return std::make_unique<VmmAllocator>(device, config);
+            },
+            "vmm.granularity=<bytes, pow2 >= 64KiB>"});
   // A new enum value not registered above must fail here, not be silently unlistable.
   STALLOC_CHECK_EQ(entries_.size(), static_cast<size_t>(AllocatorKind::kCount),
                    << "built-in registry out of sync with AllocatorKind");
@@ -101,6 +116,50 @@ std::vector<std::string> AllocatorRegistry::Names(bool include_plan_kinds) const
     }
   }
   return names;
+}
+
+bool ParseAllocatorOption(std::string_view option, AllocatorOptions* options,
+                          std::string* error) {
+  const size_t eq = option.find('=');
+  if (eq == std::string_view::npos || eq == 0 || eq + 1 == option.size()) {
+    if (error != nullptr) {
+      *error = "allocator option must be key=value, got '" + std::string(option) + "'";
+    }
+    return false;
+  }
+  const std::string_view key = option.substr(0, eq);
+  const std::string value(option.substr(eq + 1));
+  const auto bytes = ParseByteSize(value.c_str());
+  if (!bytes.has_value()) {
+    if (error != nullptr) {
+      *error = "allocator option '" + std::string(key) + "': malformed byte size '" + value +
+               "' (want e.g. 65536, 64K, 2MiB)";
+    }
+    return false;
+  }
+  if (key == "gmlake.frag_limit") {
+    options->gmlake_frag_limit = *bytes;
+    return true;
+  }
+  if (key == "paged.block_bytes") {
+    options->paged_block_bytes = *bytes;
+    return true;
+  }
+  if (key == "vmm.granularity") {
+    if (!IsPowerOfTwo(*bytes) || *bytes % SimDevice::kMinGranularity != 0) {
+      if (error != nullptr) {
+        *error = "vmm.granularity must be a power of two >= " +
+                 std::to_string(SimDevice::kMinGranularity) + ", got " + value;
+      }
+      return false;
+    }
+    options->vmm_granularity = *bytes;
+    return true;
+  }
+  if (error != nullptr) {
+    *error = "unknown allocator option '" + std::string(key) + "'";
+  }
+  return false;
 }
 
 const char* AllocatorKindName(AllocatorKind kind) {

@@ -38,6 +38,7 @@ enum class AllocatorKind : uint8_t {
   kSTAlloc,       // full STAlloc
   kSTAllocNoReuse,  // STAlloc without dynamic reuse (Fig. 13 ablation)
   kPagedKV,       // vLLM-style fixed-size block pool (serving-native baseline)
+  kVmm,           // two-level VMM allocator with remap-based compaction (src/vmm/)
   kCount,         // sentinel — keeps AllAllocatorKinds() verifiably exhaustive
 };
 
@@ -49,7 +50,18 @@ struct AllocatorOptions {
   // Paged-KV pool page size override (0 = PagedKVConfig default). Serving pipelines set this to
   // the workload's KV block size so every cache allocation is a pool hit.
   uint64_t paged_block_bytes = 0;
+  // VMM page/handle granularity override (0 = SimDevice::kGranularity, the 2 MiB huge-page
+  // recommendation). Must be a power of two >= SimDevice::kMinGranularity.
+  uint64_t vmm_granularity = 0;
 };
+
+// Applies one "key=value" allocator option (e.g. "vmm.granularity=2MiB",
+// "gmlake.frag_limit=64M", "paged.block_bytes=16K") to `options`. The shared parser behind
+// every --alloc-opt flag and the C-ABI options string: tools and external clients accept the
+// same spellings. Returns false (with a message in *error) on unknown keys, malformed byte
+// sizes, or values an allocator would reject (e.g. a non-power-of-two VMM granularity).
+bool ParseAllocatorOption(std::string_view option, AllocatorOptions* options,
+                          std::string* error);
 
 class AllocatorRegistry {
  public:
@@ -61,6 +73,7 @@ class AllocatorRegistry {
     AllocatorKind kind = AllocatorKind::kCount;  // compat enum tag (kCount for external kinds)
     bool requires_plan = false;               // needs the offline profile+plan pipeline
     Factory factory;                          // null iff requires_plan
+    std::string options_help;                 // --alloc-opt keys this kind reads ("" = none)
   };
 
   // A fresh registry pre-populated with the built-in kinds. Tests construct their own; everyone

@@ -29,11 +29,12 @@ constexpr uint64_t AlignDown(uint64_t v, uint64_t align) { return v & ~(align - 
 
 constexpr bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
 
-// Parses a byte count with an optional K/M/G suffix ("80G", "512M", raw bytes) — the inverse of
-// FormatBytes at CLI precision, shared by the command-line tools. Returns nullopt on malformed
-// input: missing leading digit (strtoull would wrap a '-' modulo 2^64), zero, unknown or
-// trailing suffix characters, or overflow of the scaled value. A typo must never silently
-// change a capacity.
+// Parses a byte count with an optional K/M/G suffix, also accepted in the "KiB"/"MiB"/"GiB"
+// spelling FormatBytes produces ("80G", "512M", "2MiB", raw bytes) — shared by the
+// command-line tools and the allocator-option parser. Returns nullopt on malformed input:
+// missing leading digit (strtoull would wrap a '-' modulo 2^64), zero, unknown or trailing
+// suffix characters, or overflow of the scaled value. A typo must never silently change a
+// capacity.
 inline std::optional<uint64_t> ParseByteSize(const char* s) {
   char* end = nullptr;
   errno = 0;
@@ -58,7 +59,12 @@ inline std::optional<uint64_t> ParseByteSize(const char* s) {
       default:
         bad = true;
     }
-    bad = bad || *(end + 1) != '\0';
+    // The suffix letter may stand alone ("512M") or be spelled out ("512MiB").
+    ++end;
+    if (!bad && (end[0] == 'i' || end[0] == 'I') && (end[1] == 'B' || end[1] == 'b')) {
+      end += 2;
+    }
+    bad = bad || *end != '\0';
   }
   bad = bad || v > UINT64_MAX / unit;  // the scaled value must fit too
   if (bad) {

@@ -106,6 +106,7 @@ CompactionResult CompactPlan(const StaticPlan& plan, int max_rounds) {
       if (best < decisions[idx].addr) {
         decisions[idx].addr = best;
         ++result.moves;
+        result.bytes_moved += decisions[idx].padded_size;
         improved = true;
       }
     }

@@ -20,6 +20,11 @@ struct CompactionResult {
   StaticPlan plan;
   int rounds = 0;          // improvement rounds executed
   uint64_t moves = 0;      // decisions relocated
+  // Payload bytes the relocations represent: each moved decision's padded size, summed over
+  // every move. This is what a *copy-based* defragmenter (cudaMemcpy) would transfer; the VMM
+  // allocator's remap-based compaction reports the same quantity as bytes_remapped with
+  // bytes_copied = 0 (bench_vmm compares the two models).
+  uint64_t bytes_moved = 0;
   uint64_t initial_pool = 0;
   double wall_ms = 0;
 };

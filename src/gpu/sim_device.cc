@@ -67,7 +67,7 @@ DeviceStatus SimDevice::DevFree(DevPtr ptr) {
 std::optional<VaPtr> SimDevice::ReserveVa(uint64_t size) {
   ++counters_.va_reserve;
   Charge(cost_.va_reserve_us);
-  if (size == 0 || size % kGranularity != 0) {
+  if (size == 0 || size % kMinGranularity != 0) {
     return std::nullopt;
   }
   const VaPtr va = next_va_;
@@ -96,7 +96,7 @@ DeviceStatus SimDevice::FreeVa(VaPtr va) {
 std::optional<MemHandle> SimDevice::MemCreate(uint64_t size) {
   ++counters_.mem_create;
   Charge(cost_.mem_create_us);
-  if (size == 0 || size % kGranularity != 0) {
+  if (size == 0 || size % kMinGranularity != 0) {
     return std::nullopt;
   }
   if (physical_used() + size > capacity_) {
@@ -141,7 +141,7 @@ DeviceStatus SimDevice::MemMap(VaPtr va, uint64_t offset, MemHandle handle) {
     return DeviceStatus::kInvalidArgument;  // a handle maps at most once
   }
   const uint64_t size = hit->second;
-  if (offset % kGranularity != 0 || offset + size > rit->second.size) {
+  if (offset % kMinGranularity != 0 || offset + size > rit->second.size) {
     return DeviceStatus::kInvalidArgument;
   }
   // Overlap check against existing mappings.

@@ -71,8 +71,13 @@ using MemHandle = uint64_t;   // physical allocation handle (cuMemCreate analogu
 
 class SimDevice {
  public:
-  // VMM granularity: CUDA reports 2 MiB on all evaluated GPUs.
+  // Recommended VMM granularity: cuMemGetAllocationGranularity with
+  // CU_MEM_ALLOC_GRANULARITY_RECOMMENDED reports 2 MiB on all evaluated GPUs.
   static constexpr uint64_t kGranularity = 2 * MiB;
+  // Minimum VMM granularity the device accepts (CU_MEM_ALLOC_GRANULARITY_MINIMUM). Sizes and
+  // offsets in the VMM API must be multiples of this; kGranularity remains what well-behaved
+  // allocators use by default (huge-page-aligned mappings, the THP trade-off).
+  static constexpr uint64_t kMinGranularity = 64 * KiB;
   // cudaMalloc alignment.
   static constexpr uint64_t kMallocAlign = 512;
 
@@ -87,11 +92,12 @@ class SimDevice {
   DeviceStatus DevFree(DevPtr ptr);
 
   // --- VMM API ---
-  // Reserves a virtual address range (multiple of granularity). Virtual space is plentiful
+  // Reserves a virtual address range (multiple of kMinGranularity). Virtual space is plentiful
   // (64-bit): reservations only fail on misalignment.
   std::optional<VaPtr> ReserveVa(uint64_t size);
   DeviceStatus FreeVa(VaPtr va);
-  // Creates a physical allocation of `size` (multiple of granularity). Counts against capacity.
+  // Creates a physical allocation of `size` (multiple of kMinGranularity). Counts against
+  // capacity.
   std::optional<MemHandle> MemCreate(uint64_t size);
   DeviceStatus MemRelease(MemHandle handle);
   // Maps the whole of `handle` at va+offset. The target range must lie inside one reservation and

@@ -1,0 +1,44 @@
+#include "src/vmm/phys_handle_pool.h"
+
+#include "src/common/check.h"
+#include "src/common/units.h"
+
+namespace stalloc {
+
+PhysHandlePool::PhysHandlePool(SimDevice* device, uint64_t granularity)
+    : device_(device), granularity_(granularity) {
+  STALLOC_CHECK(IsPowerOfTwo(granularity), << "VMM granularity must be a power of two, got "
+                                           << granularity);
+  STALLOC_CHECK_EQ(granularity % SimDevice::kMinGranularity, 0u,
+                   << "VMM granularity below the device minimum: " << granularity);
+}
+
+PhysHandlePool::~PhysHandlePool() { Trim(); }
+
+std::optional<MemHandle> PhysHandlePool::Acquire() {
+  if (!cache_.empty()) {
+    const MemHandle h = cache_.back();
+    cache_.pop_back();
+    ++stats_.pool_hits;
+    return h;
+  }
+  auto h = device_->MemCreate(granularity_);
+  if (h.has_value()) {
+    ++stats_.created;
+  }
+  return h;
+}
+
+void PhysHandlePool::Release(MemHandle handle) { cache_.push_back(handle); }
+
+uint64_t PhysHandlePool::Trim() {
+  const uint64_t bytes = cached_bytes();
+  for (const MemHandle h : cache_) {
+    STALLOC_CHECK(device_->MemRelease(h) == DeviceStatus::kOk);
+    ++stats_.released;
+  }
+  cache_.clear();
+  return bytes;
+}
+
+}  // namespace stalloc

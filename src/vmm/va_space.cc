@@ -1,0 +1,41 @@
+#include "src/vmm/va_space.h"
+
+#include "src/common/check.h"
+
+namespace stalloc {
+
+VaSpace::VaSpace(SimDevice* device, uint64_t size, uint64_t granularity)
+    : device_(device), size_(size), granularity_(granularity) {
+  STALLOC_CHECK(size > 0 && size % granularity == 0,
+                << "VA size " << size << " not a multiple of granularity " << granularity);
+  auto va = device_->ReserveVa(size);
+  STALLOC_CHECK(va.has_value(), << "VA reservation of " << size << " bytes failed");
+  va_ = *va;
+}
+
+VaSpace::~VaSpace() {
+  for (const auto& [page, handle] : pages_) {
+    STALLOC_CHECK(device_->MemUnmap(va_, page * granularity_, granularity_) == DeviceStatus::kOk);
+    STALLOC_CHECK(device_->MemRelease(handle) == DeviceStatus::kOk);
+  }
+  pages_.clear();
+  STALLOC_CHECK(device_->FreeVa(va_) == DeviceStatus::kOk);
+}
+
+void VaSpace::MapPage(uint64_t page, MemHandle handle) {
+  STALLOC_CHECK_LT(page, num_pages(), << "VMM map outside the reservation");
+  STALLOC_CHECK(!IsMapped(page), << "VMM double map of page " << page);
+  STALLOC_CHECK(device_->MemMap(va_, page * granularity_, handle) == DeviceStatus::kOk);
+  pages_.emplace(page, handle);
+}
+
+MemHandle VaSpace::UnmapPage(uint64_t page) {
+  auto it = pages_.find(page);
+  STALLOC_CHECK(it != pages_.end(), << "VMM unmap of unmapped page " << page);
+  const MemHandle handle = it->second;
+  STALLOC_CHECK(device_->MemUnmap(va_, page * granularity_, granularity_) == DeviceStatus::kOk);
+  pages_.erase(it);
+  return handle;
+}
+
+}  // namespace stalloc

@@ -1,0 +1,65 @@
+// VaSpace: one reserved virtual-address range with a page-granular map table.
+//
+// The CUDA VMM model (cuMemAddressReserve + cuMemMap): the VA range is reserved once, up
+// front, and physical handles are mapped and unmapped beneath it page by page. VaSpace owns
+// the reservation and the page table (page index -> mapped handle); which pages *should* be
+// mapped — and where the handles come from — is the allocator's policy (vmm_allocator.cc),
+// not this class's.
+
+#ifndef SRC_VMM_VA_SPACE_H_
+#define SRC_VMM_VA_SPACE_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/gpu/sim_device.h"
+
+namespace stalloc {
+
+class VaSpace {
+ public:
+  // Reserves `size` bytes (must be a multiple of `granularity`) of virtual address space.
+  // Reservation happens exactly once, here; it cannot fail for lack of space (VA is
+  // plentiful), only on misalignment, which aborts.
+  VaSpace(SimDevice* device, uint64_t size, uint64_t granularity);
+  // Unmaps and releases any still-mapped handles, then frees the reservation. Owners that
+  // want cached-handle reuse across teardown must drain the table themselves first.
+  ~VaSpace();
+
+  VaSpace(const VaSpace&) = delete;
+  VaSpace& operator=(const VaSpace&) = delete;
+
+  VaPtr base() const { return va_; }
+  uint64_t size() const { return size_; }
+  uint64_t granularity() const { return granularity_; }
+  uint64_t num_pages() const { return size_ / granularity_; }
+  uint64_t PageOf(uint64_t offset) const { return offset / granularity_; }
+
+  bool IsMapped(uint64_t page) const { return pages_.count(page) != 0; }
+  uint64_t mapped_pages() const { return pages_.size(); }
+  uint64_t mapped_bytes() const { return pages_.size() * granularity_; }
+
+  // Maps `handle` (granularity() bytes, currently unmapped) at page index `page`. The target
+  // page must be inside the reservation and unmapped; violations abort — the allocator's page
+  // accounting, not the device, decides what gets mapped where.
+  void MapPage(uint64_t page, MemHandle handle);
+
+  // Unmaps page `page` and returns the handle that was mapped there, ready for remapping
+  // elsewhere or release.
+  MemHandle UnmapPage(uint64_t page);
+
+  // page index -> handle, ordered by page. Heap-map snapshots walk this to report contiguous
+  // mapped runs.
+  const std::map<uint64_t, MemHandle>& page_table() const { return pages_; }
+
+ private:
+  SimDevice* device_;
+  VaPtr va_ = 0;
+  uint64_t size_;
+  uint64_t granularity_;
+  std::map<uint64_t, MemHandle> pages_;
+};
+
+}  // namespace stalloc
+
+#endif  // SRC_VMM_VA_SPACE_H_

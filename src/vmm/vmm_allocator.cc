@@ -1,0 +1,252 @@
+#include "src/vmm/vmm_allocator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/telemetry.h"
+
+namespace stalloc {
+
+VmmAllocator::VmmAllocator(SimDevice* device, VmmConfig config)
+    : device_(device), config_(config) {
+  if (config_.small_size != 0) {
+    small_pool_ = std::make_unique<CachingAllocator>(device);
+    // Our live_ ledger covers small-pool blocks; the inner pool contributes segments only (see
+    // AppendHeapSegments), never its own snapshots.
+    small_pool_->SuppressHeapSnapshots();
+  }
+  const uint64_t va_size =
+      config_.va_size != 0 ? AlignUp(config_.va_size, config_.granularity)
+                           : AlignUp(2 * device_->capacity(), config_.granularity);
+  va_ = std::make_unique<VaSpace>(device_, va_size, config_.granularity);
+  pool_ = std::make_unique<PhysHandlePool>(device_, config_.granularity);
+  Block whole;
+  whole.off = 0;
+  whole.size = va_size;
+  whole.free = true;
+  blocks_.emplace(0, whole);
+  free_list_.Insert(whole.size, whole.off);
+  page_refs_.assign(va_->num_pages(), 0);
+}
+
+// Member order does the teardown: pool_ trims its cache back to the device, then VaSpace
+// unmaps and releases every still-mapped handle before freeing the reservation.
+VmmAllocator::~VmmAllocator() = default;
+
+uint64_t VmmAllocator::ReservedBytes() const {
+  return va_->mapped_bytes() + pool_->cached_bytes() +
+         (small_pool_ ? small_pool_->ReservedBytes() : 0);
+}
+
+std::optional<uint64_t> VmmAllocator::DoMalloc(uint64_t size, const RequestContext& ctx) {
+  if (IsSmall(size)) {
+    return small_pool_->Malloc(size, ctx);
+  }
+  const uint64_t rounded = AlignUp(size, SimDevice::kMallocAlign);
+  auto off = LargeMalloc(rounded);
+  if (!off.has_value()) {
+    return std::nullopt;
+  }
+  return va_->base() + *off;
+}
+
+void VmmAllocator::DoFree(uint64_t addr, uint64_t size) {
+  if (IsSmall(size)) {
+    STALLOC_CHECK(small_pool_->Free(addr));
+    return;
+  }
+  const uint64_t off = addr - va_->base();
+  auto it = blocks_.find(off);
+  STALLOC_CHECK(it != blocks_.end() && !it->second.free,
+                << "vmm: free of unknown address " << addr);
+  // Pages stay mapped (lazy, as PyTorch keeps segments): idle pages are the remap reserve and
+  // the very fuel of remap-based compaction. EmptyCache returns them to the device.
+  AddRefs(it->second.off, it->second.size, -1);
+  it->second.free = true;
+  Coalesce(it);
+}
+
+std::optional<uint64_t> VmmAllocator::LargeMalloc(uint64_t rounded) {
+  auto best = free_list_.PopBestFit(rounded);
+  if (!best.has_value()) {
+    // The VA reservation's block map is exhausted: no hole fits. This is the VMM-specific OOM —
+    // virtual, not physical.
+    return std::nullopt;
+  }
+  const uint64_t off = best->second;
+  auto it = blocks_.find(off);
+  STALLOC_CHECK(it != blocks_.end() && it->second.free);
+  it->second.free = false;
+  if (it->second.size - rounded >= SimDevice::kMallocAlign) {
+    Block rest;
+    rest.off = off + rounded;
+    rest.size = it->second.size - rounded;
+    rest.free = true;
+    it->second.size = rounded;
+    blocks_.emplace_hint(std::next(it), rest.off, rest);
+    free_list_.Insert(rest.size, rest.off);
+  }
+  if (!EnsureMapped(off, rounded)) {
+    it = blocks_.find(off);
+    it->second.free = true;
+    Coalesce(it);
+    return std::nullopt;
+  }
+  return off;
+}
+
+bool VmmAllocator::EnsureMapped(uint64_t off, uint64_t size) {
+  AddRefs(off, size, 1);
+  const uint64_t first = va_->PageOf(off);
+  const uint64_t last = va_->PageOf(off + size - 1);
+  std::vector<uint64_t> newly_mapped;
+  bool remapped_any = false;
+  for (uint64_t page = first; page <= last; ++page) {
+    if (va_->IsMapped(page)) {
+      continue;
+    }
+    auto handle = AcquireUnderPressure(&remapped_any);
+    if (!handle.has_value()) {
+      for (const uint64_t p : newly_mapped) {
+        pool_->Release(va_->UnmapPage(p));
+        ++vmm_stats_.unmap_calls;
+      }
+      AddRefs(off, size, -1);
+      return false;
+    }
+    va_->MapPage(page, *handle);
+    ++vmm_stats_.map_calls;
+    newly_mapped.push_back(page);
+  }
+  if (remapped_any) {
+    ++vmm_stats_.remap_events;
+  }
+  if (telemetry::Enabled() && !newly_mapped.empty()) {
+    telemetry::MetricsRegistry::Global()
+        .GetCounter("vmm.map_pages")
+        ->Add(newly_mapped.size());
+  }
+  return true;
+}
+
+std::optional<MemHandle> VmmAllocator::AcquireUnderPressure(bool* remapped) {
+  auto handle = pool_->Acquire();
+  if (handle.has_value()) {
+    return handle;
+  }
+  // Physical memory is exhausted. First choice: relocate one of our own idle pages — mapped,
+  // but under no live block. The handle moves at map-call cost; no bytes are copied. This is
+  // the remap-based compaction.
+  if (config_.remap) {
+    auto idle = FindIdlePage();
+    if (idle.has_value()) {
+      MemHandle h = va_->UnmapPage(*idle);
+      ++vmm_stats_.unmap_calls;
+      ++vmm_stats_.pages_remapped;
+      vmm_stats_.bytes_remapped += config_.granularity;
+      *remapped = true;
+      if (telemetry::Enabled()) {
+        telemetry::MetricsRegistry::Global().GetCounter("vmm.remap_pages")->Add(1);
+      }
+      return h;
+    }
+  }
+  // No idle page either: return cached memory to the device and retry the create once.
+  if (small_pool_) {
+    small_pool_->EmptyCache();
+  }
+  return pool_->Acquire();
+}
+
+std::optional<uint64_t> VmmAllocator::FindIdlePage() const {
+  const auto& table = va_->page_table();
+  for (auto it = table.rbegin(); it != table.rend(); ++it) {
+    if (page_refs_[it->first] == 0) {
+      return it->first;
+    }
+  }
+  return std::nullopt;
+}
+
+void VmmAllocator::AddRefs(uint64_t off, uint64_t size, int delta) {
+  const uint64_t first = va_->PageOf(off);
+  const uint64_t last = va_->PageOf(off + size - 1);
+  for (uint64_t page = first; page <= last; ++page) {
+    if (delta < 0) {
+      STALLOC_CHECK_GT(page_refs_[page], 0u);
+      --page_refs_[page];
+    } else {
+      ++page_refs_[page];
+    }
+  }
+}
+
+void VmmAllocator::Coalesce(std::map<uint64_t, Block>::iterator it) {
+  auto next = std::next(it);
+  if (next != blocks_.end() && next->second.free &&
+      it->second.off + it->second.size == next->second.off) {
+    free_list_.Erase(next->second.size, next->second.off);
+    it->second.size += next->second.size;
+    blocks_.erase(next);
+  }
+  if (it != blocks_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.free && prev->second.off + prev->second.size == it->second.off) {
+      free_list_.Erase(prev->second.size, prev->second.off);
+      prev->second.size += it->second.size;
+      blocks_.erase(it);
+      it = prev;
+    }
+  }
+  free_list_.Insert(it->second.size, it->second.off);
+}
+
+void VmmAllocator::ReleaseIdlePages() {
+  std::vector<uint64_t> idle;
+  for (const auto& [page, handle] : va_->page_table()) {
+    if (page_refs_[page] == 0) {
+      idle.push_back(page);
+    }
+  }
+  for (const uint64_t page : idle) {
+    pool_->Release(va_->UnmapPage(page));
+    ++vmm_stats_.unmap_calls;
+  }
+}
+
+void VmmAllocator::EmptyCache() {
+  if (small_pool_) {
+    small_pool_->EmptyCache();
+  }
+  ReleaseIdlePages();
+  pool_->Trim();
+}
+
+void VmmAllocator::AppendHeapSegments(std::vector<telemetry::HeapSegment>* out) const {
+  // Contiguous mapped-page runs are the reserved memory; unmapped holes in the reservation cost
+  // nothing physical and do not appear.
+  const auto& table = va_->page_table();
+  auto it = table.begin();
+  while (it != table.end()) {
+    const uint64_t start = it->first;
+    uint64_t end = start + 1;
+    ++it;
+    while (it != table.end() && it->first == end) {
+      ++end;
+      ++it;
+    }
+    telemetry::HeapSegment s;
+    s.base = va_->base() + start * config_.granularity;
+    s.size = (end - start) * config_.granularity;
+    s.stream = kComputeStream;
+    s.pool = "vmm";
+    out->push_back(std::move(s));
+  }
+  if (small_pool_) {
+    small_pool_->AppendHeapSegments(out);
+  }
+}
+
+}  // namespace stalloc

@@ -100,6 +100,10 @@ int main(int argc, char** argv) {
                  "GMLake stitching threshold override");
   flags.AddBytes("--paged-block", &spec.options.paged_block_bytes, "BYTES",
                  "paged-KV pool page size override");
+  std::vector<std::string> alloc_opts;
+  flags.AddList("--alloc-opt", &alloc_opts, "KEY=VAL[,...]",
+                "allocator construction options (e.g. vmm.granularity=2MiB; keys per "
+                "--list-allocs)");
   // Training shape (rank/job axes).
   flags.Add("--config", &spec.config_tag, "TAG", "optimization shorthand N|R|V|VR|ZR|ZOR");
   flags.Add("--pp", &spec.train.parallel.pp, "N", "pipeline parallel degree");
@@ -150,8 +154,13 @@ int main(int argc, char** argv) {
   }
 
   if (list_allocs) {
-    for (const std::string& name : AllocatorRegistry::Global().Names()) {
-      std::printf("%s\n", name.c_str());
+    for (const auto& entry : AllocatorRegistry::Global().entries()) {
+      if (entry.options_help.empty()) {
+        std::printf("%s\n", entry.name.c_str());
+      } else {
+        std::printf("%-16s  [--alloc-opt %s]\n", entry.name.c_str(),
+                    entry.options_help.c_str());
+      }
     }
     return 0;
   }
@@ -219,6 +228,13 @@ int main(int argc, char** argv) {
   if (spec.axis == WorkloadAxis::kTrainJob && flags.Seen("--rank")) {
     std::fprintf(stderr, "--rank only applies to --axis rank (a job runs every rank)\n");
     return 2;
+  }
+  for (const std::string& opt : alloc_opts) {
+    std::string opt_error;
+    if (!ParseAllocatorOption(opt, &spec.options, &opt_error)) {
+      std::fprintf(stderr, "--alloc-opt: %s\n", opt_error.c_str());
+      return 2;
+    }
   }
   spec.options.capacity_bytes = capacity;
   spec.engine.kv_budget_bytes = kv_budget;

@@ -14,10 +14,13 @@
 #include <string>
 #include <utility>
 
+#include "src/allocators/registry.h"
 #include "src/api/report.h"
 #include "src/api/serializers.h"
 #include "src/common/flags.h"
 #include "src/common/table.h"
+#include "src/driver/replay.h"
+#include "src/gpu/sim_device.h"
 #include "src/servesim/engine.h"
 #include "src/servesim/request_gen.h"
 #include "src/trace/synthetic.h"
@@ -61,7 +64,12 @@ int main(int argc, char** argv) {
   flags.Add("--rank", &config.rank, "N", "simulated pipeline rank");
   flags.Add("--seed", &seed, "N", "trace seed (MoE routing / request arrivals)");
   flags.AddBytes("--capacity", &capacity, "BYTES",
-                 "device capacity (suffixes K/M/G); reports a feasibility verdict");
+                 "device capacity (suffixes K/M/G); reports a feasibility verdict plus a "
+                 "per-allocator replay verdict table");
+  std::vector<std::string> alloc_opts;
+  flags.AddList("--alloc-opt", &alloc_opts, "KEY=VAL[,...]",
+                "allocator construction options for the --capacity verdicts (e.g. "
+                "vmm.granularity=2MiB; keys per stalloc_run --list-allocs)");
   flags.Add("--serve", &serve_scenario, "SCENARIO",
             "serving trace instead of training: chat | rag-long | batch-offline");
   flags.Add("--ops", &ops, "N",
@@ -75,6 +83,19 @@ int main(int argc, char** argv) {
   flags.AddFlag("--list-models", &list_models, "list model presets and exit");
   if (!flags.Parse(argc, argv)) {
     return 2;
+  }
+
+  AllocatorOptions alloc_options;
+  if (flags.Seen("--alloc-opt") && !flags.Seen("--capacity")) {
+    std::fprintf(stderr, "--alloc-opt only applies with --capacity (verdict replays)\n");
+    return 2;
+  }
+  for (const std::string& opt : alloc_opts) {
+    std::string opt_error;
+    if (!ParseAllocatorOption(opt, &alloc_options, &opt_error)) {
+      std::fprintf(stderr, "--alloc-opt: %s\n", opt_error.c_str());
+      return 2;
+    }
   }
 
   if (list_models) {
@@ -182,11 +203,35 @@ int main(int argc, char** argv) {
   }
   TraceStats stats = ComputeStats(trace);
   sink.Printf("wrote %s: %zu events\n%s", out.c_str(), trace.size(), stats.ToString().c_str());
+  Json verdicts_json = Json::Array();
   if (capacity > 0) {
     sink.Printf("capacity check: peak %llu of %llu bytes — %s\n",
                 static_cast<unsigned long long>(stats.peak_allocated),
                 static_cast<unsigned long long>(capacity),
                 stats.peak_allocated <= capacity ? "feasible" : "INFEASIBLE");
+    // The peak is the lower bound (a perfect allocator); whether a *real* allocator fits under
+    // this capacity depends on its fragmentation. Replay the trace through every directly
+    // constructible registry kind (--alloc-opt tunes them, e.g. vmm.granularity=2MiB) and
+    // report each one's verdict.
+    TextTable verdicts({"allocator", "verdict", "Mr", "E (%)"});
+    for (const auto& entry : AllocatorRegistry::Global().entries()) {
+      if (entry.requires_plan) {
+        continue;  // STAlloc kinds need the offline plan pipeline; use stalloc_run for those
+      }
+      SimDevice device(capacity);
+      auto alloc = AllocatorRegistry::Global().Create(entry.name, &device, alloc_options);
+      const ReplayResult result = ReplayTrace(trace, alloc.get());
+      verdicts.AddRow({entry.name, result.oom ? "OOM" : "fits",
+                       FormatBytes(result.reserved_peak),
+                       StrFormat("%.1f", result.memory_efficiency * 100.0)});
+      Json row = Json::Object();
+      row.Set("allocator", entry.name);
+      row.Set("fits", !result.oom);
+      row.Set("reserved_peak", result.reserved_peak);
+      row.Set("memory_efficiency", result.memory_efficiency);
+      verdicts_json.Add(std::move(row));
+    }
+    sink.Print(verdicts);
   }
 
   const bool serving = !serve_scenario.empty();
@@ -206,6 +251,7 @@ int main(int argc, char** argv) {
   if (capacity > 0) {
     sink.Meta("capacity_bytes", capacity);
     sink.Meta("feasible", stats.peak_allocated <= capacity);
+    sink.Meta("allocator_verdicts", std::move(verdicts_json));
   } else {
     sink.Meta("capacity_bytes", nullptr);
     sink.Meta("feasible", nullptr);
